@@ -1,0 +1,193 @@
+// Section 4.2 micro-benchmarks (google-benchmark): cost of one lottery.
+//
+// The paper: the draw itself is ~10 RISC instructions of PRNG plus an O(n)
+// list scan; ordering clients by ticket count (move-to-front) shortens the
+// scan; a tree of partial sums needs only O(lg n). These benchmarks measure
+// the host-time cost of FastRand, list/move-to-front/tree draws as the
+// number of clients grows, currency value conversion, and the
+// activation/deactivation path.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/core/client.h"
+#include "src/core/currency.h"
+#include "src/core/inverse_lottery.h"
+#include "src/core/list_lottery.h"
+#include "src/core/tree_lottery.h"
+#include "src/util/fastrand.h"
+
+namespace lottery {
+namespace {
+
+void BM_FastRand(benchmark::State& state) {
+  FastRand rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.Next());
+  }
+}
+BENCHMARK(BM_FastRand);
+
+void BM_FastRandBelow64(benchmark::State& state) {
+  FastRand rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.NextBelow64(123456789));
+  }
+}
+BENCHMARK(BM_FastRandBelow64);
+
+// Fixture data for list lotteries: n clients, skewed weights (the first
+// client holds ~half the tickets, as in a typical interactive mix).
+struct ListRig {
+  ListRig(size_t n, bool move_to_front) : lottery(move_to_front) {
+    clients.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      clients.push_back(std::make_unique<Client>(&table, "c"));
+      const int64_t amount =
+          (i == 0) ? static_cast<int64_t>(n) * 10 : 10;
+      clients.back()->HoldTicket(table.CreateTicket(table.base(), amount));
+      clients.back()->SetActive(true);
+      lottery.Add(clients.back().get());
+    }
+  }
+  CurrencyTable table;
+  std::vector<std::unique_ptr<Client>> clients;
+  ListLottery lottery;
+};
+
+void BM_ListLotteryDraw(benchmark::State& state) {
+  ListRig rig(static_cast<size_t>(state.range(0)), /*move_to_front=*/false);
+  FastRand rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rig.lottery.Draw(rng));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ListLotteryDraw)->Range(4, 4096)->Complexity(benchmark::oN);
+
+void BM_ListLotteryDrawMoveToFront(benchmark::State& state) {
+  ListRig rig(static_cast<size_t>(state.range(0)), /*move_to_front=*/true);
+  FastRand rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rig.lottery.Draw(rng));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ListLotteryDrawMoveToFront)
+    ->Range(4, 4096)
+    ->Complexity(benchmark::oN);
+
+void BM_TreeLotteryDraw(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  TreeLottery tree(n);
+  for (size_t i = 0; i < n; ++i) {
+    tree.Add(i == 0 ? n * 10 : 10);
+  }
+  FastRand rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Draw(rng));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_TreeLotteryDraw)->Range(4, 4096)->Complexity(benchmark::oLogN);
+
+void BM_TreeLotteryUpdate(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  TreeLottery tree(n);
+  std::vector<size_t> slots;
+  for (size_t i = 0; i < n; ++i) {
+    slots.push_back(tree.Add(10));
+  }
+  FastRand rng(7);
+  uint64_t w = 10;
+  for (auto _ : state) {
+    tree.SetWeight(slots[rng.NextBelow(static_cast<uint32_t>(n))], ++w % 50);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_TreeLotteryUpdate)->Range(4, 4096)->Complexity(benchmark::oLogN);
+
+// Currency conversion cost: value a client whose funding crosses a
+// user -> task -> thread currency chain (Figure 3's depth).
+void BM_CurrencyConversionDepth3(benchmark::State& state) {
+  CurrencyTable table;
+  Currency* user = table.CreateCurrency("user");
+  Currency* task = table.CreateCurrency("task");
+  Currency* thread = table.CreateCurrency("thread");
+  table.Fund(user, table.CreateTicket(table.base(), 1000));
+  table.Fund(task, table.CreateTicket(user, 100));
+  table.Fund(thread, table.CreateTicket(task, 100));
+  Client client(&table, "c");
+  Ticket* held = table.CreateTicket(thread, 100);
+  client.HoldTicket(held);
+  client.SetActive(true);
+  for (auto _ : state) {
+    // Epoch bump forces a fresh conversion each iteration (otherwise the
+    // memoized value is returned and this measures a cache hit).
+    table.SetAmount(held, 100 + static_cast<int64_t>(state.iterations() % 2));
+    benchmark::DoNotOptimize(client.Value());
+  }
+}
+BENCHMARK(BM_CurrencyConversionDepth3);
+
+void BM_CurrencyValueMemoized(benchmark::State& state) {
+  CurrencyTable table;
+  Currency* user = table.CreateCurrency("user");
+  table.Fund(user, table.CreateTicket(table.base(), 1000));
+  Client client(&table, "c");
+  client.HoldTicket(table.CreateTicket(user, 100));
+  client.SetActive(true);
+  client.Value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.Value());
+  }
+}
+BENCHMARK(BM_CurrencyValueMemoized);
+
+void BM_InverseLotteryDraw(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<uint64_t> weights(n);
+  for (size_t i = 0; i < n; ++i) {
+    weights[i] = 1 + i % 17;
+  }
+  FastRand rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DrawInverse(weights, rng));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_InverseLotteryDraw)->Range(4, 1024)->Complexity(benchmark::oN);
+
+void BM_FundingScaleBy(benchmark::State& state) {
+  Funding value = Funding::FromBase(123456789);
+  int64_t num = 7;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(value.ScaleBy(num, 13));
+    num = (num % 1000) + 1;
+  }
+}
+BENCHMARK(BM_FundingScaleBy);
+
+// Block/unblock cost: the activation cascade of Section 4.4.
+void BM_ActivationCascade(benchmark::State& state) {
+  CurrencyTable table;
+  Currency* user = table.CreateCurrency("user");
+  Currency* task = table.CreateCurrency("task");
+  table.Fund(user, table.CreateTicket(table.base(), 1000));
+  table.Fund(task, table.CreateTicket(user, 100));
+  Client client(&table, "c");
+  client.HoldTicket(table.CreateTicket(task, 100));
+  bool active = false;
+  for (auto _ : state) {
+    active = !active;
+    client.SetActive(active);
+  }
+}
+BENCHMARK(BM_ActivationCascade);
+
+}  // namespace
+}  // namespace lottery
+
+BENCHMARK_MAIN();

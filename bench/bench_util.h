@@ -1,0 +1,63 @@
+// Shared helpers for the figure/table reproduction harnesses.
+//
+// Every bench binary regenerates one table or figure from the paper: it
+// prints a header naming the experiment, the paper's reported shape, and
+// then the reproduced rows/series. All binaries accept --seed=N (and where
+// meaningful --seconds=N) so runs are reproducible and extensible.
+
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "src/core/lottery_scheduler.h"
+#include "src/sim/kernel.h"
+#include "src/sim/trace.h"
+#include "src/util/flags.h"
+#include "src/util/table.h"
+#include "src/workloads/compute.h"
+
+namespace lottery {
+
+inline void PrintHeader(const std::string& id, const std::string& title,
+                        const std::string& paper_shape) {
+  std::cout << "==============================================================="
+               "=\n"
+            << id << ": " << title << "\n"
+            << "Paper shape: " << paper_shape << "\n"
+            << "==============================================================="
+               "=\n";
+}
+
+// A kernel + lottery scheduler + tracer bundle with the paper's platform
+// parameters (100 ms quantum by default).
+struct LotteryRig {
+  explicit LotteryRig(uint32_t seed, int64_t quantum_ms = 100,
+                      SimDuration window = SimDuration::Seconds(1))
+      : tracer(window) {
+    LotteryScheduler::Options sopts;
+    sopts.seed = seed;
+    scheduler = std::make_unique<LotteryScheduler>(sopts);
+    Kernel::Options kopts;
+    kopts.quantum = SimDuration::Millis(quantum_ms);
+    kernel = std::make_unique<Kernel>(scheduler.get(), kopts, &tracer);
+  }
+
+  ThreadId SpawnCompute(const std::string& name, Currency* denom,
+                        int64_t amount, bool start_ready = true) {
+    const ThreadId tid =
+        kernel->Spawn(name, std::make_unique<ComputeTask>(), start_ready);
+    scheduler->FundThread(tid, denom, amount);
+    return tid;
+  }
+
+  Tracer tracer;
+  std::unique_ptr<LotteryScheduler> scheduler;
+  std::unique_ptr<Kernel> kernel;
+};
+
+}  // namespace lottery
+
+#endif  // BENCH_BENCH_UTIL_H_

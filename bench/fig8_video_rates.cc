@@ -1,0 +1,84 @@
+// Figure 8: Controlling Video Rates.
+//
+// Three MPEG-viewer stand-ins display the same video with a 3:2:1 ticket
+// allocation, changed to 3:1:2 halfway through. The paper observed initial
+// frame rates of 2.03 : 1.59 : 1.06 (a 1.92:1.50:1 ratio vs the intended
+// 3:2:1, distorted by the X server's round-robin handling) changing to
+// 3.02 : 1.05 : 2.02 (2.89:1:1.92 vs intended 3:1:2). Without an X server
+// in the path, this reproduction tracks the ticket ratios more tightly;
+// EXPERIMENTS.md discusses the difference.
+
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/workloads/video.h"
+
+namespace lottery {
+namespace {
+
+int Main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const auto seed = static_cast<uint32_t>(flags.GetInt("seed", 42));
+  const int64_t seconds = flags.GetInt("seconds", 300);
+
+  PrintHeader("Figure 8", "Controlling video rates (3:2:1 -> 3:1:2 midway)",
+              "cumulative frame slopes change at the switch; B and C swap");
+
+  LotteryRig rig(seed, /*quantum_ms=*/100, SimDuration::Seconds(10));
+  VideoViewer::Options vopts;
+  vopts.frame_cost = SimDuration::Millis(100);
+
+  std::vector<VideoViewer*> viewers;
+  std::vector<ThreadId> tids;
+  std::vector<Ticket*> tickets;
+  const int64_t initial[] = {300, 200, 100};
+  const char* names[] = {"A", "B", "C"};
+  for (int i = 0; i < 3; ++i) {
+    auto v = std::make_unique<VideoViewer>(vopts);
+    viewers.push_back(v.get());
+    const ThreadId tid = rig.kernel->Spawn(names[i], std::move(v));
+    tids.push_back(tid);
+    tickets.push_back(rig.scheduler->FundThread(
+        tid, rig.scheduler->table().base(), initial[i]));
+  }
+
+  const int64_t switch_at = seconds / 2;
+  TextTable table({"t (s)", "A frames", "B frames", "C frames", "phase"});
+  std::vector<int64_t> at_switch(3, 0);
+  for (int64_t t = 10; t <= seconds; t += 10) {
+    rig.kernel->RunFor(SimDuration::Seconds(10));
+    if (t == switch_at) {
+      // 3:2:1 -> 3:1:2.
+      rig.scheduler->table().SetAmount(tickets[1], 100);
+      rig.scheduler->table().SetAmount(tickets[2], 200);
+      for (int i = 0; i < 3; ++i) {
+        at_switch[static_cast<size_t>(i)] = viewers[static_cast<size_t>(i)]->frames();
+      }
+    }
+    table.AddRow({std::to_string(t), std::to_string(viewers[0]->frames()),
+                  std::to_string(viewers[1]->frames()),
+                  std::to_string(viewers[2]->frames()),
+                  t <= switch_at ? "3:2:1" : "3:1:2"});
+  }
+  table.Print(std::cout);
+
+  auto rate = [&](int i, bool first_half) {
+    const double frames =
+        first_half ? static_cast<double>(at_switch[static_cast<size_t>(i)])
+                   : static_cast<double>(viewers[static_cast<size_t>(i)]->frames() -
+                                          at_switch[static_cast<size_t>(i)]);
+    return frames / static_cast<double>(switch_at);
+  };
+  std::cout << "\nFirst-half frame rates (fps):  "
+            << FormatRatio({rate(0, true), rate(1, true), rate(2, true)}, 2)
+            << "  (intent 3:2:1; paper measured 1.92:1.50:1)\n"
+            << "Second-half frame rates (fps): "
+            << FormatRatio({rate(0, false), rate(2, false), rate(1, false)}, 2)
+            << "  as A:C:B  (intent 3:2:1 after swap; paper 2.89:1.92:1)\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace lottery
+
+int main(int argc, char** argv) { return lottery::Main(argc, argv); }

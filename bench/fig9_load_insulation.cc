@@ -1,0 +1,84 @@
+// Figure 9: Currencies Insulate Loads.
+//
+// Users A and B have identically funded currencies. A runs tasks A1, A2
+// with 100.A and 200.A; B runs B1, B2 with 100.B and 200.B. Halfway
+// through, B starts B3 with 300.B, inflating currency B's issued amount
+// from 300 to 600. The paper's result: B3 takes half of B's share (B1 and
+// B2 slow to about half their rates), while A1 and A2 are unaffected; the
+// aggregate A:B progress ratio stays 1:1 throughout.
+
+#include "bench/bench_util.h"
+
+namespace lottery {
+namespace {
+
+int Main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const auto seed = static_cast<uint32_t>(flags.GetInt("seed", 42));
+  const int64_t seconds = flags.GetInt("seconds", 300);
+
+  PrintHeader("Figure 9", "Currencies insulate loads (B3 starts at t/2)",
+              "B1/B2 slopes halve after B3 starts; A1/A2 slopes unchanged; "
+              "A:B aggregate stays 1:1");
+
+  LotteryRig rig(seed, /*quantum_ms=*/100, SimDuration::Seconds(10));
+  CurrencyTable& table = rig.scheduler->table();
+  Currency* a_cur = table.CreateCurrency("A");
+  Currency* b_cur = table.CreateCurrency("B");
+  table.Fund(a_cur, table.CreateTicket(table.base(), 1000));
+  table.Fund(b_cur, table.CreateTicket(table.base(), 1000));
+
+  const ThreadId a1 = rig.SpawnCompute("A1", a_cur, 100);
+  const ThreadId a2 = rig.SpawnCompute("A2", a_cur, 200);
+  const ThreadId b1 = rig.SpawnCompute("B1", b_cur, 100);
+  const ThreadId b2 = rig.SpawnCompute("B2", b_cur, 200);
+  ThreadId b3 = kInvalidThreadId;
+
+  const int64_t switch_at = seconds / 2;
+  TextTable out({"t (s)", "A1", "A2", "B1", "B2", "B3", "A:B ratio"});
+  std::vector<int64_t> mid(5, 0);
+  for (int64_t t = 10; t <= seconds; t += 10) {
+    rig.kernel->RunFor(SimDuration::Seconds(10));
+    if (t == switch_at) {
+      b3 = rig.SpawnCompute("B3", b_cur, 300);
+      mid = {rig.tracer.TotalProgress(a1), rig.tracer.TotalProgress(a2),
+             rig.tracer.TotalProgress(b1), rig.tracer.TotalProgress(b2), 0};
+    }
+    const int64_t pa = rig.tracer.TotalProgress(a1) + rig.tracer.TotalProgress(a2);
+    const int64_t pb = rig.tracer.TotalProgress(b1) +
+                       rig.tracer.TotalProgress(b2) +
+                       (b3 != kInvalidThreadId ? rig.tracer.TotalProgress(b3)
+                                               : 0);
+    out.AddRow({std::to_string(t), std::to_string(rig.tracer.TotalProgress(a1)),
+                std::to_string(rig.tracer.TotalProgress(a2)),
+                std::to_string(rig.tracer.TotalProgress(b1)),
+                std::to_string(rig.tracer.TotalProgress(b2)),
+                b3 != kInvalidThreadId
+                    ? std::to_string(rig.tracer.TotalProgress(b3))
+                    : "-",
+                FormatDouble(static_cast<double>(pa) / static_cast<double>(pb),
+                             3)});
+  }
+  out.Print(std::cout);
+
+  auto second_half_rate = [&](ThreadId tid, size_t idx) {
+    return static_cast<double>(rig.tracer.TotalProgress(tid) - mid[idx]) /
+           static_cast<double>(seconds - switch_at);
+  };
+  auto first_half_rate = [&](size_t idx) {
+    return static_cast<double>(mid[idx]) / static_cast<double>(switch_at);
+  };
+  std::cout << "\nRate changes after B3 starts (second half / first half):\n"
+            << "  A1: " << FormatDouble(second_half_rate(a1, 0) / first_half_rate(0), 2)
+            << "  A2: " << FormatDouble(second_half_rate(a2, 1) / first_half_rate(1), 2)
+            << "  (paper: ~1.0 — insulated)\n"
+            << "  B1: " << FormatDouble(second_half_rate(b1, 2) / first_half_rate(2), 2)
+            << "  B2: " << FormatDouble(second_half_rate(b2, 3) / first_half_rate(3), 2)
+            << "  (paper: ~0.5 — diluted by B3's inflation)\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace lottery
+
+int main(int argc, char** argv) { return lottery::Main(argc, argv); }

@@ -1,0 +1,105 @@
+// Quality of service under load (the introduction's motivating scenario).
+//
+// A soft real-time "video" task needs 25 ms of CPU every 100 ms period
+// (25% of the machine). Background compute load is swept from 1 to 8 tasks.
+// Under lottery scheduling the video task is funded with ~40% of the
+// tickets — comfortably above its requirement — so its on-time fraction
+// stays high regardless of load. Round-robin gives it 1/(n+1) of the
+// machine, which collapses below 25% as n grows; decay-usage behaves
+// similarly. This is the "control over quality of service" the paper
+// argues conventional schedulers cannot express.
+
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/sched/decay_usage.h"
+#include "src/sched/round_robin.h"
+#include "src/sched/stride.h"
+#include "src/workloads/deadline.h"
+
+namespace lottery {
+namespace {
+
+double Measure(const std::string& policy, uint32_t seed, int background,
+               int64_t seconds) {
+  std::unique_ptr<Scheduler> sched;
+  LotteryScheduler* lsched = nullptr;
+  StrideScheduler* ssched = nullptr;
+  if (policy == "lottery") {
+    LotteryScheduler::Options o;
+    o.seed = seed;
+    auto s = std::make_unique<LotteryScheduler>(o);
+    lsched = s.get();
+    sched = std::move(s);
+  } else if (policy == "stride") {
+    auto s = std::make_unique<StrideScheduler>();
+    ssched = s.get();
+    sched = std::move(s);
+  } else if (policy == "decay-usage") {
+    sched = std::make_unique<DecayUsageScheduler>();
+  } else {
+    sched = std::make_unique<RoundRobinScheduler>();
+  }
+  Kernel::Options kopts;
+  // 10 ms quanta: the responsiveness regime Section 2 recommends for
+  // interactive loads.
+  kopts.quantum = SimDuration::Millis(10);
+  Kernel kernel(sched.get(), kopts);
+
+  DeadlineTask::Options dopts;
+  dopts.period = SimDuration::Millis(100);
+  dopts.budget = SimDuration::Millis(25);
+  auto video = std::make_unique<DeadlineTask>(dopts);
+  DeadlineTask* raw = video.get();
+  const ThreadId vt = kernel.Spawn("video", std::move(video));
+  if (lsched != nullptr) {
+    lsched->FundThread(vt, lsched->table().base(), 400);
+  } else if (ssched != nullptr) {
+    ssched->SetTickets(vt, 400);
+  }
+  for (int i = 0; i < background; ++i) {
+    const ThreadId tid = kernel.Spawn("bg" + std::to_string(i),
+                                      std::make_unique<ComputeTask>());
+    if (lsched != nullptr) {
+      lsched->FundThread(tid, lsched->table().base(), 600 / background);
+    } else if (ssched != nullptr) {
+      ssched->SetTickets(tid, 600 / background);
+    }
+  }
+  kernel.RunFor(SimDuration::Seconds(seconds));
+  return raw->on_time_fraction();
+}
+
+int Main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const auto seed = static_cast<uint32_t>(flags.GetInt("seed", 42));
+  const int64_t seconds = flags.GetInt("seconds", 120);
+
+  PrintHeader("Intro scenario (QoS)",
+              "Soft real-time task (25 ms / 100 ms) vs background load",
+              "lottery holds its on-time fraction at any load; round-robin "
+              "and decay-usage collapse once 1/(n+1) < 25%");
+
+  TextTable table({"background tasks", "lottery", "stride", "round-robin",
+                   "decay-usage"});
+  for (const int background : {1, 2, 3, 4, 6, 8}) {
+    table.AddRow(
+        {std::to_string(background),
+         FormatDouble(Measure("lottery", seed, background, seconds), 3),
+         FormatDouble(Measure("stride", seed, background, seconds), 3),
+         FormatDouble(Measure("round-robin", seed, background, seconds), 3),
+         FormatDouble(Measure("decay-usage", seed, background, seconds),
+                      3)});
+  }
+  table.Print(std::cout);
+  std::cout << "\n(video holds 400 of 1000 tickets under lottery/stride — an "
+               "explicit 40% contract the other policies cannot express. "
+               "Stride's determinism buys ~100% on-time; lottery pays its "
+               "binomial variance, landing near P[Bin(10, 0.4) >= 3].)\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace lottery
+
+int main(int argc, char** argv) { return lottery::Main(argc, argv); }

@@ -1,0 +1,66 @@
+// Example: a transfer-funded database server (Sections 4.6, 5.3).
+//
+// A server with three worker threads holds no tickets of its own; clients
+// performing synchronous RPCs transfer their funding to the worker serving
+// them, so the server automatically processes requests at rates defined by
+// its clients' ticket allocations — and response time becomes something a
+// client can buy.
+
+#include <cstdio>
+#include <memory>
+
+#include "src/core/lottery_scheduler.h"
+#include "src/sim/kernel.h"
+#include "src/sim/rpc.h"
+#include "src/workloads/query_server.h"
+
+int main() {
+  using namespace lottery;
+
+  LotteryScheduler scheduler;
+  Tracer tracer(SimDuration::Seconds(1));
+  Kernel::Options kopts;
+  kopts.quantum = SimDuration::Millis(100);
+  Kernel kernel(&scheduler, kopts, &tracer);
+  RpcPort port(&kernel, "shakespeare-search");
+
+  QueryClient::Options copts;
+  copts.query_cost = SimDuration::Millis(730);  // CPU per substring query
+  copts.prepare_cost = SimDuration::Millis(5);
+
+  struct Row {
+    const char* name;
+    int64_t tickets;
+    QueryClient* client;
+  };
+  std::vector<Row> rows = {{"premium", 600, nullptr},
+                           {"standard", 300, nullptr},
+                           {"batch", 100, nullptr}};
+  for (auto& row : rows) {
+    auto body = std::make_unique<QueryClient>(&port, copts);
+    row.client = body.get();
+    const ThreadId tid = kernel.Spawn(row.name, std::move(body));
+    scheduler.FundThread(tid, scheduler.table().base(), row.tickets);
+  }
+  for (int i = 0; i < 3; ++i) {
+    port.RegisterServer(kernel.Spawn("worker" + std::to_string(i),
+                                     std::make_unique<QueryWorker>(&port)));
+  }
+
+  std::printf("Running 300 simulated seconds of query traffic...\n\n");
+  kernel.RunFor(SimDuration::Seconds(300));
+
+  std::printf("%-10s %8s %10s %18s\n", "client", "tickets", "queries",
+              "mean response (s)");
+  for (const auto& row : rows) {
+    const auto lat = tracer.SampleStats(std::string("rpc_latency:") + row.name);
+    std::printf("%-10s %8lld %10lld %18.2f\n", row.name,
+                static_cast<long long>(row.tickets),
+                static_cast<long long>(row.client->completed()), lat.mean());
+  }
+  std::printf(
+      "\nThe server itself holds zero tickets; every cycle it consumed was\n"
+      "paid for by the client it was serving (check: port transfers=%llu).\n",
+      static_cast<unsigned long long>(port.total_calls()));
+  return 0;
+}

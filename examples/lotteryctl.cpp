@@ -1,0 +1,130 @@
+// lotteryctl: the paper's user-level command interface (Section 4.7) as an
+// interactive shell over a live simulation.
+//
+// With no arguments, runs a scripted demo session (so it exercises the
+// interface non-interactively). With --repl, reads commands from stdin;
+// `run <seconds>` advances the simulation, and compute threads can be
+// created with `spawn <name>`.
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <sstream>
+
+#include "src/ctl/interpreter.h"
+#include "src/sim/kernel.h"
+#include "src/util/flags.h"
+#include "src/workloads/compute.h"
+
+namespace {
+
+using namespace lottery;
+
+// Session couples the interpreter with kernel-level commands (spawn/run).
+class Session {
+ public:
+  Session() : ctl_(&scheduler_) {
+    Kernel::Options kopts;
+    kopts.quantum = SimDuration::Millis(100);
+    kernel_ = std::make_unique<Kernel>(&scheduler_, kopts, &tracer_);
+  }
+
+  std::string Execute(const std::string& line) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd == "spawn") {
+      std::string name;
+      in >> name;
+      if (name.empty()) {
+        return "usage: spawn <name>\n";
+      }
+      const ThreadId tid =
+          kernel_->Spawn(name, std::make_unique<ComputeTask>());
+      return "thread " + std::to_string(tid) + "\n";
+    }
+    if (cmd == "run") {
+      int64_t seconds = 0;
+      in >> seconds;
+      if (seconds <= 0) {
+        return "usage: run <seconds>\n";
+      }
+      kernel_->RunFor(SimDuration::Seconds(seconds));
+      return "t=" + std::to_string(kernel_->now().ToSecondsF()) + " s\n";
+    }
+    if (cmd == "progress") {
+      std::ostringstream out;
+      for (ThreadId tid = 1; tid < 64; ++tid) {
+        if (kernel_->Alive(tid)) {
+          out << "  " << kernel_->ThreadName(tid) << ": "
+              << tracer_.TotalProgress(tid) << " iterations, "
+              << kernel_->CpuTime(tid).ToSecondsF() << " s CPU\n";
+        }
+      }
+      return out.str();
+    }
+    return ctl_.Execute(line);
+  }
+
+ private:
+  LotteryScheduler scheduler_;
+  Tracer tracer_{SimDuration::Seconds(1)};
+  std::unique_ptr<Kernel> kernel_;
+  CommandInterpreter ctl_;
+};
+
+constexpr char kDemoScript[] = R"(mkcur alice alice
+mkcur bob bob
+mktkt base 2000
+fund alice 1
+mktkt base 1000
+fund bob 2
+spawn alice-sim
+fundthread 1 alice 100
+spawn bob-sim
+fundthread 2 bob 100
+lscur
+run 60
+progress
+lstkt
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const lottery::Flags flags(argc, argv);
+  Session session;
+
+  if (!flags.GetBool("repl", false)) {
+    std::printf("(demo session; use --repl for interactive mode)\n\n");
+    std::istringstream script(kDemoScript);
+    std::string line;
+    while (std::getline(script, line)) {
+      std::printf("lotteryctl> %s\n", line.c_str());
+      try {
+        const std::string out = session.Execute(line);
+        if (!out.empty()) {
+          std::printf("%s", out.c_str());
+        }
+      } catch (const lottery::CommandError& e) {
+        std::printf("error: %s\n", e.what());
+      }
+    }
+    return 0;
+  }
+
+  std::string line;
+  std::printf("lotteryctl> ");
+  while (std::getline(std::cin, line)) {
+    try {
+      const std::string out = session.Execute(line);
+      if (!out.empty()) {
+        std::printf("%s", out.c_str());
+      }
+    } catch (const lottery::CommandError& e) {
+      std::printf("error: %s\n", e.what());
+    }
+    std::printf("lotteryctl> ");
+  }
+  return 0;
+}

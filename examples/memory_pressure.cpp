@@ -1,0 +1,124 @@
+// Example: inverse-lottery page replacement under memory pressure
+// (Section 6.2, integrated with the CPU scheduler).
+//
+// Two applications cyclically scan working sets that together exceed
+// physical memory. Page hits cost microseconds; misses stall the thread for
+// a simulated disk read. The pager picks eviction victims by inverse
+// lottery — probability proportional to (1 - t/T) times resident-set size —
+// so memory tickets translate directly into hit rate and therefore
+// throughput. Halfway through, the ticket allocation is swapped and the
+// resident sets migrate.
+
+#include <cstdio>
+#include <memory>
+
+#include "src/core/lottery_scheduler.h"
+#include "src/sim/kernel.h"
+#include "src/sim/page_cache.h"
+
+namespace {
+
+using namespace lottery;
+
+// Scans a working set of `pages` pages round-robin. Hits cost `hit_cost`;
+// misses add a blocking `fault_stall` (the disk read).
+class PagedTask : public ThreadBody {
+ public:
+  PagedTask(PageCache* cache, PageCache::ClientId id, uint64_t pages)
+      : cache_(cache), id_(id), pages_(pages) {}
+
+  void Run(RunContext& ctx) override {
+    if (stalled_) {
+      stalled_ = false;  // disk read finished
+    }
+    while (ctx.remaining() >= kHitCost) {
+      const auto result = cache_->Access(id_, next_);
+      next_ = (next_ + 1) % pages_;
+      ++accesses_;
+      ctx.AddProgress(1);
+      ctx.Consume(kHitCost);
+      if (!result.hit) {
+        // Page fault: block for the transfer.
+        stalled_ = true;
+        ctx.SleepFor(kFaultStall);
+        return;
+      }
+    }
+    ctx.Consume(ctx.remaining());
+  }
+
+  int64_t accesses() const { return accesses_; }
+  double hit_rate() const {
+    const double total = static_cast<double>(cache_->Hits(id_)) +
+                         static_cast<double>(cache_->Faults(id_));
+    return total > 0 ? static_cast<double>(cache_->Hits(id_)) / total : 0.0;
+  }
+
+ private:
+  static constexpr SimDuration kHitCost = SimDuration::Micros(50);
+  static constexpr SimDuration kFaultStall = SimDuration::Millis(3);
+
+  PageCache* cache_;
+  PageCache::ClientId id_;
+  uint64_t pages_;
+  uint64_t next_ = 0;
+  bool stalled_ = false;
+  int64_t accesses_ = 0;
+};
+
+}  // namespace
+
+int main() {
+  LotteryScheduler::Options sopts;
+  sopts.seed = 7;
+  LotteryScheduler scheduler(sopts);
+  Kernel::Options kopts;
+  kopts.quantum = SimDuration::Millis(100);
+  Kernel kernel(&scheduler, kopts);
+
+  FastRand pager_rng(99);
+  PageCache cache(400, &pager_rng);  // 400 physical frames
+  cache.RegisterClient(1, 300);      // app A: 300 memory tickets
+  cache.RegisterClient(2, 100);      // app B: 100 memory tickets
+
+  // Both scan 300-page working sets (600 demanded > 400 physical).
+  auto a = std::make_unique<PagedTask>(&cache, 1, 300);
+  auto b = std::make_unique<PagedTask>(&cache, 2, 300);
+  PagedTask* ra = a.get();
+  PagedTask* rb = b.get();
+  const ThreadId ta = kernel.Spawn("appA", std::move(a));
+  const ThreadId tb = kernel.Spawn("appB", std::move(b));
+  // Equal CPU funding: any throughput difference comes from memory.
+  scheduler.FundThread(ta, scheduler.table().base(), 100);
+  scheduler.FundThread(tb, scheduler.table().base(), 100);
+
+  std::printf("400 frames, two 300-page working sets, equal CPU funding.\n"
+              "Memory tickets A:B = 3:1 for 120 s, then swapped to 1:3.\n\n");
+  std::printf("%6s %14s %14s %10s %10s\n", "t(s)", "A accesses", "B accesses",
+              "A frames", "B frames");
+  for (int step = 1; step <= 8; ++step) {
+    kernel.RunFor(SimDuration::Seconds(30));
+    if (step == 4) {
+      cache.SetTickets(1, 100);
+      cache.SetTickets(2, 300);
+      std::printf("  --- memory tickets swapped (A:B now 1:3) ---\n");
+    }
+    std::printf("%6.0f %14lld %14lld %10zu %10zu\n",
+                kernel.now().ToSecondsF(),
+                static_cast<long long>(ra->accesses()),
+                static_cast<long long>(rb->accesses()), cache.FramesHeld(1),
+                cache.FramesHeld(2));
+  }
+
+  std::printf("\nFinal hit rates: A %.3f, B %.3f\n", ra->hit_rate(),
+              rb->hit_rate());
+  std::printf("Evictions suffered: A %llu, B %llu\n",
+              static_cast<unsigned long long>(cache.Evictions(1)),
+              static_cast<unsigned long long>(cache.Evictions(2)));
+  std::printf("\nWith equal CPU rights, the app holding more *memory*\n"
+              "tickets keeps its working set resident, faults less, and\n"
+              "out-runs its rival; swapping the tickets migrates the frames\n"
+              "and reverses the throughput gap — Section 6.2's proposal,\n"
+              "driven end to end.\n");
+  return 0;
+}

@@ -1,0 +1,243 @@
+// Example: managing multiple resources with one funding pool (Section 6.3).
+//
+// "Since rights for numerous resources are uniformly represented by lottery
+// tickets, clients can use quantitative comparisons to make decisions
+// involving tradeoffs between different resources... One way to abstract
+// the evaluation of resource management options is to associate a separate
+// manager thread with each application."
+//
+// Two applications run job pipelines (compute on the CPU, then read from a
+// backlogged shared disk); each holds a fixed funding pool split between
+// CPU tickets and disk tickets. Because a job's latency is the *sum* of its
+// CPU waits and disk waits, the throughput-optimal split balances the two —
+// and it differs per workload. The program (1) sweeps static splits to
+// expose each application's tradeoff curve, (2) shows a misconfigured
+// static split, and (3) lets a small manager — which only observes where
+// its application's jobs stall — recover from the misconfiguration.
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "src/core/lottery_scheduler.h"
+#include "src/sim/disk.h"
+#include "src/sim/kernel.h"
+#include "src/workloads/compute.h"
+
+namespace {
+
+using namespace lottery;
+
+// A job pipeline: compute `cpu_cost`, then read `io_bytes` from the disk
+// (blocking), repeat. Tracks cumulative CPU-wait and disk-wait so a manager
+// can see where the bottleneck is.
+class PipelineTask : public ThreadBody {
+ public:
+  PipelineTask(DiskScheduler* disk, DiskScheduler::ClientId disk_id,
+               SimDuration cpu_cost, int64_t io_bytes)
+      : disk_(disk), disk_id_(disk_id), cpu_cost_(cpu_cost),
+        io_bytes_(io_bytes) {}
+
+  void Run(RunContext& ctx) override {
+    if (phase_ == Phase::kAwaitIo) {
+      // Woken by the disk completion: time up to disk_done_at_ was spent in
+      // the disk (queueing + service); the rest is CPU dispatch latency.
+      disk_wait_ += disk_done_at_ - io_started_;
+      cpu_wait_ += ctx.now() - disk_done_at_;
+      ++jobs_;
+      ctx.AddProgress(1);
+      phase_ = Phase::kCompute;
+      left_ = cpu_cost_;
+    } else if (phase_ == Phase::kCompute && preempted_) {
+      // Requeue latency after a mid-compute preemption is CPU wait too.
+      cpu_wait_ += ctx.now() - preempted_at_;
+    }
+    preempted_ = false;
+    if (phase_ == Phase::kCompute) {
+      left_ -= ctx.Consume(left_ < ctx.remaining() ? left_ : ctx.remaining());
+      if (left_.nanos() > 0) {
+        preempted_ = true;
+        preempted_at_ = ctx.now();
+        return;
+      }
+      // Issue the disk read and block until its completion wakes us.
+      io_started_ = ctx.now();
+      Kernel* kernel = &ctx.kernel();
+      const ThreadId self = ctx.self();
+      disk_->Submit(disk_id_, io_bytes_, ctx.now(),
+                    [this, kernel, self](SimTime when) {
+                      disk_done_at_ = when;
+                      if (kernel->Alive(self)) {
+                        kernel->Wake(self, when);
+                      }
+                    });
+      phase_ = Phase::kAwaitIo;
+      ctx.Block();
+    }
+  }
+
+  int64_t jobs() const { return jobs_; }
+  // Returns and resets the wait accumulators (per manager window).
+  void DrainWaits(SimDuration* cpu, SimDuration* disk) {
+    *cpu = cpu_wait_;
+    *disk = disk_wait_;
+    cpu_wait_ = SimDuration{};
+    disk_wait_ = SimDuration{};
+  }
+
+ private:
+  enum class Phase { kCompute, kAwaitIo };
+  DiskScheduler* disk_;
+  DiskScheduler::ClientId disk_id_;
+  SimDuration cpu_cost_;
+  int64_t io_bytes_;
+  Phase phase_ = Phase::kCompute;
+  SimDuration left_ = cpu_cost_;
+  SimTime io_started_{};
+  SimTime disk_done_at_{};
+  bool preempted_ = false;
+  SimTime preempted_at_{};
+  SimDuration cpu_wait_{};
+  SimDuration disk_wait_{};
+  int64_t jobs_ = 0;
+};
+
+constexpr int64_t kBudget = 1000;  // per app, split across CPU + disk
+
+struct Result {
+  int64_t jobs_a;
+  int64_t jobs_b;
+  double final_share_a;
+  double final_share_b;
+};
+
+// Runs both apps for `seconds`. Initial CPU shares are given; if `managed`
+// each app's manager rebalances its split every 5 s toward the resource it
+// stalled on.
+Result Run(double share_a, double share_b, bool managed, int64_t seconds) {
+  LotteryScheduler::Options sopts;
+  sopts.seed = 11;
+  LotteryScheduler scheduler(sopts);
+  Kernel::Options kopts;
+  kopts.quantum = SimDuration::Millis(100);
+  Kernel kernel(&scheduler, kopts);
+
+  FastRand disk_rng(99);
+  DiskScheduler::Options dopts;
+  dopts.bytes_per_second = 4 * 1000 * 1000;  // 4 MB/s
+  dopts.seek_overhead = SimDuration::Millis(2);
+  DiskScheduler disk(dopts, &disk_rng);
+
+  // Background contention: a pure CPU hog, and a disk backlog generator
+  // (client 98) that always has requests queued — so both lotteries are
+  // genuinely contested.
+  const ThreadId hog = kernel.Spawn("hog", std::make_unique<ComputeTask>());
+  scheduler.FundThread(hog, scheduler.table().base(), 500);
+  disk.RegisterClient(98, 300);
+
+  struct App {
+    PipelineTask* task;
+    Ticket* cpu_ticket;
+    DiskScheduler::ClientId disk_id;
+    double share;
+  } apps[2];
+  const SimDuration cpu_costs[2] = {SimDuration::Millis(90),
+                                    SimDuration::Millis(10)};
+  const int64_t io_bytes[2] = {50000, 500000};
+  const double shares[2] = {share_a, share_b};
+  const char* names[2] = {"app-cpu", "app-io"};
+  for (int i = 0; i < 2; ++i) {
+    apps[i].disk_id = static_cast<DiskScheduler::ClientId>(i + 1);
+    apps[i].share = shares[i];
+    auto body = std::make_unique<PipelineTask>(&disk, apps[i].disk_id,
+                                               cpu_costs[i], io_bytes[i]);
+    apps[i].task = body.get();
+    const ThreadId tid = kernel.Spawn(names[i], std::move(body));
+    const auto cpu_amount =
+        static_cast<int64_t>(static_cast<double>(kBudget) * apps[i].share);
+    apps[i].cpu_ticket =
+        scheduler.FundThread(tid, scheduler.table().base(), cpu_amount);
+    disk.RegisterClient(apps[i].disk_id,
+                        static_cast<uint64_t>(kBudget - cpu_amount));
+  }
+
+  const SimTime end = SimTime::Zero() + SimDuration::Seconds(seconds);
+  int64_t step = 0;
+  while (kernel.now() < end) {
+    kernel.RunFor(SimDuration::Millis(100));
+    while (disk.QueueDepth(98) < 8) {
+      disk.Submit(98, 100000, kernel.now());
+    }
+    disk.AdvanceTo(kernel.now());
+    if (managed && ++step % 50 == 0) {
+      for (App& app : apps) {
+        SimDuration cpu_wait, disk_wait;
+        app.task->DrainWaits(&cpu_wait, &disk_wait);
+        // Balance the waits: a job's latency is their sum, so the optimum
+        // equalizes the marginal stall on each resource.
+        const double delta = (cpu_wait > disk_wait) ? 0.05 : -0.05;
+        app.share = std::clamp(app.share + delta, 0.1, 0.9);
+        const auto cpu_amount = static_cast<int64_t>(
+            std::max(1.0, static_cast<double>(kBudget) * app.share));
+        scheduler.table().SetAmount(app.cpu_ticket, cpu_amount);
+        disk.SetTickets(app.disk_id,
+                        static_cast<uint64_t>(kBudget - cpu_amount));
+      }
+    }
+  }
+  return Result{apps[0].task->jobs(), apps[1].task->jobs(), apps[0].share,
+                apps[1].share};
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Two job pipelines share a CPU and a backlogged disk; each splits a\n"
+      "fixed pool of %lld tickets between the two resources.\n"
+      "  app-cpu: 90 ms compute + 50 KB read per job\n"
+      "  app-io:  10 ms compute + 500 KB read per job\n\n",
+      static_cast<long long>(kBudget));
+
+  std::printf("Tradeoff curves (static splits, other app fixed at 50%%):\n");
+  std::printf("  %-22s", "CPU-ticket share:");
+  for (const double s : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    std::printf("%7.0f%%", 100 * s);
+  }
+  std::printf("\n  %-22s", "app-cpu jobs:");
+  for (const double s : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    std::printf("%8lld", static_cast<long long>(Run(s, 0.5, false, 300).jobs_a));
+  }
+  std::printf("\n  %-22s", "app-io jobs:");
+  for (const double s : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    std::printf("%8lld", static_cast<long long>(Run(0.5, s, false, 300).jobs_b));
+  }
+  std::printf("\n  (latency = cpu wait + disk wait, so each curve peaks where"
+              " the waits balance)\n\n");
+
+  const Result bad = Run(0.9, 0.1, false, 600);
+  std::printf("Misconfigured static split (app-cpu 90%% CPU, app-io 10%%):\n"
+              "  app-cpu %lld jobs, app-io %lld jobs\n\n",
+              static_cast<long long>(bad.jobs_a),
+              static_cast<long long>(bad.jobs_b));
+
+  const Result fixed = Run(0.5, 0.5, false, 600);
+  std::printf("Balanced static split (50%%/50%%):\n"
+              "  app-cpu %lld jobs, app-io %lld jobs\n\n",
+              static_cast<long long>(fixed.jobs_a),
+              static_cast<long long>(fixed.jobs_b));
+
+  const Result managed = Run(0.9, 0.1, true, 600);
+  std::printf("Managed, starting from the misconfiguration:\n"
+              "  app-cpu %lld jobs (final split %.0f%% CPU)\n"
+              "  app-io  %lld jobs (final split %.0f%% CPU)\n\n",
+              static_cast<long long>(managed.jobs_a),
+              100 * managed.final_share_a,
+              static_cast<long long>(managed.jobs_b),
+              100 * managed.final_share_b);
+
+  std::printf("The managers recover most of the misconfiguration's loss by\n"
+              "watching only their own application's stalls — the uniform\n"
+              "ticket representation makes CPU-vs-disk spending comparable.\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Example: lottery-scheduled mutexes dissolve priority inversion
+// (Section 6.1, Figure 10).
+//
+// A low-funded thread grabs a lock that a highly-funded thread needs, while
+// a medium-funded CPU hog keeps the machine busy. Under a conventional
+// fixed-priority scheduler this is the classic inversion: the hog starves
+// the lock holder, so the important thread waits indefinitely. With the
+// lottery mutex, the blocked waiter's funding flows through the lock
+// currency to whoever holds the lock, so the holder finishes quickly.
+
+#include <cstdio>
+#include <memory>
+
+#include "src/core/lottery_scheduler.h"
+#include "src/sim/kernel.h"
+#include "src/sim/sync.h"
+#include "src/workloads/compute.h"
+
+namespace {
+
+using namespace lottery;
+
+// Acquires the lock once, holds it for a fixed CPU amount, then exits.
+class HoldOnce : public ThreadBody {
+ public:
+  HoldOnce(SimMutex* mutex, SimDuration hold) : mutex_(mutex), left_(hold) {}
+  void Run(RunContext& ctx) override {
+    if (!acquired_) {
+      if (waiting_) {
+        // Woken by SimMutex::Release: we own the lock now.
+        waiting_ = false;
+        acquired_ = true;
+      } else if (mutex_->Acquire(ctx)) {
+        acquired_ = true;
+      } else {
+        waiting_ = true;
+        ctx.Block();
+        return;
+      }
+    }
+    left_ -= ctx.Consume(left_ < ctx.remaining() ? left_ : ctx.remaining());
+    if (left_.nanos() > 0) {
+      return;
+    }
+    mutex_->Release(ctx);
+    done_at_ = ctx.now();
+    ctx.ExitThread();
+  }
+  bool done() const { return done_at_.nanos() > 0; }
+  SimTime done_at() const { return done_at_; }
+
+ private:
+  SimMutex* mutex_;
+  SimDuration left_;
+  bool acquired_ = false;
+  bool waiting_ = false;
+  SimTime done_at_{};
+};
+
+SimTime RunScenario(bool inheritance, double* waiter_done_s) {
+  LotteryScheduler scheduler;
+  Kernel::Options kopts;
+  kopts.quantum = SimDuration::Millis(100);
+  Kernel kernel(&scheduler, kopts);
+  SimMutex mutex(&kernel, "resource");
+
+  // The low-funded holder grabs the lock first (spawned alone).
+  auto holder_body =
+      std::make_unique<HoldOnce>(&mutex, SimDuration::Seconds(2));
+  HoldOnce* holder = holder_body.get();
+  const ThreadId holder_tid = kernel.Spawn("holder", std::move(holder_body));
+  scheduler.FundThread(holder_tid, scheduler.table().base(), 10);
+  kernel.RunFor(SimDuration::Millis(100));
+
+  // A medium-funded hog and the highly funded waiter arrive.
+  const ThreadId hog = kernel.Spawn("hog", std::make_unique<ComputeTask>());
+  scheduler.FundThread(hog, scheduler.table().base(), 500);
+  auto waiter_body =
+      std::make_unique<HoldOnce>(&mutex, SimDuration::Millis(100));
+  HoldOnce* waiter = waiter_body.get();
+  const ThreadId waiter_tid = kernel.Spawn("vip", std::move(waiter_body));
+  Ticket* vip_funding =
+      scheduler.FundThread(waiter_tid, scheduler.table().base(), 2000);
+  if (!inheritance) {
+    // Simulate a naive mutex by shrinking the transferable funding: the
+    // holder gets (almost) nothing from the waiter.
+    scheduler.table().SetAmount(vip_funding, 1);
+  }
+
+  kernel.RunFor(SimDuration::Seconds(120));
+  *waiter_done_s = waiter->done() ? waiter->done_at().ToSecondsF() : -1.0;
+  return holder->done() ? holder->done_at() : kernel.now();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Scenario: holder(10 tickets) owns the lock and needs 2 s of "
+              "CPU;\n          hog(500) spins; vip(2000) blocks on the "
+              "lock.\n\n");
+
+  double vip_done = 0.0;
+  const SimTime with = RunScenario(/*inheritance=*/true, &vip_done);
+  std::printf("With funding inheritance through the lock currency:\n"
+              "  holder finished at t=%.1f s, vip at t=%.1f s\n",
+              with.ToSecondsF(), vip_done);
+
+  double vip_done_naive = 0.0;
+  const SimTime without = RunScenario(/*inheritance=*/false, &vip_done_naive);
+  std::printf("\nWith the waiter's funding withheld (naive mutex):\n"
+              "  holder finished at t=%.1f s, vip at t=%.1f s%s\n",
+              without.ToSecondsF(), vip_done_naive,
+              vip_done_naive < 0 ? " (never within 2 min!)" : "");
+
+  std::printf("\nThe inheritance ticket makes the holder run at\n"
+              "holder+vip funding (2010 of 2510 tickets) while the vip\n"
+              "waits — inversion gone, as in Figure 10.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Client: a schedulable competitor in lotteries.
+//
+// A client (a thread, in the CPU case) holds tickets and competes for a
+// resource with value equal to the sum of its held tickets' base-unit values
+// (Section 4.4), optionally inflated by a compensation factor (Section 4.5).
+// Activating a client (it joins the run queue or is dispatched) activates
+// its held tickets, which cascades through the currency graph; deactivation
+// (it blocks) is symmetric — this is what makes ticket transfers and
+// mutex/RPC funding work without special cases.
+
+#ifndef SRC_CORE_CLIENT_H_
+#define SRC_CORE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/currency.h"
+#include "src/core/funding.h"
+#include "src/core/ticket.h"
+
+namespace lottery {
+
+class Client {
+ public:
+  Client(CurrencyTable* table, std::string name);
+  // Detaches (but does not destroy) any still-held tickets.
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  const std::string& name() const { return name_; }
+  CurrencyTable* table() const { return table_; }
+
+  // --- Ticket holding -----------------------------------------------------
+
+  // Takes possession of an unattached ticket. If the client is active the
+  // ticket is activated immediately.
+  void HoldTicket(Ticket* ticket);
+  // Detaches a held ticket; it becomes unattached (and inactive).
+  void ReleaseTicket(Ticket* ticket);
+  const std::vector<Ticket*>& tickets() const { return tickets_; }
+
+  // --- Activation ---------------------------------------------------------
+
+  // Active means competing: held tickets count toward currency active
+  // amounts and this client's value is nonzero.
+  void SetActive(bool active);
+  bool active() const { return active_; }
+
+  // --- Compensation (Section 4.5) ------------------------------------------
+
+  // Multiplies this client's value by num/den until cleared. The scheduler
+  // sets num/den = quantum/used when a quantum is under-consumed, and clears
+  // it when the client next starts a quantum.
+  void SetCompensation(int64_t num, int64_t den);
+  void ClearCompensation();
+  bool has_compensation() const { return comp_num_ != comp_den_; }
+  double compensation_factor() const {
+    return static_cast<double>(comp_num_) / static_cast<double>(comp_den_);
+  }
+
+  // --- Value ----------------------------------------------------------------
+
+  // Current value in base units: sum of held (active) ticket values times
+  // the compensation factor. Zero while inactive. Memoized per table epoch.
+  Funding Value() const;
+
+ private:
+  CurrencyTable* table_;
+  std::string name_;
+  std::vector<Ticket*> tickets_;
+  bool active_ = false;
+  int64_t comp_num_ = 1;
+  int64_t comp_den_ = 1;
+
+  mutable uint64_t value_epoch_ = 0;
+  mutable Funding cached_value_{};
+  mutable bool cache_valid_ = false;
+};
+
+}  // namespace lottery
+
+#endif  // SRC_CORE_CLIENT_H_

@@ -1,0 +1,34 @@
+#include "src/core/compensation.h"
+
+namespace lottery {
+
+void CompensationPolicy::OnQuantumEnd(Client* client, SimDuration used,
+                                      SimDuration quantum) const {
+  if (!options_.enabled) {
+    return;
+  }
+  if (used >= quantum) {
+    // Full quantum consumed: entitled share already delivered.
+    client->ClearCompensation();
+    return;
+  }
+  int64_t used_ns = used.nanos();
+  const int64_t quantum_ns = quantum.nanos();
+  if (used_ns <= 0) {
+    // Zero-length run (e.g. immediate block): treat as the cap.
+    used_ns = 1;
+  }
+  int64_t num = quantum_ns;
+  int64_t den = used_ns;
+  if (num > den * options_.max_factor) {
+    num = options_.max_factor;
+    den = 1;
+  }
+  client->SetCompensation(num, den);
+}
+
+void CompensationPolicy::OnQuantumStart(Client* client) const {
+  client->ClearCompensation();
+}
+
+}  // namespace lottery

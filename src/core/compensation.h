@@ -1,0 +1,53 @@
+// Compensation tickets (Sections 3.4 and 4.5).
+//
+// A client that consumes only a fraction f of its allotted quantum would,
+// without correction, receive less than its entitled share: it enters the
+// next lottery with the same value but has used less CPU per win. The paper
+// compensates by inflating the client's value by 1/f until it next starts a
+// quantum, so its win *rate* rises to keep its consumption rate matched to
+// its allocation (the paper's 400-base-unit thread that uses 1/5 of its
+// quantum gets a 2000-base-unit compensation value).
+//
+// Implemented here as a rational multiplier (quantum/used) applied to the
+// client's value, with a configurable cap so a thread that runs for a few
+// nanoseconds cannot acquire an unbounded multiplier.
+
+#ifndef SRC_CORE_COMPENSATION_H_
+#define SRC_CORE_COMPENSATION_H_
+
+#include <cstdint>
+
+#include "src/core/client.h"
+#include "src/util/sim_time.h"
+
+namespace lottery {
+
+class CompensationPolicy {
+ public:
+  struct Options {
+    bool enabled = true;
+    // Maximum value multiplier a compensation ticket may confer.
+    int64_t max_factor = 1000;
+  };
+
+  CompensationPolicy() : CompensationPolicy(Options{}) {}
+  explicit CompensationPolicy(Options options) : options_(options) {}
+
+  // Called when `client`'s thread ends a quantum having consumed `used` of
+  // `quantum`. Grants (or clears) the compensation multiplier.
+  void OnQuantumEnd(Client* client, SimDuration used,
+                    SimDuration quantum) const;
+
+  // Called when `client`'s thread is dispatched: "until the client starts
+  // its next quantum" — the multiplier ends here.
+  void OnQuantumStart(Client* client) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace lottery
+
+#endif  // SRC_CORE_COMPENSATION_H_

@@ -1,0 +1,375 @@
+#include "src/core/currency.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/core/client.h"
+
+namespace lottery {
+
+namespace {
+
+// Removes one occurrence of `value` from `vec` (order not preserved).
+void EraseOne(std::vector<Ticket*>& vec, Ticket* value) {
+  const auto it = std::find(vec.begin(), vec.end(), value);
+  if (it != vec.end()) {
+    *it = vec.back();
+    vec.pop_back();
+  }
+}
+
+}  // namespace
+
+bool Currency::MayInflate(const std::string& principal) const {
+  if (owner_.empty()) {
+    return true;
+  }
+  return principal == owner_ || inflators_.count(principal) > 0;
+}
+
+void Currency::AllowInflator(const std::string& principal) {
+  inflators_.insert(principal);
+}
+
+CurrencyTable::CurrencyTable() {
+  currencies_.push_back(
+      std::unique_ptr<Currency>(new Currency("base", /*is_base=*/true, "")));
+  base_ = currencies_.back().get();
+}
+
+CurrencyTable::~CurrencyTable() = default;
+
+Currency* CurrencyTable::CreateCurrency(const std::string& name,
+                                        const std::string& owner) {
+  if (FindCurrency(name) != nullptr) {
+    throw std::invalid_argument("CreateCurrency: duplicate name " + name);
+  }
+  currencies_.push_back(
+      std::unique_ptr<Currency>(new Currency(name, /*is_base=*/false, owner)));
+  BumpEpoch();
+  return currencies_.back().get();
+}
+
+Currency* CurrencyTable::FindCurrency(const std::string& name) const {
+  for (const auto& c : currencies_) {
+    if (c->name() == name) {
+      return c.get();
+    }
+  }
+  return nullptr;
+}
+
+void CurrencyTable::DestroyCurrency(Currency* currency) {
+  if (currency == base_) {
+    throw std::invalid_argument("DestroyCurrency: cannot destroy base");
+  }
+  if (!currency->issued_.empty()) {
+    throw std::logic_error("DestroyCurrency: currency " + currency->name() +
+                           " still has issued tickets");
+  }
+  // Backing tickets exist solely to fund this currency; retire them.
+  while (!currency->backing_.empty()) {
+    DestroyTicket(currency->backing_.back());
+  }
+  const auto it = std::find_if(
+      currencies_.begin(), currencies_.end(),
+      [currency](const std::unique_ptr<Currency>& c) {
+        return c.get() == currency;
+      });
+  if (it == currencies_.end()) {
+    throw std::logic_error("DestroyCurrency: unknown currency");
+  }
+  currencies_.erase(it);
+  BumpEpoch();
+}
+
+Ticket* CurrencyTable::CreateTicket(Currency* denomination, int64_t amount,
+                                    const std::string& principal) {
+  if (amount <= 0) {
+    throw std::invalid_argument("CreateTicket: amount must be positive");
+  }
+  const bool is_superuser = !superuser_.empty() && principal == superuser_;
+  if (!is_superuser && !denomination->MayInflate(principal)) {
+    throw std::invalid_argument("CreateTicket: principal '" + principal +
+                                "' may not issue tickets in " +
+                                denomination->name());
+  }
+  tickets_.push_back(std::unique_ptr<Ticket>(
+      new Ticket(next_ticket_id_++, denomination, amount)));
+  Ticket* ticket = tickets_.back().get();
+  denomination->issued_.push_back(ticket);
+  denomination->issued_amount_ += amount;
+  BumpEpoch();
+  return ticket;
+}
+
+void CurrencyTable::DestroyTicket(Ticket* ticket) {
+  if (ticket->holder_ != nullptr) {
+    ticket->holder_->ReleaseTicket(ticket);
+  }
+  if (ticket->funds_ != nullptr) {
+    Unfund(ticket);
+  }
+  if (ticket->active_) {
+    // Unattached tickets are never active; Unfund/ReleaseTicket deactivate.
+    throw std::logic_error("DestroyTicket: detached ticket still active");
+  }
+  Currency* denom = ticket->denomination_;
+  EraseOne(denom->issued_, ticket);
+  denom->issued_amount_ -= ticket->amount_;
+  const auto it = std::find_if(
+      tickets_.begin(), tickets_.end(),
+      [ticket](const std::unique_ptr<Ticket>& t) { return t.get() == ticket; });
+  if (it == tickets_.end()) {
+    throw std::logic_error("DestroyTicket: unknown ticket");
+  }
+  tickets_.erase(it);
+  BumpEpoch();
+}
+
+void CurrencyTable::SetAmount(Ticket* ticket, int64_t amount) {
+  if (amount <= 0) {
+    throw std::invalid_argument("SetAmount: amount must be positive");
+  }
+  if (amount == ticket->amount_) {
+    return;
+  }
+  const int64_t delta = amount - ticket->amount_;
+  ticket->denomination_->issued_amount_ += delta;
+  if (ticket->active_) {
+    // Amounts are strictly positive, so this cannot cross zero and no
+    // activation cascade is needed — only the sum changes.
+    ticket->denomination_->active_amount_ += delta;
+  }
+  ticket->amount_ = amount;
+  BumpEpoch();
+}
+
+void CurrencyTable::Fund(Currency* target, Ticket* ticket) {
+  if (ticket->funds_ != nullptr || ticket->holder_ != nullptr) {
+    throw std::invalid_argument("Fund: ticket already attached");
+  }
+  if (target->is_base()) {
+    throw std::invalid_argument("Fund: the base currency cannot be funded");
+  }
+  // Adding edge target -> denomination(ticket); reject if the denomination
+  // already (transitively) depends on target.
+  if (Reaches(ticket->denomination_, target)) {
+    throw std::invalid_argument("Fund: would create a currency cycle (" +
+                                target->name() + " <- " +
+                                ticket->denomination_->name() + ")");
+  }
+  ticket->funds_ = target;
+  target->backing_.push_back(ticket);
+  // A backing ticket is active iff the funded currency is active.
+  if (target->active_amount_ > 0) {
+    ActivateTicket(ticket);
+  }
+  BumpEpoch();
+}
+
+void CurrencyTable::Unfund(Ticket* ticket) {
+  Currency* target = ticket->funds_;
+  if (target == nullptr) {
+    throw std::invalid_argument("Unfund: ticket does not back a currency");
+  }
+  if (ticket->active_) {
+    DeactivateTicket(ticket);
+  }
+  EraseOne(target->backing_, ticket);
+  ticket->funds_ = nullptr;
+  BumpEpoch();
+}
+
+Funding CurrencyTable::CurrencyValue(const Currency* currency) const {
+  if (currency->is_base()) {
+    // The base currency is the unit of account; per-ticket values are
+    // defined directly by TicketValue.
+    return Funding::Zero();
+  }
+  if (currency->value_epoch_ == epoch_) {
+    return currency->cached_value_;
+  }
+  const Funding value = CurrencyValueUncached(currency);
+  currency->value_epoch_ = epoch_;
+  currency->cached_value_ = value;
+  return value;
+}
+
+Funding CurrencyTable::CurrencyValueUncached(const Currency* currency) const {
+  Funding sum = Funding::Zero();
+  for (const Ticket* t : currency->backing_) {
+    sum += TicketValue(t);
+  }
+  return sum;
+}
+
+Funding CurrencyTable::TicketValue(const Ticket* ticket) const {
+  if (!ticket->active_) {
+    return Funding::Zero();
+  }
+  const Currency* denom = ticket->denomination_;
+  if (denom->is_base()) {
+    return Funding::FromBase(ticket->amount_);
+  }
+  if (denom->active_amount_ <= 0) {
+    return Funding::Zero();
+  }
+  return CurrencyValue(denom).ScaleBy(ticket->amount_, denom->active_amount_);
+}
+
+Funding CurrencyTable::PotentialTicketValue(const Ticket* ticket) const {
+  const Currency* denom = ticket->denomination_;
+  if (denom->is_base()) {
+    return Funding::FromBase(ticket->amount_);
+  }
+  // Share the ticket would take if it were active alongside the currently
+  // active amount.
+  const int64_t active = denom->active_amount_ +
+                         (ticket->active_ ? 0 : ticket->amount_);
+  if (active <= 0) {
+    return Funding::Zero();
+  }
+  return CurrencyValue(denom).ScaleBy(ticket->amount_, active);
+}
+
+double CurrencyTable::ExchangeRate(const Currency* currency) const {
+  if (currency->is_base()) {
+    return 1.0;
+  }
+  if (currency->active_amount() <= 0) {
+    return 0.0;
+  }
+  return CurrencyValue(currency).ToBaseF() /
+         static_cast<double>(currency->active_amount());
+}
+
+void CurrencyTable::ActivateTicket(Ticket* ticket) {
+  if (ticket->active_) {
+    return;
+  }
+  ticket->active_ = true;
+  AddActiveAmount(ticket->denomination_, ticket->amount_);
+  BumpEpoch();
+}
+
+void CurrencyTable::DeactivateTicket(Ticket* ticket) {
+  if (!ticket->active_) {
+    return;
+  }
+  ticket->active_ = false;
+  AddActiveAmount(ticket->denomination_, -ticket->amount_);
+  BumpEpoch();
+}
+
+void CurrencyTable::AddActiveAmount(Currency* currency, int64_t delta) {
+  const bool was_active = currency->active_amount_ > 0;
+  currency->active_amount_ += delta;
+  if (currency->active_amount_ < 0) {
+    throw std::logic_error("AddActiveAmount: negative active amount in " +
+                           currency->name());
+  }
+  const bool now_active = currency->active_amount_ > 0;
+  if (was_active == now_active || currency->is_base()) {
+    return;
+  }
+  // Section 4.4: "if a ticket activation changes a currency's active amount
+  // from zero, the activation propagates to each of its backing tickets",
+  // and symmetrically for deactivation.
+  for (Ticket* b : currency->backing_) {
+    if (now_active) {
+      ActivateTicket(b);
+    } else {
+      DeactivateTicket(b);
+    }
+  }
+}
+
+bool CurrencyTable::Reaches(const Currency* from, const Currency* to) const {
+  if (from == to) {
+    return true;
+  }
+  for (const Ticket* t : from->backing_) {
+    if (Reaches(t->denomination_, to)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Ticket* CurrencyTable::FindTicket(uint64_t id) const {
+  for (const auto& t : tickets_) {
+    if (t->id() == id) {
+      return t.get();
+    }
+  }
+  return nullptr;
+}
+
+std::vector<Currency*> CurrencyTable::Currencies() const {
+  std::vector<Currency*> out;
+  out.reserve(currencies_.size());
+  for (const auto& c : currencies_) {
+    out.push_back(c.get());
+  }
+  return out;
+}
+
+std::vector<Ticket*> CurrencyTable::Tickets() const {
+  std::vector<Ticket*> out;
+  out.reserve(tickets_.size());
+  for (const auto& t : tickets_) {
+    out.push_back(t.get());
+  }
+  return out;
+}
+
+std::string CurrencyTable::DebugString() const {
+  std::ostringstream out;
+  for (const auto& c : currencies_) {
+    out << c->name() << ": value=" << CurrencyValue(c.get()).ToBaseF()
+        << " active=" << c->active_amount() << "/" << c->issued_amount()
+        << " backing=[";
+    for (size_t i = 0; i < c->backing().size(); ++i) {
+      const Ticket* t = c->backing()[i];
+      out << (i == 0 ? "" : ", ") << t->amount() << "."
+          << t->denomination()->name() << (t->active() ? "" : " (inactive)");
+    }
+    out << "]\n";
+  }
+  return out.str();
+}
+
+std::string CurrencyTable::ToDot() const {
+  std::ostringstream out;
+  out << "digraph currencies {\n  rankdir=BT;\n";
+  for (const auto& c : currencies_) {
+    out << "  \"" << c->name() << "\" [shape=box,label=\"" << c->name();
+    if (!c->is_base()) {
+      out << "\\nvalue=" << CurrencyValue(c.get()).ToBaseF();
+    }
+    out << "\\nactive " << c->active_amount() << "/" << c->issued_amount()
+        << "\"];\n";
+  }
+  for (const auto& t : tickets_) {
+    // Edge from the entity the ticket funds toward its denomination (the
+    // direction value flows from).
+    std::string from;
+    if (t->funds() != nullptr) {
+      from = t->funds()->name();
+    } else if (t->holder() != nullptr) {
+      from = t->holder()->name();
+      out << "  \"" << from << "\" [shape=ellipse];\n";
+    } else {
+      continue;  // unattached tickets have no edge
+    }
+    out << "  \"" << from << "\" -> \"" << t->denomination()->name()
+        << "\" [label=\"" << t->amount() << "\""
+        << (t->active() ? "" : ",style=dashed") << "];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace lottery

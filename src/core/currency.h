@@ -1,0 +1,190 @@
+// Currencies and the CurrencyTable registry.
+//
+// Currencies implement the paper's modular resource management (Sections 3.3
+// and 4.4): tickets are denominated in a currency; a currency is backed by
+// tickets denominated in more primitive currencies; relationships form an
+// acyclic graph rooted at the base currency. A currency's value is the sum
+// of its active backing tickets' values; a ticket's value is its
+// denomination's value times its share of the denomination's *active*
+// issued amount. Activating or deactivating issued amount propagates along
+// backing edges exactly as described in Section 4.4.
+//
+// CurrencyTable owns every Currency and Ticket, provides the kernel-style
+// operations the paper's Mach interface exported (create/destroy ticket and
+// currency, fund/unfund, compute values), enforces graph acyclicity, and
+// optionally enforces per-currency access control (Section 4.7 notes that a
+// complete system should protect currencies with ACLs).
+
+#ifndef SRC_CORE_CURRENCY_H_
+#define SRC_CORE_CURRENCY_H_
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/core/funding.h"
+#include "src/core/ticket.h"
+
+namespace lottery {
+
+class Currency {
+ public:
+  Currency(const Currency&) = delete;
+  Currency& operator=(const Currency&) = delete;
+
+  const std::string& name() const { return name_; }
+  bool is_base() const { return is_base_; }
+  // Sum of the amounts of currently active tickets issued in this currency.
+  int64_t active_amount() const { return active_amount_; }
+  // Sum of the amounts of all tickets issued in this currency.
+  int64_t issued_amount() const { return issued_amount_; }
+
+  const std::vector<Ticket*>& backing() const { return backing_; }
+  const std::vector<Ticket*>& issued() const { return issued_; }
+
+  // Access control (empty owner means unrestricted).
+  const std::string& owner() const { return owner_; }
+  bool MayInflate(const std::string& principal) const;
+  void AllowInflator(const std::string& principal);
+
+ private:
+  friend class CurrencyTable;
+
+  Currency(std::string name, bool is_base, std::string owner)
+      : name_(std::move(name)), is_base_(is_base), owner_(std::move(owner)) {}
+
+  std::string name_;
+  bool is_base_;
+  std::string owner_;
+  std::set<std::string> inflators_;
+
+  std::vector<Ticket*> backing_;
+  std::vector<Ticket*> issued_;
+  int64_t active_amount_ = 0;
+  int64_t issued_amount_ = 0;
+
+  // Value memoization, keyed by the table's mutation epoch.
+  mutable uint64_t value_epoch_ = 0;
+  mutable Funding cached_value_{};
+};
+
+class CurrencyTable {
+ public:
+  // Creates the table with its base currency (named "base").
+  CurrencyTable();
+  ~CurrencyTable();
+  CurrencyTable(const CurrencyTable&) = delete;
+  CurrencyTable& operator=(const CurrencyTable&) = delete;
+
+  Currency* base() { return base_; }
+  const Currency* base() const { return base_; }
+
+  // --- Currency lifecycle -------------------------------------------------
+
+  // Creates a currency. `owner` (optional) restricts who may issue tickets
+  // in it; see Currency::MayInflate.
+  Currency* CreateCurrency(const std::string& name,
+                           const std::string& owner = "");
+  Currency* FindCurrency(const std::string& name) const;
+  // Destroys a currency. Its backing tickets are destroyed with it. It must
+  // have no issued tickets (they represent value held by others).
+  void DestroyCurrency(Currency* currency);
+
+  // --- Ticket lifecycle ---------------------------------------------------
+
+  // Issues a ticket of `amount` (> 0) denominated in `denomination`.
+  // If `principal` is given, the denomination's ACL is checked; the
+  // superuser (default "root", matching the paper's setuid commands)
+  // always passes.
+  Ticket* CreateTicket(Currency* denomination, int64_t amount,
+                       const std::string& principal = "");
+
+  // Principal that bypasses currency ACLs. Set empty to disable.
+  void set_superuser(const std::string& name) { superuser_ = name; }
+  const std::string& superuser() const { return superuser_; }
+  // Destroys a ticket, detaching it from any currency or client first.
+  void DestroyTicket(Ticket* ticket);
+  // Changes a ticket's amount (ticket inflation/deflation, Section 3.2).
+  void SetAmount(Ticket* ticket, int64_t amount);
+
+  // --- Funding edges ------------------------------------------------------
+
+  // Makes `ticket` back `target` ("fund" in the paper's interface). The
+  // ticket must be unattached. Rejects edges that would create a cycle.
+  void Fund(Currency* target, Ticket* ticket);
+  // Removes `ticket` from the currency it backs; it becomes unattached.
+  void Unfund(Ticket* ticket);
+
+  // --- Values (Section 4.4) -----------------------------------------------
+
+  // Value of a currency in base units: the sum of its active backing
+  // tickets' values. The base currency has no meaningful own value; callers
+  // should use TicketValue on base-denominated tickets.
+  Funding CurrencyValue(const Currency* currency) const;
+  // Value of a ticket in base units; zero if the ticket is inactive.
+  Funding TicketValue(const Ticket* ticket) const;
+  // Value the ticket would have if it were active (used to price transfers
+  // and for introspection; does not require the ticket to be active).
+  Funding PotentialTicketValue(const Ticket* ticket) const;
+
+  // Exchange rate of a currency: base units per unit of active amount
+  // (Section 3.3: "the effects of inflation can be locally contained by
+  // maintaining an exchange rate between each local currency and a base
+  // currency"). The base currency's rate is 1 by definition; a currency
+  // with no active issued amount has rate 0.
+  double ExchangeRate(const Currency* currency) const;
+
+  // Mutation epoch; bumps on any change that can affect values. Exposed so
+  // clients/lotteries can memoize their own derived values.
+  uint64_t epoch() const { return epoch_; }
+
+  size_t num_currencies() const { return currencies_.size(); }
+  size_t num_tickets() const { return tickets_.size(); }
+
+  // Looks up a ticket by its stable id (used by the user-level command
+  // interface, which names tickets by id as the paper's lstkt/rmtkt did).
+  Ticket* FindTicket(uint64_t id) const;
+  // All currencies, base first (stable iteration for listings).
+  std::vector<Currency*> Currencies() const;
+  // All live tickets in creation order.
+  std::vector<Ticket*> Tickets() const;
+
+  // Renders the currency graph for debugging/examples, one line per
+  // currency: name, value, active/issued amounts, backing summary.
+  std::string DebugString() const;
+
+  // Graphviz rendering of the full funding graph (Figures 2/3 style):
+  // currencies as boxes (with value and active/issued amounts), clients as
+  // ellipses, tickets as labelled edges from funder to funded.
+  std::string ToDot() const;
+
+ private:
+  friend class Client;
+
+  // Activation propagation (Section 4.4). Activate/Deactivate flip one
+  // ticket and cascade along backing edges through AddActiveAmount.
+  void ActivateTicket(Ticket* ticket);
+  void DeactivateTicket(Ticket* ticket);
+  void AddActiveAmount(Currency* currency, int64_t delta);
+
+  void BumpEpoch() { ++epoch_; }
+
+  // True if `from` can reach `to` following backing edges (from's backing
+  // tickets' denominations, transitively).
+  bool Reaches(const Currency* from, const Currency* to) const;
+
+  Funding CurrencyValueUncached(const Currency* currency) const;
+
+  std::vector<std::unique_ptr<Currency>> currencies_;
+  std::vector<std::unique_ptr<Ticket>> tickets_;
+  Currency* base_;
+  std::string superuser_ = "root";
+  uint64_t epoch_ = 1;
+  uint64_t next_ticket_id_ = 1;
+};
+
+}  // namespace lottery
+
+#endif  // SRC_CORE_CURRENCY_H_

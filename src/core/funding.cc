@@ -1,0 +1,13 @@
+#include "src/core/funding.h"
+
+#include <cstdio>
+
+namespace lottery {
+
+std::string Funding::ToString() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f base", ToBaseF());
+  return buf;
+}
+
+}  // namespace lottery

@@ -1,0 +1,82 @@
+#include "src/core/hierarchy.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lottery {
+
+UserAccount::UserAccount(LotteryScheduler* scheduler, const std::string& name,
+                         int64_t base_amount)
+    : scheduler_(scheduler) {
+  CurrencyTable& table = scheduler_->table();
+  currency_ = table.CreateCurrency(name, /*owner=*/name);
+  backing_ = table.CreateTicket(table.base(), base_amount);
+  table.Fund(currency_, backing_);
+}
+
+UserAccount::~UserAccount() {
+  // Tasks first (their backing tickets are issued in currency_).
+  tasks_.clear();
+  CurrencyTable& table = scheduler_->table();
+  table.DestroyTicket(backing_);
+  // The currency may still have issued tickets if threads funded directly
+  // from it are alive; in that case leave it for the scheduler teardown.
+  if (currency_->issued().empty()) {
+    table.DestroyCurrency(currency_);
+  }
+}
+
+void UserAccount::SetBaseAmount(int64_t amount) {
+  scheduler_->table().SetAmount(backing_, amount);
+}
+
+TaskAccount* UserAccount::CreateTask(const std::string& task, int64_t amount) {
+  CurrencyTable& table = scheduler_->table();
+  Currency* task_currency =
+      table.CreateCurrency(name() + "/" + task, /*owner=*/name());
+  Ticket* backing = table.CreateTicket(currency_, amount, name());
+  table.Fund(task_currency, backing);
+  tasks_.push_back(std::unique_ptr<TaskAccount>(
+      new TaskAccount(scheduler_, task_currency, backing)));
+  return tasks_.back().get();
+}
+
+void UserAccount::DestroyTask(TaskAccount* task) {
+  const auto it = std::find_if(
+      tasks_.begin(), tasks_.end(),
+      [task](const std::unique_ptr<TaskAccount>& t) { return t.get() == task; });
+  if (it == tasks_.end()) {
+    throw std::invalid_argument("DestroyTask: not a task of " + name());
+  }
+  tasks_.erase(it);
+}
+
+Ticket* UserAccount::FundThread(ThreadId tid, int64_t amount) {
+  return scheduler_->FundThread(tid, currency_, amount, name());
+}
+
+TaskAccount::~TaskAccount() {
+  CurrencyTable& table = scheduler_->table();
+  // Threads funded from this task hold tickets issued in currency_ through
+  // their thread currencies; those are destroyed when the threads exit.
+  // The task itself can be retired once nothing is issued in it.
+  if (currency_->issued().empty()) {
+    table.DestroyTicket(backing_);
+    table.DestroyCurrency(currency_);
+  } else {
+    // Withdraw the user's funding; the currency lingers (worthless) until
+    // its last issued ticket is destroyed by thread teardown.
+    table.DestroyTicket(backing_);
+  }
+}
+
+void TaskAccount::SetAmount(int64_t amount) {
+  scheduler_->table().SetAmount(backing_, amount);
+}
+
+Ticket* TaskAccount::FundThread(ThreadId tid, int64_t amount) {
+  return scheduler_->FundThread(tid, currency_, amount,
+                                currency_->owner());
+}
+
+}  // namespace lottery

@@ -1,0 +1,85 @@
+// Convenience builders for the paper's standard currency hierarchy.
+//
+// Figures 2 and 3 organize resource rights as base -> user currencies ->
+// task currencies -> per-thread funding. All of that is expressible with
+// raw CurrencyTable calls; these helpers make experiments and applications
+// read like the figures: create a user with base funding, create tasks
+// under the user, fund threads from tasks. Each handle owns its backing
+// ticket, so destroying a task returns its share to the user's pool.
+
+#ifndef SRC_CORE_HIERARCHY_H_
+#define SRC_CORE_HIERARCHY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/lottery_scheduler.h"
+
+namespace lottery {
+
+class UserAccount;
+
+// A task currency funded from a user currency (Figure 3's task1..task3).
+class TaskAccount {
+ public:
+  ~TaskAccount();
+  TaskAccount(const TaskAccount&) = delete;
+  TaskAccount& operator=(const TaskAccount&) = delete;
+
+  Currency* currency() const { return currency_; }
+  const std::string& name() const { return currency_->name(); }
+  // The task's share of its user, in user-currency units.
+  int64_t amount() const { return backing_->amount(); }
+  void SetAmount(int64_t amount);
+
+  // Issues `amount` of this task's currency to the scheduler thread `tid`.
+  Ticket* FundThread(ThreadId tid, int64_t amount);
+
+ private:
+  friend class UserAccount;
+  TaskAccount(LotteryScheduler* scheduler, Currency* currency,
+              Ticket* backing)
+      : scheduler_(scheduler), currency_(currency), backing_(backing) {}
+
+  LotteryScheduler* scheduler_;
+  Currency* currency_;
+  Ticket* backing_;  // issued in the user currency, funds currency_
+};
+
+// A user currency funded from the base (Figure 3's alice/bob).
+class UserAccount {
+ public:
+  // Creates currency `name` owned by `name`, funded with `base_amount`
+  // base tickets. The scheduler must outlive the account.
+  UserAccount(LotteryScheduler* scheduler, const std::string& name,
+              int64_t base_amount);
+  ~UserAccount();
+  UserAccount(const UserAccount&) = delete;
+  UserAccount& operator=(const UserAccount&) = delete;
+
+  Currency* currency() const { return currency_; }
+  const std::string& name() const { return currency_->name(); }
+  int64_t base_amount() const { return backing_->amount(); }
+  // Adjusts the user's machine share (administrative operation).
+  void SetBaseAmount(int64_t amount);
+
+  // Creates a task currency named "<user>/<task>" with `amount` of this
+  // user's currency. The account owns the TaskAccount.
+  TaskAccount* CreateTask(const std::string& task, int64_t amount);
+  void DestroyTask(TaskAccount* task);
+
+  // Shortcut for single-thread tasks: funds `tid` directly from the user
+  // currency (no intermediate task currency).
+  Ticket* FundThread(ThreadId tid, int64_t amount);
+
+ private:
+  LotteryScheduler* scheduler_;
+  Currency* currency_;
+  Ticket* backing_;  // issued in base, funds currency_
+  std::vector<std::unique_ptr<TaskAccount>> tasks_;
+};
+
+}  // namespace lottery
+
+#endif  // SRC_CORE_HIERARCHY_H_

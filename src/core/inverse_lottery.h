@@ -1,0 +1,38 @@
+// Inverse lotteries for space-shared resources (Section 6.2).
+//
+// An inverse lottery chooses a "loser" that must relinquish a unit of a
+// resource it holds. With n clients and client i holding t_i of T total
+// tickets, the paper specifies loss probability
+//
+//     p_i = (1 / (n - 1)) * (1 - t_i / T)
+//
+// so the more tickets a client has, the less likely it is to lose. This is
+// implemented with a single uniform draw over the complementary weights
+// (T - t_i), whose sum is exactly (n - 1) * T.
+
+#ifndef SRC_CORE_INVERSE_LOTTERY_H_
+#define SRC_CORE_INVERSE_LOTTERY_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/util/fastrand.h"
+
+namespace lottery {
+
+// Selects the losing index among `weights` (ticket counts). Returns
+// std::nullopt if `weights` is empty. With a single client, that client is
+// the loser by definition. Clients with zero weight are legal; a client
+// holding all tickets can never lose (probability exactly zero) unless it
+// is alone.
+std::optional<size_t> DrawInverse(const std::vector<uint64_t>& weights,
+                                  FastRand& rng);
+
+// Probability that index i loses, per the formula above; exposed so tests
+// and the page-replacement experiment can check empirical frequencies.
+double InverseLossProbability(const std::vector<uint64_t>& weights, size_t i);
+
+}  // namespace lottery
+
+#endif  // SRC_CORE_INVERSE_LOTTERY_H_

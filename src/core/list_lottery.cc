@@ -1,0 +1,71 @@
+#include "src/core/list_lottery.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lottery {
+
+void ListLottery::Add(Client* client) {
+  if (Contains(client)) {
+    throw std::invalid_argument("ListLottery::Add: duplicate client");
+  }
+  clients_.push_back(client);
+}
+
+void ListLottery::Remove(Client* client) {
+  const auto it = std::find(clients_.begin(), clients_.end(), client);
+  if (it == clients_.end()) {
+    throw std::invalid_argument("ListLottery::Remove: unknown client");
+  }
+  clients_.erase(it);
+}
+
+bool ListLottery::Contains(const Client* client) const {
+  return std::find(clients_.begin(), clients_.end(), client) !=
+         clients_.end();
+}
+
+Funding ListLottery::Total() const {
+  Funding total = Funding::Zero();
+  for (const Client* c : clients_) {
+    total += c->Value();
+  }
+  return total;
+}
+
+Client* ListLottery::Draw(FastRand& rng) {
+  if (clients_.empty()) {
+    return nullptr;
+  }
+  // First pass: total active funding. (The Mach prototype maintained this
+  // incrementally as the base currency's active amount; recomputing keeps
+  // the sum exactly consistent with the per-client values below.)
+  const Funding total = Total();
+  if (total.IsZero()) {
+    return nullptr;
+  }
+  const uint64_t winner_value = rng.NextBelow64(total.raw_unsigned());
+
+  // Second pass: accumulate until the winning value is covered (Figure 1).
+  uint64_t sum = 0;
+  ++num_draws_;
+  for (auto it = clients_.begin(); it != clients_.end(); ++it) {
+    ++total_scanned_;
+    sum += (*it)->Value().raw_unsigned();
+    if (sum > winner_value) {
+      Client* winner = *it;
+      if (move_to_front_ && it != clients_.begin()) {
+        clients_.erase(it);
+        clients_.push_front(winner);
+      }
+      return winner;
+    }
+  }
+  throw std::logic_error("ListLottery::Draw: ran past end of list");
+}
+
+std::vector<Client*> ListLottery::ClientsInOrder() const {
+  return std::vector<Client*>(clients_.begin(), clients_.end());
+}
+
+}  // namespace lottery

@@ -1,0 +1,184 @@
+#include "src/core/lottery_scheduler.h"
+
+#include <iterator>
+#include <stdexcept>
+
+namespace lottery {
+
+LotteryScheduler::LotteryScheduler(Options options)
+    : options_(options),
+      rng_(options.seed),
+      compensation_(options.compensation),
+      run_queue_(options.move_to_front) {}
+
+LotteryScheduler::~LotteryScheduler() = default;
+
+LotteryScheduler::ThreadState& LotteryScheduler::StateOf(ThreadId id) {
+  const auto it = threads_.find(id);
+  if (it == threads_.end()) {
+    throw std::invalid_argument("LotteryScheduler: unknown thread " +
+                                std::to_string(id));
+  }
+  return it->second;
+}
+
+void LotteryScheduler::AddThread(ThreadId id, SimTime /*now*/) {
+  if (threads_.count(id) > 0) {
+    throw std::invalid_argument("LotteryScheduler::AddThread: duplicate id");
+  }
+  ThreadState state;
+  const std::string tag = "thread:" + std::to_string(id);
+  state.currency = table_.CreateCurrency(tag);
+  state.client = std::make_unique<Client>(&table_, tag);
+  state.self_ticket =
+      table_.CreateTicket(state.currency, options_.thread_ticket_amount);
+  state.client->HoldTicket(state.self_ticket);
+  by_client_[state.client.get()] = id;
+  threads_.emplace(id, std::move(state));
+}
+
+void LotteryScheduler::RemoveThread(ThreadId id, SimTime /*now*/) {
+  ThreadState& state = StateOf(id);
+  if (state.in_queue) {
+    if (options_.backend == RunQueueBackend::kList) {
+      run_queue_.Remove(state.client.get());
+    } else {
+      tree_queue_.Remove(state.tree_slot);
+      tree_slot_owner_.erase(state.tree_slot);
+    }
+  }
+  state.client->SetActive(false);
+  by_client_.erase(state.client.get());
+  table_.DestroyTicket(state.self_ticket);
+  state.client.reset();
+  // Destroys the thread currency and all tickets funding it. Outstanding
+  // transfer tickets issued in this currency must have been released first
+  // (DestroyCurrency throws otherwise).
+  table_.DestroyCurrency(state.currency);
+  threads_.erase(id);
+}
+
+void LotteryScheduler::OnReady(ThreadId id, SimTime /*now*/) {
+  ThreadState& state = StateOf(id);
+  state.client->SetActive(true);
+  if (!state.in_queue) {
+    if (options_.backend == RunQueueBackend::kList) {
+      run_queue_.Add(state.client.get());
+    } else {
+      state.tree_slot =
+          tree_queue_.Add(state.client->Value().raw_unsigned());
+      tree_slot_owner_[state.tree_slot] = id;
+    }
+    state.in_queue = true;
+  }
+}
+
+void LotteryScheduler::OnBlocked(ThreadId id, SimTime /*now*/) {
+  ThreadState& state = StateOf(id);
+  if (state.in_queue) {
+    if (options_.backend == RunQueueBackend::kList) {
+      run_queue_.Remove(state.client.get());
+    } else {
+      tree_queue_.Remove(state.tree_slot);
+      tree_slot_owner_.erase(state.tree_slot);
+    }
+    state.in_queue = false;
+  }
+  state.client->SetActive(false);
+}
+
+void LotteryScheduler::SyncTreeWeights() {
+  if (tree_sync_epoch_ == table_.epoch()) {
+    return;
+  }
+  for (const auto& [slot, tid] : tree_slot_owner_) {
+    tree_queue_.SetWeight(slot, StateOf(tid).client->Value().raw_unsigned());
+  }
+  tree_sync_epoch_ = table_.epoch();
+}
+
+ThreadId LotteryScheduler::PickNextFromTree() {
+  if (tree_slot_owner_.empty()) {
+    return kInvalidThreadId;
+  }
+  ++num_lotteries_;
+  SyncTreeWeights();
+  ThreadId winner_id;
+  const auto drawn = tree_queue_.Draw(rng_);
+  if (drawn.has_value()) {
+    winner_id = tree_slot_owner_.at(*drawn);
+  } else {
+    // All ready clients have zero funding; pick arbitrarily so no one
+    // starves (uniform over the zero-funded set across draws).
+    const size_t index = static_cast<size_t>(rng_.NextBelow(
+        static_cast<uint32_t>(tree_slot_owner_.size())));
+    auto it = tree_slot_owner_.begin();
+    std::advance(it, static_cast<ptrdiff_t>(index));
+    winner_id = it->second;
+    ++num_zero_fallbacks_;
+  }
+  ThreadState& state = StateOf(winner_id);
+  tree_queue_.Remove(state.tree_slot);
+  tree_slot_owner_.erase(state.tree_slot);
+  state.in_queue = false;
+  compensation_.OnQuantumStart(state.client.get());
+  return winner_id;
+}
+
+ThreadId LotteryScheduler::PickNext(SimTime /*now*/) {
+  if (options_.backend == RunQueueBackend::kTree) {
+    return PickNextFromTree();
+  }
+  if (run_queue_.empty()) {
+    return kInvalidThreadId;
+  }
+  ++num_lotteries_;
+  Client* winner = run_queue_.Draw(rng_);
+  if (winner == nullptr) {
+    // Every ready client currently has zero funding (e.g. all their backing
+    // is deactivated). Degrade to round-robin so no one starves: take the
+    // front; the requeue path appends, rotating the list.
+    winner = run_queue_.Front();
+    ++num_zero_fallbacks_;
+  }
+  run_queue_.Remove(winner);
+  const auto it = by_client_.find(winner);
+  if (it == by_client_.end()) {
+    throw std::logic_error("LotteryScheduler::PickNext: orphan client");
+  }
+  ThreadState& state = StateOf(it->second);
+  state.in_queue = false;
+  // The thread starts its next quantum: any compensation ticket expires
+  // (Section 4.5). Its tickets stay active while it runs.
+  compensation_.OnQuantumStart(winner);
+  return it->second;
+}
+
+void LotteryScheduler::OnQuantumEnd(ThreadId id, SimDuration used,
+                                    SimDuration quantum, SimTime /*now*/) {
+  ThreadState& state = StateOf(id);
+  compensation_.OnQuantumEnd(state.client.get(), used, quantum);
+}
+
+Currency* LotteryScheduler::thread_currency(ThreadId id) {
+  return StateOf(id).currency;
+}
+
+Client* LotteryScheduler::client(ThreadId id) {
+  return StateOf(id).client.get();
+}
+
+Ticket* LotteryScheduler::FundThread(ThreadId id, Currency* denomination,
+                                     int64_t amount,
+                                     const std::string& principal) {
+  ThreadState& state = StateOf(id);
+  Ticket* ticket = table_.CreateTicket(denomination, amount, principal);
+  table_.Fund(state.currency, ticket);
+  return ticket;
+}
+
+Funding LotteryScheduler::ThreadValue(ThreadId id) {
+  return StateOf(id).client->Value();
+}
+
+}  // namespace lottery

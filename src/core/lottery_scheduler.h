@@ -1,0 +1,121 @@
+// LotteryScheduler: the paper's CPU scheduler, behind the generic
+// sched::Scheduler interface.
+//
+// Structure mirrors the Mach prototype (Section 4): every thread gets its
+// own currency plus a self ticket issued in it; experiments fund thread
+// currencies with tickets denominated in user/task currencies, forming the
+// currency graph of Figure 3. The run queue is the paper's list-based
+// lottery with move-to-front; compensation tickets are granted on
+// under-consumed quanta and cleared when the thread next starts a quantum;
+// blocked threads deactivate, which is what gives ticket transfers their
+// semantics.
+
+#ifndef SRC_CORE_LOTTERY_SCHEDULER_H_
+#define SRC_CORE_LOTTERY_SCHEDULER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/client.h"
+#include "src/core/compensation.h"
+#include "src/core/currency.h"
+#include "src/core/list_lottery.h"
+#include "src/core/tree_lottery.h"
+#include "src/sched/scheduler.h"
+#include "src/util/fastrand.h"
+
+namespace lottery {
+
+// How the run queue picks winners. kList is the prototype's list with
+// move-to-front (Section 4.2, Figure 1); kTree is the same section's "tree
+// of partial ticket sums", O(lg n) per draw once client values are synced.
+enum class RunQueueBackend { kList, kTree };
+
+class LotteryScheduler : public Scheduler {
+ public:
+  struct Options {
+    uint32_t seed = 12345;
+    RunQueueBackend backend = RunQueueBackend::kList;
+    bool move_to_front = true;
+    CompensationPolicy::Options compensation;
+    // Face amount of each thread's self ticket (its claim on its own
+    // currency). Any positive value works — shares are relative.
+    int64_t thread_ticket_amount = 1000;
+  };
+
+  LotteryScheduler() : LotteryScheduler(Options{}) {}
+  explicit LotteryScheduler(Options options);
+  ~LotteryScheduler() override;
+
+  // --- Scheduler interface -------------------------------------------------
+  void AddThread(ThreadId id, SimTime now) override;
+  void RemoveThread(ThreadId id, SimTime now) override;
+  void OnReady(ThreadId id, SimTime now) override;
+  void OnBlocked(ThreadId id, SimTime now) override;
+  ThreadId PickNext(SimTime now) override;
+  void OnQuantumEnd(ThreadId id, SimDuration used, SimDuration quantum,
+                    SimTime now) override;
+  std::string name() const override { return "lottery"; }
+
+  // --- Funding API (the paper's user-level commands) -----------------------
+
+  CurrencyTable& table() { return table_; }
+  // The per-thread currency that transfers and funding tickets target.
+  Currency* thread_currency(ThreadId id);
+  Client* client(ThreadId id);
+
+  // Issues a ticket of `amount` in `denomination` and funds the thread's
+  // currency with it (the `fund` command). `principal` is checked against
+  // the denomination's ACL. Returned ticket stays owned by the table; use
+  // table().SetAmount for dynamic inflation, or table().DestroyTicket to
+  // withdraw it.
+  Ticket* FundThread(ThreadId id, Currency* denomination, int64_t amount,
+                     const std::string& principal = "");
+
+  // Current value of the thread in base units (0 if blocked).
+  Funding ThreadValue(ThreadId id);
+
+  FastRand& rng() { return rng_; }
+  const CompensationPolicy& compensation() const { return compensation_; }
+
+  // --- Instrumentation ------------------------------------------------------
+  uint64_t num_lotteries() const { return num_lotteries_; }
+  // Draws decided by the zero-funding round-robin fallback.
+  uint64_t num_zero_fallbacks() const { return num_zero_fallbacks_; }
+  const ListLottery& run_queue() const { return run_queue_; }
+
+ private:
+  struct ThreadState {
+    std::unique_ptr<Client> client;
+    Currency* currency = nullptr;
+    Ticket* self_ticket = nullptr;
+    bool in_queue = false;
+    size_t tree_slot = 0;  // valid while in_queue under the tree backend
+  };
+
+  ThreadState& StateOf(ThreadId id);
+  // Tree backend: re-push client values into the Fenwick weights if any
+  // currency mutation happened since the last sync.
+  void SyncTreeWeights();
+  ThreadId PickNextFromTree();
+
+  Options options_;
+  FastRand rng_;
+  CurrencyTable table_;
+  CompensationPolicy compensation_;
+  ListLottery run_queue_;
+  TreeLottery tree_queue_;
+  std::unordered_map<size_t, ThreadId> tree_slot_owner_;
+  uint64_t tree_sync_epoch_ = 0;
+  std::unordered_map<ThreadId, ThreadState> threads_;
+  std::unordered_map<const Client*, ThreadId> by_client_;
+  uint64_t num_lotteries_ = 0;
+  uint64_t num_zero_fallbacks_ = 0;
+};
+
+}  // namespace lottery
+
+#endif  // SRC_CORE_LOTTERY_SCHEDULER_H_

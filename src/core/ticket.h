@@ -1,0 +1,60 @@
+// Lottery tickets: the first-class representation of resource rights.
+//
+// A ticket is denominated in exactly one currency and has an integer amount.
+// At any instant a ticket is in one of three attachments:
+//   * unattached      — created but not yet deployed;
+//   * held by a client — it funds that client's competition in lotteries;
+//   * backing a currency — it is part of that currency's funding
+//     (Section 3.3: "each currency is backed, or funded, by tickets that are
+//     denominated in more primitive currencies").
+//
+// A ticket is *active* while the entity it funds is competing: a held ticket
+// follows its holder's active state, and a backing ticket follows whether
+// the currency it funds has any active issued amount (Section 4.4's
+// activation propagation). All mutation goes through CurrencyTable so the
+// active-amount sums stay consistent.
+
+#ifndef SRC_CORE_TICKET_H_
+#define SRC_CORE_TICKET_H_
+
+#include <cstdint>
+
+namespace lottery {
+
+class Client;
+class Currency;
+class CurrencyTable;
+
+class Ticket {
+ public:
+  Ticket(const Ticket&) = delete;
+  Ticket& operator=(const Ticket&) = delete;
+
+  int64_t amount() const { return amount_; }
+  // Currency this ticket is denominated (issued) in.
+  Currency* denomination() const { return denomination_; }
+  // Currency this ticket backs, or nullptr.
+  Currency* funds() const { return funds_; }
+  // Client holding this ticket, or nullptr.
+  Client* holder() const { return holder_; }
+  bool active() const { return active_; }
+  uint64_t id() const { return id_; }
+
+ private:
+  friend class CurrencyTable;
+  friend class Client;
+
+  Ticket(uint64_t id, Currency* denomination, int64_t amount)
+      : id_(id), denomination_(denomination), amount_(amount) {}
+
+  uint64_t id_;
+  Currency* denomination_;
+  int64_t amount_;
+  Currency* funds_ = nullptr;
+  Client* holder_ = nullptr;
+  bool active_ = false;
+};
+
+}  // namespace lottery
+
+#endif  // SRC_CORE_TICKET_H_

@@ -1,0 +1,56 @@
+#include "src/core/transfer.h"
+
+namespace lottery {
+
+TicketTransfer::TicketTransfer(CurrencyTable* table, Currency* source,
+                               Currency* target, int64_t amount)
+    : table_(table), ticket_(table->CreateTicket(source, amount)) {
+  if (target != nullptr) {
+    table_->Fund(target, ticket_);
+  }
+}
+
+TicketTransfer::~TicketTransfer() { Release(); }
+
+TicketTransfer::TicketTransfer(TicketTransfer&& other) noexcept
+    : table_(other.table_), ticket_(other.ticket_) {
+  other.ticket_ = nullptr;
+}
+
+TicketTransfer& TicketTransfer::operator=(TicketTransfer&& other) noexcept {
+  if (this != &other) {
+    Release();
+    table_ = other.table_;
+    ticket_ = other.ticket_;
+    other.ticket_ = nullptr;
+  }
+  return *this;
+}
+
+void TicketTransfer::FundTarget(Currency* target) {
+  table_->Fund(target, ticket_);
+}
+
+void TicketTransfer::Retarget(Currency* new_target) {
+  if (ticket_->funds() != nullptr) {
+    table_->Unfund(ticket_);
+  }
+  table_->Fund(new_target, ticket_);
+}
+
+void TicketTransfer::Release() {
+  if (ticket_ != nullptr) {
+    table_->DestroyTicket(ticket_);
+    ticket_ = nullptr;
+  }
+}
+
+Currency* TicketTransfer::target() const {
+  return ticket_ != nullptr ? ticket_->funds() : nullptr;
+}
+
+bool TicketTransfer::funded() const {
+  return ticket_ != nullptr && ticket_->funds() != nullptr;
+}
+
+}  // namespace lottery

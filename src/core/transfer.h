@@ -1,0 +1,58 @@
+// Ticket transfers (Sections 3.1 and 4.6).
+//
+// When a client blocks on a dependency (an RPC, a lock), it temporarily
+// transfers its resource rights to the party it is waiting on. The paper's
+// implementation: "a transfer is implemented by creating a new ticket
+// denominated in the client's currency, and using it to fund the server's
+// currency"; on reply the ticket is destroyed.
+//
+// TicketTransfer is the RAII form of that protocol. The transfer ticket is
+// issued in the source currency, so when the blocked client's own tickets
+// deactivate, the transfer ticket becomes the only active claim on the
+// source currency and therefore carries the client's *entire* funding —
+// the deactivation semantics of Section 4.4 do all the work. A transfer may
+// start unfunded (no server thread waiting yet) and be attached later, and
+// may be retargeted (a worker thread dequeues the message).
+
+#ifndef SRC_CORE_TRANSFER_H_
+#define SRC_CORE_TRANSFER_H_
+
+#include <cstdint>
+
+#include "src/core/currency.h"
+
+namespace lottery {
+
+class TicketTransfer {
+ public:
+  // Issues a transfer ticket of `amount` in `source`. If `target` is null
+  // the ticket is parked (inactive) until FundTarget is called.
+  TicketTransfer(CurrencyTable* table, Currency* source, Currency* target,
+                 int64_t amount);
+  // Destroys the transfer ticket (the reply path).
+  ~TicketTransfer();
+
+  TicketTransfer(TicketTransfer&& other) noexcept;
+  TicketTransfer& operator=(TicketTransfer&& other) noexcept;
+  TicketTransfer(const TicketTransfer&) = delete;
+  TicketTransfer& operator=(const TicketTransfer&) = delete;
+
+  // Funds `target` with the transfer ticket (server picked up the message).
+  void FundTarget(Currency* target);
+  // Moves the funding to a different currency (message handed to a worker).
+  void Retarget(Currency* new_target);
+  // Explicitly ends the transfer before destruction.
+  void Release();
+
+  Ticket* ticket() const { return ticket_; }
+  Currency* target() const;
+  bool funded() const;
+
+ private:
+  CurrencyTable* table_;
+  Ticket* ticket_;
+};
+
+}  // namespace lottery
+
+#endif  // SRC_CORE_TRANSFER_H_

@@ -1,0 +1,106 @@
+#include "src/core/tree_lottery.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace lottery {
+
+TreeLottery::TreeLottery(size_t initial_capacity) {
+  Grow(initial_capacity == 0 ? 1 : initial_capacity);
+}
+
+void TreeLottery::Grow(size_t min_capacity) {
+  size_t capacity = std::bit_ceil(min_capacity);
+  if (capacity <= weights_.size()) {
+    return;
+  }
+  // Rebuild: Fenwick trees do not grow in place cheaply; amortized O(1).
+  std::vector<uint64_t> old_weights = std::move(weights_);
+  weights_.assign(capacity, 0);
+  tree_.assign(capacity + 1, 0);
+  total_ = 0;
+  for (size_t i = 0; i < old_weights.size(); ++i) {
+    if (old_weights[i] > 0) {
+      weights_[i] = 0;  // re-add below
+      AddDelta(i, static_cast<int64_t>(old_weights[i]));
+      weights_[i] = old_weights[i];
+      total_ += old_weights[i];
+    }
+  }
+}
+
+size_t TreeLottery::Add(uint64_t weight) {
+  size_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = next_fresh_++;
+    if (slot >= weights_.size()) {
+      Grow(slot + 1);
+    }
+  }
+  ++live_count_;
+  SetWeight(slot, weight);
+  return slot;
+}
+
+void TreeLottery::Remove(size_t slot) {
+  SetWeight(slot, 0);
+  free_slots_.push_back(slot);
+  --live_count_;
+}
+
+void TreeLottery::SetWeight(size_t slot, uint64_t weight) {
+  if (slot >= weights_.size()) {
+    throw std::out_of_range("TreeLottery::SetWeight: bad slot");
+  }
+  const int64_t delta =
+      static_cast<int64_t>(weight) - static_cast<int64_t>(weights_[slot]);
+  if (delta == 0) {
+    return;
+  }
+  AddDelta(slot, delta);
+  total_ = static_cast<uint64_t>(static_cast<int64_t>(total_) + delta);
+  weights_[slot] = weight;
+}
+
+uint64_t TreeLottery::Weight(size_t slot) const {
+  if (slot >= weights_.size()) {
+    throw std::out_of_range("TreeLottery::Weight: bad slot");
+  }
+  return weights_[slot];
+}
+
+void TreeLottery::AddDelta(size_t slot, int64_t delta) {
+  for (size_t i = slot + 1; i <= weights_.size(); i += i & (~i + 1)) {
+    tree_[i] = static_cast<uint64_t>(static_cast<int64_t>(tree_[i]) + delta);
+  }
+}
+
+std::optional<size_t> TreeLottery::Draw(FastRand& rng) const {
+  if (total_ == 0) {
+    return std::nullopt;
+  }
+  return SlotForValue(rng.NextBelow64(total_));
+}
+
+size_t TreeLottery::SlotForValue(uint64_t value) const {
+  if (value >= total_) {
+    throw std::out_of_range("TreeLottery::SlotForValue: value >= total");
+  }
+  // Standard Fenwick descend: find smallest index with prefix sum > value.
+  size_t pos = 0;
+  size_t mask = std::bit_floor(weights_.size());
+  while (mask != 0) {
+    const size_t next = pos + mask;
+    if (next <= weights_.size() && tree_[next] <= value) {
+      value -= tree_[next];
+      pos = next;
+    }
+    mask >>= 1;
+  }
+  return pos;  // 0-indexed slot
+}
+
+}  // namespace lottery

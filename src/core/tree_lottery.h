@@ -1,0 +1,61 @@
+// Tree-based lottery: O(lg n) winner selection over partial ticket sums.
+//
+// Section 4.2: "for large n, a more efficient implementation is to use a
+// tree of partial ticket sums, with clients at the leaves... requiring only
+// lg n operations." This is a Fenwick (binary indexed) tree over fixed
+// weights; the descend-by-prefix-sum search visits one node per level.
+//
+// Unlike ListLottery, which prices clients through the currency graph on
+// every draw (as the Mach prototype did), TreeLottery manages flat weights
+// pushed by its owner. The LotteryScheduler can run on either backend; the
+// bench bench_draw_overhead compares their costs.
+
+#ifndef SRC_CORE_TREE_LOTTERY_H_
+#define SRC_CORE_TREE_LOTTERY_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/util/fastrand.h"
+
+namespace lottery {
+
+class TreeLottery {
+ public:
+  // `initial_capacity` is a hint; the tree grows on demand.
+  explicit TreeLottery(size_t initial_capacity = 16);
+
+  // Registers a competitor with the given weight; returns its slot handle.
+  size_t Add(uint64_t weight);
+  // Removes the competitor; its slot is recycled by later Add calls.
+  void Remove(size_t slot);
+  void SetWeight(size_t slot, uint64_t weight);
+  uint64_t Weight(size_t slot) const;
+
+  uint64_t total() const { return total_; }
+  size_t size() const { return live_count_; }
+  bool empty() const { return live_count_ == 0; }
+
+  // Picks a slot with probability weight/total in O(lg capacity);
+  // std::nullopt if the total weight is zero.
+  std::optional<size_t> Draw(FastRand& rng) const;
+  // Deterministic variant used by tests: returns the slot owning the
+  // `value`-th weight unit, value in [0, total).
+  size_t SlotForValue(uint64_t value) const;
+
+ private:
+  void Grow(size_t min_capacity);
+  void AddDelta(size_t slot, int64_t delta);
+
+  std::vector<uint64_t> tree_;     // Fenwick partial sums, 1-indexed
+  std::vector<uint64_t> weights_;  // current weight per slot
+  std::vector<size_t> free_slots_;
+  size_t next_fresh_ = 0;
+  size_t live_count_ = 0;
+  uint64_t total_ = 0;
+};
+
+}  // namespace lottery
+
+#endif  // SRC_CORE_TREE_LOTTERY_H_

@@ -1,0 +1,283 @@
+#include "src/ctl/interpreter.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "src/util/table.h"
+
+namespace lottery {
+
+namespace {
+
+constexpr char kHelp[] =
+    "mkcur <name> [owner]    create a currency\n"
+    "rmcur <name>            destroy a currency\n"
+    "mktkt <currency> <amt>  issue a ticket (prints its id)\n"
+    "rmtkt <id>              destroy a ticket\n"
+    "fund <currency> <id>    back <currency> with ticket <id>\n"
+    "unfund <id>             detach ticket <id>\n"
+    "setamt <id> <amt>       change a ticket's amount\n"
+    "fundthread <tid> <currency> <amt>  fund a thread\n"
+    "lscur [name]            list currencies\n"
+    "lstkt [currency]        list tickets\n"
+    "dot                     dump the funding graph as graphviz\n"
+    "help                    show this text\n";
+
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line);
+  std::string token;
+  while (in >> token) {
+    if (token[0] == '#') {
+      break;  // comment to end of line
+    }
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+std::string AttachmentOf(const Ticket* t) {
+  if (t->holder() != nullptr) {
+    return "held by " + t->holder()->name();
+  }
+  if (t->funds() != nullptr) {
+    return "funds " + t->funds()->name();
+  }
+  return "unattached";
+}
+
+}  // namespace
+
+std::string CommandInterpreter::Execute(const std::string& line,
+                                        const std::string& principal) {
+  const std::vector<std::string> tokens = Tokenize(line);
+  if (tokens.empty()) {
+    return "";
+  }
+  const std::string& cmd = tokens[0];
+  const std::vector<std::string> args(tokens.begin() + 1, tokens.end());
+  try {
+    if (cmd == "mkcur") {
+      return Mkcur(args);
+    }
+    if (cmd == "rmcur") {
+      return Rmcur(args);
+    }
+    if (cmd == "mktkt") {
+      return Mktkt(args, principal);
+    }
+    if (cmd == "rmtkt") {
+      return Rmtkt(args);
+    }
+    if (cmd == "fund") {
+      return Fund(args);
+    }
+    if (cmd == "unfund") {
+      return Unfund(args);
+    }
+    if (cmd == "setamt") {
+      return Setamt(args);
+    }
+    if (cmd == "fundthread") {
+      return FundThreadCmd(args, principal);
+    }
+    if (cmd == "lscur") {
+      return Lscur(args);
+    }
+    if (cmd == "lstkt") {
+      return Lstkt(args);
+    }
+    if (cmd == "dot") {
+      return scheduler_->table().ToDot();
+    }
+    if (cmd == "help") {
+      return kHelp;
+    }
+  } catch (const CommandError&) {
+    throw;
+  } catch (const std::exception& e) {
+    // Table-level rejections (cycles, ACLs, misuse) become user errors.
+    throw CommandError(cmd + ": " + e.what());
+  }
+  throw CommandError("unknown command '" + cmd + "' (try 'help')");
+}
+
+std::string CommandInterpreter::ExecuteScript(const std::string& script,
+                                              const std::string& principal) {
+  std::istringstream in(script);
+  std::string line;
+  std::ostringstream out;
+  while (std::getline(in, line)) {
+    const std::string result = Execute(line, principal);
+    if (!result.empty()) {
+      out << result;
+      if (result.back() != '\n') {
+        out << "\n";
+      }
+    }
+  }
+  return out.str();
+}
+
+Currency* CommandInterpreter::CurrencyOrThrow(const std::string& name) {
+  Currency* currency = scheduler_->table().FindCurrency(name);
+  if (currency == nullptr) {
+    throw CommandError("no such currency '" + name + "'");
+  }
+  return currency;
+}
+
+Ticket* CommandInterpreter::TicketOrThrow(const std::string& id_text) {
+  char* end = nullptr;
+  const uint64_t id = std::strtoull(id_text.c_str(), &end, 10);
+  if (end == id_text.c_str() || *end != '\0') {
+    throw CommandError("bad ticket id '" + id_text + "'");
+  }
+  Ticket* ticket = scheduler_->table().FindTicket(id);
+  if (ticket == nullptr) {
+    throw CommandError("no such ticket " + id_text);
+  }
+  return ticket;
+}
+
+int64_t CommandInterpreter::AmountOrThrow(const std::string& text) {
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || value <= 0) {
+    throw CommandError("bad amount '" + text + "' (must be a positive int)");
+  }
+  return value;
+}
+
+std::string CommandInterpreter::Mkcur(const std::vector<std::string>& args) {
+  if (args.empty() || args.size() > 2) {
+    throw CommandError("usage: mkcur <name> [owner]");
+  }
+  scheduler_->table().CreateCurrency(args[0],
+                                     args.size() == 2 ? args[1] : "");
+  return "";
+}
+
+std::string CommandInterpreter::Rmcur(const std::vector<std::string>& args) {
+  if (args.size() != 1) {
+    throw CommandError("usage: rmcur <name>");
+  }
+  scheduler_->table().DestroyCurrency(CurrencyOrThrow(args[0]));
+  return "";
+}
+
+std::string CommandInterpreter::Mktkt(const std::vector<std::string>& args,
+                                      const std::string& principal) {
+  if (args.size() != 2) {
+    throw CommandError("usage: mktkt <currency> <amount>");
+  }
+  Ticket* ticket = scheduler_->table().CreateTicket(
+      CurrencyOrThrow(args[0]), AmountOrThrow(args[1]), principal);
+  return "ticket " + std::to_string(ticket->id()) + "\n";
+}
+
+std::string CommandInterpreter::Rmtkt(const std::vector<std::string>& args) {
+  if (args.size() != 1) {
+    throw CommandError("usage: rmtkt <id>");
+  }
+  scheduler_->table().DestroyTicket(TicketOrThrow(args[0]));
+  return "";
+}
+
+std::string CommandInterpreter::Fund(const std::vector<std::string>& args) {
+  if (args.size() != 2) {
+    throw CommandError("usage: fund <currency> <ticket-id>");
+  }
+  scheduler_->table().Fund(CurrencyOrThrow(args[0]), TicketOrThrow(args[1]));
+  return "";
+}
+
+std::string CommandInterpreter::Unfund(const std::vector<std::string>& args) {
+  if (args.size() != 1) {
+    throw CommandError("usage: unfund <ticket-id>");
+  }
+  scheduler_->table().Unfund(TicketOrThrow(args[0]));
+  return "";
+}
+
+std::string CommandInterpreter::Setamt(const std::vector<std::string>& args) {
+  if (args.size() != 2) {
+    throw CommandError("usage: setamt <ticket-id> <amount>");
+  }
+  scheduler_->table().SetAmount(TicketOrThrow(args[0]),
+                                AmountOrThrow(args[1]));
+  return "";
+}
+
+std::string CommandInterpreter::FundThreadCmd(
+    const std::vector<std::string>& args, const std::string& principal) {
+  if (args.size() != 3) {
+    throw CommandError("usage: fundthread <tid> <currency> <amount>");
+  }
+  char* end = nullptr;
+  const unsigned long tid = std::strtoul(args[0].c_str(), &end, 10);
+  if (end == args[0].c_str() || *end != '\0') {
+    throw CommandError("bad thread id '" + args[0] + "'");
+  }
+  Ticket* ticket = scheduler_->FundThread(static_cast<ThreadId>(tid),
+                                          CurrencyOrThrow(args[1]),
+                                          AmountOrThrow(args[2]), principal);
+  return "ticket " + std::to_string(ticket->id()) + "\n";
+}
+
+std::string CommandInterpreter::Lscur(const std::vector<std::string>& args) {
+  if (args.size() > 1) {
+    throw CommandError("usage: lscur [name]");
+  }
+  TextTable table({"currency", "owner", "value", "rate", "active", "issued",
+                   "backing"});
+  for (Currency* c : scheduler_->table().Currencies()) {
+    if (!args.empty() && c->name() != args[0]) {
+      continue;
+    }
+    std::ostringstream backing;
+    for (size_t i = 0; i < c->backing().size(); ++i) {
+      const Ticket* t = c->backing()[i];
+      backing << (i == 0 ? "" : ", ") << t->amount() << "."
+              << t->denomination()->name();
+    }
+    table.AddRow({c->name(), c->owner().empty() ? "-" : c->owner(),
+                  c->is_base() ? "-"
+                               : FormatDouble(
+                                     scheduler_->table()
+                                         .CurrencyValue(c)
+                                         .ToBaseF(),
+                                     1),
+                  FormatDouble(scheduler_->table().ExchangeRate(c), 3),
+                  std::to_string(c->active_amount()),
+                  std::to_string(c->issued_amount()), backing.str()});
+  }
+  if (!args.empty() && table.num_rows() == 0) {
+    throw CommandError("no such currency '" + args[0] + "'");
+  }
+  return table.ToString();
+}
+
+std::string CommandInterpreter::Lstkt(const std::vector<std::string>& args) {
+  if (args.size() > 1) {
+    throw CommandError("usage: lstkt [currency]");
+  }
+  if (!args.empty()) {
+    CurrencyOrThrow(args[0]);  // validate the filter
+  }
+  TextTable table({"id", "amount", "currency", "state", "attachment",
+                   "value"});
+  for (Ticket* t : scheduler_->table().Tickets()) {
+    if (!args.empty() && t->denomination()->name() != args[0]) {
+      continue;
+    }
+    table.AddRow({std::to_string(t->id()), std::to_string(t->amount()),
+                  t->denomination()->name(),
+                  t->active() ? "active" : "inactive", AttachmentOf(t),
+                  FormatDouble(scheduler_->table().TicketValue(t).ToBaseF(),
+                               1)});
+  }
+  return table.ToString();
+}
+
+}  // namespace lottery

@@ -1,0 +1,84 @@
+// User-level command interface (Section 4.7).
+//
+// The prototype exposed currencies and tickets through setuid commands:
+// "mktkt, rmtkt, mkcur, rmcur" to create and destroy tickets and
+// currencies, "fund, unfund" to move funding, "lstkt, lscur" to inspect,
+// and "fundx" to execute a command with specified funding. This module is
+// that interface as an embeddable interpreter: each command line mutates a
+// LotteryScheduler's currency table on behalf of a principal (checked
+// against currency ACLs), and listings render the same information the
+// paper's tools printed. The REPL example `examples/lotteryctl` wires it to
+// stdin.
+//
+// Grammar (one command per line, whitespace separated; '#' comments):
+//   mkcur <name> [owner]          create a currency
+//   rmcur <name>                  destroy a currency (retires its backing)
+//   mktkt <currency> <amount>     issue a ticket; prints "ticket <id>"
+//   rmtkt <id>                    destroy a ticket
+//   fund <currency> <id>          use ticket <id> to back <currency>
+//   unfund <id>                   detach ticket <id> from what it backs
+//   setamt <id> <amount>          inflate/deflate a ticket
+//   fundthread <tid> <currency> <amount>   issue + fund a thread's currency
+//   lscur [name]                  list currencies (value, amounts, backing)
+//   lstkt [currency]              list tickets (id, attachment, value)
+//   help                          this text
+
+#ifndef SRC_CTL_INTERPRETER_H_
+#define SRC_CTL_INTERPRETER_H_
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/core/lottery_scheduler.h"
+
+namespace lottery {
+
+// Raised on malformed commands or rejected operations; the message is the
+// user-facing error text.
+class CommandError : public std::runtime_error {
+ public:
+  explicit CommandError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class CommandInterpreter {
+ public:
+  // The scheduler must outlive the interpreter.
+  explicit CommandInterpreter(LotteryScheduler* scheduler)
+      : scheduler_(scheduler) {}
+
+  // Executes one command line on behalf of `principal` and returns its
+  // output (possibly empty). Throws CommandError on failure; the table is
+  // left unchanged by failed commands.
+  std::string Execute(const std::string& line,
+                      const std::string& principal = "root");
+
+  // Convenience: executes a whole script, stopping at the first error.
+  // Returns concatenated non-empty outputs.
+  std::string ExecuteScript(const std::string& script,
+                            const std::string& principal = "root");
+
+ private:
+  std::string Mkcur(const std::vector<std::string>& args);
+  std::string Rmcur(const std::vector<std::string>& args);
+  std::string Mktkt(const std::vector<std::string>& args,
+                    const std::string& principal);
+  std::string Rmtkt(const std::vector<std::string>& args);
+  std::string Fund(const std::vector<std::string>& args);
+  std::string Unfund(const std::vector<std::string>& args);
+  std::string Setamt(const std::vector<std::string>& args);
+  std::string FundThreadCmd(const std::vector<std::string>& args,
+                            const std::string& principal);
+  std::string Lscur(const std::vector<std::string>& args);
+  std::string Lstkt(const std::vector<std::string>& args);
+
+  Currency* CurrencyOrThrow(const std::string& name);
+  Ticket* TicketOrThrow(const std::string& id_text);
+  static int64_t AmountOrThrow(const std::string& text);
+
+  LotteryScheduler* scheduler_;
+};
+
+}  // namespace lottery
+
+#endif  // SRC_CTL_INTERPRETER_H_

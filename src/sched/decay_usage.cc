@@ -1,0 +1,93 @@
+#include "src/sched/decay_usage.h"
+
+#include <stdexcept>
+
+namespace lottery {
+
+void DecayUsageScheduler::AddThread(ThreadId id, SimTime /*now*/) {
+  if (!threads_.emplace(id, ThreadState{}).second) {
+    throw std::invalid_argument("DecayUsage::AddThread: duplicate id");
+  }
+}
+
+void DecayUsageScheduler::RemoveThread(ThreadId id, SimTime /*now*/) {
+  threads_.erase(id);
+}
+
+void DecayUsageScheduler::OnReady(ThreadId id, SimTime /*now*/) {
+  auto& state = threads_.at(id);
+  if (!state.ready) {
+    state.ready = true;
+    state.enqueue_seq = next_seq_++;
+  }
+}
+
+void DecayUsageScheduler::OnBlocked(ThreadId id, SimTime /*now*/) {
+  threads_.at(id).ready = false;
+}
+
+double DecayUsageScheduler::EffectivePriority(const ThreadState& s) const {
+  return static_cast<double>(options_.base_priority) +
+         s.estcpu / static_cast<double>(options_.usage_divisor) +
+         2.0 * static_cast<double>(s.nice);
+}
+
+ThreadId DecayUsageScheduler::PickNext(SimTime /*now*/) {
+  ThreadId best = kInvalidThreadId;
+  double best_priority = 0.0;
+  uint64_t best_seq = 0;
+  for (auto& [id, state] : threads_) {
+    if (!state.ready) {
+      continue;
+    }
+    const double priority = EffectivePriority(state);
+    if (best == kInvalidThreadId || priority < best_priority ||
+        (priority == best_priority && state.enqueue_seq < best_seq)) {
+      best = id;
+      best_priority = priority;
+      best_seq = state.enqueue_seq;
+    }
+  }
+  if (best != kInvalidThreadId) {
+    threads_.at(best).ready = false;
+  }
+  return best;
+}
+
+void DecayUsageScheduler::OnQuantumEnd(ThreadId id, SimDuration used,
+                                       SimDuration quantum, SimTime /*now*/) {
+  // Charge usage in 10 ms clock ticks of CPU consumed, as 4.3BSD's hardclock
+  // did (charging whole quanta makes the usage term so coarse that a modest
+  // nice starves a thread outright, which real decay-usage does not do).
+  auto& state = threads_.at(id);
+  (void)quantum;
+  state.estcpu += used.ToMillisF() / 10.0;
+}
+
+void DecayUsageScheduler::Tick(SimTime /*now*/) {
+  // Count runnable threads as the load average proxy.
+  int load = 0;
+  for (const auto& [id, state] : threads_) {
+    if (state.ready) {
+      ++load;
+    }
+  }
+  const double l = static_cast<double>(load);
+  const double decay = (2.0 * l) / (2.0 * l + 1.0);
+  for (auto& [id, state] : threads_) {
+    state.estcpu = state.estcpu * decay + static_cast<double>(state.nice);
+    if (state.estcpu < 0.0) {
+      state.estcpu = 0.0;
+    }
+  }
+}
+
+void DecayUsageScheduler::SetNice(ThreadId id, int nice) {
+  threads_.at(id).nice = nice;
+}
+
+double DecayUsageScheduler::EstCpu(ThreadId id) const {
+  return threads_.at(id).estcpu;
+}
+
+}  // namespace lottery

@@ -1,0 +1,69 @@
+// Decay-usage timesharing scheduler, modeled on 4.3BSD-style Unix and the
+// standard Mach timesharing policy the paper compares against (Sections 1,
+// 5.6, 7; see [Hel93]).
+//
+// Each thread has an `estcpu` load estimate incremented as it consumes CPU.
+// Effective priority = base + estcpu / 4 + 2 * nice; lower is better. Once
+// per simulated second every estcpu decays by the classic factor
+// (2*load)/(2*load + 1) where load is the number of runnable threads. The
+// dispatcher picks the numerically lowest effective priority, breaking ties
+// round-robin.
+//
+// This is the paper's "conventional scheduler" foil: it delivers rough
+// long-term fairness among equal-nice threads but gives no direct handle on
+// *relative* rates — the property the lottery experiments demonstrate.
+
+#ifndef SRC_SCHED_DECAY_USAGE_H_
+#define SRC_SCHED_DECAY_USAGE_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "src/sched/scheduler.h"
+
+namespace lottery {
+
+class DecayUsageScheduler : public Scheduler {
+ public:
+  struct Options {
+    int base_priority = 0;
+    // Weight of the usage term (BSD used estcpu/4).
+    int usage_divisor = 4;
+  };
+
+  DecayUsageScheduler() : DecayUsageScheduler(Options{}) {}
+  explicit DecayUsageScheduler(Options options) : options_(options) {}
+
+  void AddThread(ThreadId id, SimTime now) override;
+  void RemoveThread(ThreadId id, SimTime now) override;
+  void OnReady(ThreadId id, SimTime now) override;
+  void OnBlocked(ThreadId id, SimTime now) override;
+  ThreadId PickNext(SimTime now) override;
+  void OnQuantumEnd(ThreadId id, SimDuration used, SimDuration quantum,
+                    SimTime now) override;
+  void Tick(SimTime now) override;
+  std::string name() const override { return "decay-usage"; }
+
+  // Unix nice in [-20, 20]; the only rate control the policy offers.
+  void SetNice(ThreadId id, int nice);
+  double EstCpu(ThreadId id) const;
+
+ private:
+  struct ThreadState {
+    double estcpu = 0.0;
+    int nice = 0;
+    bool ready = false;
+    uint64_t enqueue_seq = 0;  // FIFO tiebreak among equal priorities
+  };
+
+  double EffectivePriority(const ThreadState& state) const;
+
+  Options options_;
+  std::unordered_map<ThreadId, ThreadState> threads_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace lottery
+
+#endif  // SRC_SCHED_DECAY_USAGE_H_

@@ -1,0 +1,90 @@
+#include "src/sched/hybrid.h"
+
+#include <stdexcept>
+
+namespace lottery {
+
+void HybridScheduler::SetFixedPriority(ThreadId id, int priority) {
+  const bool was_ready = ready_.count(id) > 0;
+  if (fixed_members_.count(id) == 0) {
+    if (was_ready) {
+      lottery_.OnBlocked(id, SimTime::Zero());
+    }
+    fixed_.AddThread(id, SimTime::Zero());
+    fixed_members_.insert(id);
+    if (was_ready) {
+      fixed_.OnReady(id, SimTime::Zero());
+    }
+  }
+  fixed_.SetPriority(id, priority);
+}
+
+void HybridScheduler::ClearFixedPriority(ThreadId id) {
+  if (fixed_members_.erase(id) == 0) {
+    return;
+  }
+  const bool was_ready = ready_.count(id) > 0;
+  fixed_.RemoveThread(id, SimTime::Zero());
+  if (was_ready) {
+    lottery_.OnReady(id, SimTime::Zero());
+  }
+}
+
+bool HybridScheduler::IsFixedPriority(ThreadId id) const {
+  return fixed_members_.count(id) > 0;
+}
+
+void HybridScheduler::AddThread(ThreadId id, SimTime now) {
+  lottery_.AddThread(id, now);
+}
+
+void HybridScheduler::RemoveThread(ThreadId id, SimTime now) {
+  if (fixed_members_.erase(id) > 0) {
+    fixed_.RemoveThread(id, now);
+  }
+  lottery_.RemoveThread(id, now);
+  ready_.erase(id);
+}
+
+void HybridScheduler::OnReady(ThreadId id, SimTime now) {
+  ready_.insert(id);
+  if (fixed_members_.count(id) > 0) {
+    fixed_.OnReady(id, now);
+  } else {
+    lottery_.OnReady(id, now);
+  }
+}
+
+void HybridScheduler::OnBlocked(ThreadId id, SimTime now) {
+  ready_.erase(id);
+  if (fixed_members_.count(id) > 0) {
+    fixed_.OnBlocked(id, now);
+  } else {
+    lottery_.OnBlocked(id, now);
+  }
+}
+
+ThreadId HybridScheduler::PickNext(SimTime now) {
+  // Fixed-priority threads take absolute precedence, as in the prototype.
+  const ThreadId fixed_pick = fixed_.PickNext(now);
+  if (fixed_pick != kInvalidThreadId) {
+    ready_.erase(fixed_pick);
+    return fixed_pick;
+  }
+  const ThreadId pick = lottery_.PickNext(now);
+  if (pick != kInvalidThreadId) {
+    ready_.erase(pick);
+  }
+  return pick;
+}
+
+void HybridScheduler::OnQuantumEnd(ThreadId id, SimDuration used,
+                                   SimDuration quantum, SimTime now) {
+  if (fixed_members_.count(id) > 0) {
+    fixed_.OnQuantumEnd(id, used, quantum, now);
+  } else {
+    lottery_.OnQuantumEnd(id, used, quantum, now);
+  }
+}
+
+}  // namespace lottery

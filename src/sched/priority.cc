@@ -1,0 +1,86 @@
+#include "src/sched/priority.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lottery {
+
+void PriorityScheduler::AddThread(ThreadId id, SimTime /*now*/) {
+  if (!priority_.emplace(id, kDefaultPriority).second) {
+    throw std::invalid_argument("Priority::AddThread: duplicate id");
+  }
+  queued_[id] = false;
+}
+
+void PriorityScheduler::RemoveThread(ThreadId id, SimTime /*now*/) {
+  Unqueue(id);
+  priority_.erase(id);
+  queued_.erase(id);
+}
+
+void PriorityScheduler::Unqueue(ThreadId id) {
+  const auto q = queued_.find(id);
+  if (q == queued_.end() || !q->second) {
+    return;
+  }
+  auto& dq = ready_[priority_.at(id)];
+  dq.erase(std::find(dq.begin(), dq.end(), id));
+  q->second = false;
+}
+
+void PriorityScheduler::OnReady(ThreadId id, SimTime /*now*/) {
+  const auto it = priority_.find(id);
+  if (it == priority_.end()) {
+    throw std::invalid_argument("Priority::OnReady: unknown id");
+  }
+  if (!queued_[id]) {
+    ready_[it->second].push_back(id);
+    queued_[id] = true;
+  }
+}
+
+void PriorityScheduler::OnBlocked(ThreadId id, SimTime /*now*/) {
+  Unqueue(id);
+}
+
+ThreadId PriorityScheduler::PickNext(SimTime /*now*/) {
+  for (auto it = ready_.rbegin(); it != ready_.rend(); ++it) {
+    if (!it->second.empty()) {
+      const ThreadId id = it->second.front();
+      it->second.pop_front();
+      queued_[id] = false;
+      return id;
+    }
+  }
+  return kInvalidThreadId;
+}
+
+void PriorityScheduler::OnQuantumEnd(ThreadId /*id*/, SimDuration /*used*/,
+                                     SimDuration /*quantum*/,
+                                     SimTime /*now*/) {}
+
+void PriorityScheduler::SetPriority(ThreadId id, int priority) {
+  const auto it = priority_.find(id);
+  if (it == priority_.end()) {
+    throw std::invalid_argument("Priority::SetPriority: unknown id");
+  }
+  const bool was_queued = queued_[id];
+  if (was_queued) {
+    Unqueue(id);
+  }
+  it->second = priority;
+  if (was_queued) {
+    ready_[priority].push_back(id);
+    queued_[id] = true;
+  }
+}
+
+int PriorityScheduler::GetPriority(ThreadId id) const {
+  const auto it = priority_.find(id);
+  if (it == priority_.end()) {
+    throw std::invalid_argument("Priority::GetPriority: unknown id");
+  }
+  return it->second;
+}
+
+}  // namespace lottery

@@ -1,0 +1,46 @@
+// Fixed-priority scheduler: the conventional mechanism the paper argues
+// against (Section 7). Higher priority takes absolute precedence; equal
+// priorities run round-robin (matching the unmodified Mach behaviour noted
+// in the paper's footnote 9). Exhibits starvation and priority inversion,
+// which the experiments use as a foil.
+
+#ifndef SRC_SCHED_PRIORITY_H_
+#define SRC_SCHED_PRIORITY_H_
+
+#include <deque>
+#include <map>
+#include <unordered_map>
+
+#include "src/sched/scheduler.h"
+
+namespace lottery {
+
+class PriorityScheduler : public Scheduler {
+ public:
+  // Larger value means higher priority.
+  static constexpr int kDefaultPriority = 0;
+
+  void AddThread(ThreadId id, SimTime now) override;
+  void RemoveThread(ThreadId id, SimTime now) override;
+  void OnReady(ThreadId id, SimTime now) override;
+  void OnBlocked(ThreadId id, SimTime now) override;
+  ThreadId PickNext(SimTime now) override;
+  void OnQuantumEnd(ThreadId id, SimDuration used, SimDuration quantum,
+                    SimTime now) override;
+  std::string name() const override { return "fixed-priority"; }
+
+  void SetPriority(ThreadId id, int priority);
+  int GetPriority(ThreadId id) const;
+
+ private:
+  void Unqueue(ThreadId id);
+
+  std::unordered_map<ThreadId, int> priority_;
+  std::unordered_map<ThreadId, bool> queued_;
+  // Ready queues ordered by priority (descending via reverse iteration).
+  std::map<int, std::deque<ThreadId>> ready_;
+};
+
+}  // namespace lottery
+
+#endif  // SRC_SCHED_PRIORITY_H_

@@ -1,0 +1,50 @@
+#include "src/sched/round_robin.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lottery {
+
+void RoundRobinScheduler::AddThread(ThreadId id, SimTime /*now*/) {
+  if (!known_.insert(id).second) {
+    throw std::invalid_argument("RoundRobin::AddThread: duplicate id");
+  }
+}
+
+void RoundRobinScheduler::RemoveThread(ThreadId id, SimTime /*now*/) {
+  known_.erase(id);
+  if (queued_.erase(id) > 0) {
+    queue_.erase(std::find(queue_.begin(), queue_.end(), id));
+  }
+}
+
+void RoundRobinScheduler::OnReady(ThreadId id, SimTime /*now*/) {
+  if (known_.count(id) == 0) {
+    throw std::invalid_argument("RoundRobin::OnReady: unknown id");
+  }
+  if (queued_.insert(id).second) {
+    queue_.push_back(id);
+  }
+}
+
+void RoundRobinScheduler::OnBlocked(ThreadId id, SimTime /*now*/) {
+  if (queued_.erase(id) > 0) {
+    queue_.erase(std::find(queue_.begin(), queue_.end(), id));
+  }
+}
+
+ThreadId RoundRobinScheduler::PickNext(SimTime /*now*/) {
+  if (queue_.empty()) {
+    return kInvalidThreadId;
+  }
+  const ThreadId id = queue_.front();
+  queue_.pop_front();
+  queued_.erase(id);
+  return id;
+}
+
+void RoundRobinScheduler::OnQuantumEnd(ThreadId /*id*/, SimDuration /*used*/,
+                                       SimDuration /*quantum*/,
+                                       SimTime /*now*/) {}
+
+}  // namespace lottery

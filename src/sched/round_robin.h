@@ -1,0 +1,34 @@
+// Round-robin scheduler: the simplest baseline. Equal time slices in FIFO
+// order, no notion of shares. Under identical workloads it pins every
+// proportional-share experiment's "no control" end of the spectrum.
+
+#ifndef SRC_SCHED_ROUND_ROBIN_H_
+#define SRC_SCHED_ROUND_ROBIN_H_
+
+#include <deque>
+#include <unordered_set>
+
+#include "src/sched/scheduler.h"
+
+namespace lottery {
+
+class RoundRobinScheduler : public Scheduler {
+ public:
+  void AddThread(ThreadId id, SimTime now) override;
+  void RemoveThread(ThreadId id, SimTime now) override;
+  void OnReady(ThreadId id, SimTime now) override;
+  void OnBlocked(ThreadId id, SimTime now) override;
+  ThreadId PickNext(SimTime now) override;
+  void OnQuantumEnd(ThreadId id, SimDuration used, SimDuration quantum,
+                    SimTime now) override;
+  std::string name() const override { return "round-robin"; }
+
+ private:
+  std::deque<ThreadId> queue_;
+  std::unordered_set<ThreadId> known_;
+  std::unordered_set<ThreadId> queued_;
+};
+
+}  // namespace lottery
+
+#endif  // SRC_SCHED_ROUND_ROBIN_H_

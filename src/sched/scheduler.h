@@ -1,0 +1,63 @@
+// Policy-agnostic CPU scheduler interface.
+//
+// The simulation kernel (src/sim/kernel.h) drives any Scheduler through this
+// interface, so the lottery scheduler and every baseline (round-robin, fixed
+// priority, decay-usage timesharing, stride) run the identical workloads.
+//
+// Protocol, from the kernel's point of view:
+//   AddThread(id)            thread exists (not yet ready)
+//   OnReady(id)              thread enters the run queue
+//   PickNext() -> id         removes one ready thread and dispatches it
+//   ... thread runs for `used` <= quantum ...
+//   OnQuantumEnd(id, used, quantum)
+//   then exactly one of:
+//     OnReady(id)            still runnable: requeue
+//     OnBlocked(id)          blocked/sleeping: leaves the competition
+//   RemoveThread(id)         thread exited
+// OnBlocked may also target a thread that is sitting in the run queue (e.g.
+// a remote actor revoked it); implementations must handle both cases.
+
+#ifndef SRC_SCHED_SCHEDULER_H_
+#define SRC_SCHED_SCHEDULER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/util/sim_time.h"
+
+namespace lottery {
+
+using ThreadId = uint32_t;
+inline constexpr ThreadId kInvalidThreadId = 0xFFFFFFFFu;
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual void AddThread(ThreadId id, SimTime now) = 0;
+  virtual void RemoveThread(ThreadId id, SimTime now) = 0;
+
+  // Thread becomes runnable (enters the run queue).
+  virtual void OnReady(ThreadId id, SimTime now) = 0;
+  // Thread leaves the runnable set (may or may not be in the run queue).
+  virtual void OnBlocked(ThreadId id, SimTime now) = 0;
+
+  // Picks and dequeues the next thread to run, or kInvalidThreadId if the
+  // run queue is empty. The picked thread is considered running until the
+  // next OnQuantumEnd for it.
+  virtual ThreadId PickNext(SimTime now) = 0;
+
+  // The dispatched thread ran for `used` out of an allotted `quantum`.
+  virtual void OnQuantumEnd(ThreadId id, SimDuration used, SimDuration quantum,
+                            SimTime now) = 0;
+
+  // Periodic housekeeping; the kernel calls this once per simulated second
+  // (decay-usage scheduling needs it; others ignore it).
+  virtual void Tick(SimTime /*now*/) {}
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace lottery
+
+#endif  // SRC_SCHED_SCHEDULER_H_

@@ -1,0 +1,144 @@
+#include "src/sched/stride.h"
+
+#include <stdexcept>
+
+namespace lottery {
+
+void StrideScheduler::AddThread(ThreadId id, SimTime /*now*/) {
+  if (!threads_.emplace(id, ThreadState{}).second) {
+    throw std::invalid_argument("Stride::AddThread: duplicate id");
+  }
+}
+
+void StrideScheduler::RemoveThread(ThreadId id, SimTime /*now*/) {
+  auto& state = threads_.at(id);
+  if (state.ready) {
+    global_tickets_ -= state.tickets;
+  }
+  if (running_ == id) {
+    running_ = kInvalidThreadId;
+  }
+  threads_.erase(id);
+}
+
+void StrideScheduler::OnReady(ThreadId id, SimTime /*now*/) {
+  auto& state = threads_.at(id);
+  if (state.ready) {
+    return;
+  }
+  state.ready = true;
+  state.enqueue_seq = next_seq_++;
+  // Rejoin at the global pass plus whatever credit offset the thread had
+  // when it left (0 for a fresh thread: join at the back of the rotation).
+  state.pass = global_pass_ + state.remain;
+  state.remain = 0;
+  global_tickets_ += state.tickets;
+}
+
+void StrideScheduler::OnBlocked(ThreadId id, SimTime /*now*/) {
+  auto& state = threads_.at(id);
+  if (!state.ready) {
+    if (running_ == id) {
+      // Blocking straight from the CPU: remember credit for the rejoin.
+      state.remain = state.pass - global_pass_;
+      if (state.remain < 0) {
+        state.remain = 0;
+      }
+      running_ = kInvalidThreadId;
+    }
+    return;
+  }
+  state.ready = false;
+  state.remain = state.pass - global_pass_;
+  if (state.remain < 0) {
+    state.remain = 0;
+  }
+  global_tickets_ -= state.tickets;
+}
+
+ThreadId StrideScheduler::PickNext(SimTime /*now*/) {
+  ThreadId best = kInvalidThreadId;
+  int64_t best_pass = 0;
+  uint64_t best_seq = 0;
+  for (auto& [id, state] : threads_) {
+    if (!state.ready) {
+      continue;
+    }
+    if (best == kInvalidThreadId || state.pass < best_pass ||
+        (state.pass == best_pass && state.enqueue_seq < best_seq)) {
+      best = id;
+      best_pass = state.pass;
+      best_seq = state.enqueue_seq;
+    }
+  }
+  if (best != kInvalidThreadId) {
+    auto& state = threads_.at(best);
+    state.ready = false;
+    global_tickets_ -= state.tickets;
+    global_pass_ = state.pass;
+    running_ = best;
+  }
+  return best;
+}
+
+void StrideScheduler::OnQuantumEnd(ThreadId id, SimDuration used,
+                                   SimDuration quantum, SimTime /*now*/) {
+  auto& state = threads_.at(id);
+  // Advance pass in proportion to the CPU actually consumed; a thread that
+  // yields early is charged less — stride's counterpart of compensation.
+  const __int128 advance = static_cast<__int128>(state.stride) * used.nanos() /
+                           quantum.nanos();
+  state.pass += static_cast<int64_t>(advance);
+  // Record the advance as an offset from the global pass so the follow-up
+  // OnReady/OnBlocked reinsertion preserves it (without this, requeueing
+  // would re-base the thread at global_pass and erase the charge).
+  state.remain = state.pass - global_pass_;
+  if (state.remain < 0) {
+    state.remain = 0;
+  }
+  if (running_ == id) {
+    running_ = kInvalidThreadId;
+  }
+}
+
+void StrideScheduler::SetTickets(ThreadId id, int64_t tickets) {
+  if (tickets <= 0) {
+    throw std::invalid_argument("Stride::SetTickets: tickets must be > 0");
+  }
+  auto& state = threads_.at(id);
+  if (state.ready) {
+    global_tickets_ -= state.tickets;
+  }
+  // Rescale remaining credit so a change in tickets applies to future CPU
+  // only (the stride paper's ticket-change rule, simplified: scale the
+  // outstanding pass offset by old_stride/new_stride).
+  const int64_t new_stride = kStride1 / tickets;
+  if (state.ready) {
+    const int64_t offset = state.pass - global_pass_;
+    const __int128 scaled =
+        state.stride > 0
+            ? static_cast<__int128>(offset) * new_stride / state.stride
+            : 0;
+    state.pass = global_pass_ + static_cast<int64_t>(scaled);
+    global_tickets_ += tickets;
+  } else {
+    const __int128 scaled =
+        state.stride > 0
+            ? static_cast<__int128>(state.remain) * new_stride / state.stride
+            : 0;
+    state.remain = static_cast<int64_t>(scaled);
+  }
+  state.tickets = tickets;
+  state.stride = new_stride;
+}
+
+int64_t StrideScheduler::GetTickets(ThreadId id) const {
+  return threads_.at(id).tickets;
+}
+
+void StrideScheduler::UpdateGlobalPass() {
+  // Reserved for a time-weighted global pass; the min-pass assignment in
+  // PickNext is sufficient for the single-CPU simulator.
+}
+
+}  // namespace lottery

@@ -1,0 +1,61 @@
+// Stride scheduling: the deterministic proportional-share algorithm
+// Waldspurger & Weihl published as the follow-up to lottery scheduling.
+// Included as the natural ablation baseline: identical ticket semantics,
+// zero allocation variance.
+//
+// Each thread has stride = kStride1 / tickets and a pass value. The
+// dispatcher always runs the thread with the minimum pass, then advances its
+// pass by stride * (fraction of quantum used). Blocked threads remember
+// their offset from the global pass so they rejoin without gaining or
+// losing credit.
+
+#ifndef SRC_SCHED_STRIDE_H_
+#define SRC_SCHED_STRIDE_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/sched/scheduler.h"
+
+namespace lottery {
+
+class StrideScheduler : public Scheduler {
+ public:
+  static constexpr int64_t kStride1 = int64_t{1} << 20;
+
+  void AddThread(ThreadId id, SimTime now) override;
+  void RemoveThread(ThreadId id, SimTime now) override;
+  void OnReady(ThreadId id, SimTime now) override;
+  void OnBlocked(ThreadId id, SimTime now) override;
+  ThreadId PickNext(SimTime now) override;
+  void OnQuantumEnd(ThreadId id, SimDuration used, SimDuration quantum,
+                    SimTime now) override;
+  std::string name() const override { return "stride"; }
+
+  // Tickets default to 1; changing them rescales the thread's stride.
+  void SetTickets(ThreadId id, int64_t tickets);
+  int64_t GetTickets(ThreadId id) const;
+
+ private:
+  struct ThreadState {
+    int64_t tickets = 1;
+    int64_t stride = kStride1;
+    int64_t pass = 0;
+    // Pass remaining relative to global_pass_ while blocked.
+    int64_t remain = 0;
+    bool ready = false;
+    uint64_t enqueue_seq = 0;
+  };
+
+  void UpdateGlobalPass();
+
+  std::unordered_map<ThreadId, ThreadState> threads_;
+  int64_t global_pass_ = 0;
+  int64_t global_tickets_ = 0;  // tickets of ready threads
+  ThreadId running_ = kInvalidThreadId;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace lottery
+
+#endif  // SRC_SCHED_STRIDE_H_

@@ -1,0 +1,158 @@
+#include "src/sim/disk.h"
+
+#include <stdexcept>
+
+namespace lottery {
+
+DiskScheduler::DiskScheduler(Options options, FastRand* rng)
+    : options_(options), rng_(rng), now_(SimTime::Zero()) {
+  if (options.bytes_per_second <= 0) {
+    throw std::invalid_argument("DiskScheduler: bandwidth must be positive");
+  }
+}
+
+void DiskScheduler::RegisterClient(ClientId client, uint64_t tickets) {
+  if (!clients_.emplace(client, ClientState{}).second) {
+    throw std::invalid_argument("DiskScheduler: duplicate client");
+  }
+  clients_[client].tickets = tickets;
+}
+
+void DiskScheduler::SetTickets(ClientId client, uint64_t tickets) {
+  StateOf(client).tickets = tickets;
+}
+
+DiskScheduler::ClientState& DiskScheduler::StateOf(ClientId client) {
+  const auto it = clients_.find(client);
+  if (it == clients_.end()) {
+    throw std::invalid_argument("DiskScheduler: unknown client");
+  }
+  return it->second;
+}
+
+const DiskScheduler::ClientState& DiskScheduler::StateOf(
+    ClientId client) const {
+  return const_cast<DiskScheduler*>(this)->StateOf(client);
+}
+
+void DiskScheduler::Submit(ClientId client, int64_t bytes, SimTime when,
+                           Completion on_complete) {
+  if (bytes <= 0) {
+    throw std::invalid_argument("DiskScheduler::Submit: bytes must be > 0");
+  }
+  if (when < now_) {
+    when = now_;
+  }
+  StateOf(client).queue.push_back(
+      Request{bytes, when, std::move(on_complete)});
+}
+
+SimDuration DiskScheduler::ServiceTime(const Request& request) const {
+  const int64_t transfer_ns =
+      request.bytes * 1000000000 / options_.bytes_per_second;
+  return options_.seek_overhead + SimDuration::Nanos(transfer_ns);
+}
+
+std::optional<DiskScheduler::ClientId> DiskScheduler::PickClient() {
+  // Lottery over clients with a request submitted by `now_`.
+  std::vector<ClientId> ids;
+  std::vector<uint64_t> weights;
+  uint64_t total = 0;
+  for (const auto& [id, state] : clients_) {
+    if (!state.queue.empty() && state.queue.front().submitted <= now_) {
+      ids.push_back(id);
+      weights.push_back(state.tickets);
+      total += state.tickets;
+    }
+  }
+  if (ids.empty()) {
+    return std::nullopt;
+  }
+  if (total == 0) {
+    return ids.front();
+  }
+  uint64_t value = rng_->NextBelow64(total);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (value < weights[i]) {
+      return ids[i];
+    }
+    value -= weights[i];
+  }
+  throw std::logic_error("DiskScheduler::PickClient: ran past weights");
+}
+
+void DiskScheduler::AdvanceTo(SimTime deadline) {
+  for (;;) {
+    if (in_flight_.active) {
+      if (in_flight_.done > deadline) {
+        // Still transferring at the horizon; resume in a later call.
+        now_ = deadline;
+        return;
+      }
+      now_ = in_flight_.done;
+      ClientState& state = StateOf(in_flight_.client);
+      state.bytes_served += in_flight_.request.bytes;
+      ++state.requests_served;
+      if (in_flight_.request.on_complete) {
+        in_flight_.request.on_complete(now_);
+      }
+      in_flight_.active = false;
+    }
+    if (now_ >= deadline) {
+      return;
+    }
+    const auto picked = PickClient();
+    if (!picked.has_value()) {
+      // Jump to the next future submission, if any lands before deadline.
+      SimTime next = deadline;
+      for (const auto& [id, state] : clients_) {
+        if (!state.queue.empty() && state.queue.front().submitted < next &&
+            state.queue.front().submitted > now_) {
+          next = state.queue.front().submitted;
+        }
+      }
+      now_ = next;
+      if (now_ >= deadline) {
+        return;
+      }
+      continue;
+    }
+    ClientState& state = StateOf(*picked);
+    in_flight_.active = true;
+    in_flight_.client = *picked;
+    in_flight_.request = std::move(state.queue.front());
+    state.queue.pop_front();
+    state.queue_delay.Add((now_ - in_flight_.request.submitted).ToSecondsF());
+    in_flight_.done = now_ + ServiceTime(in_flight_.request);
+  }
+}
+
+bool DiskScheduler::idle() const {
+  if (in_flight_.active) {
+    return false;
+  }
+  for (const auto& [id, state] : clients_) {
+    if (!state.queue.empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int64_t DiskScheduler::BytesServed(ClientId client) const {
+  return StateOf(client).bytes_served;
+}
+
+uint64_t DiskScheduler::RequestsServed(ClientId client) const {
+  return StateOf(client).requests_served;
+}
+
+const RunningStat& DiskScheduler::QueueDelay(ClientId client) const {
+  return StateOf(client).queue_delay;
+}
+
+size_t DiskScheduler::QueueDepth(ClientId client) const {
+  return StateOf(client).queue.size();
+}
+
+}  // namespace lottery

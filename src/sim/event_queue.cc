@@ -1,0 +1,48 @@
+#include "src/sim/event_queue.h"
+
+namespace lottery {
+
+EventQueue::EventId EventQueue::Schedule(SimTime when, Handler handler) {
+  const EventId id = next_id_++;
+  heap_.push(Event{when, next_seq_++, id, std::move(handler)});
+  return id;
+}
+
+void EventQueue::Cancel(EventId id) { cancelled_.insert(id); }
+
+void EventQueue::DropCancelledHead() {
+  while (!heap_.empty() && cancelled_.count(heap_.top().id) > 0) {
+    cancelled_.erase(heap_.top().id);
+    heap_.pop();
+  }
+}
+
+bool EventQueue::empty() const {
+  const_cast<EventQueue*>(this)->DropCancelledHead();
+  return heap_.empty();
+}
+
+SimTime EventQueue::next_time() const {
+  const_cast<EventQueue*>(this)->DropCancelledHead();
+  return heap_.top().when;
+}
+
+size_t EventQueue::RunUntil(SimTime limit) {
+  size_t ran = 0;
+  for (;;) {
+    DropCancelledHead();
+    if (heap_.empty() || heap_.top().when > limit) {
+      return ran;
+    }
+    Event event = heap_.top();
+    heap_.pop();
+    event.handler(event.when);
+    ++ran;
+  }
+}
+
+size_t EventQueue::pending() const {
+  return heap_.size();
+}
+
+}  // namespace lottery

@@ -1,0 +1,67 @@
+// Discrete-event queue driving the simulated kernel's virtual clock.
+//
+// Events are (time, handler) pairs executed in time order with FIFO
+// tiebreak, so runs are fully deterministic. Cancellation is supported for
+// timers that are raced by other wakeups (e.g. a sleep cut short).
+
+#ifndef SRC_SIM_EVENT_QUEUE_H_
+#define SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/util/sim_time.h"
+
+namespace lottery {
+
+class EventQueue {
+ public:
+  using Handler = std::function<void(SimTime)>;
+  using EventId = uint64_t;
+
+  // Schedules `handler` to run at `when`; returns an id usable with Cancel.
+  EventId Schedule(SimTime when, Handler handler);
+  // Cancels a pending event; no-op if it already ran or was cancelled.
+  void Cancel(EventId id);
+
+  bool empty() const;
+  // Time of the earliest pending event; undefined when empty.
+  SimTime next_time() const;
+
+  // Runs every event with time <= limit in order; returns how many ran.
+  // Handlers may schedule further events (also run if they fall within
+  // the limit).
+  size_t RunUntil(SimTime limit);
+
+  size_t pending() const;
+
+ private:
+  struct Event {
+    SimTime when;
+    uint64_t seq;
+    EventId id;
+    Handler handler;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  void DropCancelledHead();
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::unordered_set<EventId> cancelled_;
+  uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+};
+
+}  // namespace lottery
+
+#endif  // SRC_SIM_EVENT_QUEUE_H_

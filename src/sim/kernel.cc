@@ -1,0 +1,338 @@
+#include "src/sim/kernel.h"
+
+#include <stdexcept>
+
+namespace lottery {
+
+RunContext::RunContext(Kernel* kernel, ThreadId self, SimTime start,
+                       SimDuration budget)
+    : kernel_(kernel), self_(self), start_(start), budget_(budget) {}
+
+SimDuration RunContext::Consume(SimDuration want) {
+  if (want.nanos() < 0) {
+    throw std::invalid_argument("Consume: negative duration");
+  }
+  const SimDuration granted = want < remaining() ? want : remaining();
+  used_ += granted;
+  return granted;
+}
+
+void RunContext::Yield() {
+  if (disposition_set_) {
+    throw std::logic_error("RunContext: disposition already set");
+  }
+  disposition_ = Disposition::kYield;
+  disposition_set_ = true;
+}
+
+void RunContext::SleepFor(SimDuration duration) {
+  if (disposition_set_) {
+    throw std::logic_error("RunContext: disposition already set");
+  }
+  disposition_ = Disposition::kSleep;
+  sleep_ = duration;
+  disposition_set_ = true;
+}
+
+void RunContext::Block() {
+  if (disposition_set_) {
+    throw std::logic_error("RunContext: disposition already set");
+  }
+  disposition_ = Disposition::kBlock;
+  disposition_set_ = true;
+}
+
+void RunContext::ExitThread() {
+  if (disposition_set_) {
+    throw std::logic_error("RunContext: disposition already set");
+  }
+  disposition_ = Disposition::kExit;
+  disposition_set_ = true;
+}
+
+void RunContext::AddProgress(int64_t delta) {
+  if (kernel_->tracer() != nullptr) {
+    kernel_->tracer()->AddProgress(self_, now(), delta);
+  }
+}
+
+Kernel::Kernel(Scheduler* scheduler, Options options, Tracer* tracer)
+    : scheduler_(scheduler),
+      lottery_(dynamic_cast<LotteryScheduler*>(scheduler)),
+      options_(options),
+      tracer_(tracer),
+      now_(SimTime::Zero()),
+      last_tick_(SimTime::Zero()) {
+  if (options_.quantum.nanos() <= 0) {
+    throw std::invalid_argument("Kernel: quantum must be positive");
+  }
+  if (options_.num_cpus < 1) {
+    throw std::invalid_argument("Kernel: need at least one CPU");
+  }
+  cpu_free_.assign(static_cast<size_t>(options_.num_cpus), SimTime::Zero());
+  cpu_last_.assign(static_cast<size_t>(options_.num_cpus),
+                   kInvalidThreadId);
+  cpu_busy_.assign(static_cast<size_t>(options_.num_cpus), SimDuration{});
+}
+
+Kernel::~Kernel() = default;
+
+Kernel::Thread& Kernel::ThreadOf(ThreadId tid) {
+  const auto it = threads_.find(tid);
+  if (it == threads_.end()) {
+    throw std::invalid_argument("Kernel: unknown thread " +
+                                std::to_string(tid));
+  }
+  return it->second;
+}
+
+const Kernel::Thread& Kernel::ThreadOf(ThreadId tid) const {
+  return const_cast<Kernel*>(this)->ThreadOf(tid);
+}
+
+ThreadId Kernel::Spawn(const std::string& name,
+                       std::unique_ptr<ThreadBody> body, bool start_ready) {
+  const ThreadId tid = next_tid_++;
+  Thread thread;
+  thread.name = name;
+  thread.body = std::move(body);
+  threads_.emplace(tid, std::move(thread));
+  ++live_threads_;
+  scheduler_->AddThread(tid, now_);
+  if (start_ready) {
+    Wake(tid, now_);
+  }
+  return tid;
+}
+
+void Kernel::Wake(ThreadId tid, SimTime when) {
+  Thread& thread = ThreadOf(tid);
+  if (!thread.alive) {
+    throw std::logic_error("Kernel::Wake: thread " + thread.name +
+                           " already exited");
+  }
+  if (thread.runnable) {
+    // A wake racing a slice still in flight on another CPU must not be
+    // lost: upgrade the slice's eventual block/sleep to a requeue.
+    if (thread.running) {
+      thread.pending_wake = true;
+    }
+    return;
+  }
+  thread.runnable = true;
+  ++runnable_count_;
+  scheduler_->OnReady(tid, when);
+}
+
+bool Kernel::IsQuiescent() const {
+  if (runnable_count_ > 0 || !events_.empty()) {
+    return false;
+  }
+  for (const SimTime free_at : cpu_free_) {
+    if (free_at > now_) {
+      return false;  // a slice is still in flight
+    }
+  }
+  return true;
+}
+
+bool Kernel::Alive(ThreadId tid) const {
+  const auto it = threads_.find(tid);
+  return it != threads_.end() && it->second.alive;
+}
+
+const std::string& Kernel::ThreadName(ThreadId tid) const {
+  return ThreadOf(tid).name;
+}
+
+void Kernel::DeliverTicks() {
+  while (now_ - last_tick_ >= options_.tick_interval) {
+    last_tick_ += options_.tick_interval;
+    scheduler_->Tick(last_tick_);
+  }
+}
+
+void Kernel::FinishSlice(ThreadId tid, Disposition disposition,
+                         SimDuration sleep, SimTime when) {
+  Thread& thread = ThreadOf(tid);
+  thread.running = false;
+  const bool pending_wake = thread.pending_wake;
+  thread.pending_wake = false;
+  switch (disposition) {
+    case Disposition::kPreempted:
+    case Disposition::kYield:
+      scheduler_->OnReady(tid, when);
+      break;
+    case Disposition::kSleep:
+      if (pending_wake) {
+        scheduler_->OnReady(tid, when);
+        break;
+      }
+      thread.runnable = false;
+      --runnable_count_;
+      scheduler_->OnBlocked(tid, when);
+      events_.Schedule(when + sleep, [this, tid](SimTime at) {
+        if (Alive(tid)) {
+          Wake(tid, at);
+        }
+      });
+      break;
+    case Disposition::kBlock:
+      if (pending_wake) {
+        // The unblocking event (e.g. a mutex grant from another CPU)
+        // arrived while the slice was in flight.
+        scheduler_->OnReady(tid, when);
+        break;
+      }
+      thread.runnable = false;
+      --runnable_count_;
+      scheduler_->OnBlocked(tid, when);
+      break;
+    case Disposition::kExit:
+      thread.runnable = false;
+      --runnable_count_;
+      thread.alive = false;
+      --live_threads_;
+      scheduler_->RemoveThread(tid, when);
+      thread.body.reset();
+      break;
+  }
+}
+
+void Kernel::RunUntil(SimTime end) {
+  for (;;) {
+    // Dispatch on the CPU that frees up first.
+    size_t cpu = 0;
+    for (size_t i = 1; i < cpu_free_.size(); ++i) {
+      if (cpu_free_[i] < cpu_free_[cpu]) {
+        cpu = i;
+      }
+    }
+    if (cpu_free_[cpu] >= end) {
+      // The clock ends at the dispatch frontier: a slice that crossed the
+      // horizon has already been charged, so now() reflects it (this also
+      // keeps used + idle time exactly equal to elapsed capacity).
+      now_ = cpu_free_[cpu];
+      events_.RunUntil(now_);
+      DeliverTicks();
+      return;
+    }
+    if (cpu_free_[cpu] > now_) {
+      now_ = cpu_free_[cpu];
+    }
+    events_.RunUntil(now_);
+    DeliverTicks();
+
+    const ThreadId tid = scheduler_->PickNext(now_);
+    if (tid == kInvalidThreadId) {
+      // This CPU idles to the next event (or the horizon). Slice-end
+      // events keep the queue non-empty while any slice is in flight.
+      SimTime target = end;
+      if (!events_.empty() && events_.next_time() < target) {
+        target = events_.next_time();
+      }
+      if (target <= now_) {
+        if (events_.empty()) {
+          // Quiescent: nothing runnable anywhere and nothing pending.
+          return;
+        }
+        continue;
+      }
+      idle_time_ += target - now_;
+      cpu_free_[cpu] = target;
+      continue;
+    }
+
+    Thread& thread = ThreadOf(tid);
+    if (!thread.runnable) {
+      throw std::logic_error("Kernel: scheduler picked non-runnable thread");
+    }
+    if (tid != cpu_last_[cpu]) {
+      ++context_switches_;
+      cpu_last_[cpu] = tid;
+    }
+    ++thread.dispatches;
+    thread.running = true;
+    thread.pending_wake = false;
+
+    RunContext ctx(this, tid, now_, options_.quantum);
+    thread.body->Run(ctx);
+
+    if (tracer_ != nullptr && tracer_->dispatch_log_enabled()) {
+      tracer_->RecordDispatch(tid, static_cast<int>(cpu), now_, ctx.used());
+    }
+
+    // Livelock guard: a body that never consumes CPU and stays runnable
+    // would spin the host at a frozen virtual clock. That is always a
+    // workload bug; fail loudly instead of hanging.
+    if (ctx.used().nanos() == 0) {
+      if (++zero_use_streak_ > 100000) {
+        throw std::logic_error("Kernel: livelock — thread '" + thread.name +
+                               "' keeps running without consuming CPU");
+      }
+    } else {
+      zero_use_streak_ = 0;
+    }
+
+    thread.cpu_time += ctx.used();
+    cpu_busy_[cpu] += ctx.used();
+    const SimTime slice_end = now_ + ctx.used();
+    cpu_free_[cpu] = slice_end;
+
+    Disposition disposition = ctx.disposition();
+    if (!ctx.disposition_set_) {
+      disposition = ctx.remaining().nanos() == 0 ? Disposition::kPreempted
+                                                 : Disposition::kYield;
+    }
+    scheduler_->OnQuantumEnd(tid, ctx.used(), options_.quantum, slice_end);
+    if (options_.num_cpus == 1) {
+      // Single CPU: apply the outcome immediately (the next dispatch is at
+      // slice_end anyway); avoids queueing an event per slice.
+      now_ = slice_end;
+      FinishSlice(tid, disposition, ctx.sleep_duration(), slice_end);
+    } else {
+      // SMP: the thread occupies this CPU until slice_end; requeueing it
+      // earlier would let another CPU run it concurrently.
+      const SimDuration sleep = ctx.sleep_duration();
+      events_.Schedule(slice_end,
+                       [this, tid, disposition, sleep](SimTime when) {
+                         FinishSlice(tid, disposition, sleep, when);
+                       });
+    }
+    DeliverTicks();
+  }
+}
+
+bool Kernel::RunUntilQuiescent(SimDuration horizon) {
+  const SimTime limit = now_ + horizon;
+  while (now_ < limit) {
+    if (IsQuiescent()) {
+      return true;
+    }
+    // Step one quantum at a time; quiescence is re-checked between steps
+    // (RunUntil itself idles forward when asked, so it cannot detect it).
+    SimTime step = now_ + options_.quantum;
+    if (step > limit) {
+      step = limit;
+    }
+    RunUntil(step);
+  }
+  return IsQuiescent();
+}
+
+SimDuration Kernel::CpuTime(ThreadId tid) const {
+  return ThreadOf(tid).cpu_time;
+}
+
+uint64_t Kernel::Dispatches(ThreadId tid) const {
+  return ThreadOf(tid).dispatches;
+}
+
+SimDuration Kernel::CpuBusy(int cpu) const {
+  if (cpu < 0 || static_cast<size_t>(cpu) >= cpu_busy_.size()) {
+    throw std::out_of_range("Kernel::CpuBusy: bad cpu index");
+  }
+  return cpu_busy_[static_cast<size_t>(cpu)];
+}
+
+}  // namespace lottery

@@ -1,0 +1,131 @@
+#include "src/sim/page_cache.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace lottery {
+
+PageCache::PageCache(size_t frames, FastRand* rng)
+    : frames_(frames), rng_(rng) {
+  if (frames == 0) {
+    throw std::invalid_argument("PageCache: need at least one frame");
+  }
+}
+
+void PageCache::RegisterClient(ClientId client, uint64_t tickets) {
+  if (!clients_.emplace(client, ClientState{}).second) {
+    throw std::invalid_argument("PageCache: duplicate client");
+  }
+  clients_[client].tickets = tickets;
+}
+
+void PageCache::SetTickets(ClientId client, uint64_t tickets) {
+  StateOf(client).tickets = tickets;
+}
+
+PageCache::ClientState& PageCache::StateOf(ClientId client) {
+  const auto it = clients_.find(client);
+  if (it == clients_.end()) {
+    throw std::invalid_argument("PageCache: unknown client");
+  }
+  return it->second;
+}
+
+PageCache::AccessResult PageCache::Access(ClientId client, PageId page) {
+  ClientState& state = StateOf(client);
+  AccessResult result;
+
+  const auto hit = state.where.find(page);
+  if (hit != state.where.end()) {
+    state.lru.erase(hit->second);
+    state.lru.push_front(page);
+    hit->second = state.lru.begin();
+    ++state.hits;
+    result.hit = true;
+    return result;
+  }
+
+  ++state.faults;
+  if (frames_in_use_ == frames_) {
+    const ClientId victim = PickVictim();
+    ClientState& vs = clients_.at(victim);
+    const PageId victim_page = vs.lru.back();
+    vs.lru.pop_back();
+    vs.where.erase(victim_page);
+    ++vs.evictions;
+    --frames_in_use_;
+    result.evicted = true;
+    result.victim_client = victim;
+    result.victim_page = victim_page;
+  }
+
+  state.lru.push_front(page);
+  state.where[page] = state.lru.begin();
+  ++frames_in_use_;
+  return result;
+}
+
+PageCache::ClientId PageCache::PickVictim() {
+  // Weight_i = (T - t_i) * frames_i over clients holding frames; the
+  // combined Section 6.2 criterion. If only one client holds frames it
+  // must lose; if the weights vanish (e.g. a lone ticket-holder owns all
+  // frames held by others == 0), fall back to frames-proportional.
+  std::vector<ClientId> ids;
+  std::vector<uint64_t> weights;
+  uint64_t total_tickets = 0;
+  for (const auto& [id, state] : clients_) {
+    if (!state.lru.empty()) {
+      total_tickets += state.tickets;
+    }
+  }
+  uint64_t total_weight = 0;
+  for (const auto& [id, state] : clients_) {
+    if (state.lru.empty()) {
+      continue;
+    }
+    const uint64_t w = (total_tickets - state.tickets) * state.lru.size();
+    ids.push_back(id);
+    weights.push_back(w);
+    total_weight += w;
+  }
+  if (ids.empty()) {
+    throw std::logic_error("PageCache::PickVictim: no frames held");
+  }
+  if (ids.size() == 1 || total_weight == 0) {
+    // Single holder, or every holder has all the tickets: pick the one
+    // holding the most frames.
+    size_t best = 0;
+    for (size_t i = 1; i < ids.size(); ++i) {
+      if (clients_.at(ids[i]).lru.size() > clients_.at(ids[best]).lru.size()) {
+        best = i;
+      }
+    }
+    return ids[best];
+  }
+  uint64_t value = rng_->NextBelow64(total_weight);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (value < weights[i]) {
+      return ids[i];
+    }
+    value -= weights[i];
+  }
+  throw std::logic_error("PageCache::PickVictim: ran past weights");
+}
+
+size_t PageCache::FramesHeld(ClientId client) const {
+  return const_cast<PageCache*>(this)->StateOf(client).lru.size();
+}
+
+uint64_t PageCache::Evictions(ClientId client) const {
+  return const_cast<PageCache*>(this)->StateOf(client).evictions;
+}
+
+uint64_t PageCache::Hits(ClientId client) const {
+  return const_cast<PageCache*>(this)->StateOf(client).hits;
+}
+
+uint64_t PageCache::Faults(ClientId client) const {
+  return const_cast<PageCache*>(this)->StateOf(client).faults;
+}
+
+}  // namespace lottery

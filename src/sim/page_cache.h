@@ -1,0 +1,74 @@
+// Inverse-lottery page replacement (Section 6.2).
+//
+// Models the problem the paper sketches: allocating a physical page to
+// service a fault when all frames are in use. The victim *client* is chosen
+// by an inverse lottery with probability proportional to both (1 - t/T)
+// (fewer tickets -> more likely to lose) and the fraction of physical
+// memory the client currently holds; the victim page within that client is
+// its least-recently-used frame.
+
+#ifndef SRC_SIM_PAGE_CACHE_H_
+#define SRC_SIM_PAGE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <optional>
+#include <unordered_map>
+
+#include "src/util/fastrand.h"
+
+namespace lottery {
+
+class PageCache {
+ public:
+  using ClientId = uint32_t;
+  using PageId = uint64_t;
+
+  // `frames` physical page frames; all randomness from `rng` (not owned).
+  PageCache(size_t frames, FastRand* rng);
+
+  void RegisterClient(ClientId client, uint64_t tickets);
+  void SetTickets(ClientId client, uint64_t tickets);
+
+  struct AccessResult {
+    bool hit = false;
+    bool evicted = false;
+    ClientId victim_client = 0;
+    PageId victim_page = 0;
+  };
+
+  // Client touches (faults or re-references) a virtual page.
+  AccessResult Access(ClientId client, PageId page);
+
+  size_t frames() const { return frames_; }
+  size_t frames_in_use() const { return frames_in_use_; }
+  size_t FramesHeld(ClientId client) const;
+  uint64_t Evictions(ClientId client) const;
+  uint64_t Hits(ClientId client) const;
+  uint64_t Faults(ClientId client) const;
+
+ private:
+  struct ClientState {
+    uint64_t tickets = 0;
+    // LRU order: front = most recent.
+    std::list<PageId> lru;
+    std::unordered_map<PageId, std::list<PageId>::iterator> where;
+    uint64_t evictions = 0;
+    uint64_t hits = 0;
+    uint64_t faults = 0;
+  };
+
+  ClientState& StateOf(ClientId client);
+  // Chooses the victim client per the Section 6.2 weighting.
+  ClientId PickVictim();
+
+  size_t frames_;
+  size_t frames_in_use_ = 0;
+  FastRand* rng_;
+  std::map<ClientId, ClientState> clients_;
+};
+
+}  // namespace lottery
+
+#endif  // SRC_SIM_PAGE_CACHE_H_

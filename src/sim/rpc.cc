@@ -1,0 +1,109 @@
+#include "src/sim/rpc.h"
+
+#include <stdexcept>
+
+namespace lottery {
+
+RpcPort::RpcPort(Kernel* kernel, const std::string& name,
+                 int64_t transfer_amount)
+    : kernel_(kernel), name_(name), transfer_amount_(transfer_amount) {
+  LotteryScheduler* ls = kernel_->lottery();
+  if (ls != nullptr) {
+    currency_ = ls->table().CreateCurrency("port:" + name);
+  }
+}
+
+RpcPort::~RpcPort() {
+  if (currency_ == nullptr) {
+    return;
+  }
+  CurrencyTable& table = kernel_->lottery()->table();
+  // Destroy parked transfers (they back currency_), then the per-server
+  // tickets issued in currency_, then the currency itself.
+  pending_.clear();
+  for (auto& [tid, ticket] : server_tickets_) {
+    table.DestroyTicket(ticket);
+  }
+  server_tickets_.clear();
+  table.DestroyCurrency(currency_);
+}
+
+void RpcPort::RegisterServer(ThreadId tid) {
+  LotteryScheduler* ls = kernel_->lottery();
+  if (ls == nullptr || server_tickets_.count(tid) > 0) {
+    return;
+  }
+  Ticket* ticket = ls->table().CreateTicket(currency_, transfer_amount_);
+  ls->table().Fund(ls->thread_currency(tid), ticket);
+  server_tickets_[tid] = ticket;
+}
+
+void RpcPort::Call(RunContext& ctx, int64_t payload) {
+  ++total_calls_;
+  RpcMessage message;
+  message.client = ctx.self();
+  message.payload = payload;
+  message.sent_at = ctx.now();
+
+  LotteryScheduler* ls = kernel_->lottery();
+  if (ls != nullptr) {
+    message.transfer = std::make_unique<TicketTransfer>(
+        &ls->table(), ls->thread_currency(ctx.self()), nullptr,
+        transfer_amount_);
+  }
+
+  if (!waiting_servers_.empty()) {
+    // A server thread is blocked in receive: fund it directly and wake it
+    // ("if the server thread is already waiting... it is immediately funded
+    // with the transfer ticket"); it will re-run TryReceive and dequeue.
+    const ThreadId server = waiting_servers_.front();
+    waiting_servers_.pop_front();
+    if (ls != nullptr) {
+      message.transfer->FundTarget(ls->thread_currency(server));
+    }
+    pending_.push_back(std::move(message));
+    kernel_->Wake(server, ctx.now());
+  } else {
+    // No server waiting: park the message, funding every registered server
+    // thread through the port currency so one of them can reach receive.
+    if (ls != nullptr) {
+      message.transfer->FundTarget(currency_);
+    }
+    pending_.push_back(std::move(message));
+  }
+}
+
+bool RpcPort::TryReceive(RunContext& ctx, RpcMessage* out) {
+  if (pending_.empty()) {
+    waiting_servers_.push_back(ctx.self());
+    return false;
+  }
+  RpcMessage message = std::move(pending_.front());
+  pending_.pop_front();
+  LotteryScheduler* ls = kernel_->lottery();
+  if (ls != nullptr && message.transfer != nullptr) {
+    // Hand the client's funding to the worker that will process it.
+    Currency* mine = ls->thread_currency(ctx.self());
+    if (message.transfer->target() != mine) {
+      message.transfer->Retarget(mine);
+    }
+  }
+  *out = std::move(message);
+  return true;
+}
+
+void RpcPort::Reply(RunContext& ctx, RpcMessage message) {
+  if (message.client == kInvalidThreadId) {
+    throw std::invalid_argument("RpcPort::Reply: message has no client");
+  }
+  message.transfer.reset();  // destroy the transfer ticket
+  if (kernel_->tracer() != nullptr) {
+    const SimDuration latency = ctx.now() - message.sent_at;
+    kernel_->tracer()->RecordSample(
+        "rpc_latency:" + kernel_->ThreadName(message.client), ctx.now(),
+        latency.ToSecondsF());
+  }
+  kernel_->Wake(message.client, ctx.now());
+}
+
+}  // namespace lottery

@@ -1,0 +1,235 @@
+#include "src/sim/rwlock.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lottery {
+
+SimRwLock::SimRwLock(Kernel* kernel, const std::string& name,
+                     int64_t transfer_amount)
+    : kernel_(kernel), name_(name), transfer_amount_(transfer_amount) {
+  LotteryScheduler* ls = kernel_->lottery();
+  if (ls != nullptr) {
+    currency_ = ls->table().CreateCurrency("rwlock:" + name);
+    writer_inherit_ = ls->table().CreateTicket(currency_, transfer_amount_);
+  }
+}
+
+SimRwLock::~SimRwLock() {
+  if (currency_ == nullptr) {
+    return;
+  }
+  CurrencyTable& table = kernel_->lottery()->table();
+  waiters_.clear();
+  for (auto& [tid, ticket] : reader_inherit_) {
+    table.DestroyTicket(ticket);
+  }
+  reader_inherit_.clear();
+  table.DestroyTicket(writer_inherit_);
+  table.DestroyCurrency(currency_);
+}
+
+uint64_t SimRwLock::WaiterWeight(const Waiter& waiter) const {
+  LotteryScheduler* ls = kernel_->lottery();
+  if (ls == nullptr || waiter.transfer == nullptr) {
+    return 0;
+  }
+  return ls->table().TicketValue(waiter.transfer->ticket()).raw_unsigned();
+}
+
+void SimRwLock::AdmitReader(ThreadId tid) {
+  ++read_admissions_;
+  LotteryScheduler* ls = kernel_->lottery();
+  if (ls != nullptr) {
+    Ticket* inherit = ls->table().CreateTicket(currency_, transfer_amount_);
+    ls->table().Fund(ls->thread_currency(tid), inherit);
+    reader_inherit_[tid] = inherit;
+  } else {
+    reader_inherit_[tid] = nullptr;
+  }
+}
+
+void SimRwLock::AdmitWriter(ThreadId tid) {
+  ++write_admissions_;
+  writer_ = tid;
+  LotteryScheduler* ls = kernel_->lottery();
+  if (ls != nullptr) {
+    ls->table().Fund(ls->thread_currency(tid), writer_inherit_);
+  }
+}
+
+bool SimRwLock::AcquireRead(RunContext& ctx) {
+  const ThreadId tid = ctx.self();
+  if (reader_inherit_.count(tid) > 0 || writer_ == tid) {
+    throw std::logic_error("SimRwLock: recursive acquire of " + name_);
+  }
+  const bool writer_waiting =
+      std::any_of(waiters_.begin(), waiters_.end(),
+                  [](const Waiter& w) { return w.is_writer; });
+  if (writer_ == kInvalidThreadId && !writer_waiting) {
+    AdmitReader(tid);
+    return true;
+  }
+  Waiter waiter;
+  waiter.tid = tid;
+  waiter.is_writer = false;
+  waiter.since = ctx.now();
+  LotteryScheduler* ls = kernel_->lottery();
+  if (ls != nullptr) {
+    waiter.transfer = std::make_unique<TicketTransfer>(
+        &ls->table(), ls->thread_currency(tid), currency_, transfer_amount_);
+  }
+  waiters_.push_back(std::move(waiter));
+  return false;
+}
+
+bool SimRwLock::AcquireWrite(RunContext& ctx) {
+  const ThreadId tid = ctx.self();
+  if (reader_inherit_.count(tid) > 0 || writer_ == tid) {
+    throw std::logic_error("SimRwLock: recursive acquire of " + name_);
+  }
+  if (writer_ == kInvalidThreadId && reader_inherit_.empty()) {
+    AdmitWriter(tid);
+    return true;
+  }
+  Waiter waiter;
+  waiter.tid = tid;
+  waiter.is_writer = true;
+  waiter.since = ctx.now();
+  LotteryScheduler* ls = kernel_->lottery();
+  if (ls != nullptr) {
+    waiter.transfer = std::make_unique<TicketTransfer>(
+        &ls->table(), ls->thread_currency(tid), currency_, transfer_amount_);
+  }
+  waiters_.push_back(std::move(waiter));
+  return false;
+}
+
+void SimRwLock::ReleaseRead(RunContext& ctx) {
+  const auto it = reader_inherit_.find(ctx.self());
+  if (it == reader_inherit_.end()) {
+    throw std::logic_error("SimRwLock: ReleaseRead by non-reader of " +
+                           name_);
+  }
+  LotteryScheduler* ls = kernel_->lottery();
+  // Decide admission before tearing down this reader's inheritance, while
+  // waiter transfers are still active through it.
+  if (reader_inherit_.size() == 1 && !waiters_.empty()) {
+    AdmitNext(ctx);  // destroys the releaser's inheritance internally
+    return;
+  }
+  if (ls != nullptr && it->second != nullptr) {
+    ls->table().DestroyTicket(it->second);
+  }
+  reader_inherit_.erase(it);
+}
+
+void SimRwLock::ReleaseWrite(RunContext& ctx) {
+  if (writer_ != ctx.self()) {
+    throw std::logic_error("SimRwLock: ReleaseWrite by non-writer of " +
+                           name_);
+  }
+  if (!waiters_.empty()) {
+    AdmitNext(ctx);
+    return;
+  }
+  writer_ = kInvalidThreadId;
+  LotteryScheduler* ls = kernel_->lottery();
+  if (ls != nullptr && writer_inherit_->funds() != nullptr) {
+    ls->table().Unfund(writer_inherit_);
+  }
+}
+
+void SimRwLock::AdmitNext(RunContext& ctx) {
+  // Weights are computed while the releasing holder still carries the lock
+  // currency's funding (transfers active through it).
+  std::vector<uint64_t> weights(waiters_.size());
+  uint64_t reader_total = 0;
+  uint64_t grand_total = 0;
+  for (size_t i = 0; i < waiters_.size(); ++i) {
+    weights[i] = WaiterWeight(waiters_[i]);
+    grand_total += weights[i];
+    if (!waiters_[i].is_writer) {
+      reader_total += weights[i];
+    }
+  }
+
+  // Choose: each writer individually vs. the reader group as one entrant.
+  bool admit_readers;
+  size_t writer_index = waiters_.size();
+  LotteryScheduler* ls = kernel_->lottery();
+  if (ls != nullptr && grand_total > 0) {
+    uint64_t value = ls->rng().NextBelow64(grand_total);
+    admit_readers = value < reader_total;
+    if (!admit_readers) {
+      value -= reader_total;
+      for (size_t i = 0; i < waiters_.size(); ++i) {
+        if (!waiters_[i].is_writer) {
+          continue;
+        }
+        if (value < weights[i]) {
+          writer_index = i;
+          break;
+        }
+        value -= weights[i];
+      }
+    }
+  } else {
+    // FIFO fallback: follow the oldest waiter's kind.
+    admit_readers = !waiters_.front().is_writer;
+    if (!admit_readers) {
+      writer_index = 0;
+    }
+  }
+
+  // Tear down the releasing holder's inheritance now that the draw is done.
+  if (ls != nullptr) {
+    if (writer_ == ctx.self()) {
+      if (writer_inherit_->funds() != nullptr) {
+        ls->table().Unfund(writer_inherit_);
+      }
+    } else {
+      const auto it = reader_inherit_.find(ctx.self());
+      if (it != reader_inherit_.end() && it->second != nullptr) {
+        ls->table().DestroyTicket(it->second);
+        reader_inherit_.erase(it);
+      }
+    }
+  } else {
+    reader_inherit_.erase(ctx.self());
+  }
+  if (writer_ == ctx.self()) {
+    writer_ = kInvalidThreadId;
+  }
+
+  if (admit_readers) {
+    std::vector<Waiter> keep;
+    for (Waiter& waiter : waiters_) {
+      if (waiter.is_writer) {
+        keep.push_back(std::move(waiter));
+        continue;
+      }
+      waiter.transfer.reset();
+      AdmitReader(waiter.tid);
+      kernel_->Wake(waiter.tid, ctx.now());
+    }
+    waiters_ = std::move(keep);
+  } else {
+    if (writer_index >= waiters_.size()) {
+      // No writer matched (all weights zero among writers): take the first.
+      for (size_t i = 0; i < waiters_.size(); ++i) {
+        if (waiters_[i].is_writer) {
+          writer_index = i;
+          break;
+        }
+      }
+    }
+    Waiter winner = std::move(waiters_[writer_index]);
+    waiters_.erase(waiters_.begin() + static_cast<ptrdiff_t>(writer_index));
+    winner.transfer.reset();
+    AdmitWriter(winner.tid);
+    kernel_->Wake(winner.tid, ctx.now());
+  }
+}
+
+}  // namespace lottery

@@ -1,0 +1,91 @@
+// Lottery-scheduled reader-writer lock.
+//
+// Extends the Section 6.1 mutex design to shared/exclusive acquisition.
+// The lock has its own currency; blocked threads transfer their funding
+// into it, and each current holder (the writer, or every active reader)
+// carries an inheritance ticket issued in the lock currency — so waiter
+// funding flows to whoever must finish before the waiters can proceed,
+// splitting evenly among concurrent readers by the ordinary Section 4.4
+// share arithmetic.
+//
+// When the lock empties, the next admission is decided by a lottery between
+// each waiting writer and the *group* of waiting readers (weights are the
+// transferred fundings; the reader group's weight is the sum of its
+// members'). If the reader group wins, all waiting readers are admitted at
+// once. Writers therefore cannot be starved by a reader stream — they hold
+// tickets in every draw — but neither do they get absolute priority: the
+// relative funding decides, which is the paper's position on all
+// rate-control questions.
+//
+// Under non-lottery schedulers the lock degrades to FIFO-ish admission
+// (readers batch, writers in arrival order).
+
+#ifndef SRC_SIM_RWLOCK_H_
+#define SRC_SIM_RWLOCK_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/transfer.h"
+#include "src/sim/kernel.h"
+
+namespace lottery {
+
+class SimRwLock {
+ public:
+  SimRwLock(Kernel* kernel, const std::string& name,
+            int64_t transfer_amount = 1000);
+  ~SimRwLock();
+  SimRwLock(const SimRwLock&) = delete;
+  SimRwLock& operator=(const SimRwLock&) = delete;
+
+  // Shared acquisition. Returns true if granted immediately; otherwise the
+  // caller is queued (must ctx.Block()) and is woken holding the lock.
+  // A new reader is admitted immediately only when no writer holds the
+  // lock and no writer is waiting (writers would otherwise starve).
+  bool AcquireRead(RunContext& ctx);
+  // Exclusive acquisition; same contract.
+  bool AcquireWrite(RunContext& ctx);
+
+  void ReleaseRead(RunContext& ctx);
+  void ReleaseWrite(RunContext& ctx);
+
+  size_t num_readers() const { return reader_inherit_.size(); }
+  bool write_held() const { return writer_ != kInvalidThreadId; }
+  size_t num_waiters() const { return waiters_.size(); }
+  uint64_t read_admissions() const { return read_admissions_; }
+  uint64_t write_admissions() const { return write_admissions_; }
+
+ private:
+  struct Waiter {
+    ThreadId tid;
+    bool is_writer;
+    std::unique_ptr<TicketTransfer> transfer;
+    SimTime since;
+  };
+
+  uint64_t WaiterWeight(const Waiter& waiter) const;
+  void AdmitReader(ThreadId tid);
+  void AdmitWriter(ThreadId tid);
+  // Runs the admission lottery after the lock empties.
+  void AdmitNext(RunContext& ctx);
+
+  Kernel* kernel_;
+  std::string name_;
+  int64_t transfer_amount_;
+  ThreadId writer_ = kInvalidThreadId;
+  std::vector<Waiter> waiters_;
+  uint64_t read_admissions_ = 0;
+  uint64_t write_admissions_ = 0;
+
+  Currency* currency_ = nullptr;
+  Ticket* writer_inherit_ = nullptr;  // funds the writer while write-held
+  std::map<ThreadId, Ticket*> reader_inherit_;  // one per active reader
+};
+
+}  // namespace lottery
+
+#endif  // SRC_SIM_RWLOCK_H_

@@ -1,0 +1,106 @@
+#include "src/sim/semaphore.h"
+
+#include <stdexcept>
+
+namespace lottery {
+
+SimSemaphore::SimSemaphore(Kernel* kernel, const std::string& name,
+                           int64_t initial_permits, int64_t transfer_amount)
+    : kernel_(kernel),
+      name_(name),
+      transfer_amount_(transfer_amount),
+      permits_(initial_permits) {
+  if (initial_permits < 0) {
+    throw std::invalid_argument("SimSemaphore: negative initial permits");
+  }
+  LotteryScheduler* ls = kernel_->lottery();
+  if (ls != nullptr) {
+    currency_ = ls->table().CreateCurrency("sem:" + name);
+    inheritance_ticket_ = ls->table().CreateTicket(currency_,
+                                                   transfer_amount_);
+  }
+}
+
+SimSemaphore::~SimSemaphore() {
+  if (currency_ != nullptr) {
+    CurrencyTable& table = kernel_->lottery()->table();
+    waiters_.clear();  // destroys outstanding transfers
+    table.DestroyTicket(inheritance_ticket_);
+    table.DestroyCurrency(currency_);
+  }
+}
+
+void SimSemaphore::SetBeneficiary(ThreadId tid) {
+  LotteryScheduler* ls = kernel_->lottery();
+  if (ls == nullptr) {
+    return;
+  }
+  if (inheritance_ticket_->funds() != nullptr) {
+    ls->table().Unfund(inheritance_ticket_);
+  }
+  beneficiary_ = tid;
+  if (tid != kInvalidThreadId) {
+    ls->table().Fund(ls->thread_currency(tid), inheritance_ticket_);
+  }
+}
+
+bool SimSemaphore::Wait(RunContext& ctx) {
+  ++total_waits_;
+  if (permits_ > 0) {
+    --permits_;
+    return true;
+  }
+  Waiter waiter;
+  waiter.tid = ctx.self();
+  waiter.since = ctx.now();
+  LotteryScheduler* ls = kernel_->lottery();
+  if (ls != nullptr) {
+    waiter.transfer = std::make_unique<TicketTransfer>(
+        &ls->table(), ls->thread_currency(ctx.self()), currency_,
+        transfer_amount_);
+  }
+  waiters_.push_back(std::move(waiter));
+  return false;
+}
+
+void SimSemaphore::Signal(RunContext& ctx) {
+  if (waiters_.empty()) {
+    ++permits_;
+    return;
+  }
+  // Weighted wakeup: the transferred funding is visible (active) when the
+  // inheritance ticket routes it to a runnable beneficiary; otherwise all
+  // weights are zero and the draw degrades to FIFO.
+  size_t winner_index = 0;
+  LotteryScheduler* ls = kernel_->lottery();
+  if (ls != nullptr) {
+    uint64_t total = 0;
+    std::vector<uint64_t> weights(waiters_.size());
+    for (size_t i = 0; i < waiters_.size(); ++i) {
+      weights[i] =
+          ls->table().TicketValue(waiters_[i].transfer->ticket()).raw_unsigned();
+      total += weights[i];
+    }
+    if (total > 0) {
+      uint64_t value = ls->rng().NextBelow64(total);
+      for (size_t i = 0; i < weights.size(); ++i) {
+        if (value < weights[i]) {
+          winner_index = i;
+          break;
+        }
+        value -= weights[i];
+      }
+    }
+  }
+  Waiter winner = std::move(waiters_[winner_index]);
+  waiters_.erase(waiters_.begin() + static_cast<ptrdiff_t>(winner_index));
+  winner.transfer.reset();
+  if (kernel_->tracer() != nullptr) {
+    kernel_->tracer()->RecordSample(
+        "sem_wait:" + kernel_->ThreadName(winner.tid), ctx.now(),
+        (ctx.now() - winner.since).ToSecondsF());
+  }
+  kernel_->Wake(winner.tid, ctx.now());
+}
+
+}  // namespace lottery

@@ -1,0 +1,123 @@
+#include "src/sim/sync.h"
+
+#include <stdexcept>
+
+namespace lottery {
+
+SimMutex::SimMutex(Kernel* kernel, const std::string& name,
+                   int64_t transfer_amount)
+    : kernel_(kernel), name_(name), transfer_amount_(transfer_amount) {
+  LotteryScheduler* ls = kernel_->lottery();
+  if (ls != nullptr) {
+    currency_ = ls->table().CreateCurrency("mutex:" + name);
+    inheritance_ticket_ =
+        ls->table().CreateTicket(currency_, transfer_amount_);
+  }
+}
+
+SimMutex::~SimMutex() {
+  if (currency_ != nullptr) {
+    CurrencyTable& table = kernel_->lottery()->table();
+    // Outstanding waiters would hold transfer tickets issued in thread
+    // currencies funding currency_; destroy them first so the currency can
+    // be retired (destructor-time waiters indicate a truncated run, which
+    // is normal for fixed-horizon experiments).
+    waiters_.clear();
+    table.DestroyTicket(inheritance_ticket_);
+    table.DestroyCurrency(currency_);
+  }
+}
+
+bool SimMutex::Acquire(RunContext& ctx) {
+  const ThreadId tid = ctx.self();
+  if (owner_ == tid) {
+    throw std::logic_error("SimMutex: recursive acquire of " + name_);
+  }
+  if (owner_ == kInvalidThreadId) {
+    GrantTo(tid);
+    return true;
+  }
+  Waiter waiter;
+  waiter.tid = tid;
+  waiter.since = ctx.now();
+  LotteryScheduler* ls = kernel_->lottery();
+  if (ls != nullptr) {
+    // Figure 10: the waiter backs the lock currency with a ticket issued in
+    // its own thread currency. Once the waiter blocks, this ticket carries
+    // the waiter's entire funding into the lock.
+    waiter.transfer = std::make_unique<TicketTransfer>(
+        &ls->table(), ls->thread_currency(tid), currency_, transfer_amount_);
+  }
+  waiters_.push_back(std::move(waiter));
+  return false;
+}
+
+void SimMutex::Release(RunContext& ctx) {
+  if (owner_ != ctx.self()) {
+    throw std::logic_error("SimMutex: release by non-owner of " + name_);
+  }
+  LotteryScheduler* ls = kernel_->lottery();
+
+  if (waiters_.empty()) {
+    owner_ = kInvalidThreadId;
+    if (ls != nullptr && inheritance_ticket_->funds() != nullptr) {
+      ls->table().Unfund(inheritance_ticket_);
+    }
+    return;
+  }
+
+  // Pick the next owner. Lottery mode: weighted by each waiter's
+  // transferred funding, measured while the inheritance ticket still funds
+  // the releasing owner (the transfers are active through it).
+  size_t winner_index = 0;
+  if (ls != nullptr) {
+    std::vector<uint64_t> weights(waiters_.size());
+    uint64_t total = 0;
+    for (size_t i = 0; i < waiters_.size(); ++i) {
+      weights[i] =
+          ls->table().TicketValue(waiters_[i].transfer->ticket()).raw_unsigned();
+      total += weights[i];
+    }
+    if (total > 0) {
+      const uint64_t value = ls->rng().NextBelow64(total);
+      uint64_t sum = 0;
+      for (size_t i = 0; i < weights.size(); ++i) {
+        sum += weights[i];
+        if (sum > value) {
+          winner_index = i;
+          break;
+        }
+      }
+    }
+  }
+
+  Waiter winner = std::move(waiters_[winner_index]);
+  waiters_.erase(waiters_.begin() + static_cast<ptrdiff_t>(winner_index));
+  winner.transfer.reset();  // destroy the winner's transfer ticket
+
+  if (kernel_->tracer() != nullptr) {
+    const SimDuration waited = ctx.now() - winner.since;
+    kernel_->tracer()->RecordSample(
+        "mutex_wait:" + kernel_->ThreadName(winner.tid), ctx.now(),
+        waited.ToSecondsF());
+  }
+
+  GrantTo(winner.tid);
+  kernel_->Wake(winner.tid, ctx.now());
+}
+
+void SimMutex::GrantTo(ThreadId tid) {
+  owner_ = tid;
+  ++acquisitions_;
+  LotteryScheduler* ls = kernel_->lottery();
+  if (ls != nullptr) {
+    // Move the inheritance ticket: the new owner now executes with its own
+    // funding plus the funding of all remaining waiters.
+    if (inheritance_ticket_->funds() != nullptr) {
+      ls->table().Unfund(inheritance_ticket_);
+    }
+    ls->table().Fund(ls->thread_currency(tid), inheritance_ticket_);
+  }
+}
+
+}  // namespace lottery

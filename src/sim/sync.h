@@ -1,0 +1,79 @@
+// Lottery-scheduled mutex (Section 6.1, Figure 10).
+//
+// The mutex has its own currency and an inheritance ticket issued in that
+// currency. Threads blocked on the mutex transfer their funding into the
+// mutex currency; the inheritance ticket funds the current owner's thread
+// currency, so the owner runs with its own funding *plus* all waiters'
+// funding — solving priority inversion the same way the paper does. On
+// release, a lottery among the waiters (weighted by their transferred
+// funding) picks the next owner.
+//
+// Under a non-lottery scheduler the same object degrades to a plain FIFO
+// mutex (no transfers), so every baseline can run the identical workload.
+
+#ifndef SRC_SIM_SYNC_H_
+#define SRC_SIM_SYNC_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/transfer.h"
+#include "src/sim/kernel.h"
+
+namespace lottery {
+
+class SimMutex {
+ public:
+  // `kernel` must outlive the mutex. Transfer amounts are the face value of
+  // waiter transfer tickets; any positive constant works (shares are
+  // relative within each waiter's thread currency).
+  SimMutex(Kernel* kernel, const std::string& name,
+           int64_t transfer_amount = 1000);
+  ~SimMutex();
+  SimMutex(const SimMutex&) = delete;
+  SimMutex& operator=(const SimMutex&) = delete;
+
+  // Attempts to acquire for ctx.self(). Returns true if the mutex was free
+  // (caller now owns it). Otherwise registers the caller as a waiter with a
+  // ticket transfer and returns false; the body must then ctx.Block().
+  // When the thread is next woken it owns the mutex.
+  bool Acquire(RunContext& ctx);
+
+  // Releases the mutex; if waiters exist, holds a lottery among them,
+  // hands ownership (and the inheritance ticket) to the winner, and wakes
+  // it at ctx.now().
+  void Release(RunContext& ctx);
+
+  ThreadId owner() const { return owner_; }
+  size_t num_waiters() const { return waiters_.size(); }
+  const std::string& name() const { return name_; }
+
+  // Total acquisitions granted so far (for the Figure 11 counts).
+  uint64_t acquisitions() const { return acquisitions_; }
+
+ private:
+  struct Waiter {
+    ThreadId tid;
+    std::unique_ptr<TicketTransfer> transfer;  // null under non-lottery
+    SimTime since;
+  };
+
+  void GrantTo(ThreadId tid);
+
+  Kernel* kernel_;
+  std::string name_;
+  int64_t transfer_amount_;
+  ThreadId owner_ = kInvalidThreadId;
+  std::vector<Waiter> waiters_;
+  uint64_t acquisitions_ = 0;
+
+  // Lottery-mode machinery (null when the policy scheduler is not lottery).
+  Currency* currency_ = nullptr;
+  Ticket* inheritance_ticket_ = nullptr;
+};
+
+}  // namespace lottery
+
+#endif  // SRC_SIM_SYNC_H_

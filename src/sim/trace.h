@@ -1,0 +1,88 @@
+// Metric collection for experiments.
+//
+// Workload bodies report abstract progress units (iterations, frames,
+// queries) and latencies; the Tracer buckets them into fixed windows of
+// simulated time so benches can print the same time series the paper's
+// figures plot (e.g. Figure 5's 8-second iteration-rate windows).
+
+#ifndef SRC_SIM_TRACE_H_
+#define SRC_SIM_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/sched/scheduler.h"
+#include "src/util/sim_time.h"
+#include "src/util/stats.h"
+
+namespace lottery {
+
+class Tracer {
+ public:
+  explicit Tracer(SimDuration window = SimDuration::Seconds(1));
+
+  // --- Progress counters ----------------------------------------------------
+
+  void AddProgress(ThreadId tid, SimTime now, int64_t delta);
+  int64_t TotalProgress(ThreadId tid) const;
+  // Progress of `tid` during window `w` (w = floor(time/window)).
+  int64_t WindowProgress(ThreadId tid, size_t w) const;
+  size_t num_windows() const { return num_windows_; }
+  SimDuration window() const { return window_; }
+  // Cumulative progress of `tid` up to and including window `w`.
+  int64_t CumulativeThrough(ThreadId tid, size_t w) const;
+
+  // --- Named scalar samples (latencies, rates, errors) ----------------------
+
+  void RecordSample(const std::string& series, SimTime now, double value);
+  struct Sample {
+    double time_sec;
+    double value;
+  };
+  const std::vector<Sample>& Samples(const std::string& series) const;
+  RunningStat SampleStats(const std::string& series) const;
+  bool HasSeries(const std::string& series) const;
+
+  // --- Dispatch timeline ------------------------------------------------------
+
+  struct Dispatch {
+    ThreadId tid;
+    int cpu;
+    double start_sec;
+    double duration_sec;
+  };
+
+  // Enables per-dispatch recording (off by default; a long run generates
+  // millions of slices). Recording stops silently at `cap` entries.
+  void EnableDispatchLog(size_t cap = 1000000);
+  bool dispatch_log_enabled() const { return dispatch_log_enabled_; }
+  void RecordDispatch(ThreadId tid, int cpu, SimTime start, SimDuration used);
+  const std::vector<Dispatch>& dispatches() const { return dispatches_; }
+  // Gantt-style CSV: tid,cpu,start_sec,duration_sec.
+  std::string DispatchesCsv() const;
+
+  // --- Export ----------------------------------------------------------------
+
+  // Windowed progress as CSV: one row per window, one column per thread
+  // (labelled by `labels`, aligned with `tids`). For re-plotting figures.
+  std::string WindowsCsv(const std::vector<ThreadId>& tids,
+                         const std::vector<std::string>& labels) const;
+  // One series as CSV rows of (time_sec, value).
+  std::string SeriesCsv(const std::string& series) const;
+
+ private:
+  SimDuration window_;
+  size_t num_windows_ = 0;
+  std::map<ThreadId, std::vector<int64_t>> progress_;  // per-window deltas
+  std::map<ThreadId, int64_t> totals_;
+  std::map<std::string, std::vector<Sample>> samples_;
+  bool dispatch_log_enabled_ = false;
+  size_t dispatch_cap_ = 0;
+  std::vector<Dispatch> dispatches_;
+};
+
+}  // namespace lottery
+
+#endif  // SRC_SIM_TRACE_H_

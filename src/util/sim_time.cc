@@ -1,0 +1,30 @@
+#include "src/util/sim_time.h"
+
+#include <cstdio>
+
+namespace lottery {
+
+std::string SimDuration::ToString() const {
+  char buf[32];
+  if (ns_ % 1000000000 == 0) {
+    std::snprintf(buf, sizeof(buf), "%llds",
+                  static_cast<long long>(ns_ / 1000000000));
+  } else if (ns_ % 1000000 == 0) {
+    std::snprintf(buf, sizeof(buf), "%lldms",
+                  static_cast<long long>(ns_ / 1000000));
+  } else if (ns_ % 1000 == 0) {
+    std::snprintf(buf, sizeof(buf), "%lldus",
+                  static_cast<long long>(ns_ / 1000));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(ns_));
+  }
+  return buf;
+}
+
+std::string SimTime::ToString() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "t=%.3fs", ToSecondsF());
+  return buf;
+}
+
+}  // namespace lottery

@@ -1,0 +1,106 @@
+// Simulated-time types shared by the scheduler core and the simulator.
+//
+// The whole reproduction runs on a virtual clock: SimDuration is a signed
+// nanosecond count and SimTime is a point on that clock. Strong types keep
+// points and deltas from being mixed up, and nanoseconds give headroom for
+// hour-long simulated experiments (|range| ~ 292 years) while representing
+// the paper's 100 ms and 10 ms quanta exactly.
+
+#ifndef SRC_UTIL_SIM_TIME_H_
+#define SRC_UTIL_SIM_TIME_H_
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace lottery {
+
+class SimDuration {
+ public:
+  constexpr SimDuration() : ns_(0) {}
+  static constexpr SimDuration Nanos(int64_t n) { return SimDuration(n); }
+  static constexpr SimDuration Micros(int64_t n) {
+    return SimDuration(n * 1000);
+  }
+  static constexpr SimDuration Millis(int64_t n) {
+    return SimDuration(n * 1000000);
+  }
+  static constexpr SimDuration Seconds(int64_t n) {
+    return SimDuration(n * 1000000000);
+  }
+  static constexpr SimDuration SecondsF(double s) {
+    return SimDuration(static_cast<int64_t>(s * 1e9));
+  }
+
+  constexpr int64_t nanos() const { return ns_; }
+  constexpr double ToSecondsF() const { return static_cast<double>(ns_) / 1e9; }
+  constexpr double ToMillisF() const { return static_cast<double>(ns_) / 1e6; }
+
+  constexpr auto operator<=>(const SimDuration&) const = default;
+  constexpr SimDuration operator+(SimDuration o) const {
+    return SimDuration(ns_ + o.ns_);
+  }
+  constexpr SimDuration operator-(SimDuration o) const {
+    return SimDuration(ns_ - o.ns_);
+  }
+  constexpr SimDuration operator-() const { return SimDuration(-ns_); }
+  constexpr SimDuration operator*(int64_t k) const {
+    return SimDuration(ns_ * k);
+  }
+  constexpr SimDuration operator/(int64_t k) const {
+    return SimDuration(ns_ / k);
+  }
+  // Ratio of two durations (e.g. fraction of quantum consumed).
+  constexpr double Ratio(SimDuration denom) const {
+    return static_cast<double>(ns_) / static_cast<double>(denom.ns_);
+  }
+  SimDuration& operator+=(SimDuration o) {
+    ns_ += o.ns_;
+    return *this;
+  }
+  SimDuration& operator-=(SimDuration o) {
+    ns_ -= o.ns_;
+    return *this;
+  }
+
+  std::string ToString() const;
+
+ private:
+  explicit constexpr SimDuration(int64_t ns) : ns_(ns) {}
+  int64_t ns_;
+};
+
+class SimTime {
+ public:
+  constexpr SimTime() : ns_(0) {}
+  static constexpr SimTime FromNanos(int64_t n) { return SimTime(n); }
+  static constexpr SimTime Zero() { return SimTime(0); }
+
+  constexpr int64_t nanos() const { return ns_; }
+  constexpr double ToSecondsF() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+  constexpr SimTime operator+(SimDuration d) const {
+    return SimTime(ns_ + d.nanos());
+  }
+  constexpr SimTime operator-(SimDuration d) const {
+    return SimTime(ns_ - d.nanos());
+  }
+  constexpr SimDuration operator-(SimTime o) const {
+    return SimDuration::Nanos(ns_ - o.ns_);
+  }
+  SimTime& operator+=(SimDuration d) {
+    ns_ += d.nanos();
+    return *this;
+  }
+
+  std::string ToString() const;
+
+ private:
+  explicit constexpr SimTime(int64_t ns) : ns_(ns) {}
+  int64_t ns_;
+};
+
+}  // namespace lottery
+
+#endif  // SRC_UTIL_SIM_TIME_H_

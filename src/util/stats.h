@@ -1,0 +1,123 @@
+// Statistics helpers used by tests and by the experiment harnesses.
+//
+// The paper reasons about lottery fairness through the binomial distribution
+// (number of lotteries won) and the geometric distribution (lotteries until
+// first win); see Section 2. The helpers here provide those moments plus the
+// generic accumulators (running mean/variance, histograms, least squares)
+// that the figure-reproduction benches need.
+
+#ifndef SRC_UTIL_STATS_H_
+#define SRC_UTIL_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace lottery {
+
+// Numerically stable single-pass accumulator (Welford's algorithm).
+class RunningStat {
+ public:
+  void Add(double x);
+  void Merge(const RunningStat& other);
+  void Reset();
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  // Population variance / stddev (divide by n).
+  double variance() const;
+  double stddev() const;
+  // Sample variance / stddev (divide by n-1).
+  double sample_variance() const;
+  double sample_stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+  // Coefficient of variation: stddev / mean (0 when mean == 0).
+  double cv() const;
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Fixed-width bucket histogram over [lo, hi); values outside the range are
+// counted in saturating under/overflow buckets. Used for the Figure 11
+// mutex-waiting-time histograms.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t num_buckets);
+
+  void Add(double x);
+
+  size_t num_buckets() const { return counts_.size(); }
+  double bucket_lo(size_t i) const;
+  double bucket_hi(size_t i) const;
+  int64_t bucket_count(size_t i) const { return counts_[i]; }
+  int64_t underflow() const { return underflow_; }
+  int64_t overflow() const { return overflow_; }
+  int64_t total() const { return stat_.count(); }
+  const RunningStat& stat() const { return stat_; }
+
+  // Value below which `fraction` (in [0,1]) of observations fall, estimated
+  // by linear interpolation within buckets.
+  double Percentile(double fraction) const;
+
+  // Renders an ASCII bar chart, one line per bucket, for bench output.
+  std::string ToAscii(size_t max_width = 50) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<int64_t> counts_;
+  int64_t underflow_ = 0;
+  int64_t overflow_ = 0;
+  RunningStat stat_;
+};
+
+// Moments the paper quotes for n identical lotteries with win probability p
+// (Section 2): wins are binomial, waits are geometric.
+struct BinomialMoments {
+  double mean;      // n * p
+  double variance;  // n * p * (1 - p)
+  double stddev;
+  double cv;        // sqrt((1-p)/(n*p)) — the paper's sqrt((1-p)/np)
+};
+BinomialMoments BinomialStats(double n, double p);
+
+struct GeometricMoments {
+  double mean;      // 1 / p  (expected lotteries until first win)
+  double variance;  // (1 - p) / p^2
+  double stddev;
+};
+GeometricMoments GeometricStats(double p);
+
+// Pearson chi-square statistic for observed vs. expected counts.
+// `expected[i]` must be > 0 for all i.
+double ChiSquareStatistic(const std::vector<int64_t>& observed,
+                          const std::vector<double>& expected);
+
+// Approximate upper critical value of the chi-square distribution with `df`
+// degrees of freedom at upper-tail probability `alpha` (e.g. 0.01), using
+// the Wilson-Hilferty cube approximation. Accurate to a few percent for
+// df >= 3, which is ample for pass/fail property tests.
+double ChiSquareCritical(int df, double alpha);
+
+// Least-squares slope/intercept of y on x. Requires xs.size() == ys.size()
+// and at least two distinct x values.
+struct LinearFit {
+  double slope;
+  double intercept;
+  double r2;  // coefficient of determination
+};
+LinearFit FitLine(const std::vector<double>& xs, const std::vector<double>& ys);
+
+}  // namespace lottery
+
+#endif  // SRC_UTIL_STATS_H_

@@ -1,0 +1,37 @@
+#include "src/workloads/deadline.h"
+
+namespace lottery {
+
+void DeadlineTask::Run(RunContext& ctx) {
+  for (;;) {
+    const SimTime release =
+        SimTime::Zero() + options_.period * job_;
+    if (ctx.now() < release) {
+      // Ahead of the release schedule: sleep until the next job arrives.
+      ctx.SleepFor(release - ctx.now());
+      return;
+    }
+    if (!started_) {
+      started_ = true;
+      left_ = options_.budget;
+    }
+    left_ -= ctx.Consume(left_ < ctx.remaining() ? left_ : ctx.remaining());
+    if (left_.nanos() > 0) {
+      return;  // preempted mid-job
+    }
+    // Job done; on time iff finished before the next release.
+    const SimTime deadline = release + options_.period;
+    ++completed_;
+    if (ctx.now() <= deadline) {
+      ++on_time_;
+    }
+    ctx.AddProgress(1);
+    started_ = false;
+    ++job_;
+    if (ctx.remaining().nanos() == 0) {
+      return;
+    }
+  }
+}
+
+}  // namespace lottery

@@ -1,0 +1,54 @@
+// Periodic soft real-time task (deadline workload).
+//
+// The paper's introduction motivates proportional-share control with
+// "interactive computations such as databases and media-based applications"
+// that need guaranteed service rates. DeadlineTask models the classic form:
+// a job is released every `period`; each job needs `budget` of CPU; a job
+// that finishes within its period is on time, otherwise it is late (jobs
+// queue — the task does not discard work). On-time fraction is the quality
+// metric. Under lottery scheduling, a task funded with at least
+// budget/period of the machine meets (nearly) all deadlines regardless of
+// background load; priorities or timesharing cannot express that contract.
+
+#ifndef SRC_WORKLOADS_DEADLINE_H_
+#define SRC_WORKLOADS_DEADLINE_H_
+
+#include <cstdint>
+
+#include "src/sim/kernel.h"
+
+namespace lottery {
+
+class DeadlineTask : public ThreadBody {
+ public:
+  struct Options {
+    SimDuration period = SimDuration::Millis(100);
+    SimDuration budget = SimDuration::Millis(25);
+  };
+
+  explicit DeadlineTask(Options options) : options_(options) {}
+
+  void Run(RunContext& ctx) override;
+
+  int64_t completed() const { return completed_; }
+  int64_t on_time() const { return on_time_; }
+  double on_time_fraction() const {
+    return completed_ > 0 ? static_cast<double>(on_time_) /
+                                static_cast<double>(completed_)
+                          : 1.0;
+  }
+
+ private:
+  Options options_;
+  // Index of the job currently being worked on (job k is released at
+  // k * period and due at (k+1) * period).
+  int64_t job_ = 0;
+  bool started_ = false;
+  SimDuration left_{};
+  int64_t completed_ = 0;
+  int64_t on_time_ = 0;
+};
+
+}  // namespace lottery
+
+#endif  // SRC_WORKLOADS_DEADLINE_H_

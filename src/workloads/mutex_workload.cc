@@ -1,0 +1,60 @@
+#include "src/workloads/mutex_workload.h"
+
+namespace lottery {
+
+SimDuration MutexTask::Jittered(SimDuration base) {
+  if (options_.jitter <= 0.0) {
+    return base;
+  }
+  const double factor =
+      1.0 + options_.jitter * (2.0 * rng_.NextUnit() - 1.0);
+  return SimDuration::Nanos(
+      static_cast<int64_t>(static_cast<double>(base.nanos()) * factor));
+}
+
+void MutexTask::Run(RunContext& ctx) {
+  if (waiting_) {
+    // Woken by SimMutex::Release: we now own the mutex.
+    waiting_ = false;
+    phase_ = Phase::kHold;
+    left_ = Jittered(options_.hold);
+  }
+  for (;;) {
+    switch (phase_) {
+      case Phase::kAcquire:
+        if (!mutex_->Acquire(ctx)) {
+          waiting_ = true;
+          ctx.Block();
+          return;
+        }
+        phase_ = Phase::kHold;
+        left_ = Jittered(options_.hold);
+        break;
+      case Phase::kHold:
+        left_ -= ctx.Consume(left_ < ctx.remaining() ? left_
+                                                     : ctx.remaining());
+        if (left_.nanos() > 0) {
+          return;  // preempted while holding (lock held across quanta)
+        }
+        mutex_->Release(ctx);
+        phase_ = Phase::kCompute;
+        left_ = Jittered(options_.compute);
+        break;
+      case Phase::kCompute:
+        left_ -= ctx.Consume(left_ < ctx.remaining() ? left_
+                                                     : ctx.remaining());
+        if (left_.nanos() > 0) {
+          return;  // preempted mid-compute
+        }
+        ++cycles_;
+        ctx.AddProgress(1);
+        phase_ = Phase::kAcquire;
+        break;
+    }
+    if (ctx.remaining().nanos() == 0) {
+      return;
+    }
+  }
+}
+
+}  // namespace lottery

@@ -1,0 +1,54 @@
+// Synthetic mutex-contention workload (Section 6.1, Figure 11).
+//
+// "Threads compete for the same mutex. Each thread repeatedly acquires the
+// mutex, holds it for h milliseconds, releases the mutex, and computes for
+// another t milliseconds." One progress tick per completed
+// acquire-hold-release-compute cycle. Waiting times are recorded by
+// SimMutex into the kernel tracer.
+
+#ifndef SRC_WORKLOADS_MUTEX_WORKLOAD_H_
+#define SRC_WORKLOADS_MUTEX_WORKLOAD_H_
+
+#include "src/sim/kernel.h"
+#include "src/sim/sync.h"
+#include "src/util/fastrand.h"
+
+namespace lottery {
+
+class MutexTask : public ThreadBody {
+ public:
+  struct Options {
+    SimDuration hold = SimDuration::Millis(50);
+    SimDuration compute = SimDuration::Millis(50);
+    // Fractional +/- jitter applied to each hold/compute phase. Real
+    // machines never align phases exactly with quantum boundaries; in a
+    // deterministic simulator a jitter of 0 with hold+compute == quantum
+    // makes the lock (artificially) contention-free.
+    double jitter = 0.0;
+    uint32_t jitter_seed = 1;
+  };
+
+  MutexTask(SimMutex* mutex, Options options)
+      : mutex_(mutex), options_(options), rng_(options.jitter_seed) {}
+
+  void Run(RunContext& ctx) override;
+
+  int64_t cycles() const { return cycles_; }
+
+ private:
+  enum class Phase { kAcquire, kHold, kCompute };
+
+  SimDuration Jittered(SimDuration base);
+
+  SimMutex* mutex_;
+  Options options_;
+  FastRand rng_;
+  Phase phase_ = Phase::kAcquire;
+  bool waiting_ = false;
+  SimDuration left_{};
+  int64_t cycles_ = 0;
+};
+
+}  // namespace lottery
+
+#endif  // SRC_WORKLOADS_MUTEX_WORKLOAD_H_

@@ -1,0 +1,61 @@
+#include "src/workloads/query_server.h"
+
+namespace lottery {
+
+void QueryClient::Run(RunContext& ctx) {
+  if (phase_ == Phase::kAwaitReply) {
+    // Woken by the server's Reply.
+    ++completed_;
+    ctx.AddProgress(1);
+    if (options_.num_queries >= 0 && completed_ >= options_.num_queries) {
+      ctx.ExitThread();
+      return;
+    }
+    phase_ = Phase::kPrepare;
+    preparing_ = false;
+  }
+
+  if (!preparing_) {
+    preparing_ = true;
+    prepare_left_ = options_.prepare_cost;
+  }
+  prepare_left_ -= ctx.Consume(
+      prepare_left_ < ctx.remaining() ? prepare_left_ : ctx.remaining());
+  if (prepare_left_.nanos() > 0) {
+    return;  // preempted mid-prepare
+  }
+  preparing_ = false;
+
+  // Payload carries the query's server-side CPU cost in microseconds.
+  port_->Call(ctx, options_.query_cost.nanos() / 1000);
+  phase_ = Phase::kAwaitReply;
+  ctx.Block();
+}
+
+void QueryWorker::Run(RunContext& ctx) {
+  for (;;) {
+    if (!has_message_) {
+      if (!port_->TryReceive(ctx, &message_)) {
+        ctx.Block();
+        return;
+      }
+      has_message_ = true;
+      work_left_ = SimDuration::Micros(message_.payload);
+    }
+    if (work_left_ > ctx.remaining()) {
+      work_left_ -= ctx.Consume(ctx.remaining());
+      return;  // preempted mid-query
+    }
+    ctx.Consume(work_left_);
+    work_left_ = SimDuration{};
+    port_->Reply(ctx, std::move(message_));
+    has_message_ = false;
+    ++served_;
+    ctx.AddProgress(1);
+    if (ctx.remaining().nanos() == 0) {
+      return;
+    }
+  }
+}
+
+}  // namespace lottery

@@ -1,0 +1,74 @@
+// Multithreaded client-server query workload (Section 5.3, Figure 7).
+//
+// Reproduces the paper's text-search server experiment: clients repeatedly
+// issue synchronous RPCs; worker threads hold no tickets of their own and
+// run entirely on funding transferred from the client whose request they
+// are processing. Each query costs a fixed amount of server CPU (the paper's
+// case-insensitive substring scan over 4.6 MB has a fixed cost per query,
+// which is the only property the result shapes depend on).
+
+#ifndef SRC_WORKLOADS_QUERY_SERVER_H_
+#define SRC_WORKLOADS_QUERY_SERVER_H_
+
+#include <cstdint>
+
+#include "src/sim/kernel.h"
+#include "src/sim/rpc.h"
+
+namespace lottery {
+
+// Client: small client-side CPU to build the request, then a synchronous
+// Call; one progress tick per completed query. Exits after `num_queries`
+// replies when that limit is >= 0.
+class QueryClient : public ThreadBody {
+ public:
+  struct Options {
+    // Queries to issue before exiting; -1 means run forever.
+    int64_t num_queries = -1;
+    // Server CPU per query, encoded in the message payload (microseconds).
+    SimDuration query_cost = SimDuration::Millis(500);
+    // Client-side CPU spent preparing each request.
+    SimDuration prepare_cost = SimDuration::Millis(1);
+  };
+
+  QueryClient(RpcPort* port, Options options)
+      : port_(port), options_(options) {}
+
+  void Run(RunContext& ctx) override;
+
+  int64_t completed() const { return completed_; }
+
+ private:
+  enum class Phase { kPrepare, kAwaitReply };
+
+  RpcPort* port_;
+  Options options_;
+  Phase phase_ = Phase::kPrepare;
+  SimDuration prepare_left_{};
+  bool preparing_ = false;
+  int64_t completed_ = 0;
+};
+
+// Server worker: receives a request, burns the CPU encoded in its payload
+// (possibly across many quanta), replies, repeats. One progress tick per
+// query served. Holds no tickets beyond the transfers it receives when the
+// experiment deliberately leaves it unfunded.
+class QueryWorker : public ThreadBody {
+ public:
+  explicit QueryWorker(RpcPort* port) : port_(port) {}
+
+  void Run(RunContext& ctx) override;
+
+  int64_t served() const { return served_; }
+
+ private:
+  RpcPort* port_;
+  bool has_message_ = false;
+  RpcMessage message_;
+  SimDuration work_left_{};
+  int64_t served_ = 0;
+};
+
+}  // namespace lottery
+
+#endif  // SRC_WORKLOADS_QUERY_SERVER_H_

@@ -1,0 +1,172 @@
+#include "src/workloads/replay.h"
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace lottery {
+
+namespace {
+
+int64_t ParseMillis(const std::string& token, size_t offset) {
+  char* end = nullptr;
+  const long long value = std::strtoll(token.c_str() + offset, &end, 10);
+  if (end == token.c_str() + offset || *end != '\0' || value <= 0) {
+    throw std::invalid_argument("TraceSpec: bad duration in '" + token + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+TraceSpec TraceSpec::Parse(const std::string& text) {
+  std::istringstream in(text);
+  std::string token;
+  std::vector<TraceSegment> segments;
+  // Group state: (repeat count, group start index) stack.
+  std::vector<std::pair<int64_t, size_t>> groups;
+  while (in >> token) {
+    if (token == ")") {
+      if (groups.empty()) {
+        throw std::invalid_argument("TraceSpec: unmatched ')'");
+      }
+      const auto [count, start] = groups.back();
+      groups.pop_back();
+      const std::vector<TraceSegment> body(
+          segments.begin() + static_cast<ptrdiff_t>(start), segments.end());
+      for (int64_t i = 1; i < count; ++i) {
+        segments.insert(segments.end(), body.begin(), body.end());
+      }
+      continue;
+    }
+    const size_t x = token.find("x(");
+    if (x != std::string::npos && x + 2 == token.size()) {
+      char* end = nullptr;
+      const long long count = std::strtoll(token.c_str(), &end, 10);
+      if (end != token.c_str() + x || count <= 0) {
+        throw std::invalid_argument("TraceSpec: bad repeat '" + token + "'");
+      }
+      groups.emplace_back(count, segments.size());
+      continue;
+    }
+    switch (token[0]) {
+      case 'c':
+        segments.push_back(
+            {TraceSegment::Kind::kCompute,
+             SimDuration::Millis(ParseMillis(token, 1))});
+        break;
+      case 's':
+        segments.push_back({TraceSegment::Kind::kSleep,
+                            SimDuration::Millis(ParseMillis(token, 1))});
+        break;
+      case 'y':
+        if (token != "y") {
+          throw std::invalid_argument("TraceSpec: bad token '" + token + "'");
+        }
+        segments.push_back({TraceSegment::Kind::kYield, SimDuration{}});
+        break;
+      case 'e':
+        if (token != "e") {
+          throw std::invalid_argument("TraceSpec: bad token '" + token + "'");
+        }
+        segments.push_back({TraceSegment::Kind::kExit, SimDuration{}});
+        break;
+      default:
+        throw std::invalid_argument("TraceSpec: bad token '" + token + "'");
+    }
+  }
+  if (!groups.empty()) {
+    throw std::invalid_argument("TraceSpec: unterminated group");
+  }
+  if (segments.empty()) {
+    throw std::invalid_argument("TraceSpec: empty spec");
+  }
+  return TraceSpec(std::move(segments));
+}
+
+std::string TraceSpec::ToString() const {
+  std::ostringstream out;
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    const TraceSegment& seg = segments_[i];
+    out << (i == 0 ? "" : " ");
+    switch (seg.kind) {
+      case TraceSegment::Kind::kCompute:
+        out << "c" << seg.duration.nanos() / 1000000;
+        break;
+      case TraceSegment::Kind::kSleep:
+        out << "s" << seg.duration.nanos() / 1000000;
+        break;
+      case TraceSegment::Kind::kYield:
+        out << "y";
+        break;
+      case TraceSegment::Kind::kExit:
+        out << "e";
+        break;
+    }
+  }
+  return out.str();
+}
+
+bool TraceSpec::terminates() const {
+  for (const TraceSegment& seg : segments_) {
+    if (seg.kind == TraceSegment::Kind::kExit) {
+      return true;
+    }
+  }
+  return false;
+}
+
+SimDuration TraceSpec::ComputePerPass() const {
+  SimDuration total{};
+  for (const TraceSegment& seg : segments_) {
+    if (seg.kind == TraceSegment::Kind::kCompute) {
+      total += seg.duration;
+    }
+  }
+  return total;
+}
+
+void ReplayTask::Run(RunContext& ctx) {
+  for (;;) {
+    if (index_ >= spec_.segments().size()) {
+      index_ = 0;
+      ++passes_;
+    }
+    const TraceSegment& seg = spec_.segments()[index_];
+    switch (seg.kind) {
+      case TraceSegment::Kind::kCompute:
+        if (!in_compute_) {
+          in_compute_ = true;
+          left_ = seg.duration;
+        }
+        left_ -= ctx.Consume(left_ < ctx.remaining() ? left_
+                                                     : ctx.remaining());
+        if (left_.nanos() > 0) {
+          return;  // preempted mid-segment
+        }
+        in_compute_ = false;
+        ++index_;
+        ++segments_done_;
+        ctx.AddProgress(1);
+        break;
+      case TraceSegment::Kind::kSleep:
+        ++index_;
+        ++segments_done_;
+        ctx.SleepFor(seg.duration);
+        return;
+      case TraceSegment::Kind::kYield:
+        ++index_;
+        ++segments_done_;
+        ctx.Yield();
+        return;
+      case TraceSegment::Kind::kExit:
+        ctx.ExitThread();
+        return;
+    }
+    if (ctx.remaining().nanos() == 0) {
+      return;
+    }
+  }
+}
+
+}  // namespace lottery

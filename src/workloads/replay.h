@@ -1,0 +1,77 @@
+// Workload trace record/replay.
+//
+// To compare scheduling policies fairly, the demand pattern must be held
+// fixed. A TraceSpec is a sequence of behaviour segments — compute, sleep,
+// yield — optionally repeated; ReplayTask executes it verbatim under any
+// scheduler. Specs have a compact text form so traces can live in files or
+// command lines:
+//
+//   "c25 s75"            compute 25 ms, sleep 75 ms, repeat forever
+//   "3x(c10 y) c500 e"   3x(compute 10 ms then yield), 500 ms, then exit
+//
+// Grammar: whitespace-separated tokens; `c<ms>` compute, `s<ms>` sleep,
+// `y` yield, `e` exit; `N x ( ... )` repeats a group N times (the `x(` and
+// `)` are separate tokens or attached to the count as `3x(`). A spec
+// without `e` loops from the start when it runs off the end.
+
+#ifndef SRC_WORKLOADS_REPLAY_H_
+#define SRC_WORKLOADS_REPLAY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/kernel.h"
+
+namespace lottery {
+
+struct TraceSegment {
+  enum class Kind { kCompute, kSleep, kYield, kExit };
+  Kind kind;
+  SimDuration duration;  // for kCompute/kSleep
+};
+
+class TraceSpec {
+ public:
+  TraceSpec() = default;
+  explicit TraceSpec(std::vector<TraceSegment> segments)
+      : segments_(std::move(segments)) {}
+
+  // Parses the text form; throws std::invalid_argument on bad syntax.
+  static TraceSpec Parse(const std::string& text);
+  // Renders back to (a canonical form of) the text format.
+  std::string ToString() const;
+
+  const std::vector<TraceSegment>& segments() const { return segments_; }
+  bool terminates() const;
+  // Total compute time of one pass through the spec.
+  SimDuration ComputePerPass() const;
+
+ private:
+  std::vector<TraceSegment> segments_;
+};
+
+// Executes a TraceSpec under the simulated kernel. Progress ticks once per
+// completed compute segment.
+class ReplayTask : public ThreadBody {
+ public:
+  explicit ReplayTask(TraceSpec spec) : spec_(std::move(spec)) {}
+
+  void Run(RunContext& ctx) override;
+
+  // Completed full passes through the spec.
+  int64_t passes() const { return passes_; }
+  int64_t segments_done() const { return segments_done_; }
+
+ private:
+  TraceSpec spec_;
+  size_t index_ = 0;
+  bool in_compute_ = false;
+  SimDuration left_{};
+  int64_t passes_ = 0;
+  int64_t segments_done_ = 0;
+};
+
+}  // namespace lottery
+
+#endif  // SRC_WORKLOADS_REPLAY_H_

@@ -1,0 +1,34 @@
+// MPEG-viewer stand-in (Section 5.4, Figure 8).
+//
+// Each viewer decodes and "displays" frames at a fixed CPU cost per frame;
+// cumulative frames are the figure's y-axis. The paper's mpeg_play numbers
+// were distorted by the single-threaded X11 server's round-robin handling
+// of display requests; this substrate has no display server, so observed
+// frame-rate ratios track the ticket ratios more tightly than the paper's —
+// EXPERIMENTS.md discusses the difference.
+
+#ifndef SRC_WORKLOADS_VIDEO_H_
+#define SRC_WORKLOADS_VIDEO_H_
+
+#include "src/workloads/compute.h"
+
+namespace lottery {
+
+class VideoViewer : public UnitWorkTask {
+ public:
+  struct Options {
+    // CPU to decode + display one frame. The paper's viewers achieved a
+    // few frames/second on a 25 MHz machine while sharing the CPU three
+    // ways; 100 ms per frame puts aggregate rates in the same regime.
+    SimDuration frame_cost = SimDuration::Millis(100);
+  };
+
+  VideoViewer() : VideoViewer(Options{}) {}
+  explicit VideoViewer(Options options) : UnitWorkTask(options.frame_cost) {}
+
+  int64_t frames() const { return units_done(); }
+};
+
+}  // namespace lottery
+
+#endif  // SRC_WORKLOADS_VIDEO_H_

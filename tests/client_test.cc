@@ -1,0 +1,138 @@
+#include "src/core/client.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/currency.h"
+
+namespace lottery {
+namespace {
+
+class ClientTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ticket_ = table_.CreateTicket(table_.base(), 400);
+  }
+  CurrencyTable table_;
+  Ticket* ticket_ = nullptr;
+};
+
+TEST_F(ClientTest, HoldAndRelease) {
+  Client c(&table_, "c");
+  c.HoldTicket(ticket_);
+  EXPECT_EQ(ticket_->holder(), &c);
+  ASSERT_EQ(c.tickets().size(), 1u);
+  c.ReleaseTicket(ticket_);
+  EXPECT_EQ(ticket_->holder(), nullptr);
+  EXPECT_TRUE(c.tickets().empty());
+}
+
+TEST_F(ClientTest, CannotHoldAttachedTicket) {
+  Client a(&table_, "a");
+  Client b(&table_, "b");
+  a.HoldTicket(ticket_);
+  EXPECT_THROW(b.HoldTicket(ticket_), std::invalid_argument);
+  Currency* cur = table_.CreateCurrency("cur");
+  Ticket* backing = table_.CreateTicket(table_.base(), 10);
+  table_.Fund(cur, backing);
+  EXPECT_THROW(b.HoldTicket(backing), std::invalid_argument);
+}
+
+TEST_F(ClientTest, CannotReleaseForeignTicket) {
+  Client a(&table_, "a");
+  Client b(&table_, "b");
+  a.HoldTicket(ticket_);
+  EXPECT_THROW(b.ReleaseTicket(ticket_), std::invalid_argument);
+}
+
+TEST_F(ClientTest, ValueZeroWhileInactive) {
+  Client c(&table_, "c");
+  c.HoldTicket(ticket_);
+  EXPECT_TRUE(c.Value().IsZero());
+  c.SetActive(true);
+  EXPECT_EQ(c.Value().base_units(), 400);
+  c.SetActive(false);
+  EXPECT_TRUE(c.Value().IsZero());
+}
+
+TEST_F(ClientTest, HoldingWhileActiveActivatesImmediately) {
+  Client c(&table_, "c");
+  c.SetActive(true);
+  c.HoldTicket(ticket_);
+  EXPECT_TRUE(ticket_->active());
+  EXPECT_EQ(c.Value().base_units(), 400);
+}
+
+TEST_F(ClientTest, ReleasingActiveTicketDeactivatesIt) {
+  Client c(&table_, "c");
+  c.SetActive(true);
+  c.HoldTicket(ticket_);
+  c.ReleaseTicket(ticket_);
+  EXPECT_FALSE(ticket_->active());
+  EXPECT_EQ(table_.base()->active_amount(), 0);
+}
+
+TEST_F(ClientTest, MultipleTicketsSum) {
+  Client c(&table_, "c");
+  c.HoldTicket(ticket_);
+  Ticket* more = table_.CreateTicket(table_.base(), 100);
+  c.HoldTicket(more);
+  c.SetActive(true);
+  EXPECT_EQ(c.Value().base_units(), 500);
+}
+
+TEST_F(ClientTest, CompensationMultipliesValue) {
+  Client c(&table_, "c");
+  c.HoldTicket(ticket_);
+  c.SetActive(true);
+  // Section 4.5's example: 400 base at 1/5 usage -> 2000 base.
+  c.SetCompensation(5, 1);
+  EXPECT_TRUE(c.has_compensation());
+  EXPECT_DOUBLE_EQ(c.compensation_factor(), 5.0);
+  EXPECT_EQ(c.Value().base_units(), 2000);
+  c.ClearCompensation();
+  EXPECT_FALSE(c.has_compensation());
+  EXPECT_EQ(c.Value().base_units(), 400);
+}
+
+TEST_F(ClientTest, CompensationRejectsNonPositive) {
+  Client c(&table_, "c");
+  EXPECT_THROW(c.SetCompensation(0, 1), std::invalid_argument);
+  EXPECT_THROW(c.SetCompensation(1, -2), std::invalid_argument);
+}
+
+TEST_F(ClientTest, ValueCacheTracksCompensationChanges) {
+  Client c(&table_, "c");
+  c.HoldTicket(ticket_);
+  c.SetActive(true);
+  EXPECT_EQ(c.Value().base_units(), 400);
+  c.SetCompensation(2, 1);
+  EXPECT_EQ(c.Value().base_units(), 800);  // cache must not serve stale 400
+  c.SetCompensation(3, 2);
+  EXPECT_EQ(c.Value().base_units(), 600);
+}
+
+TEST_F(ClientTest, DestructorDetachesTickets) {
+  {
+    Client c(&table_, "c");
+    c.HoldTicket(ticket_);
+    c.SetActive(true);
+  }
+  EXPECT_EQ(ticket_->holder(), nullptr);
+  EXPECT_FALSE(ticket_->active());
+  // Ticket still exists and can be reused.
+  Client d(&table_, "d");
+  d.HoldTicket(ticket_);
+  SUCCEED();
+}
+
+TEST_F(ClientTest, DestroyingHeldTicketDetachesFromClient) {
+  Client c(&table_, "c");
+  c.HoldTicket(ticket_);
+  c.SetActive(true);
+  table_.DestroyTicket(ticket_);
+  EXPECT_TRUE(c.tickets().empty());
+  EXPECT_TRUE(c.Value().IsZero());
+}
+
+}  // namespace
+}  // namespace lottery

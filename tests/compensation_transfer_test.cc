@@ -1,0 +1,192 @@
+// Tests for compensation tickets (Section 4.5) and ticket transfers
+// (Sections 3.1, 4.6).
+
+#include <gtest/gtest.h>
+
+#include "src/core/client.h"
+#include "src/core/compensation.h"
+#include "src/core/currency.h"
+#include "src/core/transfer.h"
+
+namespace lottery {
+namespace {
+
+class CompensationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    client_ = std::make_unique<Client>(&table_, "c");
+    client_->HoldTicket(table_.CreateTicket(table_.base(), 400));
+    client_->SetActive(true);
+  }
+  CurrencyTable table_;
+  std::unique_ptr<Client> client_;
+};
+
+TEST_F(CompensationTest, PaperExampleOneFifthQuantum) {
+  // Thread B uses 20 ms of a 100 ms quantum: value inflates 5x (400->2000).
+  CompensationPolicy policy;
+  policy.OnQuantumEnd(client_.get(), SimDuration::Millis(20),
+                      SimDuration::Millis(100));
+  EXPECT_EQ(client_->Value().base_units(), 2000);
+}
+
+TEST_F(CompensationTest, FullQuantumClearsCompensation) {
+  CompensationPolicy policy;
+  policy.OnQuantumEnd(client_.get(), SimDuration::Millis(20),
+                      SimDuration::Millis(100));
+  policy.OnQuantumEnd(client_.get(), SimDuration::Millis(100),
+                      SimDuration::Millis(100));
+  EXPECT_EQ(client_->Value().base_units(), 400);
+}
+
+TEST_F(CompensationTest, QuantumStartClearsCompensation) {
+  // "...until the thread starts its next quantum."
+  CompensationPolicy policy;
+  policy.OnQuantumEnd(client_.get(), SimDuration::Millis(50),
+                      SimDuration::Millis(100));
+  EXPECT_EQ(client_->Value().base_units(), 800);
+  policy.OnQuantumStart(client_.get());
+  EXPECT_EQ(client_->Value().base_units(), 400);
+}
+
+TEST_F(CompensationTest, ZeroUsageIsCapped) {
+  CompensationPolicy policy(CompensationPolicy::Options{true, 1000});
+  policy.OnQuantumEnd(client_.get(), SimDuration::Nanos(0),
+                      SimDuration::Millis(100));
+  EXPECT_EQ(client_->Value().base_units(), 400 * 1000);
+}
+
+TEST_F(CompensationTest, FactorCapApplies) {
+  CompensationPolicy policy(CompensationPolicy::Options{true, 10});
+  policy.OnQuantumEnd(client_.get(), SimDuration::Nanos(1),
+                      SimDuration::Millis(100));
+  EXPECT_EQ(client_->Value().base_units(), 4000);  // capped at 10x
+}
+
+TEST_F(CompensationTest, DisabledPolicyIsANoOp) {
+  CompensationPolicy policy(CompensationPolicy::Options{false, 1000});
+  policy.OnQuantumEnd(client_.get(), SimDuration::Millis(20),
+                      SimDuration::Millis(100));
+  EXPECT_EQ(client_->Value().base_units(), 400);
+}
+
+TEST_F(CompensationTest, OverfullUsageClears) {
+  CompensationPolicy policy;
+  client_->SetCompensation(3, 1);
+  policy.OnQuantumEnd(client_.get(), SimDuration::Millis(110),
+                      SimDuration::Millis(100));
+  EXPECT_FALSE(client_->has_compensation());
+}
+
+// --- Transfers ---------------------------------------------------------------
+
+class TransferTest : public ::testing::Test {
+ protected:
+  // client (holds 100% of client_cur, funded 800 base)
+  // server (holds 100% of server_cur, funded 200 base)
+  void SetUp() override {
+    client_cur_ = table_.CreateCurrency("client");
+    server_cur_ = table_.CreateCurrency("server");
+    table_.Fund(client_cur_, table_.CreateTicket(table_.base(), 800));
+    table_.Fund(server_cur_, table_.CreateTicket(table_.base(), 200));
+    client_ = std::make_unique<Client>(&table_, "client");
+    server_ = std::make_unique<Client>(&table_, "server");
+    client_->HoldTicket(table_.CreateTicket(client_cur_, 1000));
+    server_->HoldTicket(table_.CreateTicket(server_cur_, 1000));
+    client_->SetActive(true);
+    server_->SetActive(true);
+  }
+
+  CurrencyTable table_;
+  Currency* client_cur_ = nullptr;
+  Currency* server_cur_ = nullptr;
+  std::unique_ptr<Client> client_;
+  std::unique_ptr<Client> server_;
+};
+
+TEST_F(TransferTest, BaselineValues) {
+  EXPECT_EQ(client_->Value().base_units(), 800);
+  EXPECT_EQ(server_->Value().base_units(), 200);
+}
+
+TEST_F(TransferTest, BlockedClientFundsServerFully) {
+  // The RPC pattern: client blocks, its funding flows to the server.
+  TicketTransfer transfer(&table_, client_cur_, server_cur_, 1000);
+  client_->SetActive(false);  // client blocks awaiting the reply
+  // Transfer ticket is now 1000/1000 of client_cur's active amount, so the
+  // server currency gains the client's full 800 base.
+  EXPECT_EQ(server_->Value().base_units(), 1000);
+  EXPECT_EQ(client_->Value().base_units(), 0);
+}
+
+TEST_F(TransferTest, ActiveClientSplitsWithTransfer) {
+  // If the client keeps running (asynchronous case), the transfer only
+  // carries half the funding (1000 of 2000 active in client_cur).
+  TicketTransfer transfer(&table_, client_cur_, server_cur_, 1000);
+  EXPECT_EQ(server_->Value().base_units(), 600);  // 200 + 400
+  EXPECT_EQ(client_->Value().base_units(), 400);
+}
+
+TEST_F(TransferTest, DestroyingTransferRestoresFunding) {
+  {
+    TicketTransfer transfer(&table_, client_cur_, server_cur_, 1000);
+    client_->SetActive(false);
+    EXPECT_EQ(server_->Value().base_units(), 1000);
+  }
+  client_->SetActive(true);
+  EXPECT_EQ(server_->Value().base_units(), 200);
+  EXPECT_EQ(client_->Value().base_units(), 800);
+}
+
+TEST_F(TransferTest, ParkedTransferCarriesNothingUntilFunded) {
+  TicketTransfer transfer(&table_, client_cur_, nullptr, 1000);
+  EXPECT_FALSE(transfer.funded());
+  client_->SetActive(false);
+  EXPECT_EQ(server_->Value().base_units(), 200);
+  transfer.FundTarget(server_cur_);
+  EXPECT_TRUE(transfer.funded());
+  EXPECT_EQ(transfer.target(), server_cur_);
+  EXPECT_EQ(server_->Value().base_units(), 1000);
+}
+
+TEST_F(TransferTest, RetargetMovesFunding) {
+  Currency* other_cur = table_.CreateCurrency("other");
+  Client other(&table_, "other");
+  other.HoldTicket(table_.CreateTicket(other_cur, 1000));
+  other.SetActive(true);
+
+  TicketTransfer transfer(&table_, client_cur_, server_cur_, 1000);
+  client_->SetActive(false);
+  EXPECT_EQ(server_->Value().base_units(), 1000);
+  transfer.Retarget(other_cur);
+  EXPECT_EQ(server_->Value().base_units(), 200);
+  EXPECT_EQ(other.Value().base_units(), 800);
+}
+
+TEST_F(TransferTest, MoveSemanticsTransferOwnership) {
+  TicketTransfer a(&table_, client_cur_, server_cur_, 1000);
+  Ticket* raw = a.ticket();
+  TicketTransfer b = std::move(a);
+  EXPECT_EQ(b.ticket(), raw);
+  EXPECT_EQ(a.ticket(), nullptr);
+  b.Release();
+  EXPECT_EQ(b.ticket(), nullptr);
+}
+
+TEST_F(TransferTest, SplitTransfersAcrossTwoServers) {
+  // Section 3.1: "clients also have the ability to divide ticket transfers
+  // across multiple servers on which they may be waiting."
+  Currency* server2 = table_.CreateCurrency("server2");
+  Client worker2(&table_, "w2");
+  worker2.HoldTicket(table_.CreateTicket(server2, 1000));
+  worker2.SetActive(true);
+
+  TicketTransfer half1(&table_, client_cur_, server_cur_, 500);
+  TicketTransfer half2(&table_, client_cur_, server2, 500);
+  client_->SetActive(false);
+  EXPECT_EQ(server_->Value().base_units(), 200 + 400);
+  EXPECT_EQ(worker2.Value().base_units(), 400);
+}
+
+}  // namespace
+}  // namespace lottery

@@ -1,0 +1,188 @@
+// Tests for the user-level command interface (Section 4.7).
+
+#include "src/ctl/interpreter.h"
+
+#include <gtest/gtest.h>
+
+namespace lottery {
+namespace {
+
+const SimTime kT0 = SimTime::Zero();
+
+class CtlTest : public ::testing::Test {
+ protected:
+  CtlTest() : ctl_(&sched_) {}
+  LotteryScheduler sched_;
+  CommandInterpreter ctl_;
+};
+
+TEST_F(CtlTest, EmptyAndCommentLinesAreNoOps) {
+  EXPECT_EQ(ctl_.Execute(""), "");
+  EXPECT_EQ(ctl_.Execute("   "), "");
+  EXPECT_EQ(ctl_.Execute("# a comment"), "");
+  EXPECT_EQ(ctl_.Execute("mkcur alice # trailing comment"), "");
+  EXPECT_NE(sched_.table().FindCurrency("alice"), nullptr);
+}
+
+TEST_F(CtlTest, UnknownCommandThrows) {
+  EXPECT_THROW(ctl_.Execute("frobnicate"), CommandError);
+}
+
+TEST_F(CtlTest, HelpMentionsEveryCommand) {
+  const std::string help = ctl_.Execute("help");
+  for (const char* cmd : {"mkcur", "rmcur", "mktkt", "rmtkt", "fund",
+                          "unfund", "setamt", "fundthread", "lscur",
+                          "lstkt"}) {
+    EXPECT_NE(help.find(cmd), std::string::npos) << cmd;
+  }
+}
+
+TEST_F(CtlTest, MkcurRmcurRoundTrip) {
+  ctl_.Execute("mkcur alice");
+  EXPECT_NE(sched_.table().FindCurrency("alice"), nullptr);
+  ctl_.Execute("rmcur alice");
+  EXPECT_EQ(sched_.table().FindCurrency("alice"), nullptr);
+}
+
+TEST_F(CtlTest, MkcurUsageErrors) {
+  EXPECT_THROW(ctl_.Execute("mkcur"), CommandError);
+  EXPECT_THROW(ctl_.Execute("mkcur a b c"), CommandError);
+  ctl_.Execute("mkcur dup");
+  EXPECT_THROW(ctl_.Execute("mkcur dup"), CommandError);
+}
+
+TEST_F(CtlTest, MktktPrintsIdAndRmtktDestroys) {
+  const std::string out = ctl_.Execute("mktkt base 100");
+  ASSERT_EQ(out.rfind("ticket ", 0), 0u);
+  const std::string id = out.substr(7, out.size() - 8);
+  EXPECT_NE(sched_.table().FindTicket(std::stoull(id)), nullptr);
+  ctl_.Execute("rmtkt " + id);
+  EXPECT_EQ(sched_.table().FindTicket(std::stoull(id)), nullptr);
+}
+
+TEST_F(CtlTest, FundAndUnfund) {
+  ctl_.Execute("mkcur alice");
+  const std::string out = ctl_.Execute("mktkt base 500");
+  const std::string id = out.substr(7, out.size() - 8);
+  ctl_.Execute("fund alice " + id);
+  Currency* alice = sched_.table().FindCurrency("alice");
+  ASSERT_EQ(alice->backing().size(), 1u);
+  EXPECT_EQ(alice->backing()[0]->amount(), 500);
+  ctl_.Execute("unfund " + id);
+  EXPECT_TRUE(alice->backing().empty());
+}
+
+TEST_F(CtlTest, FundRejectsCycles) {
+  ctl_.Execute("mkcur a");
+  ctl_.Execute("mkcur b");
+  const std::string t1 = ctl_.Execute("mktkt b 10");
+  ctl_.Execute("fund a " + t1.substr(7, t1.size() - 8));
+  const std::string t2 = ctl_.Execute("mktkt a 10");
+  EXPECT_THROW(ctl_.Execute("fund b " + t2.substr(7, t2.size() - 8)),
+               CommandError);
+}
+
+TEST_F(CtlTest, SetamtInflates) {
+  const std::string out = ctl_.Execute("mktkt base 100");
+  const std::string id = out.substr(7, out.size() - 8);
+  ctl_.Execute("setamt " + id + " 900");
+  EXPECT_EQ(sched_.table().FindTicket(std::stoull(id))->amount(), 900);
+  EXPECT_THROW(ctl_.Execute("setamt " + id + " 0"), CommandError);
+  EXPECT_THROW(ctl_.Execute("setamt " + id + " banana"), CommandError);
+}
+
+TEST_F(CtlTest, AclEnforcedByPrincipal) {
+  ctl_.Execute("mkcur alice alice");
+  EXPECT_THROW(ctl_.Execute("mktkt alice 100", "mallory"), CommandError);
+  EXPECT_NO_THROW(ctl_.Execute("mktkt alice 100", "alice"));
+}
+
+TEST_F(CtlTest, FundthreadFundsARealThread) {
+  sched_.AddThread(7, kT0);
+  ctl_.Execute("fundthread 7 base 300");
+  sched_.OnReady(7, kT0);
+  EXPECT_EQ(sched_.ThreadValue(7).base_units(), 300);
+  EXPECT_THROW(ctl_.Execute("fundthread 99 base 1"), CommandError);
+  EXPECT_THROW(ctl_.Execute("fundthread x base 1"), CommandError);
+}
+
+TEST_F(CtlTest, LscurShowsGraph) {
+  ctl_.ExecuteScript(R"(
+    mkcur alice bob
+    mktkt base 1000
+    fund alice 1
+  )");
+  const std::string out = ctl_.Execute("lscur");
+  EXPECT_NE(out.find("base"), std::string::npos);
+  EXPECT_NE(out.find("alice"), std::string::npos);
+  EXPECT_NE(out.find("1000.base"), std::string::npos);
+  // Filtered form.
+  const std::string filtered = ctl_.Execute("lscur alice");
+  EXPECT_EQ(filtered.find("base  "), std::string::npos);
+  EXPECT_THROW(ctl_.Execute("lscur nosuch"), CommandError);
+}
+
+TEST_F(CtlTest, LstktShowsAttachmentAndState) {
+  ctl_.Execute("mkcur alice");
+  ctl_.ExecuteScript("mktkt base 1000\nfund alice 1\nmktkt alice 25\n");
+  const std::string out = ctl_.Execute("lstkt");
+  EXPECT_NE(out.find("funds alice"), std::string::npos);
+  EXPECT_NE(out.find("unattached"), std::string::npos);
+  EXPECT_NE(out.find("inactive"), std::string::npos);
+  // Filter by currency.
+  const std::string filtered = ctl_.Execute("lstkt alice");
+  EXPECT_EQ(filtered.find("1000"), std::string::npos);
+  EXPECT_NE(filtered.find("25"), std::string::npos);
+  EXPECT_THROW(ctl_.Execute("lstkt nosuch"), CommandError);
+}
+
+TEST_F(CtlTest, DotDumpsGraphviz) {
+  ctl_.Execute("mkcur alice");
+  ctl_.ExecuteScript("mktkt base 500\nfund alice 1\n");
+  const std::string dot = ctl_.Execute("dot");
+  EXPECT_NE(dot.find("digraph currencies"), std::string::npos);
+  EXPECT_NE(dot.find("\"alice\" -> \"base\""), std::string::npos);
+}
+
+TEST_F(CtlTest, LscurShowsExchangeRate) {
+  sched_.AddThread(1, kT0);  // allocates the thread's self ticket first
+  ctl_.Execute("mkcur alice");
+  const std::string out_id = ctl_.Execute("mktkt base 600");
+  ctl_.Execute("fund alice " + out_id.substr(7, out_id.size() - 8));
+  ctl_.Execute("fundthread 1 alice 300");
+  sched_.OnReady(1, kT0);
+  const std::string out = ctl_.Execute("lscur alice");
+  EXPECT_NE(out.find("2.000"), std::string::npos);  // 600 base / 300 active
+}
+
+TEST_F(CtlTest, ScriptStopsAtFirstError) {
+  EXPECT_THROW(ctl_.ExecuteScript("mkcur ok\nbogus command\nmkcur never"),
+               CommandError);
+  EXPECT_NE(sched_.table().FindCurrency("ok"), nullptr);
+  EXPECT_EQ(sched_.table().FindCurrency("never"), nullptr);
+}
+
+TEST_F(CtlTest, EndToEndSessionMatchesPaperWorkflow) {
+  // The paper's Figure 3 organization, driven entirely via commands.
+  // (Thread creation allocates self tickets, so ids are parsed from the
+  // mktkt output rather than assumed.)
+  sched_.AddThread(1, kT0);
+  sched_.AddThread(2, kT0);
+  auto make_ticket = [&](const std::string& cmd) {
+    const std::string out = ctl_.Execute(cmd);
+    return out.substr(7, out.size() - 8);
+  };
+  ctl_.Execute("mkcur alice");
+  ctl_.Execute("mkcur bob");
+  ctl_.Execute("fund alice " + make_ticket("mktkt base 2000"));
+  ctl_.Execute("fund bob " + make_ticket("mktkt base 1000"));
+  ctl_.Execute("fundthread 1 alice 100");
+  ctl_.Execute("fundthread 2 bob 100");
+  sched_.OnReady(1, kT0);
+  sched_.OnReady(2, kT0);
+  EXPECT_EQ(sched_.ThreadValue(1).base_units(), 2000);
+  EXPECT_EQ(sched_.ThreadValue(2).base_units(), 1000);
+}
+
+}  // namespace
+}  // namespace lottery

@@ -1,0 +1,237 @@
+// Property/fuzz tests for the currency graph: random operation sequences
+// must preserve the Section 4.4 bookkeeping invariants at every step.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/core/client.h"
+#include "src/core/currency.h"
+#include "src/util/fastrand.h"
+
+namespace lottery {
+namespace {
+
+// Checks every structural invariant the activation/value machinery relies
+// on. Called after every mutation in the fuzz loop.
+void CheckInvariants(const CurrencyTable& table,
+                     const std::vector<std::unique_ptr<Client>>& clients) {
+  for (const Currency* c : table.Currencies()) {
+    int64_t active_sum = 0;
+    int64_t issued_sum = 0;
+    for (const Ticket* t : c->issued()) {
+      issued_sum += t->amount();
+      if (t->active()) {
+        active_sum += t->amount();
+      }
+      // Issued tickets must point back at their denomination.
+      ASSERT_EQ(t->denomination(), c);
+    }
+    ASSERT_EQ(c->active_amount(), active_sum) << "currency " << c->name();
+    ASSERT_EQ(c->issued_amount(), issued_sum) << "currency " << c->name();
+    ASSERT_GE(c->active_amount(), 0);
+    // Backing tickets' activation matches the currency's activity.
+    for (const Ticket* b : c->backing()) {
+      ASSERT_EQ(b->funds(), c);
+      ASSERT_EQ(b->active(), c->active_amount() > 0)
+          << "backing of " << c->name();
+    }
+    // Values are non-negative and memoization is consistent with a fresh
+    // computation (second call must agree with the first).
+    const Funding v1 = table.CurrencyValue(c);
+    const Funding v2 = table.CurrencyValue(c);
+    ASSERT_EQ(v1, v2);
+    ASSERT_GE(v1.raw(), 0);
+  }
+  // Held tickets follow their holder's activity; unattached are inactive.
+  for (const Ticket* t : table.Tickets()) {
+    if (t->holder() != nullptr) {
+      ASSERT_EQ(t->active(), t->holder()->active());
+      ASSERT_EQ(t->funds(), nullptr);
+    } else if (t->funds() == nullptr) {
+      ASSERT_FALSE(t->active());
+    }
+  }
+  // Conservation: total client value never exceeds the base currency's
+  // active funding (truncation only loses value, never creates it).
+  __int128 total_client_raw = 0;
+  for (const auto& c : clients) {
+    total_client_raw += c->Value().raw();
+  }
+  const __int128 base_raw =
+      static_cast<__int128>(table.base()->active_amount()) * Funding::kOne;
+  ASSERT_LE(total_client_raw, base_raw);
+}
+
+class CurrencyFuzz : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(CurrencyFuzz, RandomOperationSequencePreservesInvariants) {
+  FastRand rng(GetParam());
+  CurrencyTable table;
+  std::vector<std::unique_ptr<Client>> clients;
+  int name_counter = 0;
+
+  auto random_currency = [&]() -> Currency* {
+    const auto all = table.Currencies();
+    return all[rng.NextBelow(static_cast<uint32_t>(all.size()))];
+  };
+  auto random_ticket = [&]() -> Ticket* {
+    const auto all = table.Tickets();
+    if (all.empty()) {
+      return nullptr;
+    }
+    return all[rng.NextBelow(static_cast<uint32_t>(all.size()))];
+  };
+
+  for (int step = 0; step < 600; ++step) {
+    const uint32_t op = rng.NextBelow(10);
+    try {
+      switch (op) {
+        case 0:  // create currency
+          if (table.num_currencies() < 12) {
+            table.CreateCurrency("cur" + std::to_string(name_counter++));
+          }
+          break;
+        case 1:  // create ticket
+          if (table.num_tickets() < 60) {
+            table.CreateTicket(random_currency(),
+                               1 + rng.NextBelow(1000));
+          }
+          break;
+        case 2: {  // fund (may be rejected: cycle / attached / base)
+          Ticket* t = random_ticket();
+          if (t != nullptr) {
+            table.Fund(random_currency(), t);
+          }
+          break;
+        }
+        case 3: {  // unfund
+          Ticket* t = random_ticket();
+          if (t != nullptr && t->funds() != nullptr) {
+            table.Unfund(t);
+          }
+          break;
+        }
+        case 4: {  // destroy ticket
+          Ticket* t = random_ticket();
+          if (t != nullptr) {
+            table.DestroyTicket(t);
+          }
+          break;
+        }
+        case 5: {  // inflate/deflate
+          Ticket* t = random_ticket();
+          if (t != nullptr) {
+            table.SetAmount(t, 1 + rng.NextBelow(2000));
+          }
+          break;
+        }
+        case 6:  // create client
+          if (clients.size() < 16) {
+            clients.push_back(std::make_unique<Client>(
+                &table, "client" + std::to_string(name_counter++)));
+          }
+          break;
+        case 7: {  // hold a ticket
+          Ticket* t = random_ticket();
+          if (t != nullptr && !clients.empty() && t->holder() == nullptr &&
+              t->funds() == nullptr) {
+            clients[rng.NextBelow(static_cast<uint32_t>(clients.size()))]
+                ->HoldTicket(t);
+          }
+          break;
+        }
+        case 8: {  // release a held ticket
+          if (!clients.empty()) {
+            Client* c = clients[rng.NextBelow(
+                                    static_cast<uint32_t>(clients.size()))]
+                            .get();
+            if (!c->tickets().empty()) {
+              c->ReleaseTicket(c->tickets()[rng.NextBelow(
+                  static_cast<uint32_t>(c->tickets().size()))]);
+            }
+          }
+          break;
+        }
+        case 9: {  // toggle a client's activity
+          if (!clients.empty()) {
+            Client* c = clients[rng.NextBelow(
+                                    static_cast<uint32_t>(clients.size()))]
+                            .get();
+            c->SetActive(!c->active());
+          }
+          break;
+        }
+      }
+    } catch (const std::invalid_argument&) {
+      // Legitimately rejected operation (cycle, double-attach, base fund);
+      // the table must still be fully consistent.
+    }
+    CheckInvariants(table, clients);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CurrencyFuzz,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u,
+                                           55u, 89u));
+
+// Deep chains: activation and valuation through a linear chain of N
+// currencies stay exact.
+class DeepChain : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeepChain, ValueSurvivesDepth) {
+  const int depth = GetParam();
+  CurrencyTable table;
+  Currency* parent = table.base();
+  Currency* leaf = nullptr;
+  for (int i = 0; i < depth; ++i) {
+    leaf = table.CreateCurrency("level" + std::to_string(i));
+    Ticket* backing = (i == 0)
+                          ? table.CreateTicket(table.base(), 4096)
+                          : table.CreateTicket(parent, 100);
+    table.Fund(leaf, backing);
+    parent = leaf;
+  }
+  Client client(&table, "deep");
+  client.HoldTicket(table.CreateTicket(leaf, 7));
+  client.SetActive(true);
+  // Sole chain: every level passes 100% of its funding down.
+  EXPECT_EQ(client.Value().base_units(), 4096);
+  client.SetActive(false);
+  EXPECT_EQ(table.base()->active_amount(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, DeepChain,
+                         ::testing::Values(1, 2, 3, 5, 10, 20, 40));
+
+// Wide fan-out: N siblings share a currency exactly.
+class WideFanout : public ::testing::TestWithParam<int> {};
+
+TEST_P(WideFanout, SharesSumToWhole) {
+  const int n = GetParam();
+  CurrencyTable table;
+  Currency* cur = table.CreateCurrency("shared");
+  table.Fund(cur, table.CreateTicket(table.base(), 1 << 20));
+  std::vector<std::unique_ptr<Client>> clients;
+  for (int i = 0; i < n; ++i) {
+    clients.push_back(
+        std::make_unique<Client>(&table, "c" + std::to_string(i)));
+    clients.back()->HoldTicket(table.CreateTicket(cur, 1 + (i % 7)));
+    clients.back()->SetActive(true);
+  }
+  __int128 sum = 0;
+  for (const auto& c : clients) {
+    sum += c->Value().raw();
+  }
+  const __int128 whole = static_cast<__int128>(1 << 20) * Funding::kOne;
+  // Truncation may lose at most one raw unit per client.
+  EXPECT_LE(sum, whole);
+  EXPECT_GE(sum, whole - n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, WideFanout,
+                         ::testing::Values(1, 2, 3, 10, 50, 200));
+
+}  // namespace
+}  // namespace lottery

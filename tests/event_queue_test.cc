@@ -1,0 +1,96 @@
+#include "src/sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace lottery {
+namespace {
+
+SimTime At(int64_t ms) { return SimTime::Zero() + SimDuration::Millis(ms); }
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(At(30), [&](SimTime) { order.push_back(3); });
+  q.Schedule(At(10), [&](SimTime) { order.push_back(1); });
+  q.Schedule(At(20), [&](SimTime) { order.push_back(2); });
+  EXPECT_EQ(q.RunUntil(At(100)), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoTieBreak) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(At(10), [&](SimTime) { order.push_back(1); });
+  q.Schedule(At(10), [&](SimTime) { order.push_back(2); });
+  q.Schedule(At(10), [&](SimTime) { order.push_back(3); });
+  q.RunUntil(At(10));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, RespectsLimit) {
+  EventQueue q;
+  int ran = 0;
+  q.Schedule(At(10), [&](SimTime) { ++ran; });
+  q.Schedule(At(20), [&](SimTime) { ++ran; });
+  EXPECT_EQ(q.RunUntil(At(15)), 1u);
+  EXPECT_EQ(ran, 1);
+  EXPECT_FALSE(q.empty());
+  EXPECT_EQ(q.next_time(), At(20));
+}
+
+TEST(EventQueue, HandlerReceivesItsTimestamp) {
+  EventQueue q;
+  SimTime seen;
+  q.Schedule(At(42), [&](SimTime when) { seen = when; });
+  q.RunUntil(At(100));
+  EXPECT_EQ(seen, At(42));
+}
+
+TEST(EventQueue, HandlersMayScheduleWithinLimit) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(At(10), [&](SimTime) {
+    order.push_back(1);
+    q.Schedule(At(15), [&](SimTime) { order.push_back(2); });
+  });
+  q.RunUntil(At(20));
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  int ran = 0;
+  const auto id = q.Schedule(At(10), [&](SimTime) { ++ran; });
+  q.Schedule(At(20), [&](SimTime) { ++ran; });
+  q.Cancel(id);
+  EXPECT_EQ(q.RunUntil(At(100)), 1u);
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(EventQueue, CancelledHeadDoesNotBlockEmptyAndNextTime) {
+  EventQueue q;
+  const auto id = q.Schedule(At(10), [](SimTime) {});
+  q.Schedule(At(20), [](SimTime) {});
+  q.Cancel(id);
+  EXPECT_FALSE(q.empty());
+  EXPECT_EQ(q.next_time(), At(20));
+}
+
+TEST(EventQueue, CancelUnknownIsNoOp) {
+  EventQueue q;
+  q.Cancel(9999);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, EmptyAfterDraining) {
+  EventQueue q;
+  q.Schedule(At(5), [](SimTime) {});
+  q.RunUntil(At(5));
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.RunUntil(At(100)), 0u);
+}
+
+}  // namespace
+}  // namespace lottery

@@ -1,0 +1,67 @@
+#include "src/core/funding.h"
+
+#include <gtest/gtest.h>
+
+namespace lottery {
+namespace {
+
+TEST(Funding, BaseRoundTrip) {
+  const Funding f = Funding::FromBase(1234);
+  EXPECT_EQ(f.base_units(), 1234);
+  EXPECT_DOUBLE_EQ(f.ToBaseF(), 1234.0);
+  EXPECT_EQ(f.raw(), 1234 * Funding::kOne);
+}
+
+TEST(Funding, ZeroAndComparisons) {
+  EXPECT_TRUE(Funding::Zero().IsZero());
+  EXPECT_LT(Funding::FromBase(1), Funding::FromBase(2));
+  EXPECT_EQ(Funding::FromBase(5), Funding::FromBase(5));
+  EXPECT_GT(Funding::FromBase(-1), Funding::FromBase(-2));
+}
+
+TEST(Funding, AdditionSubtraction) {
+  Funding a = Funding::FromBase(10);
+  const Funding b = Funding::FromBase(4);
+  EXPECT_EQ((a + b).base_units(), 14);
+  EXPECT_EQ((a - b).base_units(), 6);
+  a += b;
+  EXPECT_EQ(a.base_units(), 14);
+  a -= b;
+  EXPECT_EQ(a.base_units(), 10);
+}
+
+TEST(Funding, ScaleByExactRatios) {
+  const Funding f = Funding::FromBase(3000);
+  EXPECT_EQ(f.ScaleBy(200, 300).base_units(), 2000);
+  EXPECT_EQ(f.ScaleBy(1, 3).raw(), 3000 * Funding::kOne / 3);
+}
+
+TEST(Funding, ScaleByPreservesFractions) {
+  // 1 base unit split 3 ways then re-summed loses < 3 raw ulps, not whole
+  // units (the reason Funding exists).
+  const Funding f = Funding::FromBase(1);
+  const Funding third = f.ScaleBy(1, 3);
+  const Funding rebuilt = third + third + third;
+  EXPECT_GE(rebuilt.raw(), f.raw() - 3);
+  EXPECT_LE(rebuilt.raw(), f.raw());
+}
+
+TEST(Funding, ScaleByLargeValuesNoOverflow) {
+  // 10^9 base units scaled by a big ratio uses 128-bit intermediates.
+  const Funding f = Funding::FromBase(1000000000);
+  const Funding scaled = f.ScaleBy(999999, 1000000);
+  EXPECT_NEAR(scaled.ToBaseF(), 999999000.0, 1.0);
+}
+
+TEST(Funding, CompensationStyleInflation) {
+  // Section 4.5 example: 400 base units at 1/5 quantum use -> 2000.
+  const Funding f = Funding::FromBase(400);
+  EXPECT_EQ(f.ScaleBy(100, 20).base_units(), 2000);
+}
+
+TEST(Funding, ToStringMentionsBase) {
+  EXPECT_EQ(Funding::FromBase(2).ToString(), "2.000 base");
+}
+
+}  // namespace
+}  // namespace lottery

@@ -1,0 +1,150 @@
+// Tests for the Figure 2/3 currency-hierarchy builders.
+
+#include "src/core/hierarchy.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/sim/kernel.h"
+#include "src/workloads/compute.h"
+
+namespace lottery {
+namespace {
+
+const SimTime kT0 = SimTime::Zero();
+
+TEST(Hierarchy, UserCreatesOwnedFundedCurrency) {
+  LotteryScheduler sched;
+  UserAccount alice(&sched, "alice", 2000);
+  EXPECT_EQ(alice.currency()->owner(), "alice");
+  EXPECT_EQ(alice.base_amount(), 2000);
+  ASSERT_EQ(alice.currency()->backing().size(), 1u);
+  EXPECT_EQ(alice.currency()->backing()[0]->amount(), 2000);
+}
+
+TEST(Hierarchy, UserDestructorRetiresCurrency) {
+  LotteryScheduler sched;
+  {
+    UserAccount alice(&sched, "alice", 1000);
+  }
+  EXPECT_EQ(sched.table().FindCurrency("alice"), nullptr);
+  EXPECT_EQ(sched.table().num_tickets(), 0u);
+}
+
+TEST(Hierarchy, Figure3ObjectGraph) {
+  // Reproduces Figure 3 exactly through the builder API and checks the
+  // same thread values the paper lists.
+  LotteryScheduler sched;
+  UserAccount alice(&sched, "alice", 2000);
+  UserAccount bob(&sched, "bob", 1000);
+  TaskAccount* task1 = alice.CreateTask("task1", 100);
+  TaskAccount* task2 = alice.CreateTask("task2", 200);
+  TaskAccount* task3 = bob.CreateTask("task3", 100);
+
+  sched.AddThread(1, kT0);  // thread1 in task1 (inactive)
+  sched.AddThread(2, kT0);  // thread2: 300.task2
+  sched.AddThread(3, kT0);  // thread3: 200.task2
+  sched.AddThread(4, kT0);  // thread4: 100.task3
+  task1->FundThread(1, 100);
+  task2->FundThread(2, 300);
+  task2->FundThread(3, 200);
+  task3->FundThread(4, 100);
+
+  sched.OnReady(2, kT0);
+  sched.OnReady(3, kT0);
+  sched.OnReady(4, kT0);
+  // Figure 3's stated values with thread1 inactive:
+  EXPECT_EQ(sched.ThreadValue(2).base_units(), 1200);
+  EXPECT_EQ(sched.ThreadValue(3).base_units(), 800);
+  EXPECT_EQ(sched.ThreadValue(4).base_units(), 1000);
+  // thread2 + thread3 carry all of alice; thread4 all of bob.
+  EXPECT_DOUBLE_EQ(sched.table().ExchangeRate(task2->currency()), 4.0);
+}
+
+TEST(Hierarchy, TaskInflationInsulatedWithinUser) {
+  LotteryScheduler sched;
+  UserAccount alice(&sched, "alice", 1000);
+  UserAccount bob(&sched, "bob", 1000);
+  TaskAccount* a_task = alice.CreateTask("work", 100);
+  TaskAccount* b_task = bob.CreateTask("work", 100);
+  sched.AddThread(1, kT0);
+  sched.AddThread(2, kT0);
+  a_task->FundThread(1, 100);
+  b_task->FundThread(2, 100);
+  sched.OnReady(1, kT0);
+  sched.OnReady(2, kT0);
+  EXPECT_EQ(sched.ThreadValue(1).base_units(), 1000);
+  // Alice quadruples her task's share of... herself: no effect on bob.
+  a_task->SetAmount(400);
+  EXPECT_EQ(sched.ThreadValue(1).base_units(), 1000);
+  EXPECT_EQ(sched.ThreadValue(2).base_units(), 1000);
+  // But a second alice task dilutes only alice's first task.
+  TaskAccount* a_task2 = alice.CreateTask("more", 400);
+  sched.AddThread(3, kT0);
+  a_task2->FundThread(3, 100);
+  sched.OnReady(3, kT0);
+  EXPECT_EQ(sched.ThreadValue(1).base_units(), 500);
+  EXPECT_EQ(sched.ThreadValue(3).base_units(), 500);
+  EXPECT_EQ(sched.ThreadValue(2).base_units(), 1000);
+}
+
+TEST(Hierarchy, DestroyTaskReturnsShareToSiblings) {
+  LotteryScheduler sched;
+  UserAccount alice(&sched, "alice", 900);
+  TaskAccount* keep = alice.CreateTask("keep", 100);
+  TaskAccount* drop = alice.CreateTask("drop", 200);
+  sched.AddThread(1, kT0);
+  keep->FundThread(1, 50);
+  sched.OnReady(1, kT0);
+  // "drop" has no active threads yet, so it does not dilute (Section 4.4's
+  // inactive-sibling rule): thread1 carries all of alice.
+  EXPECT_EQ(sched.ThreadValue(1).base_units(), 900);
+  sched.AddThread(2, kT0);
+  drop->FundThread(2, 50);
+  sched.OnReady(2, kT0);
+  EXPECT_EQ(sched.ThreadValue(1).base_units(), 300);  // 100/300 of 900
+  EXPECT_EQ(sched.ThreadValue(2).base_units(), 600);
+  // Retire the second task's thread, then the task; the survivor's value
+  // grows back to the whole user.
+  sched.OnBlocked(2, kT0);
+  sched.RemoveThread(2, kT0);
+  alice.DestroyTask(drop);
+  EXPECT_EQ(sched.ThreadValue(1).base_units(), 900);
+}
+
+TEST(Hierarchy, AclStopsForeignFunding) {
+  LotteryScheduler sched;
+  UserAccount alice(&sched, "alice", 1000);
+  // Direct table access as another principal is refused.
+  EXPECT_THROW(sched.table().CreateTicket(alice.currency(), 10, "mallory"),
+               std::invalid_argument);
+  // The account's own API threads the right principal through.
+  sched.AddThread(1, kT0);
+  EXPECT_NO_THROW(alice.FundThread(1, 10));
+}
+
+TEST(Hierarchy, EndToEndSimulationSharesFollowHierarchy) {
+  LotteryScheduler::Options lopts;
+  lopts.seed = 23;
+  LotteryScheduler sched(lopts);
+  Tracer tracer(SimDuration::Seconds(1));
+  Kernel::Options kopts;
+  kopts.quantum = SimDuration::Millis(100);
+  Kernel kernel(&sched, kopts, &tracer);
+
+  UserAccount alice(&sched, "alice", 3000);
+  UserAccount bob(&sched, "bob", 1000);
+  TaskAccount* sim = alice.CreateTask("sim", 100);
+  const ThreadId a1 = kernel.Spawn("a1", std::make_unique<ComputeTask>());
+  sim->FundThread(a1, 100);
+  const ThreadId b1 = kernel.Spawn("b1", std::make_unique<ComputeTask>());
+  bob.FundThread(b1, 100);
+  kernel.RunFor(SimDuration::Seconds(120));
+  const double ratio = static_cast<double>(tracer.TotalProgress(a1)) /
+                       static_cast<double>(tracer.TotalProgress(b1));
+  EXPECT_NEAR(ratio, 3.0, 0.4);
+}
+
+}  // namespace
+}  // namespace lottery

@@ -1,0 +1,106 @@
+#include "src/core/inverse_lottery.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "src/util/stats.h"
+
+namespace lottery {
+namespace {
+
+TEST(InverseLottery, EmptyIsNullopt) {
+  FastRand rng(1);
+  EXPECT_FALSE(DrawInverse({}, rng).has_value());
+}
+
+TEST(InverseLottery, SingleClientAlwaysLoses) {
+  FastRand rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(DrawInverse({42}, rng).value(), 0u);
+  }
+  EXPECT_DOUBLE_EQ(InverseLossProbability({42}, 0), 1.0);
+}
+
+TEST(InverseLottery, MonopolistNeverLoses) {
+  // A client holding all tickets has loss probability exactly zero.
+  FastRand rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_NE(DrawInverse({100, 0, 0}, rng).value(), 0u);
+  }
+  EXPECT_DOUBLE_EQ(InverseLossProbability({100, 0, 0}, 0), 0.0);
+}
+
+TEST(InverseLottery, ProbabilitiesSumToOne) {
+  const std::vector<uint64_t> weights = {5, 3, 2, 7, 1};
+  double sum = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    sum += InverseLossProbability(weights, i);
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(InverseLottery, FormulaMatchesPaper) {
+  // p_i = (1/(n-1)) (1 - t_i/T); n = 3, T = 10, t = {5, 3, 2}.
+  const std::vector<uint64_t> w = {5, 3, 2};
+  EXPECT_NEAR(InverseLossProbability(w, 0), 0.5 * (1 - 0.5), 1e-12);
+  EXPECT_NEAR(InverseLossProbability(w, 1), 0.5 * (1 - 0.3), 1e-12);
+  EXPECT_NEAR(InverseLossProbability(w, 2), 0.5 * (1 - 0.2), 1e-12);
+}
+
+TEST(InverseLottery, EqualWeightsAreUniform) {
+  const std::vector<uint64_t> w = {4, 4, 4, 4};
+  for (size_t i = 0; i < w.size(); ++i) {
+    EXPECT_NEAR(InverseLossProbability(w, i), 0.25, 1e-12);
+  }
+}
+
+TEST(InverseLottery, AllZeroWeightsAreUniform) {
+  const std::vector<uint64_t> w = {0, 0, 0};
+  FastRand rng(3);
+  std::map<size_t, int> losses;
+  for (int i = 0; i < 30000; ++i) {
+    ++losses[DrawInverse(w, rng).value()];
+  }
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(losses[i] / 30000.0, 1.0 / 3.0, 0.02);
+  }
+}
+
+TEST(InverseLottery, EmpiricalFrequenciesMatchFormula) {
+  const std::vector<uint64_t> weights = {10, 5, 3, 2};
+  FastRand rng(20250101);
+  constexpr int kDraws = 200000;
+  std::vector<int64_t> losses(weights.size(), 0);
+  for (int i = 0; i < kDraws; ++i) {
+    ++losses[DrawInverse(weights, rng).value()];
+  }
+  std::vector<double> expected;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    expected.push_back(kDraws * InverseLossProbability(weights, i));
+  }
+  EXPECT_LT(ChiSquareStatistic(losses, expected),
+            ChiSquareCritical(static_cast<int>(weights.size()) - 1, 0.001));
+}
+
+TEST(InverseLottery, MoreTicketsMeansFewerLosses) {
+  const std::vector<uint64_t> weights = {20, 10};
+  FastRand rng(7);
+  int64_t rich_losses = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (DrawInverse(weights, rng).value() == 0) {
+      ++rich_losses;
+    }
+  }
+  // p_rich = 1 - 20/30 = 1/3; p_poor = 2/3.
+  EXPECT_NEAR(static_cast<double>(rich_losses) / kDraws, 1.0 / 3.0, 0.01);
+}
+
+TEST(InverseLottery, IndexOutOfRangeThrows) {
+  EXPECT_THROW(InverseLossProbability({1, 2}, 2), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace lottery

@@ -1,0 +1,171 @@
+#include "src/core/lottery_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace lottery {
+namespace {
+
+const SimTime kT0 = SimTime::Zero();
+const SimDuration kQuantum = SimDuration::Millis(100);
+
+TEST(LotteryScheduler, EmptyPicksInvalid) {
+  LotteryScheduler sched;
+  EXPECT_EQ(sched.PickNext(kT0), kInvalidThreadId);
+}
+
+TEST(LotteryScheduler, AddCreatesThreadCurrencyAndClient) {
+  LotteryScheduler sched;
+  sched.AddThread(1, kT0);
+  EXPECT_NE(sched.thread_currency(1), nullptr);
+  EXPECT_NE(sched.client(1), nullptr);
+  EXPECT_EQ(sched.thread_currency(1)->name(), "thread:1");
+  EXPECT_THROW(sched.AddThread(1, kT0), std::invalid_argument);
+}
+
+TEST(LotteryScheduler, UnknownThreadThrows) {
+  LotteryScheduler sched;
+  EXPECT_THROW(sched.OnReady(9, kT0), std::invalid_argument);
+  EXPECT_THROW(sched.thread_currency(9), std::invalid_argument);
+}
+
+TEST(LotteryScheduler, SingleReadyThreadAlwaysPicked) {
+  LotteryScheduler sched;
+  sched.AddThread(1, kT0);
+  sched.FundThread(1, sched.table().base(), 100);
+  sched.OnReady(1, kT0);
+  EXPECT_EQ(sched.PickNext(kT0), 1u);
+  // Picked thread is dequeued.
+  EXPECT_EQ(sched.PickNext(kT0), kInvalidThreadId);
+}
+
+TEST(LotteryScheduler, ProportionsFollowFunding) {
+  LotteryScheduler::Options opts;
+  opts.seed = 777;
+  LotteryScheduler sched(opts);
+  sched.AddThread(1, kT0);
+  sched.AddThread(2, kT0);
+  sched.FundThread(1, sched.table().base(), 300);
+  sched.FundThread(2, sched.table().base(), 100);
+  std::map<ThreadId, int> wins;
+  constexpr int kRounds = 20000;
+  for (int i = 0; i < kRounds; ++i) {
+    sched.OnReady(1, kT0);
+    sched.OnReady(2, kT0);
+    const ThreadId w = sched.PickNext(kT0);
+    ++wins[w];
+    // Clean up queue for next round.
+    sched.OnBlocked(1, kT0);
+    sched.OnBlocked(2, kT0);
+  }
+  EXPECT_NEAR(static_cast<double>(wins[1]) / kRounds, 0.75, 0.02);
+  EXPECT_EQ(sched.num_lotteries(), static_cast<uint64_t>(kRounds));
+}
+
+TEST(LotteryScheduler, BlockedThreadValueIsZero) {
+  LotteryScheduler sched;
+  sched.AddThread(1, kT0);
+  sched.FundThread(1, sched.table().base(), 500);
+  EXPECT_TRUE(sched.ThreadValue(1).IsZero());
+  sched.OnReady(1, kT0);
+  EXPECT_EQ(sched.ThreadValue(1).base_units(), 500);
+  sched.OnBlocked(1, kT0);
+  EXPECT_TRUE(sched.ThreadValue(1).IsZero());
+}
+
+TEST(LotteryScheduler, CompensationGrantedAndClearedOnDispatch) {
+  LotteryScheduler sched;
+  sched.AddThread(1, kT0);
+  sched.FundThread(1, sched.table().base(), 400);
+  sched.OnReady(1, kT0);
+  ASSERT_EQ(sched.PickNext(kT0), 1u);
+  // Used 1/5 of the quantum.
+  sched.OnQuantumEnd(1, SimDuration::Millis(20), kQuantum, kT0);
+  sched.OnReady(1, kT0);
+  EXPECT_EQ(sched.ThreadValue(1).base_units(), 2000);
+  // Dispatch clears it ("starts its next quantum").
+  ASSERT_EQ(sched.PickNext(kT0), 1u);
+  EXPECT_EQ(sched.ThreadValue(1).base_units(), 400);
+}
+
+TEST(LotteryScheduler, CompensationCanBeDisabled) {
+  LotteryScheduler::Options opts;
+  opts.compensation.enabled = false;
+  LotteryScheduler sched(opts);
+  sched.AddThread(1, kT0);
+  sched.FundThread(1, sched.table().base(), 400);
+  sched.OnReady(1, kT0);
+  ASSERT_EQ(sched.PickNext(kT0), 1u);
+  sched.OnQuantumEnd(1, SimDuration::Millis(20), kQuantum, kT0);
+  sched.OnReady(1, kT0);
+  EXPECT_EQ(sched.ThreadValue(1).base_units(), 400);
+}
+
+TEST(LotteryScheduler, ZeroFundingFallsBackToRoundRobin) {
+  LotteryScheduler sched;
+  sched.AddThread(1, kT0);
+  sched.AddThread(2, kT0);
+  // No funding beyond self tickets in unfunded thread currencies: all
+  // values are zero.
+  sched.OnReady(1, kT0);
+  sched.OnReady(2, kT0);
+  const ThreadId first = sched.PickNext(kT0);
+  sched.OnReady(first, kT0);
+  const ThreadId second = sched.PickNext(kT0);
+  EXPECT_NE(first, second);  // rotation, not starvation
+  EXPECT_GE(sched.num_zero_fallbacks(), 2u);
+}
+
+TEST(LotteryScheduler, RemoveThreadCleansUpCurrencyGraph) {
+  LotteryScheduler sched;
+  sched.AddThread(1, kT0);
+  Currency* user = sched.table().CreateCurrency("user");
+  sched.table().Fund(user, sched.table().CreateTicket(sched.table().base(),
+                                                      1000));
+  sched.FundThread(1, user, 100);
+  const size_t tickets_before = sched.table().num_tickets();
+  sched.OnReady(1, kT0);
+  sched.RemoveThread(1, kT0);
+  EXPECT_EQ(sched.table().FindCurrency("thread:1"), nullptr);
+  // Self ticket + funding ticket retired.
+  EXPECT_EQ(sched.table().num_tickets(), tickets_before - 2);
+  EXPECT_THROW(sched.client(1), std::invalid_argument);
+}
+
+TEST(LotteryScheduler, HierarchicalFundingIsProportional) {
+  // Two users with 2:1 base funding; each runs one thread.
+  LotteryScheduler::Options opts;
+  opts.seed = 31;
+  LotteryScheduler sched(opts);
+  Currency* alice = sched.table().CreateCurrency("alice");
+  Currency* bob = sched.table().CreateCurrency("bob");
+  sched.table().Fund(alice,
+                     sched.table().CreateTicket(sched.table().base(), 200));
+  sched.table().Fund(bob,
+                     sched.table().CreateTicket(sched.table().base(), 100));
+  sched.AddThread(1, kT0);
+  sched.AddThread(2, kT0);
+  sched.FundThread(1, alice, 50);
+  sched.FundThread(2, bob, 50);
+  int wins1 = 0;
+  constexpr int kRounds = 30000;
+  for (int i = 0; i < kRounds; ++i) {
+    sched.OnReady(1, kT0);
+    sched.OnReady(2, kT0);
+    if (sched.PickNext(kT0) == 1u) {
+      ++wins1;
+    }
+    sched.OnBlocked(1, kT0);
+    sched.OnBlocked(2, kT0);
+  }
+  EXPECT_NEAR(static_cast<double>(wins1) / kRounds, 2.0 / 3.0, 0.02);
+}
+
+TEST(LotteryScheduler, NameIsLottery) {
+  LotteryScheduler sched;
+  EXPECT_EQ(sched.name(), "lottery");
+}
+
+}  // namespace
+}  // namespace lottery

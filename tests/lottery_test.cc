@@ -1,0 +1,344 @@
+// Tests for ListLottery (Figure 1, Section 4.2) and TreeLottery.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/core/client.h"
+#include "src/core/currency.h"
+#include "src/core/list_lottery.h"
+#include "src/core/tree_lottery.h"
+#include "src/util/stats.h"
+
+namespace lottery {
+namespace {
+
+// Builds active clients with base-denominated holdings.
+class ListLotteryTest : public ::testing::Test {
+ protected:
+  Client* MakeClient(const std::string& name, int64_t amount) {
+    clients_.push_back(std::make_unique<Client>(&table_, name));
+    Client* c = clients_.back().get();
+    c->HoldTicket(table_.CreateTicket(table_.base(), amount));
+    c->SetActive(true);
+    return c;
+  }
+
+  CurrencyTable table_;
+  std::vector<std::unique_ptr<Client>> clients_;
+};
+
+TEST_F(ListLotteryTest, EmptyDrawsNull) {
+  ListLottery lot;
+  FastRand rng(1);
+  EXPECT_EQ(lot.Draw(rng), nullptr);
+  EXPECT_TRUE(lot.empty());
+}
+
+TEST_F(ListLotteryTest, AddRemoveContains) {
+  ListLottery lot;
+  Client* a = MakeClient("a", 10);
+  lot.Add(a);
+  EXPECT_TRUE(lot.Contains(a));
+  EXPECT_EQ(lot.size(), 1u);
+  EXPECT_THROW(lot.Add(a), std::invalid_argument);
+  lot.Remove(a);
+  EXPECT_FALSE(lot.Contains(a));
+  EXPECT_THROW(lot.Remove(a), std::invalid_argument);
+}
+
+TEST_F(ListLotteryTest, TotalSumsValues) {
+  ListLottery lot;
+  lot.Add(MakeClient("a", 10));
+  lot.Add(MakeClient("b", 2));
+  lot.Add(MakeClient("c", 5));
+  lot.Add(MakeClient("d", 1));
+  lot.Add(MakeClient("e", 2));
+  EXPECT_EQ(lot.Total().base_units(), 20);  // Figure 1's 20-ticket example
+}
+
+TEST_F(ListLotteryTest, SingleClientAlwaysWins) {
+  ListLottery lot;
+  Client* a = MakeClient("a", 7);
+  lot.Add(a);
+  FastRand rng(99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(lot.Draw(rng), a);
+  }
+}
+
+TEST_F(ListLotteryTest, ZeroTotalDrawsNull) {
+  ListLottery lot;
+  Client* a = MakeClient("a", 10);
+  a->SetActive(false);  // worth zero
+  lot.Add(a);
+  FastRand rng(1);
+  EXPECT_EQ(lot.Draw(rng), nullptr);
+}
+
+TEST_F(ListLotteryTest, ProportionsMatchTicketsChiSquare) {
+  // Figure 1's allocation: 10, 2, 5, 1, 2 of 20 total.
+  ListLottery lot(/*move_to_front=*/false);
+  std::vector<Client*> cs = {MakeClient("a", 10), MakeClient("b", 2),
+                             MakeClient("c", 5), MakeClient("d", 1),
+                             MakeClient("e", 2)};
+  for (Client* c : cs) {
+    lot.Add(c);
+  }
+  FastRand rng(424242);
+  constexpr int kDraws = 200000;
+  std::map<Client*, int64_t> wins;
+  for (int i = 0; i < kDraws; ++i) {
+    ++wins[lot.Draw(rng)];
+  }
+  std::vector<int64_t> observed;
+  std::vector<double> expected;
+  const double weights[] = {10, 2, 5, 1, 2};
+  for (size_t i = 0; i < cs.size(); ++i) {
+    observed.push_back(wins[cs[i]]);
+    expected.push_back(kDraws * weights[i] / 20.0);
+  }
+  EXPECT_LT(ChiSquareStatistic(observed, expected),
+            ChiSquareCritical(4, 0.001));
+}
+
+TEST_F(ListLotteryTest, MoveToFrontDoesNotChangeDistribution) {
+  ListLottery lot(/*move_to_front=*/true);
+  Client* a = MakeClient("a", 3);
+  Client* b = MakeClient("b", 1);
+  lot.Add(a);
+  lot.Add(b);
+  FastRand rng(7);
+  int64_t a_wins = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (lot.Draw(rng) == a) {
+      ++a_wins;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(a_wins) / kDraws, 0.75, 0.01);
+}
+
+TEST_F(ListLotteryTest, MoveToFrontShortensScans) {
+  // One dominant client among many: with move-to-front the dominant client
+  // sits at the head, so mean scan length approaches 1.
+  auto run = [&](bool mtf) {
+    ListLottery lot(mtf);
+    lot.Add(MakeClient(mtf ? "big1" : "big0", 1000));
+    for (int i = 0; i < 49; ++i) {
+      lot.Add(MakeClient((mtf ? "m" : "n") + std::to_string(i), 1));
+    }
+    FastRand rng(5);
+    for (int i = 0; i < 20000; ++i) {
+      lot.Draw(rng);
+    }
+    return static_cast<double>(lot.total_scanned()) /
+           static_cast<double>(lot.num_draws());
+  };
+  // Note: the dominant client is added first in both runs, so the plain
+  // list also finds it quickly; shuffle it to the back instead.
+  ListLottery plain(false), mtf(true);
+  std::vector<Client*> small;
+  for (int i = 0; i < 49; ++i) {
+    small.push_back(MakeClient("s" + std::to_string(i), 1));
+  }
+  Client* big = MakeClient("big", 1000);
+  for (Client* c : small) {
+    plain.Add(c);
+    mtf.Add(c);
+  }
+  plain.Add(big);  // dominant client last
+  mtf.Add(big);
+  FastRand rng1(5), rng2(5);
+  for (int i = 0; i < 20000; ++i) {
+    plain.Draw(rng1);
+    mtf.Draw(rng2);
+  }
+  const double plain_scan = static_cast<double>(plain.total_scanned()) /
+                            static_cast<double>(plain.num_draws());
+  const double mtf_scan = static_cast<double>(mtf.total_scanned()) /
+                          static_cast<double>(mtf.num_draws());
+  EXPECT_LT(mtf_scan, plain_scan / 4.0);
+  (void)run;
+}
+
+TEST_F(ListLotteryTest, WinnerMovesToFront) {
+  ListLottery lot(/*move_to_front=*/true);
+  Client* a = MakeClient("a", 1);
+  Client* b = MakeClient("b", 1000000);
+  lot.Add(a);
+  lot.Add(b);
+  FastRand rng(3);
+  lot.Draw(rng);  // b wins almost surely
+  EXPECT_EQ(lot.ClientsInOrder().front(), b);
+}
+
+TEST_F(ListLotteryTest, DynamicMembershipStaysFair) {
+  // The lottery "operates fairly when the number of clients or tickets
+  // varies dynamically" (Section 2): add/remove mid-stream.
+  ListLottery lot;
+  Client* a = MakeClient("a", 1);
+  Client* b = MakeClient("b", 1);
+  lot.Add(a);
+  lot.Add(b);
+  FastRand rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    lot.Draw(rng);
+  }
+  Client* c = MakeClient("c", 2);
+  lot.Add(c);
+  int64_t c_wins = 0;
+  constexpr int kDraws = 40000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (lot.Draw(rng) == c) {
+      ++c_wins;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(c_wins) / kDraws, 0.5, 0.02);
+}
+
+// --- TreeLottery ------------------------------------------------------------
+
+TEST(TreeLottery, EmptyDrawsNullopt) {
+  TreeLottery tree;
+  FastRand rng(1);
+  EXPECT_FALSE(tree.Draw(rng).has_value());
+  EXPECT_TRUE(tree.empty());
+}
+
+TEST(TreeLottery, SlotForValueExactBoundaries) {
+  TreeLottery tree;
+  const size_t a = tree.Add(10);
+  const size_t b = tree.Add(2);
+  const size_t c = tree.Add(5);
+  EXPECT_EQ(tree.total(), 17u);
+  EXPECT_EQ(tree.SlotForValue(0), a);
+  EXPECT_EQ(tree.SlotForValue(9), a);
+  EXPECT_EQ(tree.SlotForValue(10), b);
+  EXPECT_EQ(tree.SlotForValue(11), b);
+  EXPECT_EQ(tree.SlotForValue(12), c);
+  EXPECT_EQ(tree.SlotForValue(16), c);
+  EXPECT_THROW(tree.SlotForValue(17), std::out_of_range);
+}
+
+TEST(TreeLottery, SetWeightMovesBoundaries) {
+  TreeLottery tree;
+  const size_t a = tree.Add(4);
+  const size_t b = tree.Add(4);
+  tree.SetWeight(a, 1);
+  EXPECT_EQ(tree.total(), 5u);
+  EXPECT_EQ(tree.SlotForValue(0), a);
+  EXPECT_EQ(tree.SlotForValue(1), b);
+}
+
+TEST(TreeLottery, RemoveFreesAndRecyclesSlots) {
+  TreeLottery tree;
+  const size_t a = tree.Add(3);
+  const size_t b = tree.Add(7);
+  tree.Remove(a);
+  EXPECT_EQ(tree.total(), 7u);
+  EXPECT_EQ(tree.size(), 1u);
+  const size_t c = tree.Add(5);
+  EXPECT_EQ(c, a);  // recycled
+  EXPECT_EQ(tree.total(), 12u);
+  (void)b;
+}
+
+TEST(TreeLottery, GrowsPastInitialCapacity) {
+  TreeLottery tree(2);
+  std::vector<size_t> slots;
+  for (int i = 0; i < 100; ++i) {
+    slots.push_back(tree.Add(static_cast<uint64_t>(i + 1)));
+  }
+  EXPECT_EQ(tree.size(), 100u);
+  uint64_t expected_total = 0;
+  for (int i = 0; i < 100; ++i) {
+    expected_total += static_cast<uint64_t>(i + 1);
+    EXPECT_EQ(tree.Weight(slots[static_cast<size_t>(i)]),
+              static_cast<uint64_t>(i + 1));
+  }
+  EXPECT_EQ(tree.total(), expected_total);
+}
+
+TEST(TreeLottery, ZeroWeightSlotNeverWins) {
+  TreeLottery tree;
+  tree.Add(0);
+  const size_t b = tree.Add(5);
+  FastRand rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(tree.Draw(rng).value(), b);
+  }
+}
+
+TEST(TreeLottery, DistributionMatchesWeights) {
+  TreeLottery tree;
+  const size_t a = tree.Add(10);
+  const size_t b = tree.Add(2);
+  const size_t c = tree.Add(5);
+  const size_t d = tree.Add(1);
+  const size_t e = tree.Add(2);
+  FastRand rng(31337);
+  std::map<size_t, int64_t> wins;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++wins[tree.Draw(rng).value()];
+  }
+  const std::vector<int64_t> observed = {wins[a], wins[b], wins[c], wins[d],
+                                         wins[e]};
+  const std::vector<double> expected = {kDraws * 10 / 20.0, kDraws * 2 / 20.0,
+                                        kDraws * 5 / 20.0, kDraws * 1 / 20.0,
+                                        kDraws * 2 / 20.0};
+  EXPECT_LT(ChiSquareStatistic(observed, expected),
+            ChiSquareCritical(4, 0.001));
+}
+
+TEST(TreeLottery, LargeWeightsUse64Bits) {
+  TreeLottery tree;
+  const uint64_t big = uint64_t{1} << 40;
+  const size_t a = tree.Add(big);
+  const size_t b = tree.Add(big * 3);
+  FastRand rng(11);
+  int64_t b_wins = 0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (tree.Draw(rng).value() == b) {
+      ++b_wins;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(b_wins) / kDraws, 0.75, 0.02);
+  (void)a;
+}
+
+// Property sweep: for any size, SlotForValue partitions [0, total) into
+// intervals whose lengths equal the weights.
+class TreePartitionSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TreePartitionSweep, PartitionLengthsEqualWeights) {
+  const int n = GetParam();
+  TreeLottery tree;
+  FastRand rng(static_cast<uint32_t>(100 + n));
+  std::vector<size_t> slots;
+  std::vector<uint64_t> weights;
+  for (int i = 0; i < n; ++i) {
+    const uint64_t w = rng.NextBelow(20);  // zero weights allowed
+    slots.push_back(tree.Add(w));
+    weights.push_back(w);
+  }
+  std::map<size_t, uint64_t> hits;
+  for (uint64_t v = 0; v < tree.total(); ++v) {
+    ++hits[tree.SlotForValue(v)];
+  }
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[slots[static_cast<size_t>(i)]],
+              weights[static_cast<size_t>(i)])
+        << "slot " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TreePartitionSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 17, 33, 64, 100));
+
+}  // namespace
+}  // namespace lottery

@@ -1,0 +1,143 @@
+// Tests for TraceSpec parsing and ReplayTask execution.
+
+#include "src/workloads/replay.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/lottery_scheduler.h"
+#include "src/sched/round_robin.h"
+#include "src/sched/stride.h"
+#include "src/workloads/compute.h"
+
+namespace lottery {
+namespace {
+
+Kernel::Options KOpts() {
+  Kernel::Options o;
+  o.quantum = SimDuration::Millis(100);
+  return o;
+}
+
+TEST(TraceSpec, ParsesBasicTokens) {
+  const TraceSpec spec = TraceSpec::Parse("c25 s75 y e");
+  ASSERT_EQ(spec.segments().size(), 4u);
+  EXPECT_EQ(spec.segments()[0].kind, TraceSegment::Kind::kCompute);
+  EXPECT_EQ(spec.segments()[0].duration, SimDuration::Millis(25));
+  EXPECT_EQ(spec.segments()[1].kind, TraceSegment::Kind::kSleep);
+  EXPECT_EQ(spec.segments()[2].kind, TraceSegment::Kind::kYield);
+  EXPECT_EQ(spec.segments()[3].kind, TraceSegment::Kind::kExit);
+  EXPECT_TRUE(spec.terminates());
+  EXPECT_EQ(spec.ComputePerPass(), SimDuration::Millis(25));
+}
+
+TEST(TraceSpec, ParsesRepeatGroups) {
+  const TraceSpec spec = TraceSpec::Parse("3x( c10 s5 ) c100");
+  ASSERT_EQ(spec.segments().size(), 7u);
+  EXPECT_EQ(spec.ComputePerPass(), SimDuration::Millis(130));
+  EXPECT_FALSE(spec.terminates());
+}
+
+TEST(TraceSpec, ParsesNestedGroups) {
+  const TraceSpec spec = TraceSpec::Parse("2x( 2x( c1 ) s2 )");
+  EXPECT_EQ(spec.segments().size(), 6u);
+  EXPECT_EQ(spec.ComputePerPass(), SimDuration::Millis(4));
+}
+
+TEST(TraceSpec, RoundTripsThroughText) {
+  const std::string text = "c25 s75 y c10 e";
+  EXPECT_EQ(TraceSpec::Parse(text).ToString(), text);
+}
+
+TEST(TraceSpec, RejectsBadInput) {
+  EXPECT_THROW(TraceSpec::Parse(""), std::invalid_argument);
+  EXPECT_THROW(TraceSpec::Parse("q10"), std::invalid_argument);
+  EXPECT_THROW(TraceSpec::Parse("c"), std::invalid_argument);
+  EXPECT_THROW(TraceSpec::Parse("c-5"), std::invalid_argument);
+  EXPECT_THROW(TraceSpec::Parse("cat"), std::invalid_argument);
+  EXPECT_THROW(TraceSpec::Parse("3x( c1"), std::invalid_argument);
+  EXPECT_THROW(TraceSpec::Parse("c1 )"), std::invalid_argument);
+  EXPECT_THROW(TraceSpec::Parse("0x( c1 )"), std::invalid_argument);
+  EXPECT_THROW(TraceSpec::Parse("yy"), std::invalid_argument);
+  EXPECT_THROW(TraceSpec::Parse("ee"), std::invalid_argument);
+}
+
+TEST(ReplayTask, ExecutesPeriodicTraceExactly) {
+  RoundRobinScheduler sched;
+  Kernel kernel(&sched, KOpts());
+  auto body = std::make_unique<ReplayTask>(TraceSpec::Parse("c25 s75"));
+  ReplayTask* raw = body.get();
+  const ThreadId tid = kernel.Spawn("replay", std::move(body));
+  kernel.RunFor(SimDuration::Seconds(10));
+  // One 100 ms cycle per pass, alone on the machine.
+  EXPECT_NEAR(static_cast<double>(raw->passes()), 100.0, 1.0);
+  EXPECT_NEAR(kernel.CpuTime(tid).ToSecondsF(), 2.5, 0.05);
+}
+
+TEST(ReplayTask, ExitSegmentTerminates) {
+  RoundRobinScheduler sched;
+  Kernel kernel(&sched, KOpts());
+  auto body =
+      std::make_unique<ReplayTask>(TraceSpec::Parse("2x( c10 ) e"));
+  ReplayTask* raw = body.get();
+  const ThreadId tid = kernel.Spawn("finite", std::move(body));
+  kernel.RunFor(SimDuration::Seconds(1));
+  EXPECT_FALSE(kernel.Alive(tid));
+  EXPECT_EQ(raw->segments_done(), 2);
+  EXPECT_EQ(kernel.CpuTime(tid), SimDuration::Millis(20));
+}
+
+TEST(ReplayTask, IdenticalDemandDifferentSchedulers) {
+  // The point of replay: run the same trace mix under two policies and
+  // compare. Total demand is identical; the division of CPU differs.
+  auto run = [](Scheduler* sched, LotteryScheduler* ls, StrideScheduler* ss) {
+    Kernel kernel(sched, KOpts());
+    auto heavy = std::make_unique<ReplayTask>(TraceSpec::Parse("c90 s10"));
+    auto light = std::make_unique<ReplayTask>(TraceSpec::Parse("c10 s10"));
+    ReplayTask* rh = heavy.get();
+    const ThreadId th = kernel.Spawn("heavy", std::move(heavy));
+    const ThreadId tl = kernel.Spawn("light", std::move(light));
+    if (ls != nullptr) {
+      ls->FundThread(th, ls->table().base(), 100);
+      ls->FundThread(tl, ls->table().base(), 300);
+    }
+    if (ss != nullptr) {
+      ss->SetTickets(th, 100);
+      ss->SetTickets(tl, 300);
+    }
+    kernel.RunFor(SimDuration::Seconds(60));
+    (void)tl;
+    return rh->passes();
+  };
+  LotteryScheduler::Options lopts;
+  lopts.seed = 3;
+  LotteryScheduler lottery(lopts);
+  StrideScheduler stride;
+  const int64_t lottery_passes = run(&lottery, &lottery, nullptr);
+  const int64_t stride_passes = run(&stride, nullptr, &stride);
+  // Both policies serve the same trace; results are in the same regime
+  // (the light task's demand is small, so heavy gets most of the machine).
+  EXPECT_GT(lottery_passes, 400);
+  EXPECT_GT(stride_passes, 400);
+  EXPECT_NEAR(static_cast<double>(lottery_passes),
+              static_cast<double>(stride_passes),
+              static_cast<double>(stride_passes) * 0.15);
+}
+
+TEST(ReplayTask, YieldGivesUpRemainderButStaysRunnable) {
+  RoundRobinScheduler sched;
+  Kernel kernel(&sched, KOpts());
+  auto body = std::make_unique<ReplayTask>(TraceSpec::Parse("c20 y"));
+  ReplayTask* raw = body.get();
+  const ThreadId tid = kernel.Spawn("yielder", std::move(body));
+  const ThreadId spin = kernel.Spawn("spin", std::make_unique<ComputeTask>());
+  kernel.RunFor(SimDuration::Seconds(12));
+  // Alternation: 20 ms (yield) + 100 ms (spin) per round.
+  EXPECT_NEAR(kernel.CpuTime(tid).ToSecondsF(), 2.0, 0.1);
+  EXPECT_NEAR(kernel.CpuTime(spin).ToSecondsF(), 10.0, 0.1);
+  EXPECT_GT(raw->passes(), 90);
+}
+
+}  // namespace
+}  // namespace lottery

@@ -1,0 +1,226 @@
+// Tests for synchronous RPC with ticket transfers (Section 4.6).
+
+#include "src/sim/rpc.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/sched/round_robin.h"
+#include "src/workloads/compute.h"
+#include "src/workloads/query_server.h"
+
+namespace lottery {
+namespace {
+
+Kernel::Options KOpts() {
+  Kernel::Options o;
+  o.quantum = SimDuration::Millis(100);
+  return o;
+}
+
+TEST(RpcRoundRobin, CallReceiveReplyCycle) {
+  RoundRobinScheduler sched;
+  Tracer tracer(SimDuration::Seconds(1));
+  Kernel kernel(&sched, KOpts(), &tracer);
+  RpcPort port(&kernel, "svc");
+
+  QueryClient::Options copts;
+  copts.num_queries = 5;
+  copts.query_cost = SimDuration::Millis(50);
+  auto client = std::make_unique<QueryClient>(&port, copts);
+  QueryClient* rc = client.get();
+  auto worker = std::make_unique<QueryWorker>(&port);
+  QueryWorker* rw = worker.get();
+  kernel.Spawn("client", std::move(client));
+  kernel.Spawn("worker", std::move(worker));
+  kernel.RunFor(SimDuration::Seconds(5));
+  EXPECT_EQ(rc->completed(), 5);
+  EXPECT_EQ(rw->served(), 5);
+  EXPECT_EQ(port.total_calls(), 5u);
+  EXPECT_EQ(port.pending_requests(), 0u);
+  // Latency samples recorded for the client.
+  EXPECT_EQ(tracer.Samples("rpc_latency:client").size(), 5u);
+}
+
+TEST(RpcRoundRobin, MultipleClientsOneWorkerAllServed) {
+  RoundRobinScheduler sched;
+  Kernel kernel(&sched, KOpts());
+  RpcPort port(&kernel, "svc");
+  QueryClient::Options copts;
+  copts.num_queries = 3;
+  copts.query_cost = SimDuration::Millis(30);
+  std::vector<QueryClient*> clients;
+  for (int i = 0; i < 4; ++i) {
+    auto c = std::make_unique<QueryClient>(&port, copts);
+    clients.push_back(c.get());
+    kernel.Spawn("c" + std::to_string(i), std::move(c));
+  }
+  kernel.Spawn("worker", std::make_unique<QueryWorker>(&port));
+  kernel.RunFor(SimDuration::Seconds(10));
+  for (const auto* c : clients) {
+    EXPECT_EQ(c->completed(), 3);
+  }
+}
+
+class RpcLotteryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    LotteryScheduler::Options opts;
+    opts.seed = 99;
+    sched_ = std::make_unique<LotteryScheduler>(opts);
+    tracer_ = std::make_unique<Tracer>(SimDuration::Seconds(1));
+    kernel_ = std::make_unique<Kernel>(sched_.get(), KOpts(), tracer_.get());
+    port_ = std::make_unique<RpcPort>(kernel_.get(), "db");
+  }
+
+  ThreadId SpawnFunded(const std::string& name, int64_t tickets,
+                       std::unique_ptr<ThreadBody> body) {
+    const ThreadId tid = kernel_->Spawn(name, std::move(body));
+    if (tickets > 0) {
+      sched_->FundThread(tid, sched_->table().base(), tickets);
+    }
+    return tid;
+  }
+
+  std::unique_ptr<LotteryScheduler> sched_;
+  std::unique_ptr<Tracer> tracer_;
+  std::unique_ptr<Kernel> kernel_;
+  std::unique_ptr<RpcPort> port_;
+};
+
+TEST_F(RpcLotteryTest, TransferFundsWorkerWhileProcessing) {
+  // One client with 800 tickets calls an unfunded worker. While the worker
+  // processes the request it must carry the client's funding.
+  QueryClient::Options copts;
+  copts.num_queries = 1;
+  copts.query_cost = SimDuration::Millis(500);
+  SpawnFunded("client", 800, std::make_unique<QueryClient>(port_.get(), copts));
+  const ThreadId worker =
+      SpawnFunded("worker", 0, std::make_unique<QueryWorker>(port_.get()));
+  port_->RegisterServer(worker);
+  // Also a competitor so the run queue is never empty.
+  SpawnFunded("spin", 200, std::make_unique<ComputeTask>());
+
+  // Run a little: client sends, worker picks up.
+  kernel_->RunFor(SimDuration::Millis(300));
+  // Worker mid-query: its value should be the client's 800 base (the
+  // worker's own currency has zero native funding).
+  EXPECT_EQ(sched_->ThreadValue(worker).base_units(), 800);
+  kernel_->RunFor(SimDuration::Seconds(5));
+  // After the reply the transfer is destroyed.
+  EXPECT_EQ(port_->pending_requests(), 0u);
+}
+
+TEST_F(RpcLotteryTest, UnfundedWorkerRunsOnlyOnTransfers) {
+  QueryClient::Options copts;
+  copts.num_queries = 4;
+  copts.query_cost = SimDuration::Millis(200);
+  auto client = std::make_unique<QueryClient>(port_.get(), copts);
+  QueryClient* rc = client.get();
+  SpawnFunded("client", 500, std::move(client));
+  port_->RegisterServer(
+      SpawnFunded("worker", 0, std::make_unique<QueryWorker>(port_.get())));
+  SpawnFunded("spin", 500, std::make_unique<ComputeTask>());
+  kernel_->RunFor(SimDuration::Seconds(10));
+  EXPECT_EQ(rc->completed(), 4);  // the server made progress without tickets
+}
+
+TEST_F(RpcLotteryTest, ThroughputFollowsClientFunding) {
+  // Two clients, 4:1 funding, one worker each; query throughput ratio
+  // should approach 4:1 because workers run at their clients' rights.
+  QueryClient::Options copts;
+  copts.num_queries = -1;
+  copts.query_cost = SimDuration::Millis(430);  // not quantum-aligned: a worker that
+  // replies mid-slice dequeues the next parked message in the same slice
+  copts.prepare_cost = SimDuration::Millis(1);
+  auto rich = std::make_unique<QueryClient>(port_.get(), copts);
+  auto poor = std::make_unique<QueryClient>(port_.get(), copts);
+  QueryClient* rr = rich.get();
+  QueryClient* rp = poor.get();
+  SpawnFunded("rich", 800, std::move(rich));
+  SpawnFunded("poor", 200, std::move(poor));
+  port_->RegisterServer(
+      SpawnFunded("w1", 0, std::make_unique<QueryWorker>(port_.get())));
+  port_->RegisterServer(
+      SpawnFunded("w2", 0, std::make_unique<QueryWorker>(port_.get())));
+  kernel_->RunFor(SimDuration::Seconds(400));
+  ASSERT_GT(rp->completed(), 10);
+  const double ratio = static_cast<double>(rr->completed()) /
+                       static_cast<double>(rp->completed());
+  EXPECT_GT(ratio, 3.0);
+  EXPECT_LT(ratio, 5.0);
+}
+
+TEST_F(RpcLotteryTest, SplitTransfersAcrossTwoServers) {
+  // Section 3.1: "clients also have the ability to divide ticket transfers
+  // across multiple servers on which they may be waiting." A scatter call
+  // to two ports parks two transfer tickets in the client's currency;
+  // since both are denominated there, the blocked client's funding splits
+  // evenly between the two servers.
+  auto port2 = std::make_unique<RpcPort>(kernel_.get(), "db2");
+
+  class ScatterClient : public ThreadBody {
+   public:
+    ScatterClient(RpcPort* a, RpcPort* b) : a_(a), b_(b) {}
+    void Run(RunContext& ctx) override {
+      if (!sent_) {
+        sent_ = true;
+        ctx.Consume(SimDuration::Millis(1));
+        a_->Call(ctx, 500000);  // 500 ms of server CPU each
+        b_->Call(ctx, 500000);
+        ctx.Block();
+        return;
+      }
+      // Woken once per reply; wait for both.
+      if (++replies_ < 2) {
+        ctx.Block();
+        return;
+      }
+      done_ = true;
+      ctx.ExitThread();
+    }
+    RpcPort* a_;
+    RpcPort* b_;
+    bool sent_ = false;
+    int replies_ = 0;
+    bool done_ = false;
+  };
+
+  auto client =
+      std::make_unique<ScatterClient>(port_.get(), port2.get());
+  ScatterClient* rc = client.get();
+  SpawnFunded("scatter", 800, std::move(client));
+  const ThreadId w1 =
+      SpawnFunded("w1", 0, std::make_unique<QueryWorker>(port_.get()));
+  port_->RegisterServer(w1);
+  const ThreadId w2 =
+      SpawnFunded("w2", 0, std::make_unique<QueryWorker>(port2.get()));
+  port2->RegisterServer(w2);
+  SpawnFunded("spin", 200, std::make_unique<ComputeTask>());
+
+  kernel_->RunFor(SimDuration::Millis(400));
+  // Both workers mid-query, each carrying half the scatter client's 800.
+  EXPECT_EQ(sched_->ThreadValue(w1).base_units(), 400);
+  EXPECT_EQ(sched_->ThreadValue(w2).base_units(), 400);
+  kernel_->RunFor(SimDuration::Seconds(10));
+  EXPECT_TRUE(rc->done_ || !kernel_->Alive(1));
+}
+
+TEST_F(RpcLotteryTest, ReplyWithoutClientThrows) {
+  class BadReply : public ThreadBody {
+   public:
+    explicit BadReply(RpcPort* port) : port_(port) {}
+    void Run(RunContext& ctx) override {
+      RpcMessage msg;  // client unset
+      EXPECT_THROW(port_->Reply(ctx, std::move(msg)), std::invalid_argument);
+      ctx.ExitThread();
+    }
+    RpcPort* port_;
+  };
+  SpawnFunded("bad", 100, std::make_unique<BadReply>(port_.get()));
+  kernel_->RunFor(SimDuration::Seconds(1));
+}
+
+}  // namespace
+}  // namespace lottery

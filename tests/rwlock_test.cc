@@ -1,0 +1,228 @@
+// Tests for the lottery-scheduled reader-writer lock.
+
+#include "src/sim/rwlock.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/sched/round_robin.h"
+#include "src/workloads/compute.h"
+
+namespace lottery {
+namespace {
+
+Kernel::Options KOpts() {
+  Kernel::Options o;
+  o.quantum = SimDuration::Millis(100);
+  return o;
+}
+
+// Repeatedly: acquire (read or write), hold for `hold`, release, compute
+// for `gap`. Counts completed critical sections.
+class RwTask : public ThreadBody {
+ public:
+  RwTask(SimRwLock* lock, bool writer, SimDuration hold, SimDuration gap)
+      : lock_(lock), writer_(writer), hold_(hold), gap_(gap) {}
+
+  void Run(RunContext& ctx) override {
+    if (waiting_) {
+      waiting_ = false;
+      phase_ = Phase::kHold;
+      left_ = hold_;
+    }
+    for (;;) {
+      switch (phase_) {
+        case Phase::kAcquire: {
+          const bool got = writer_ ? lock_->AcquireWrite(ctx)
+                                   : lock_->AcquireRead(ctx);
+          if (!got) {
+            waiting_ = true;
+            ctx.Block();
+            return;
+          }
+          phase_ = Phase::kHold;
+          left_ = hold_;
+          break;
+        }
+        case Phase::kHold:
+          left_ -= ctx.Consume(left_ < ctx.remaining() ? left_
+                                                       : ctx.remaining());
+          if (left_.nanos() > 0) {
+            return;
+          }
+          if (writer_) {
+            lock_->ReleaseWrite(ctx);
+          } else {
+            lock_->ReleaseRead(ctx);
+          }
+          ++sections_;
+          ctx.AddProgress(1);
+          phase_ = Phase::kGap;
+          left_ = gap_;
+          break;
+        case Phase::kGap:
+          left_ -= ctx.Consume(left_ < ctx.remaining() ? left_
+                                                       : ctx.remaining());
+          if (left_.nanos() > 0) {
+            return;
+          }
+          phase_ = Phase::kAcquire;
+          break;
+      }
+      if (ctx.remaining().nanos() == 0) {
+        return;
+      }
+    }
+  }
+
+  int64_t sections() const { return sections_; }
+
+ private:
+  enum class Phase { kAcquire, kHold, kGap };
+  SimRwLock* lock_;
+  bool writer_;
+  SimDuration hold_;
+  SimDuration gap_;
+  Phase phase_ = Phase::kAcquire;
+  bool waiting_ = false;
+  SimDuration left_{};
+  int64_t sections_ = 0;
+};
+
+TEST(SimRwLock, ReadersShareWritersExclude) {
+  LotteryScheduler sched;
+  Kernel kernel(&sched, KOpts());
+  SimRwLock lock(&kernel, "l");
+  class Checker : public ThreadBody {
+   public:
+    explicit Checker(SimRwLock* lock) : lock_(lock) {}
+    void Run(RunContext& ctx) override {
+      EXPECT_TRUE(lock_->AcquireRead(ctx));
+      EXPECT_EQ(lock_->num_readers(), 1u);
+      // A second reader by another thread would also be admitted; a writer
+      // must not be (simulated here by direct state checks).
+      EXPECT_FALSE(lock_->write_held());
+      lock_->ReleaseRead(ctx);
+      EXPECT_TRUE(lock_->AcquireWrite(ctx));
+      EXPECT_TRUE(lock_->write_held());
+      EXPECT_THROW(lock_->AcquireWrite(ctx), std::logic_error);
+      lock_->ReleaseWrite(ctx);
+      EXPECT_THROW(lock_->ReleaseWrite(ctx), std::logic_error);
+      EXPECT_THROW(lock_->ReleaseRead(ctx), std::logic_error);
+      ctx.Consume(SimDuration::Millis(1));
+      ctx.ExitThread();
+    }
+    SimRwLock* lock_;
+  };
+  const ThreadId tid = kernel.Spawn("check", std::make_unique<Checker>(&lock));
+  sched.FundThread(tid, sched.table().base(), 100);
+  kernel.RunFor(SimDuration::Seconds(1));
+  EXPECT_EQ(kernel.num_live_threads(), 0u);
+}
+
+TEST(SimRwLock, CurrencyLifecycle) {
+  LotteryScheduler sched;
+  Kernel kernel(&sched, KOpts());
+  {
+    SimRwLock lock(&kernel, "tmp");
+    EXPECT_NE(sched.table().FindCurrency("rwlock:tmp"), nullptr);
+  }
+  EXPECT_EQ(sched.table().FindCurrency("rwlock:tmp"), nullptr);
+}
+
+TEST(SimRwLock, ConcurrentReadersAllProgress) {
+  LotteryScheduler::Options lopts;
+  lopts.seed = 4;
+  LotteryScheduler sched(lopts);
+  Kernel kernel(&sched, KOpts());
+  SimRwLock lock(&kernel, "l");
+  std::vector<RwTask*> readers;
+  for (int i = 0; i < 4; ++i) {
+    auto r = std::make_unique<RwTask>(&lock, false, SimDuration::Millis(33),
+                                      SimDuration::Millis(17));
+    readers.push_back(r.get());
+    const ThreadId tid = kernel.Spawn("r" + std::to_string(i), std::move(r));
+    sched.FundThread(tid, sched.table().base(), 100);
+  }
+  kernel.RunFor(SimDuration::Seconds(60));
+  for (const auto* r : readers) {
+    EXPECT_GT(r->sections(), 200);  // pure readers barely contend
+  }
+}
+
+TEST(SimRwLock, WriterNotStarvedByReaderStream) {
+  LotteryScheduler::Options lopts;
+  lopts.seed = 6;
+  LotteryScheduler sched(lopts);
+  Kernel kernel(&sched, KOpts());
+  SimRwLock lock(&kernel, "l");
+  std::vector<RwTask*> readers;
+  for (int i = 0; i < 3; ++i) {
+    auto r = std::make_unique<RwTask>(&lock, false, SimDuration::Millis(29),
+                                      SimDuration::Millis(7));
+    readers.push_back(r.get());
+    const ThreadId tid = kernel.Spawn("r" + std::to_string(i), std::move(r));
+    sched.FundThread(tid, sched.table().base(), 200);
+  }
+  auto w = std::make_unique<RwTask>(&lock, true, SimDuration::Millis(13),
+                                    SimDuration::Millis(23));
+  RwTask* writer = w.get();
+  const ThreadId wt = kernel.Spawn("writer", std::move(w));
+  sched.FundThread(wt, sched.table().base(), 200);
+  kernel.RunFor(SimDuration::Seconds(120));
+  EXPECT_GT(writer->sections(), 100);
+  EXPECT_GT(lock.write_admissions(), 100u);
+  for (const auto* r : readers) {
+    EXPECT_GT(r->sections(), 100);
+  }
+}
+
+TEST(SimRwLock, WorksUnderRoundRobin) {
+  RoundRobinScheduler sched;
+  Kernel kernel(&sched, KOpts());
+  SimRwLock lock(&kernel, "l");
+  auto r = std::make_unique<RwTask>(&lock, false, SimDuration::Millis(31),
+                                    SimDuration::Millis(11));
+  auto w = std::make_unique<RwTask>(&lock, true, SimDuration::Millis(13),
+                                    SimDuration::Millis(29));
+  RwTask* reader = r.get();
+  RwTask* writer = w.get();
+  kernel.Spawn("r", std::move(r));
+  kernel.Spawn("w", std::move(w));
+  kernel.RunFor(SimDuration::Seconds(60));
+  EXPECT_GT(reader->sections(), 100);
+  EXPECT_GT(writer->sections(), 100);
+}
+
+TEST(SimRwLock, FundedWritersAdmittedMoreOften) {
+  // Three writers, 800:200:200. With two writers always waiting at each
+  // release, the admission lottery runs weighted draws (with exactly two
+  // writers the queue never holds both, so no draw would happen).
+  LotteryScheduler::Options lopts;
+  lopts.seed = 12;
+  LotteryScheduler sched(lopts);
+  Kernel kernel(&sched, KOpts());
+  SimRwLock lock(&kernel, "l");
+  auto make_writer = [&](const std::string& name, int64_t tickets) {
+    auto body = std::make_unique<RwTask>(&lock, true, SimDuration::Millis(37),
+                                         SimDuration::Millis(3));
+    RwTask* raw = body.get();
+    const ThreadId tid = kernel.Spawn(name, std::move(body));
+    sched.FundThread(tid, sched.table().base(), tickets);
+    return raw;
+  };
+  RwTask* rich = make_writer("rich", 800);
+  RwTask* poor1 = make_writer("poor1", 200);
+  RwTask* poor2 = make_writer("poor2", 200);
+  kernel.RunFor(SimDuration::Seconds(240));
+  ASSERT_GT(poor1->sections(), 0);
+  ASSERT_GT(poor2->sections(), 0);
+  const double poor_avg =
+      static_cast<double>(poor1->sections() + poor2->sections()) / 2.0;
+  const double ratio = static_cast<double>(rich->sections()) / poor_avg;
+  EXPECT_GT(ratio, 1.5);
+}
+
+}  // namespace
+}  // namespace lottery

@@ -1,0 +1,244 @@
+// Property sweeps over schedulers and the kernel: conservation of CPU time
+// and convergence of shares to funding, across random configurations.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "src/core/lottery_scheduler.h"
+#include "src/sched/stride.h"
+#include "src/sim/kernel.h"
+#include "src/sim/rpc.h"
+#include "src/sim/sync.h"
+#include "src/workloads/compute.h"
+#include "src/workloads/query_server.h"
+
+namespace lottery {
+namespace {
+
+struct SweepCase {
+  uint32_t seed;
+  int threads;
+  RunQueueBackend backend;
+};
+
+class LotterySweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(LotterySweep, CpuConservedAndSharesConverge) {
+  const SweepCase param = GetParam();
+  LotteryScheduler::Options sopts;
+  sopts.seed = param.seed;
+  sopts.backend = param.backend;
+  LotteryScheduler sched(sopts);
+  Kernel::Options kopts;
+  kopts.quantum = SimDuration::Millis(100);
+  Kernel kernel(&sched, kopts);
+
+  FastRand rng(param.seed * 7 + 1);
+  std::vector<ThreadId> tids;
+  std::vector<int64_t> funds;
+  int64_t total_funding = 0;
+  for (int i = 0; i < param.threads; ++i) {
+    const ThreadId tid = kernel.Spawn("t" + std::to_string(i),
+                                      std::make_unique<ComputeTask>());
+    const int64_t amount = 50 + rng.NextBelow(950);
+    sched.FundThread(tid, sched.table().base(), amount);
+    tids.push_back(tid);
+    funds.push_back(amount);
+    total_funding += amount;
+  }
+
+  const SimDuration horizon = SimDuration::Seconds(600);
+  kernel.RunFor(horizon);
+
+  // Conservation: CPU time over all threads + idle == elapsed exactly.
+  SimDuration used{};
+  for (const ThreadId tid : tids) {
+    used += kernel.CpuTime(tid);
+  }
+  EXPECT_EQ((used + kernel.idle_time()).nanos(), horizon.nanos());
+  EXPECT_EQ(kernel.idle_time().nanos(), 0);  // all threads compute-bound
+
+  // Convergence: each thread's share within a binomial-noise band of its
+  // funding share. 6000 quanta; 4-sigma band per thread.
+  for (size_t i = 0; i < tids.size(); ++i) {
+    const double p = static_cast<double>(funds[i]) /
+                     static_cast<double>(total_funding);
+    const double observed =
+        kernel.CpuTime(tids[i]).ToSecondsF() / horizon.ToSecondsF();
+    const double sigma = std::sqrt(p * (1 - p) / 6000.0);
+    EXPECT_NEAR(observed, p, 4.0 * sigma + 0.005)
+        << "thread " << i << " of " << param.threads;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, LotterySweep,
+    ::testing::Values(SweepCase{1, 2, RunQueueBackend::kList},
+                      SweepCase{2, 3, RunQueueBackend::kList},
+                      SweepCase{3, 5, RunQueueBackend::kList},
+                      SweepCase{4, 8, RunQueueBackend::kList},
+                      SweepCase{5, 13, RunQueueBackend::kList},
+                      SweepCase{6, 2, RunQueueBackend::kTree},
+                      SweepCase{7, 5, RunQueueBackend::kTree},
+                      SweepCase{8, 13, RunQueueBackend::kTree}));
+
+// Stride gets exact long-run shares for arbitrary ticket vectors.
+class StrideSweep : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(StrideSweep, SharesMatchTicketsWithinOneQuantum) {
+  FastRand rng(GetParam());
+  StrideScheduler sched;
+  Kernel::Options kopts;
+  kopts.quantum = SimDuration::Millis(100);
+  Kernel kernel(&sched, kopts);
+  const int threads = 2 + static_cast<int>(rng.NextBelow(6));
+  std::vector<ThreadId> tids;
+  std::vector<int64_t> tickets;
+  int64_t total = 0;
+  for (int i = 0; i < threads; ++i) {
+    const ThreadId tid = kernel.Spawn("t" + std::to_string(i),
+                                      std::make_unique<ComputeTask>());
+    tids.push_back(tid);
+    const int64_t amount = 1 + rng.NextBelow(9);
+    sched.SetTickets(tid, amount);
+    tickets.push_back(amount);
+    total += amount;
+  }
+  const SimDuration horizon = SimDuration::Seconds(300);
+  kernel.RunFor(horizon);
+  for (size_t i = 0; i < tids.size(); ++i) {
+    const double expect = horizon.ToSecondsF() *
+                          static_cast<double>(tickets[i]) /
+                          static_cast<double>(total);
+    EXPECT_NEAR(kernel.CpuTime(tids[i]).ToSecondsF(), expect, 0.5)
+        << "thread " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StrideSweep,
+                         ::testing::Values(10u, 20u, 30u, 40u, 50u));
+
+// Quantum sweep: Section 2 — at a fixed horizon, shorter quanta mean more
+// lotteries, so the observed share's deviation shrinks like 1/sqrt(q).
+class QuantumSweep : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(QuantumSweep, DeviationWithinBinomialBand) {
+  const int64_t quantum_ms = GetParam();
+  double total_abs_err = 0.0;
+  constexpr int kRuns = 5;
+  for (uint32_t seed = 1; seed <= kRuns; ++seed) {
+    LotteryScheduler::Options sopts;
+    sopts.seed = seed * 100 + static_cast<uint32_t>(quantum_ms);
+    LotteryScheduler sched(sopts);
+    Kernel::Options kopts;
+    kopts.quantum = SimDuration::Millis(quantum_ms);
+    Kernel kernel(&sched, kopts);
+    const ThreadId a = kernel.Spawn("a", std::make_unique<ComputeTask>());
+    sched.FundThread(a, sched.table().base(), 200);
+    const ThreadId b = kernel.Spawn("b", std::make_unique<ComputeTask>());
+    sched.FundThread(b, sched.table().base(), 100);
+    kernel.RunFor(SimDuration::Seconds(60));
+    const double share = kernel.CpuTime(a).ToSecondsF() / 60.0;
+    total_abs_err += std::abs(share - 2.0 / 3.0);
+  }
+  // Binomial: sd of the share over n = 60s/q draws is sqrt(p(1-p)/n).
+  const double n = 60000.0 / static_cast<double>(quantum_ms);
+  const double sigma = std::sqrt((2.0 / 3.0) * (1.0 / 3.0) / n);
+  // Mean |error| of kRuns runs stays within ~3 sigma comfortably.
+  EXPECT_LT(total_abs_err / kRuns, 3.0 * sigma) << "quantum " << quantum_ms;
+}
+
+INSTANTIATE_TEST_SUITE_P(Quanta, QuantumSweep,
+                         ::testing::Values(10, 25, 50, 100, 200));
+
+// --- Failure injection / teardown paths -------------------------------------
+
+TEST(Teardown, RpcPortDestructionReleasesParkedTransfers) {
+  LotteryScheduler sched;
+  Kernel::Options kopts;
+  kopts.quantum = SimDuration::Millis(100);
+  Kernel kernel(&sched, kopts);
+  {
+    RpcPort port(&kernel, "doomed");
+    QueryClient::Options copts;
+    copts.num_queries = 1;
+    auto client = std::make_unique<QueryClient>(&port, copts);
+    const ThreadId tid = kernel.Spawn("client", std::move(client));
+    sched.FundThread(tid, sched.table().base(), 500);
+    port.RegisterServer(kernel.Spawn("worker",
+                                     std::make_unique<QueryWorker>(&port),
+                                     /*start_ready=*/false));
+    // Run briefly: the client calls; with the worker parked the message
+    // stays pending, its transfer funding the port currency.
+    kernel.RunFor(SimDuration::Seconds(1));
+    EXPECT_EQ(port.pending_requests(), 1u);
+  }
+  // Port destroyed with a parked message: its currency and all transfer /
+  // server tickets must be gone, and the graph must stay destroyable.
+  EXPECT_EQ(sched.table().FindCurrency("port:doomed"), nullptr);
+}
+
+TEST(Teardown, MutexDestructionWithWaiters) {
+  LotteryScheduler sched;
+  Kernel::Options kopts;
+  kopts.quantum = SimDuration::Millis(100);
+  Kernel kernel(&sched, kopts);
+  class Grabby : public ThreadBody {
+   public:
+    explicit Grabby(SimMutex* m) : m_(m) {}
+    void Run(RunContext& ctx) override {
+      if (!held_) {
+        ctx.Consume(SimDuration::Millis(1));
+        if (!m_->Acquire(ctx)) {
+          ctx.Block();
+          return;  // once granted we stay blocked: the lock is never free
+        }
+        held_ = true;
+      }
+      ctx.Consume(ctx.remaining());  // hold forever
+    }
+    SimMutex* m_;
+    bool held_ = false;
+  };
+  {
+    SimMutex mutex(&kernel, "doomed");
+    for (int i = 0; i < 3; ++i) {
+      const ThreadId tid = kernel.Spawn(
+          "t" + std::to_string(i), std::make_unique<Grabby>(&mutex));
+      sched.FundThread(tid, sched.table().base(), 100);
+    }
+    kernel.RunFor(SimDuration::Seconds(2));
+    EXPECT_EQ(mutex.num_waiters(), 2u);
+  }
+  EXPECT_EQ(sched.table().FindCurrency("mutex:doomed"), nullptr);
+}
+
+TEST(Teardown, SchedulerDestructionAfterKernelThreadsExit) {
+  // Threads that exit remove their currencies; a full teardown leaves only
+  // the base currency and experiment tickets.
+  LotteryScheduler sched;
+  Kernel::Options kopts;
+  kopts.quantum = SimDuration::Millis(100);
+  Kernel kernel(&sched, kopts);
+  class OneShot : public ThreadBody {
+   public:
+    void Run(RunContext& ctx) override {
+      ctx.Consume(SimDuration::Millis(10));
+      ctx.ExitThread();
+    }
+  };
+  for (int i = 0; i < 5; ++i) {
+    kernel.Spawn("o" + std::to_string(i), std::make_unique<OneShot>());
+  }
+  kernel.RunFor(SimDuration::Seconds(1));
+  EXPECT_EQ(kernel.num_live_threads(), 0u);
+  EXPECT_EQ(sched.table().num_currencies(), 1u);  // just base
+  EXPECT_EQ(sched.table().num_tickets(), 0u);
+}
+
+}  // namespace
+}  // namespace lottery

@@ -1,0 +1,210 @@
+#include "src/util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace lottery {
+namespace {
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.cv(), 0.0);
+}
+
+TEST(RunningStat, SingleValue) {
+  RunningStat s;
+  s.Add(5.0);
+  EXPECT_EQ(s.count(), 1);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStat, KnownMoments) {
+  RunningStat s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(x);
+  }
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic population-variance example
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_NEAR(s.sample_variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.cv(), 0.4);
+}
+
+TEST(RunningStat, MergeMatchesSequential) {
+  RunningStat all, a, b;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10.0;
+    all.Add(x);
+    (i % 2 == 0 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStat, MergeWithEmptySides) {
+  RunningStat a, b;
+  a.Add(1.0);
+  a.Add(3.0);
+  RunningStat empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2);
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 2);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(RunningStat, ResetClearsEverything) {
+  RunningStat s;
+  s.Add(4.0);
+  s.Reset();
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+}
+
+TEST(Histogram, RejectsEmptyRange) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, BucketsAndEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.num_buckets(), 5u);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(4), 8.0);
+  h.Add(0.0);   // bucket 0
+  h.Add(1.99);  // bucket 0
+  h.Add(2.0);   // bucket 1
+  h.Add(9.99);  // bucket 4
+  EXPECT_EQ(h.bucket_count(0), 2);
+  EXPECT_EQ(h.bucket_count(1), 1);
+  EXPECT_EQ(h.bucket_count(4), 1);
+}
+
+TEST(Histogram, UnderAndOverflow) {
+  Histogram h(0.0, 1.0, 2);
+  h.Add(-0.5);
+  h.Add(1.0);
+  h.Add(7.0);
+  EXPECT_EQ(h.underflow(), 1);
+  EXPECT_EQ(h.overflow(), 2);
+  EXPECT_EQ(h.total(), 3);
+}
+
+TEST(Histogram, PercentileInterpolates) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) {
+    h.Add(static_cast<double>(i) + 0.5);
+  }
+  EXPECT_NEAR(h.Percentile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.Percentile(0.9), 90.0, 1.5);
+  EXPECT_NEAR(h.Percentile(0.0), 0.0, 1.5);
+}
+
+TEST(Histogram, StatTracksAllValuesIncludingOutOfRange) {
+  Histogram h(0.0, 1.0, 2);
+  h.Add(-1.0);
+  h.Add(3.0);
+  EXPECT_DOUBLE_EQ(h.stat().mean(), 1.0);
+}
+
+TEST(Histogram, AsciiHasOneLinePerBucket) {
+  Histogram h(0.0, 4.0, 4);
+  h.Add(1.0);
+  const std::string art = h.ToAscii();
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 4);
+}
+
+TEST(BinomialStats, MatchesSectionTwoFormulas) {
+  // Paper Section 2: n lotteries, win probability p: E = np,
+  // Var = np(1-p), cv = sqrt((1-p)/np).
+  const auto m = BinomialStats(100.0, 0.25);
+  EXPECT_DOUBLE_EQ(m.mean, 25.0);
+  EXPECT_DOUBLE_EQ(m.variance, 18.75);
+  EXPECT_DOUBLE_EQ(m.stddev, std::sqrt(18.75));
+  EXPECT_DOUBLE_EQ(m.cv, std::sqrt(0.75 / 25.0));
+}
+
+TEST(BinomialStats, CvShrinksWithSqrtN) {
+  const auto small = BinomialStats(100.0, 0.5);
+  const auto large = BinomialStats(10000.0, 0.5);
+  EXPECT_NEAR(small.cv / large.cv, 10.0, 1e-9);
+}
+
+TEST(GeometricStats, MatchesSectionTwoFormulas) {
+  // E[lotteries until first win] = 1/p, Var = (1-p)/p^2.
+  const auto m = GeometricStats(0.2);
+  EXPECT_DOUBLE_EQ(m.mean, 5.0);
+  EXPECT_DOUBLE_EQ(m.variance, 0.8 / 0.04);
+}
+
+TEST(GeometricStats, ZeroProbabilityMeansInfiniteWait) {
+  const auto m = GeometricStats(0.0);
+  EXPECT_TRUE(std::isinf(m.mean));
+}
+
+TEST(ChiSquare, StatisticKnownValue) {
+  // Observed {10, 20, 30}, expected {20, 20, 20}:
+  // (100 + 0 + 100) / 20 = 10.
+  EXPECT_DOUBLE_EQ(
+      ChiSquareStatistic({10, 20, 30}, {20.0, 20.0, 20.0}), 10.0);
+}
+
+TEST(ChiSquare, StatisticRejectsBadInput) {
+  EXPECT_THROW(ChiSquareStatistic({1}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(ChiSquareStatistic({1}, {0.0}), std::invalid_argument);
+}
+
+TEST(ChiSquare, CriticalValuesNearTables) {
+  // Standard table: chi2(df=10, alpha=0.05) = 18.307;
+  // chi2(df=5, 0.01) = 15.086; chi2(df=30, 0.05) = 43.773.
+  EXPECT_NEAR(ChiSquareCritical(10, 0.05), 18.307, 0.25);
+  EXPECT_NEAR(ChiSquareCritical(5, 0.01), 15.086, 0.35);
+  EXPECT_NEAR(ChiSquareCritical(30, 0.05), 43.773, 0.5);
+}
+
+TEST(ChiSquare, CriticalRejectsBadDf) {
+  EXPECT_THROW(ChiSquareCritical(0, 0.05), std::invalid_argument);
+}
+
+TEST(FitLine, ExactLine) {
+  const auto fit = FitLine({1.0, 2.0, 3.0, 4.0}, {3.0, 5.0, 7.0, 9.0});
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(FitLine, NoisyLineStillCloseAndR2Sane) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 50; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 * i + ((i % 2 == 0) ? 0.5 : -0.5));
+  }
+  const auto fit = FitLine(xs, ys);
+  EXPECT_NEAR(fit.slope, 3.0, 0.01);
+  EXPECT_GT(fit.r2, 0.999);
+}
+
+TEST(FitLine, RejectsDegenerateInput) {
+  EXPECT_THROW(FitLine({1.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(FitLine({2.0, 2.0}, {1.0, 3.0}), std::invalid_argument);
+  EXPECT_THROW(FitLine({1.0, 2.0}, {1.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lottery

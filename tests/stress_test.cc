@@ -1,0 +1,172 @@
+// Long-horizon stress: hours of simulated time with thread churn, mixed
+// workloads, and shared services. The assertions are conservation laws and
+// table consistency — anything that drifts over millions of events shows
+// up here.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/lottery_scheduler.h"
+#include "src/sim/kernel.h"
+#include "src/sim/sync.h"
+#include "src/workloads/compute.h"
+#include "src/workloads/mutex_workload.h"
+
+namespace lottery {
+namespace {
+
+// Computes for a random total amount, then exits.
+class FiniteJob : public ThreadBody {
+ public:
+  explicit FiniteJob(SimDuration total) : left_(total) {}
+  void Run(RunContext& ctx) override {
+    left_ -= ctx.Consume(left_ < ctx.remaining() ? left_ : ctx.remaining());
+    if (left_.nanos() == 0) {
+      ctx.ExitThread();
+    }
+  }
+
+ private:
+  SimDuration left_;
+};
+
+TEST(Stress, HoursOfChurnStayConsistent) {
+  LotteryScheduler::Options lopts;
+  lopts.seed = 1234;
+  LotteryScheduler sched(lopts);
+  Kernel::Options kopts;
+  kopts.quantum = SimDuration::Millis(100);
+  Kernel kernel(&sched, kopts);
+
+  FastRand rng(777);
+  // A long-lived backbone so the machine is never empty.
+  const ThreadId backbone =
+      kernel.Spawn("backbone", std::make_unique<ComputeTask>());
+  sched.FundThread(backbone, sched.table().base(), 50);
+
+  // One simulated hour in 60 s steps; each step launches a wave of
+  // finite jobs with random funding and lifetime.
+  std::vector<ThreadId> all;
+  for (int step = 0; step < 60; ++step) {
+    const int jobs = 1 + static_cast<int>(rng.NextBelow(4));
+    for (int j = 0; j < jobs; ++j) {
+      const auto lifetime =
+          SimDuration::Millis(500 + rng.NextBelow(20000));
+      const ThreadId tid = kernel.Spawn(
+          "job" + std::to_string(step) + "_" + std::to_string(j),
+          std::make_unique<FiniteJob>(lifetime));
+      sched.FundThread(tid, sched.table().base(),
+                       1 + rng.NextBelow(500));
+      all.push_back(tid);
+    }
+    kernel.RunFor(SimDuration::Seconds(60));
+  }
+  kernel.RunFor(SimDuration::Seconds(120));  // drain stragglers
+
+  // Conservation: one CPU fully used (backbone never blocks).
+  SimDuration used = kernel.CpuTime(backbone);
+  for (const ThreadId tid : all) {
+    used += kernel.CpuTime(tid);
+    EXPECT_FALSE(kernel.Alive(tid));  // every finite job exited
+  }
+  EXPECT_EQ((used + kernel.idle_time()).nanos(),
+            kernel.now().nanos());
+
+  // Table consistency: only the backbone's objects remain.
+  EXPECT_EQ(kernel.num_live_threads(), 1u);
+  EXPECT_EQ(sched.table().num_currencies(), 2u);  // base + thread:backbone
+  EXPECT_EQ(sched.table().num_tickets(), 2u);     // self + funding
+  EXPECT_EQ(sched.table().base()->active_amount(), 50);
+}
+
+TEST(Stress, MutexChurnOverHours) {
+  LotteryScheduler::Options lopts;
+  lopts.seed = 555;
+  LotteryScheduler sched(lopts);
+  Kernel::Options kopts;
+  kopts.quantum = SimDuration::Millis(100);
+  Kernel kernel(&sched, kopts);
+  SimMutex mutex(&kernel, "shared");
+  MutexTask::Options mopts;
+  mopts.hold = SimDuration::Millis(7);
+  mopts.compute = SimDuration::Millis(13);
+  mopts.jitter = 0.2;
+  std::vector<MutexTask*> tasks;
+  for (int i = 0; i < 6; ++i) {
+    mopts.jitter_seed = static_cast<uint32_t>(900 + i);
+    auto body = std::make_unique<MutexTask>(&mutex, mopts);
+    tasks.push_back(body.get());
+    const ThreadId tid = kernel.Spawn("m" + std::to_string(i),
+                                      std::move(body));
+    sched.FundThread(tid, sched.table().base(),
+                     static_cast<int64_t>(100 * (i + 1)));
+  }
+  kernel.RunFor(SimDuration::Seconds(3600));  // one simulated hour
+  int64_t total = 0;
+  for (const auto* t : tasks) {
+    EXPECT_GT(t->cycles(), 1000);  // nobody starves over an hour
+    total += t->cycles();
+  }
+  // Cycles cost >= 20 ms of CPU each; one CPU bounds the total.
+  EXPECT_LT(total, 3600 * 50 + 100);
+  EXPECT_GT(total, 100000);
+  EXPECT_EQ(mutex.owner() == kInvalidThreadId || mutex.num_waiters() < 6,
+            true);
+}
+
+TEST(Stress, SmpChurn) {
+  LotteryScheduler::Options lopts;
+  lopts.seed = 31415;
+  LotteryScheduler sched(lopts);
+  Kernel::Options kopts;
+  kopts.quantum = SimDuration::Millis(100);
+  kopts.num_cpus = 4;
+  Kernel kernel(&sched, kopts);
+  FastRand rng(161);
+  std::vector<ThreadId> all;
+  for (int step = 0; step < 20; ++step) {
+    for (int j = 0; j < 6; ++j) {
+      const ThreadId tid = kernel.Spawn(
+          "j" + std::to_string(step) + "_" + std::to_string(j),
+          std::make_unique<FiniteJob>(
+              SimDuration::Millis(1000 + rng.NextBelow(30000))));
+      sched.FundThread(tid, sched.table().base(), 1 + rng.NextBelow(300));
+      all.push_back(tid);
+    }
+    kernel.RunFor(SimDuration::Seconds(30));
+  }
+  kernel.RunFor(SimDuration::Seconds(300));
+  SimDuration used{};
+  for (const ThreadId tid : all) {
+    EXPECT_FALSE(kernel.Alive(tid));
+    used += kernel.CpuTime(tid);
+  }
+  // 4 CPUs: used + idle accounts for every CPU-second the clock covered.
+  EXPECT_EQ((used + kernel.idle_time()).nanos(), kernel.now().nanos() * 4);
+  EXPECT_EQ(sched.table().num_currencies(), 1u);
+  EXPECT_EQ(sched.table().num_tickets(), 0u);
+}
+
+TEST(Stress, DispatchLogFromRealRun) {
+  LotteryScheduler sched;
+  Tracer tracer(SimDuration::Seconds(1));
+  tracer.EnableDispatchLog();
+  Kernel::Options kopts;
+  kopts.quantum = SimDuration::Millis(100);
+  Kernel kernel(&sched, kopts, &tracer);
+  const ThreadId a = kernel.Spawn("a", std::make_unique<ComputeTask>());
+  sched.FundThread(a, sched.table().base(), 100);
+  kernel.RunFor(SimDuration::Seconds(5));
+  ASSERT_EQ(tracer.dispatches().size(), 50u);
+  for (size_t i = 0; i < tracer.dispatches().size(); ++i) {
+    const auto& d = tracer.dispatches()[i];
+    EXPECT_EQ(d.tid, a);
+    EXPECT_EQ(d.cpu, 0);
+    EXPECT_NEAR(d.start_sec, 0.1 * static_cast<double>(i), 1e-9);
+    EXPECT_DOUBLE_EQ(d.duration_sec, 0.1);
+  }
+}
+
+}  // namespace
+}  // namespace lottery

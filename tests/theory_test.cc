@@ -1,0 +1,208 @@
+// Section 2's probabilistic claims, validated empirically against the
+// actual lottery implementation, plus golden-sequence regression tests
+// that pin the exact deterministic behaviour for fixed seeds.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "src/core/client.h"
+#include "src/core/currency.h"
+#include "src/core/list_lottery.h"
+#include "src/util/fastrand.h"
+#include "src/util/stats.h"
+
+namespace lottery {
+namespace {
+
+// Builds a two-client lottery with win probability p = t/T for client A.
+struct TwoClientLottery {
+  TwoClientLottery(int64_t a_tickets, int64_t b_tickets) {
+    a = std::make_unique<Client>(&table, "a");
+    b = std::make_unique<Client>(&table, "b");
+    a->HoldTicket(table.CreateTicket(table.base(), a_tickets));
+    b->HoldTicket(table.CreateTicket(table.base(), b_tickets));
+    a->SetActive(true);
+    b->SetActive(true);
+    lotto.Add(a.get());
+    lotto.Add(b.get());
+  }
+  CurrencyTable table;
+  std::unique_ptr<Client> a;
+  std::unique_ptr<Client> b;
+  ListLottery lotto;
+};
+
+TEST(SectionTwoTheory, ExpectedWinsAreNP) {
+  // "After n identical lotteries, the expected number of wins is np."
+  TwoClientLottery rig(1, 3);  // p = 1/4
+  FastRand rng(101);
+  constexpr int kN = 100000;
+  int wins = 0;
+  for (int i = 0; i < kN; ++i) {
+    if (rig.lotto.Draw(rng) == rig.a.get()) {
+      ++wins;
+    }
+  }
+  const auto expect = BinomialStats(kN, 0.25);
+  EXPECT_NEAR(static_cast<double>(wins), expect.mean, 4 * expect.stddev);
+}
+
+TEST(SectionTwoTheory, WinVarianceIsBinomial) {
+  // Var = np(1-p): measure the variance of win counts over many blocks of
+  // n = 400 lotteries and compare with the binomial prediction.
+  TwoClientLottery rig(1, 1);  // p = 1/2
+  FastRand rng(202);
+  constexpr int kBlock = 400;
+  constexpr int kBlocks = 2000;
+  RunningStat block_wins;
+  for (int b = 0; b < kBlocks; ++b) {
+    int wins = 0;
+    for (int i = 0; i < kBlock; ++i) {
+      if (rig.lotto.Draw(rng) == rig.a.get()) {
+        ++wins;
+      }
+    }
+    block_wins.Add(wins);
+  }
+  const auto expect = BinomialStats(kBlock, 0.5);
+  EXPECT_NEAR(block_wins.mean(), expect.mean, 1.0);
+  // Sample variance of a variance estimate: allow 10%.
+  EXPECT_NEAR(block_wins.sample_variance(), expect.variance,
+              expect.variance * 0.10);
+}
+
+TEST(SectionTwoTheory, CoefficientOfVariationShrinksAsSqrtN) {
+  // cv = sqrt((1-p)/np): doubling n four-fold halves the cv.
+  TwoClientLottery rig(1, 3);  // p = 1/4
+  FastRand rng(303);
+  auto measure_cv = [&](int block, int blocks) {
+    RunningStat stat;
+    for (int b = 0; b < blocks; ++b) {
+      int wins = 0;
+      for (int i = 0; i < block; ++i) {
+        if (rig.lotto.Draw(rng) == rig.a.get()) {
+          ++wins;
+        }
+      }
+      stat.Add(static_cast<double>(wins) / block);
+    }
+    return stat.stddev() / stat.mean();
+  };
+  const double cv_small = measure_cv(100, 2000);
+  const double cv_large = measure_cv(1600, 2000);
+  EXPECT_NEAR(cv_small / cv_large, 4.0, 0.6);
+  EXPECT_NEAR(cv_small, BinomialStats(100, 0.25).cv, 0.02);
+}
+
+TEST(SectionTwoTheory, FirstWinWaitIsGeometric) {
+  // "The number of lotteries required for a client's first win has a
+  // geometric distribution" with mean 1/p and variance (1-p)/p^2.
+  TwoClientLottery rig(1, 4);  // p = 1/5
+  FastRand rng(404);
+  RunningStat waits;
+  for (int trial = 0; trial < 20000; ++trial) {
+    int draws = 0;
+    do {
+      ++draws;
+    } while (rig.lotto.Draw(rng) != rig.a.get());
+    waits.Add(draws);
+  }
+  const auto expect = GeometricStats(0.2);
+  EXPECT_NEAR(waits.mean(), expect.mean, 0.1);
+  EXPECT_NEAR(waits.sample_variance(), expect.variance,
+              expect.variance * 0.08);
+}
+
+TEST(SectionTwoTheory, GeometricTailMemoryless) {
+  // P(wait > k) = (1-p)^k: check a few tail points at p = 1/3.
+  TwoClientLottery rig(1, 2);
+  FastRand rng(505);
+  constexpr int kTrials = 30000;
+  std::vector<int> waits;
+  waits.reserve(kTrials);
+  for (int trial = 0; trial < kTrials; ++trial) {
+    int draws = 0;
+    do {
+      ++draws;
+    } while (rig.lotto.Draw(rng) != rig.a.get());
+    waits.push_back(draws);
+  }
+  for (const int k : {1, 2, 5, 10}) {
+    const double observed =
+        static_cast<double>(std::count_if(waits.begin(), waits.end(),
+                                          [k](int w) { return w > k; })) /
+        kTrials;
+    const double predicted = std::pow(2.0 / 3.0, k);
+    EXPECT_NEAR(observed, predicted, 0.012) << "k=" << k;
+  }
+}
+
+TEST(SectionTwoTheory, ThroughputProportionalAndResponseInverse) {
+  // "a client's throughput is proportional to its ticket allocation and its
+  // average response time is inversely proportional to it."
+  FastRand rng(606);
+  for (const int64_t tickets : {1, 2, 4}) {
+    TwoClientLottery rig(tickets, 8 - tickets);
+    RunningStat waits;
+    int wins = 0;
+    constexpr int kDraws = 80000;
+    int since_last = 0;
+    for (int i = 0; i < kDraws; ++i) {
+      ++since_last;
+      if (rig.lotto.Draw(rng) == rig.a.get()) {
+        ++wins;
+        waits.Add(since_last);
+        since_last = 0;
+      }
+    }
+    const double p = static_cast<double>(tickets) / 8.0;
+    EXPECT_NEAR(static_cast<double>(wins) / kDraws, p, 0.01);
+    EXPECT_NEAR(waits.mean(), 1.0 / p, 0.2 / p);
+  }
+}
+
+// --- Golden sequences ---------------------------------------------------------
+// Pin the exact outputs for fixed seeds so refactorings cannot silently
+// change scheduling behaviour (reproducibility is a design guarantee).
+
+TEST(GoldenSequence, FastRandFromSeed42) {
+  FastRand rng(42);
+  const uint32_t expected[] = {705894u,     1126542223u, 1579310009u,
+                               565444343u,  807934826u,  421520601u};
+  for (const uint32_t want : expected) {
+    EXPECT_EQ(rng.Next(), want);
+  }
+}
+
+TEST(GoldenSequence, ListLotteryWinnersFromSeed7) {
+  TwoClientLottery rig(2, 1);
+  FastRand rng(7);
+  std::string sequence;
+  for (int i = 0; i < 20; ++i) {
+    sequence += (rig.lotto.Draw(rng) == rig.a.get()) ? 'a' : 'b';
+  }
+  // Deterministic for seed 7; 2:1 mix.
+  EXPECT_EQ(sequence.size(), 20u);
+  const auto a_count = std::count(sequence.begin(), sequence.end(), 'a');
+  EXPECT_EQ(sequence, "aabbaaaaaabbbaabaaaa");
+  EXPECT_EQ(a_count, 14);
+}
+
+TEST(GoldenSequence, SameSeedSameSimulationTwice) {
+  auto run = []() {
+    TwoClientLottery rig(3, 2);
+    FastRand rng(99);
+    std::string s;
+    for (int i = 0; i < 1000; ++i) {
+      s += (rig.lotto.Draw(rng) == rig.a.get()) ? 'a' : 'b';
+    }
+    return s;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace lottery

@@ -1,0 +1,179 @@
+// Tests for the tree-backed (O(lg n)) lottery run queue — Section 4.2's
+// "tree of partial ticket sums" as a scheduler backend.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "src/core/lottery_scheduler.h"
+#include "src/sim/kernel.h"
+#include "src/workloads/compute.h"
+
+namespace lottery {
+namespace {
+
+const SimTime kT0 = SimTime::Zero();
+
+LotteryScheduler::Options TreeOpts(uint32_t seed) {
+  LotteryScheduler::Options o;
+  o.seed = seed;
+  o.backend = RunQueueBackend::kTree;
+  return o;
+}
+
+TEST(TreeBackend, EmptyPicksInvalid) {
+  LotteryScheduler sched(TreeOpts(1));
+  EXPECT_EQ(sched.PickNext(kT0), kInvalidThreadId);
+}
+
+TEST(TreeBackend, SingleThreadPickedAndDequeued) {
+  LotteryScheduler sched(TreeOpts(2));
+  sched.AddThread(1, kT0);
+  sched.FundThread(1, sched.table().base(), 100);
+  sched.OnReady(1, kT0);
+  EXPECT_EQ(sched.PickNext(kT0), 1u);
+  EXPECT_EQ(sched.PickNext(kT0), kInvalidThreadId);
+}
+
+TEST(TreeBackend, ProportionsFollowFunding) {
+  LotteryScheduler sched(TreeOpts(777));
+  sched.AddThread(1, kT0);
+  sched.AddThread(2, kT0);
+  sched.FundThread(1, sched.table().base(), 300);
+  sched.FundThread(2, sched.table().base(), 100);
+  int wins1 = 0;
+  constexpr int kRounds = 20000;
+  for (int i = 0; i < kRounds; ++i) {
+    sched.OnReady(1, kT0);
+    sched.OnReady(2, kT0);
+    if (sched.PickNext(kT0) == 1u) {
+      ++wins1;
+    }
+    sched.OnBlocked(1, kT0);
+    sched.OnBlocked(2, kT0);
+  }
+  EXPECT_NEAR(static_cast<double>(wins1) / kRounds, 0.75, 0.02);
+}
+
+TEST(TreeBackend, ReactsToDynamicInflation) {
+  LotteryScheduler sched(TreeOpts(5));
+  sched.AddThread(1, kT0);
+  sched.AddThread(2, kT0);
+  Ticket* t1 = sched.FundThread(1, sched.table().base(), 100);
+  sched.FundThread(2, sched.table().base(), 100);
+  auto share1 = [&](int rounds) {
+    int wins = 0;
+    for (int i = 0; i < rounds; ++i) {
+      sched.OnReady(1, kT0);
+      sched.OnReady(2, kT0);
+      if (sched.PickNext(kT0) == 1u) {
+        ++wins;
+      }
+      sched.OnBlocked(1, kT0);
+      sched.OnBlocked(2, kT0);
+    }
+    return static_cast<double>(wins) / rounds;
+  };
+  EXPECT_NEAR(share1(10000), 0.5, 0.03);
+  sched.table().SetAmount(t1, 900);  // inflate mid-flight
+  EXPECT_NEAR(share1(10000), 0.9, 0.02);
+}
+
+TEST(TreeBackend, ZeroFundingFallbackAvoidsStarvation) {
+  LotteryScheduler sched(TreeOpts(6));
+  sched.AddThread(1, kT0);
+  sched.AddThread(2, kT0);
+  std::map<ThreadId, int> picks;
+  for (int i = 0; i < 200; ++i) {
+    sched.OnReady(1, kT0);
+    sched.OnReady(2, kT0);
+    ++picks[sched.PickNext(kT0)];
+    sched.OnBlocked(1, kT0);
+    sched.OnBlocked(2, kT0);
+  }
+  EXPECT_GT(picks[1], 0);
+  EXPECT_GT(picks[2], 0);
+  EXPECT_GE(sched.num_zero_fallbacks(), 200u);
+}
+
+TEST(TreeBackend, RemoveThreadWhileQueued) {
+  LotteryScheduler sched(TreeOpts(7));
+  sched.AddThread(1, kT0);
+  sched.AddThread(2, kT0);
+  sched.FundThread(1, sched.table().base(), 100);
+  sched.FundThread(2, sched.table().base(), 100);
+  sched.OnReady(1, kT0);
+  sched.OnReady(2, kT0);
+  sched.RemoveThread(1, kT0);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(sched.PickNext(kT0), 2u);
+    sched.OnReady(2, kT0);
+  }
+}
+
+TEST(TreeBackend, MatchesListBackendDistribution) {
+  // Same funding, both backends: win shares agree to within noise.
+  auto share = [](RunQueueBackend backend, uint32_t seed) {
+    LotteryScheduler::Options o;
+    o.seed = seed;
+    o.backend = backend;
+    LotteryScheduler sched(o);
+    sched.AddThread(1, SimTime::Zero());
+    sched.AddThread(2, SimTime::Zero());
+    sched.AddThread(3, SimTime::Zero());
+    sched.FundThread(1, sched.table().base(), 500);
+    sched.FundThread(2, sched.table().base(), 300);
+    sched.FundThread(3, sched.table().base(), 200);
+    int wins1 = 0;
+    constexpr int kRounds = 30000;
+    for (int i = 0; i < kRounds; ++i) {
+      for (ThreadId id : {1u, 2u, 3u}) {
+        sched.OnReady(id, SimTime::Zero());
+      }
+      if (sched.PickNext(SimTime::Zero()) == 1u) {
+        ++wins1;
+      }
+      for (ThreadId id : {1u, 2u, 3u}) {
+        sched.OnBlocked(id, SimTime::Zero());
+      }
+    }
+    return static_cast<double>(wins1) / kRounds;
+  };
+  EXPECT_NEAR(share(RunQueueBackend::kList, 11), 0.5, 0.02);
+  EXPECT_NEAR(share(RunQueueBackend::kTree, 11), 0.5, 0.02);
+}
+
+TEST(TreeBackend, EndToEndSimulationMatchesAllocation) {
+  LotteryScheduler sched(TreeOpts(8));
+  Tracer tracer(SimDuration::Seconds(1));
+  Kernel::Options kopts;
+  kopts.quantum = SimDuration::Millis(100);
+  Kernel kernel(&sched, kopts, &tracer);
+  const ThreadId a = kernel.Spawn("a", std::make_unique<ComputeTask>());
+  sched.FundThread(a, sched.table().base(), 300);
+  const ThreadId b = kernel.Spawn("b", std::make_unique<ComputeTask>());
+  sched.FundThread(b, sched.table().base(), 100);
+  kernel.RunFor(SimDuration::Seconds(120));
+  const double ratio = static_cast<double>(tracer.TotalProgress(a)) /
+                       static_cast<double>(tracer.TotalProgress(b));
+  EXPECT_NEAR(ratio, 3.0, 0.4);
+}
+
+TEST(TreeBackend, CompensationStillApplies) {
+  LotteryScheduler sched(TreeOpts(9));
+  Kernel::Options kopts;
+  kopts.quantum = SimDuration::Millis(100);
+  Kernel kernel(&sched, kopts);
+  const ThreadId a = kernel.Spawn("full", std::make_unique<ComputeTask>());
+  sched.FundThread(a, sched.table().base(), 100);
+  const ThreadId b = kernel.Spawn(
+      "frac", std::make_unique<YieldingTask>(SimDuration::Millis(20)));
+  sched.FundThread(b, sched.table().base(), 100);
+  kernel.RunFor(SimDuration::Seconds(200));
+  EXPECT_NEAR(kernel.CpuTime(a).ToSecondsF() / kernel.CpuTime(b).ToSecondsF(),
+              1.0, 0.2);
+}
+
+}  // namespace
+}  // namespace lottery

@@ -1,0 +1,302 @@
+// Tests for the workload bodies against the simulated kernel.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "src/sched/round_robin.h"
+#include "src/workloads/compute.h"
+#include "src/workloads/deadline.h"
+#include "src/workloads/montecarlo.h"
+#include "src/workloads/video.h"
+
+namespace lottery {
+namespace {
+
+Kernel::Options KOpts() {
+  Kernel::Options o;
+  o.quantum = SimDuration::Millis(100);
+  return o;
+}
+
+TEST(ComputeTask, IterationsProportionalToCpu) {
+  RoundRobinScheduler sched;
+  Tracer tracer(SimDuration::Seconds(1));
+  Kernel kernel(&sched, KOpts(), &tracer);
+  ComputeTask::Options opts;
+  opts.iteration_cost = SimDuration::Micros(40);
+  auto task = std::make_unique<ComputeTask>(opts);
+  ComputeTask* raw = task.get();
+  kernel.Spawn("dhrystone", std::move(task));
+  kernel.RunFor(SimDuration::Seconds(4));
+  // 25k iterations per CPU second, sole thread.
+  EXPECT_EQ(raw->units_done(), 100000);
+}
+
+TEST(ComputeTask, TwoTasksSplitEvenlyUnderRoundRobin) {
+  RoundRobinScheduler sched;
+  Tracer tracer(SimDuration::Seconds(1));
+  Kernel kernel(&sched, KOpts(), &tracer);
+  const ThreadId a = kernel.Spawn("a", std::make_unique<ComputeTask>());
+  const ThreadId b = kernel.Spawn("b", std::make_unique<ComputeTask>());
+  kernel.RunFor(SimDuration::Seconds(10));
+  EXPECT_EQ(tracer.TotalProgress(a), tracer.TotalProgress(b));
+}
+
+TEST(ComputeTask, RejectsNonPositiveCost) {
+  ComputeTask::Options opts;
+  opts.iteration_cost = SimDuration::Nanos(0);
+  EXPECT_THROW(ComputeTask{opts}, std::invalid_argument);
+}
+
+TEST(YieldingTask, UsesOnlyItsBurstPerQuantum) {
+  RoundRobinScheduler sched;
+  Kernel kernel(&sched, KOpts());
+  auto y = std::make_unique<YieldingTask>(SimDuration::Millis(20));
+  YieldingTask* ry = y.get();
+  const ThreadId yt = kernel.Spawn("yield", std::move(y));
+  const ThreadId spin = kernel.Spawn("spin", std::make_unique<ComputeTask>());
+  kernel.RunFor(SimDuration::Seconds(12));
+  // Round-robin alternation: each "round" is 20 ms (yield) + 100 ms (spin);
+  // the yielding task gets 1/6 of the CPU.
+  EXPECT_NEAR(kernel.CpuTime(yt).ToSecondsF(), 2.0, 0.1);
+  EXPECT_NEAR(kernel.CpuTime(spin).ToSecondsF(), 10.0, 0.1);
+  EXPECT_GT(ry->bursts_done(), 90);
+}
+
+TEST(InteractiveTask, SleepsBetweenBursts) {
+  RoundRobinScheduler sched;
+  Kernel kernel(&sched, KOpts());
+  auto t = std::make_unique<InteractiveTask>(SimDuration::Millis(10),
+                                             SimDuration::Millis(90));
+  InteractiveTask* rt = t.get();
+  kernel.Spawn("interactive", std::move(t));
+  kernel.RunFor(SimDuration::Seconds(10));
+  // One 10 ms burst per 100 ms cycle.
+  EXPECT_NEAR(static_cast<double>(rt->interactions()), 100.0, 2.0);
+  EXPECT_NEAR(kernel.idle_time().ToSecondsF(), 9.0, 0.2);
+}
+
+TEST(VideoViewer, FrameRateMatchesCpuShare) {
+  RoundRobinScheduler sched;
+  Kernel kernel(&sched, KOpts());
+  VideoViewer::Options opts;
+  opts.frame_cost = SimDuration::Millis(50);
+  auto v = std::make_unique<VideoViewer>(opts);
+  VideoViewer* rv = v.get();
+  kernel.Spawn("viewer", std::move(v));
+  kernel.Spawn("competitor", std::make_unique<ComputeTask>());
+  kernel.RunFor(SimDuration::Seconds(10));
+  // Half the CPU at 20 fps full speed -> ~10 fps.
+  EXPECT_NEAR(static_cast<double>(rv->frames()), 100.0, 3.0);
+}
+
+TEST(MonteCarloTask, RunsWithoutInflationWhenUnfunded) {
+  RoundRobinScheduler sched;
+  Kernel kernel(&sched, KOpts());
+  MonteCarloTask::Options opts;
+  opts.trial_cost = SimDuration::Millis(1);
+  auto mc = std::make_unique<MonteCarloTask>(nullptr, nullptr, opts);
+  MonteCarloTask* raw = mc.get();
+  kernel.Spawn("mc", std::move(mc));
+  kernel.RunFor(SimDuration::Seconds(2));
+  EXPECT_EQ(raw->trials(), 2000);
+  EXPECT_NEAR(raw->relative_error(), 1.0 / std::sqrt(2000.0), 1e-9);
+  EXPECT_EQ(raw->current_amount(), 0);
+}
+
+// Spawns a MonteCarloTask funded by a fresh inflatable ticket. The initial
+// amount reflects the task's starting relative error of 1.0 — i.e. the
+// clamped maximum — exactly what the task's own policy would set.
+MonteCarloTask* SpawnMonteCarlo(Kernel& kernel, LotteryScheduler& sched,
+                                const std::string& name,
+                                const MonteCarloTask::Options& opts,
+                                bool start_ready, ThreadId* tid_out) {
+  auto body = std::make_unique<MonteCarloTask>(nullptr, nullptr, opts);
+  MonteCarloTask* raw = body.get();
+  const ThreadId tid = kernel.Spawn(name, std::move(body), start_ready);
+  const int64_t initial =
+      std::clamp(opts.inflation_scale, opts.min_amount, opts.max_amount);
+  Ticket* ticket = sched.FundThread(tid, sched.table().base(), initial);
+  raw->AttachFunding(&sched.table(), ticket);
+  if (tid_out != nullptr) {
+    *tid_out = tid;
+  }
+  return raw;
+}
+
+TEST(MonteCarloTask, InflationDecaysAsTrialsAccumulate) {
+  LotteryScheduler lsched;
+  Kernel kernel(&lsched, KOpts());
+  MonteCarloTask::Options opts;
+  opts.trial_cost = SimDuration::Millis(1);
+  opts.inflation_scale = 1000000;
+  opts.max_amount = 100000;
+  ThreadId tid = kInvalidThreadId;
+  MonteCarloTask* raw =
+      SpawnMonteCarlo(kernel, lsched, "mc", opts, /*start_ready=*/true, &tid);
+  kernel.RunFor(SimDuration::Seconds(5));
+  EXPECT_EQ(raw->trials(), 5000);
+  // amount == scale / trials, clamped.
+  EXPECT_EQ(raw->current_amount(), 1000000 / 5000);
+  EXPECT_NEAR(raw->relative_error(), 1.0 / std::sqrt(5000.0), 1e-9);
+}
+
+TEST(MonteCarloTask, EstimateConvergesToPi) {
+  RoundRobinScheduler sched;
+  Kernel kernel(&sched, KOpts());
+  MonteCarloTask::Options opts;
+  opts.trial_cost = SimDuration::Micros(10);
+  auto mc = std::make_unique<MonteCarloTask>(nullptr, nullptr, opts);
+  MonteCarloTask* raw = mc.get();
+  kernel.Spawn("mc", std::move(mc));
+  kernel.RunFor(SimDuration::Seconds(10));  // 1M trials
+  EXPECT_EQ(raw->trials(), 1000000);
+  EXPECT_NEAR(raw->estimate(), 3.14159265, 0.005);
+  // The true stderr of 4/(1+x^2) sampling is ~0.00064 at n = 1e6.
+  EXPECT_GT(raw->standard_error(), 0.0001);
+  EXPECT_LT(raw->standard_error(), 0.002);
+  // The estimate should be within a few standard errors of pi.
+  EXPECT_LT(std::abs(raw->estimate() - 3.14159265),
+            5.0 * raw->standard_error());
+}
+
+TEST(MonteCarloTask, MeasuredErrorModelTracksStandardError) {
+  RoundRobinScheduler sched;
+  Kernel kernel(&sched, KOpts());
+  MonteCarloTask::Options opts;
+  opts.trial_cost = SimDuration::Micros(100);
+  opts.error_model = MonteCarloTask::ErrorModel::kMeasured;
+  auto mc = std::make_unique<MonteCarloTask>(nullptr, nullptr, opts);
+  MonteCarloTask* raw = mc.get();
+  kernel.Spawn("mc", std::move(mc));
+  kernel.RunFor(SimDuration::Seconds(2));
+  EXPECT_NEAR(raw->relative_error(),
+              raw->standard_error() / raw->estimate(), 1e-12);
+}
+
+TEST(MonteCarloTask, MeasuredErrorInflationDrivesCatchUp) {
+  LotteryScheduler::Options lopts;
+  lopts.seed = 17;
+  LotteryScheduler lsched(lopts);
+  Kernel kernel(&lsched, KOpts());
+  MonteCarloTask::Options opts;
+  opts.trial_cost = SimDuration::Millis(1);
+  opts.error_model = MonteCarloTask::ErrorModel::kMeasured;
+  opts.inflation_scale = 1000000000000;  // measured rel-err^2 is tiny
+  // Keep the clamp far above the working range so it does not flatten the
+  // fresh task's error^2 advantage.
+  opts.max_amount = 1000000000;
+
+  ThreadId ta = kInvalidThreadId, tb = kInvalidThreadId;
+  MonteCarloTask* a =
+      SpawnMonteCarlo(kernel, lsched, "A", opts, /*start_ready=*/true, &ta);
+  MonteCarloTask* b =
+      SpawnMonteCarlo(kernel, lsched, "B", opts, /*start_ready=*/false, &tb);
+  kernel.RunFor(SimDuration::Seconds(60));
+  const int64_t a_before = a->trials();
+  kernel.Wake(tb, kernel.now());
+  kernel.RunFor(SimDuration::Seconds(30));
+  // B (fresh, high measured error) must outpace A while catching up.
+  EXPECT_GT(b->trials(), (a->trials() - a_before) * 2);
+}
+
+TEST(MonteCarloTask, FreshTaskCatchesUpThenConverges) {
+  // The Figure 6 dynamic in miniature: task B starts after task A has
+  // accumulated trials; B's inflated tickets let it catch up, and the gap
+  // between their trial counts shrinks over time.
+  LotteryScheduler::Options lopts;
+  lopts.seed = 5;
+  LotteryScheduler lsched(lopts);
+  Kernel kernel(&lsched, KOpts());
+  MonteCarloTask::Options opts;
+  opts.trial_cost = SimDuration::Millis(1);
+  opts.inflation_scale = 100000000;
+
+  ThreadId ta = kInvalidThreadId, tb = kInvalidThreadId;
+  MonteCarloTask* a =
+      SpawnMonteCarlo(kernel, lsched, "A", opts, /*start_ready=*/true, &ta);
+  MonteCarloTask* b =
+      SpawnMonteCarlo(kernel, lsched, "B", opts, /*start_ready=*/false, &tb);
+
+  kernel.RunFor(SimDuration::Seconds(60));
+  const int64_t a_at_b_start = a->trials();
+  EXPECT_EQ(b->trials(), 0);
+  kernel.Wake(tb, kernel.now());
+
+  kernel.RunFor(SimDuration::Seconds(20));
+  // B received the lion's share while behind.
+  EXPECT_GT(b->trials(), (a->trials() - a_at_b_start) * 2);
+
+  kernel.RunFor(SimDuration::Seconds(300));
+  // Long-run convergence: equal errors => near-equal totals.
+  const double gap = std::abs(static_cast<double>(a->trials() - b->trials()));
+  EXPECT_LT(gap / static_cast<double>(a->trials()), 0.15);
+}
+
+TEST(DeadlineTask, AllOnTimeWhenAlone) {
+  RoundRobinScheduler sched;
+  Kernel kernel(&sched, KOpts());
+  DeadlineTask::Options opts;
+  opts.period = SimDuration::Millis(100);
+  opts.budget = SimDuration::Millis(25);
+  auto body = std::make_unique<DeadlineTask>(opts);
+  DeadlineTask* raw = body.get();
+  kernel.Spawn("rt", std::move(body));
+  kernel.RunFor(SimDuration::Seconds(10));
+  EXPECT_EQ(raw->completed(), 100);
+  EXPECT_EQ(raw->on_time(), 100);
+  // The task sleeps 75% of the time.
+  EXPECT_NEAR(kernel.idle_time().ToSecondsF(), 7.5, 0.2);
+}
+
+TEST(DeadlineTask, MissesWhenShareTooSmall) {
+  // Round-robin with 4 background tasks gives the deadline task 1/5 of the
+  // CPU — below its 25% requirement — so jobs fall behind.
+  RoundRobinScheduler sched;
+  Kernel::Options kopts;
+  kopts.quantum = SimDuration::Millis(10);
+  Kernel kernel(&sched, kopts);
+  DeadlineTask::Options opts;
+  opts.period = SimDuration::Millis(100);
+  opts.budget = SimDuration::Millis(25);
+  auto body = std::make_unique<DeadlineTask>(opts);
+  DeadlineTask* raw = body.get();
+  kernel.Spawn("rt", std::move(body));
+  for (int i = 0; i < 4; ++i) {
+    kernel.Spawn("bg" + std::to_string(i), std::make_unique<ComputeTask>());
+  }
+  kernel.RunFor(SimDuration::Seconds(60));
+  EXPECT_LT(raw->on_time_fraction(), 0.2);
+  // Throughput itself is limited to its CPU share: ~20% of demand... the
+  // task still completes jobs (late), roughly share/budget per second.
+  EXPECT_GT(raw->completed(), 300);
+}
+
+TEST(DeadlineTask, LotteryContractHoldsUnderLoad) {
+  LotteryScheduler::Options lopts;
+  lopts.seed = 77;
+  LotteryScheduler sched(lopts);
+  Kernel::Options kopts;
+  kopts.quantum = SimDuration::Millis(10);
+  Kernel kernel(&sched, kopts);
+  DeadlineTask::Options opts;
+  opts.period = SimDuration::Millis(100);
+  opts.budget = SimDuration::Millis(25);
+  auto body = std::make_unique<DeadlineTask>(opts);
+  DeadlineTask* raw = body.get();
+  const ThreadId rt = kernel.Spawn("rt", std::move(body));
+  sched.FundThread(rt, sched.table().base(), 500);
+  for (int i = 0; i < 6; ++i) {
+    const ThreadId tid =
+        kernel.Spawn("bg" + std::to_string(i), std::make_unique<ComputeTask>());
+    sched.FundThread(tid, sched.table().base(), 100);
+  }
+  kernel.RunFor(SimDuration::Seconds(60));
+  // 50% funding against a 25% requirement: misses are rare.
+  EXPECT_GT(raw->on_time_fraction(), 0.9);
+}
+
+}  // namespace
+}  // namespace lottery
