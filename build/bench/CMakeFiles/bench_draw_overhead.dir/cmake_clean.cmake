@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_draw_overhead.dir/bench_draw_overhead.cc.o"
+  "CMakeFiles/bench_draw_overhead.dir/bench_draw_overhead.cc.o.d"
+  "bench_draw_overhead"
+  "bench_draw_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_draw_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_mutex_waiting.dir/fig11_mutex_waiting.cc.o"
+  "CMakeFiles/fig11_mutex_waiting.dir/fig11_mutex_waiting.cc.o.d"
+  "fig11_mutex_waiting"
+  "fig11_mutex_waiting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_mutex_waiting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

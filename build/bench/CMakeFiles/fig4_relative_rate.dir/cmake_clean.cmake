@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_relative_rate.dir/fig4_relative_rate.cc.o"
+  "CMakeFiles/fig4_relative_rate.dir/fig4_relative_rate.cc.o.d"
+  "fig4_relative_rate"
+  "fig4_relative_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_relative_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

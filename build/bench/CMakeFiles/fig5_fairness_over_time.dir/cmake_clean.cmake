@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_fairness_over_time.dir/fig5_fairness_over_time.cc.o"
+  "CMakeFiles/fig5_fairness_over_time.dir/fig5_fairness_over_time.cc.o.d"
+  "fig5_fairness_over_time"
+  "fig5_fairness_over_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_fairness_over_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_montecarlo.dir/fig6_montecarlo.cc.o"
+  "CMakeFiles/fig6_montecarlo.dir/fig6_montecarlo.cc.o.d"
+  "fig6_montecarlo"
+  "fig6_montecarlo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_montecarlo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_query_rates.dir/fig7_query_rates.cc.o"
+  "CMakeFiles/fig7_query_rates.dir/fig7_query_rates.cc.o.d"
+  "fig7_query_rates"
+  "fig7_query_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_query_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

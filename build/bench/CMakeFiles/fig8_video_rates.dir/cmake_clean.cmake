@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_video_rates.dir/fig8_video_rates.cc.o"
+  "CMakeFiles/fig8_video_rates.dir/fig8_video_rates.cc.o.d"
+  "fig8_video_rates"
+  "fig8_video_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_video_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

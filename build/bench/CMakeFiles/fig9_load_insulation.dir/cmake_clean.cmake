@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_load_insulation.dir/fig9_load_insulation.cc.o"
+  "CMakeFiles/fig9_load_insulation.dir/fig9_load_insulation.cc.o.d"
+  "fig9_load_insulation"
+  "fig9_load_insulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_load_insulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

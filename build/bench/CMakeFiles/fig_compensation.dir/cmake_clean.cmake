@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_compensation.dir/fig_compensation.cc.o"
+  "CMakeFiles/fig_compensation.dir/fig_compensation.cc.o.d"
+  "fig_compensation"
+  "fig_compensation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_compensation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_db_disk.dir/fig_db_disk.cc.o"
+  "CMakeFiles/fig_db_disk.dir/fig_db_disk.cc.o.d"
+  "fig_db_disk"
+  "fig_db_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_db_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

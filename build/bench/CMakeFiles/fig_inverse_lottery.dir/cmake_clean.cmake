@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_inverse_lottery.dir/fig_inverse_lottery.cc.o"
+  "CMakeFiles/fig_inverse_lottery.dir/fig_inverse_lottery.cc.o.d"
+  "fig_inverse_lottery"
+  "fig_inverse_lottery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_inverse_lottery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

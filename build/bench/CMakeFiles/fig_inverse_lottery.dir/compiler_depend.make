@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig_inverse_lottery.
+# This may be replaced when dependencies are built.

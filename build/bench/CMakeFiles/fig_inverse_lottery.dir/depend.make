@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_inverse_lottery.
+# This may be replaced when dependencies are built.

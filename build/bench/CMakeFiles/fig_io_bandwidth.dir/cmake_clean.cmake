@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_io_bandwidth.dir/fig_io_bandwidth.cc.o"
+  "CMakeFiles/fig_io_bandwidth.dir/fig_io_bandwidth.cc.o.d"
+  "fig_io_bandwidth"
+  "fig_io_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_io_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_qos.dir/fig_qos.cc.o"
+  "CMakeFiles/fig_qos.dir/fig_qos.cc.o.d"
+  "fig_qos"
+  "fig_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_rendering.dir/adaptive_rendering.cpp.o"
+  "CMakeFiles/adaptive_rendering.dir/adaptive_rendering.cpp.o.d"
+  "adaptive_rendering"
+  "adaptive_rendering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_rendering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/currency_isolation.cpp" "examples/CMakeFiles/currency_isolation.dir/currency_isolation.cpp.o" "gcc" "examples/CMakeFiles/currency_isolation.dir/currency_isolation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/ls_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ls_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctl/CMakeFiles/ls_ctl.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ls_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/ls_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ls_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/currency_isolation.dir/currency_isolation.cpp.o"
+  "CMakeFiles/currency_isolation.dir/currency_isolation.cpp.o.d"
+  "currency_isolation"
+  "currency_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/currency_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lotteryctl.dir/lotteryctl.cpp.o"
+  "CMakeFiles/lotteryctl.dir/lotteryctl.cpp.o.d"
+  "lotteryctl"
+  "lotteryctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lotteryctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

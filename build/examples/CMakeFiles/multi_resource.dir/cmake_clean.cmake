@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_resource.dir/multi_resource.cpp.o"
+  "CMakeFiles/multi_resource.dir/multi_resource.cpp.o.d"
+  "multi_resource"
+  "multi_resource.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_resource.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

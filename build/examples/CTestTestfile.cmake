@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;10;ls_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_currency_isolation "/root/repo/build/examples/currency_isolation")
+set_tests_properties(example_currency_isolation PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;11;ls_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_client_server "/root/repo/build/examples/client_server")
+set_tests_properties(example_client_server PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;12;ls_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_priority_inversion "/root/repo/build/examples/priority_inversion")
+set_tests_properties(example_priority_inversion PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;13;ls_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_adaptive_rendering "/root/repo/build/examples/adaptive_rendering")
+set_tests_properties(example_adaptive_rendering PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;14;ls_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_lotteryctl "/root/repo/build/examples/lotteryctl")
+set_tests_properties(example_lotteryctl PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;15;ls_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_multi_resource "/root/repo/build/examples/multi_resource")
+set_tests_properties(example_multi_resource PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;16;ls_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_memory_pressure "/root/repo/build/examples/memory_pressure")
+set_tests_properties(example_memory_pressure PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;17;ls_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_scheduler_shootout "/root/repo/build/examples/scheduler_shootout")
+set_tests_properties(example_scheduler_shootout PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;18;ls_add_example;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/client.cc" "src/core/CMakeFiles/ls_core.dir/client.cc.o" "gcc" "src/core/CMakeFiles/ls_core.dir/client.cc.o.d"
+  "/root/repo/src/core/compensation.cc" "src/core/CMakeFiles/ls_core.dir/compensation.cc.o" "gcc" "src/core/CMakeFiles/ls_core.dir/compensation.cc.o.d"
+  "/root/repo/src/core/currency.cc" "src/core/CMakeFiles/ls_core.dir/currency.cc.o" "gcc" "src/core/CMakeFiles/ls_core.dir/currency.cc.o.d"
+  "/root/repo/src/core/funding.cc" "src/core/CMakeFiles/ls_core.dir/funding.cc.o" "gcc" "src/core/CMakeFiles/ls_core.dir/funding.cc.o.d"
+  "/root/repo/src/core/hierarchy.cc" "src/core/CMakeFiles/ls_core.dir/hierarchy.cc.o" "gcc" "src/core/CMakeFiles/ls_core.dir/hierarchy.cc.o.d"
+  "/root/repo/src/core/inverse_lottery.cc" "src/core/CMakeFiles/ls_core.dir/inverse_lottery.cc.o" "gcc" "src/core/CMakeFiles/ls_core.dir/inverse_lottery.cc.o.d"
+  "/root/repo/src/core/list_lottery.cc" "src/core/CMakeFiles/ls_core.dir/list_lottery.cc.o" "gcc" "src/core/CMakeFiles/ls_core.dir/list_lottery.cc.o.d"
+  "/root/repo/src/core/lottery_scheduler.cc" "src/core/CMakeFiles/ls_core.dir/lottery_scheduler.cc.o" "gcc" "src/core/CMakeFiles/ls_core.dir/lottery_scheduler.cc.o.d"
+  "/root/repo/src/core/transfer.cc" "src/core/CMakeFiles/ls_core.dir/transfer.cc.o" "gcc" "src/core/CMakeFiles/ls_core.dir/transfer.cc.o.d"
+  "/root/repo/src/core/tree_lottery.cc" "src/core/CMakeFiles/ls_core.dir/tree_lottery.cc.o" "gcc" "src/core/CMakeFiles/ls_core.dir/tree_lottery.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ls_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ls_core.dir/client.cc.o"
+  "CMakeFiles/ls_core.dir/client.cc.o.d"
+  "CMakeFiles/ls_core.dir/compensation.cc.o"
+  "CMakeFiles/ls_core.dir/compensation.cc.o.d"
+  "CMakeFiles/ls_core.dir/currency.cc.o"
+  "CMakeFiles/ls_core.dir/currency.cc.o.d"
+  "CMakeFiles/ls_core.dir/funding.cc.o"
+  "CMakeFiles/ls_core.dir/funding.cc.o.d"
+  "CMakeFiles/ls_core.dir/hierarchy.cc.o"
+  "CMakeFiles/ls_core.dir/hierarchy.cc.o.d"
+  "CMakeFiles/ls_core.dir/inverse_lottery.cc.o"
+  "CMakeFiles/ls_core.dir/inverse_lottery.cc.o.d"
+  "CMakeFiles/ls_core.dir/list_lottery.cc.o"
+  "CMakeFiles/ls_core.dir/list_lottery.cc.o.d"
+  "CMakeFiles/ls_core.dir/lottery_scheduler.cc.o"
+  "CMakeFiles/ls_core.dir/lottery_scheduler.cc.o.d"
+  "CMakeFiles/ls_core.dir/transfer.cc.o"
+  "CMakeFiles/ls_core.dir/transfer.cc.o.d"
+  "CMakeFiles/ls_core.dir/tree_lottery.cc.o"
+  "CMakeFiles/ls_core.dir/tree_lottery.cc.o.d"
+  "libls_core.a"
+  "libls_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ls_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ls_ctl.dir/interpreter.cc.o"
+  "CMakeFiles/ls_ctl.dir/interpreter.cc.o.d"
+  "libls_ctl.a"
+  "libls_ctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ls_ctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/decay_usage.cc" "src/sched/CMakeFiles/ls_sched.dir/decay_usage.cc.o" "gcc" "src/sched/CMakeFiles/ls_sched.dir/decay_usage.cc.o.d"
+  "/root/repo/src/sched/hybrid.cc" "src/sched/CMakeFiles/ls_sched.dir/hybrid.cc.o" "gcc" "src/sched/CMakeFiles/ls_sched.dir/hybrid.cc.o.d"
+  "/root/repo/src/sched/priority.cc" "src/sched/CMakeFiles/ls_sched.dir/priority.cc.o" "gcc" "src/sched/CMakeFiles/ls_sched.dir/priority.cc.o.d"
+  "/root/repo/src/sched/round_robin.cc" "src/sched/CMakeFiles/ls_sched.dir/round_robin.cc.o" "gcc" "src/sched/CMakeFiles/ls_sched.dir/round_robin.cc.o.d"
+  "/root/repo/src/sched/stride.cc" "src/sched/CMakeFiles/ls_sched.dir/stride.cc.o" "gcc" "src/sched/CMakeFiles/ls_sched.dir/stride.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ls_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ls_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

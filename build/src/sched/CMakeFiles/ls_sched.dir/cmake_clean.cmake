@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ls_sched.dir/decay_usage.cc.o"
+  "CMakeFiles/ls_sched.dir/decay_usage.cc.o.d"
+  "CMakeFiles/ls_sched.dir/hybrid.cc.o"
+  "CMakeFiles/ls_sched.dir/hybrid.cc.o.d"
+  "CMakeFiles/ls_sched.dir/priority.cc.o"
+  "CMakeFiles/ls_sched.dir/priority.cc.o.d"
+  "CMakeFiles/ls_sched.dir/round_robin.cc.o"
+  "CMakeFiles/ls_sched.dir/round_robin.cc.o.d"
+  "CMakeFiles/ls_sched.dir/stride.cc.o"
+  "CMakeFiles/ls_sched.dir/stride.cc.o.d"
+  "libls_sched.a"
+  "libls_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ls_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/crossbar.cc" "src/sim/CMakeFiles/ls_sim.dir/crossbar.cc.o" "gcc" "src/sim/CMakeFiles/ls_sim.dir/crossbar.cc.o.d"
+  "/root/repo/src/sim/disk.cc" "src/sim/CMakeFiles/ls_sim.dir/disk.cc.o" "gcc" "src/sim/CMakeFiles/ls_sim.dir/disk.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/sim/CMakeFiles/ls_sim.dir/event_queue.cc.o" "gcc" "src/sim/CMakeFiles/ls_sim.dir/event_queue.cc.o.d"
+  "/root/repo/src/sim/kernel.cc" "src/sim/CMakeFiles/ls_sim.dir/kernel.cc.o" "gcc" "src/sim/CMakeFiles/ls_sim.dir/kernel.cc.o.d"
+  "/root/repo/src/sim/link.cc" "src/sim/CMakeFiles/ls_sim.dir/link.cc.o" "gcc" "src/sim/CMakeFiles/ls_sim.dir/link.cc.o.d"
+  "/root/repo/src/sim/page_cache.cc" "src/sim/CMakeFiles/ls_sim.dir/page_cache.cc.o" "gcc" "src/sim/CMakeFiles/ls_sim.dir/page_cache.cc.o.d"
+  "/root/repo/src/sim/rpc.cc" "src/sim/CMakeFiles/ls_sim.dir/rpc.cc.o" "gcc" "src/sim/CMakeFiles/ls_sim.dir/rpc.cc.o.d"
+  "/root/repo/src/sim/rwlock.cc" "src/sim/CMakeFiles/ls_sim.dir/rwlock.cc.o" "gcc" "src/sim/CMakeFiles/ls_sim.dir/rwlock.cc.o.d"
+  "/root/repo/src/sim/semaphore.cc" "src/sim/CMakeFiles/ls_sim.dir/semaphore.cc.o" "gcc" "src/sim/CMakeFiles/ls_sim.dir/semaphore.cc.o.d"
+  "/root/repo/src/sim/sync.cc" "src/sim/CMakeFiles/ls_sim.dir/sync.cc.o" "gcc" "src/sim/CMakeFiles/ls_sim.dir/sync.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/sim/CMakeFiles/ls_sim.dir/trace.cc.o" "gcc" "src/sim/CMakeFiles/ls_sim.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ls_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/ls_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ls_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ls_sim.dir/crossbar.cc.o"
+  "CMakeFiles/ls_sim.dir/crossbar.cc.o.d"
+  "CMakeFiles/ls_sim.dir/disk.cc.o"
+  "CMakeFiles/ls_sim.dir/disk.cc.o.d"
+  "CMakeFiles/ls_sim.dir/event_queue.cc.o"
+  "CMakeFiles/ls_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/ls_sim.dir/kernel.cc.o"
+  "CMakeFiles/ls_sim.dir/kernel.cc.o.d"
+  "CMakeFiles/ls_sim.dir/link.cc.o"
+  "CMakeFiles/ls_sim.dir/link.cc.o.d"
+  "CMakeFiles/ls_sim.dir/page_cache.cc.o"
+  "CMakeFiles/ls_sim.dir/page_cache.cc.o.d"
+  "CMakeFiles/ls_sim.dir/rpc.cc.o"
+  "CMakeFiles/ls_sim.dir/rpc.cc.o.d"
+  "CMakeFiles/ls_sim.dir/rwlock.cc.o"
+  "CMakeFiles/ls_sim.dir/rwlock.cc.o.d"
+  "CMakeFiles/ls_sim.dir/semaphore.cc.o"
+  "CMakeFiles/ls_sim.dir/semaphore.cc.o.d"
+  "CMakeFiles/ls_sim.dir/sync.cc.o"
+  "CMakeFiles/ls_sim.dir/sync.cc.o.d"
+  "CMakeFiles/ls_sim.dir/trace.cc.o"
+  "CMakeFiles/ls_sim.dir/trace.cc.o.d"
+  "libls_sim.a"
+  "libls_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ls_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

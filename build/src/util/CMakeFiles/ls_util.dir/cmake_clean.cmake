@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ls_util.dir/flags.cc.o"
+  "CMakeFiles/ls_util.dir/flags.cc.o.d"
+  "CMakeFiles/ls_util.dir/sim_time.cc.o"
+  "CMakeFiles/ls_util.dir/sim_time.cc.o.d"
+  "CMakeFiles/ls_util.dir/stats.cc.o"
+  "CMakeFiles/ls_util.dir/stats.cc.o.d"
+  "CMakeFiles/ls_util.dir/table.cc.o"
+  "CMakeFiles/ls_util.dir/table.cc.o.d"
+  "libls_util.a"
+  "libls_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ls_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/compute.cc" "src/workloads/CMakeFiles/ls_workloads.dir/compute.cc.o" "gcc" "src/workloads/CMakeFiles/ls_workloads.dir/compute.cc.o.d"
+  "/root/repo/src/workloads/deadline.cc" "src/workloads/CMakeFiles/ls_workloads.dir/deadline.cc.o" "gcc" "src/workloads/CMakeFiles/ls_workloads.dir/deadline.cc.o.d"
+  "/root/repo/src/workloads/montecarlo.cc" "src/workloads/CMakeFiles/ls_workloads.dir/montecarlo.cc.o" "gcc" "src/workloads/CMakeFiles/ls_workloads.dir/montecarlo.cc.o.d"
+  "/root/repo/src/workloads/mutex_workload.cc" "src/workloads/CMakeFiles/ls_workloads.dir/mutex_workload.cc.o" "gcc" "src/workloads/CMakeFiles/ls_workloads.dir/mutex_workload.cc.o.d"
+  "/root/repo/src/workloads/query_server.cc" "src/workloads/CMakeFiles/ls_workloads.dir/query_server.cc.o" "gcc" "src/workloads/CMakeFiles/ls_workloads.dir/query_server.cc.o.d"
+  "/root/repo/src/workloads/replay.cc" "src/workloads/CMakeFiles/ls_workloads.dir/replay.cc.o" "gcc" "src/workloads/CMakeFiles/ls_workloads.dir/replay.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ls_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ls_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ls_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/ls_sched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

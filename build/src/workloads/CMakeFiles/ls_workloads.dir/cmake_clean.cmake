@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ls_workloads.dir/compute.cc.o"
+  "CMakeFiles/ls_workloads.dir/compute.cc.o.d"
+  "CMakeFiles/ls_workloads.dir/deadline.cc.o"
+  "CMakeFiles/ls_workloads.dir/deadline.cc.o.d"
+  "CMakeFiles/ls_workloads.dir/montecarlo.cc.o"
+  "CMakeFiles/ls_workloads.dir/montecarlo.cc.o.d"
+  "CMakeFiles/ls_workloads.dir/mutex_workload.cc.o"
+  "CMakeFiles/ls_workloads.dir/mutex_workload.cc.o.d"
+  "CMakeFiles/ls_workloads.dir/query_server.cc.o"
+  "CMakeFiles/ls_workloads.dir/query_server.cc.o.d"
+  "CMakeFiles/ls_workloads.dir/replay.cc.o"
+  "CMakeFiles/ls_workloads.dir/replay.cc.o.d"
+  "libls_workloads.a"
+  "libls_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ls_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_sched_test.dir/baseline_sched_test.cc.o"
+  "CMakeFiles/baseline_sched_test.dir/baseline_sched_test.cc.o.d"
+  "baseline_sched_test"
+  "baseline_sched_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_sched_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compensation_transfer_test.dir/compensation_transfer_test.cc.o"
+  "CMakeFiles/compensation_transfer_test.dir/compensation_transfer_test.cc.o.d"
+  "compensation_transfer_test"
+  "compensation_transfer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compensation_transfer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

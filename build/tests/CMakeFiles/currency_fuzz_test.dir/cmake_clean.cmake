@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/currency_fuzz_test.dir/currency_fuzz_test.cc.o"
+  "CMakeFiles/currency_fuzz_test.dir/currency_fuzz_test.cc.o.d"
+  "currency_fuzz_test"
+  "currency_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/currency_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

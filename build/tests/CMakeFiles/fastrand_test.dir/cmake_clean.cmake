@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastrand_test.dir/fastrand_test.cc.o"
+  "CMakeFiles/fastrand_test.dir/fastrand_test.cc.o.d"
+  "fastrand_test"
+  "fastrand_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastrand_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

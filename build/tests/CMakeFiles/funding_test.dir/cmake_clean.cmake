@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/funding_test.dir/funding_test.cc.o"
+  "CMakeFiles/funding_test.dir/funding_test.cc.o.d"
+  "funding_test"
+  "funding_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/funding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

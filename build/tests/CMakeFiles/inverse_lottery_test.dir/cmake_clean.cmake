@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inverse_lottery_test.dir/inverse_lottery_test.cc.o"
+  "CMakeFiles/inverse_lottery_test.dir/inverse_lottery_test.cc.o.d"
+  "inverse_lottery_test"
+  "inverse_lottery_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inverse_lottery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_sched_test.dir/io_sched_test.cc.o"
+  "CMakeFiles/io_sched_test.dir/io_sched_test.cc.o.d"
+  "io_sched_test"
+  "io_sched_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_sched_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

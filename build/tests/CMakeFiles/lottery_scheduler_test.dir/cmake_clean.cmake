@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lottery_scheduler_test.dir/lottery_scheduler_test.cc.o"
+  "CMakeFiles/lottery_scheduler_test.dir/lottery_scheduler_test.cc.o.d"
+  "lottery_scheduler_test"
+  "lottery_scheduler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lottery_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

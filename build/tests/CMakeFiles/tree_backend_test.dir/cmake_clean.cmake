@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_backend_test.dir/tree_backend_test.cc.o"
+  "CMakeFiles/tree_backend_test.dir/tree_backend_test.cc.o.d"
+  "tree_backend_test"
+  "tree_backend_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_backend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
