@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Schema check for BENCH_<name>.json reports emitted by bench/--json.
+
+Every report must carry the stable five-key envelope:
+
+    {
+      "schema_version": 1,
+      "bench": "<name>",
+      "metadata": {"seed": <int>, ...},
+      "metrics": {"<key>": <finite number>, ...},   # non-empty
+      "percentiles": {"<hist>": {count, mean, p50, p90, p99, max}, ...}
+    }
+
+Nulls are rejected everywhere: the JSON writer turns NaN/Inf into null, so
+a null metric means a bench computed garbage and that should fail CI, not
+upload quietly. Usage: check_bench_json.py FILE [FILE...]; exits nonzero
+and prints one line per violation if any file fails.
+"""
+
+import json
+import sys
+
+PERCENTILE_KEYS = ("count", "mean", "p50", "p90", "p99", "max")
+
+
+def is_number(value):
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def check_file(path):
+    errors = []
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: unreadable or invalid JSON: {exc}"]
+
+    if not isinstance(doc, dict):
+        return [f"{path}: top level is not an object"]
+
+    for key in ("schema_version", "bench", "metadata", "metrics",
+                "percentiles"):
+        if key not in doc:
+            errors.append(f"{path}: missing required key '{key}'")
+    if errors:
+        return errors
+
+    if doc["schema_version"] != 1:
+        errors.append(
+            f"{path}: schema_version is {doc['schema_version']!r}, expected 1")
+    if not isinstance(doc["bench"], str) or not doc["bench"]:
+        errors.append(f"{path}: 'bench' must be a non-empty string")
+
+    metadata = doc["metadata"]
+    if not isinstance(metadata, dict):
+        errors.append(f"{path}: 'metadata' must be an object")
+    elif "seed" not in metadata:
+        errors.append(f"{path}: metadata.seed is missing")
+    elif not is_number(metadata["seed"]):
+        errors.append(f"{path}: metadata.seed must be a number")
+
+    metrics = doc["metrics"]
+    if not isinstance(metrics, dict) or not metrics:
+        errors.append(f"{path}: 'metrics' must be a non-empty object")
+    else:
+        for name, value in metrics.items():
+            if not is_number(value):
+                errors.append(
+                    f"{path}: metrics['{name}'] is {value!r}, not a finite "
+                    "number (null means the bench emitted NaN/Inf)")
+
+    percentiles = doc["percentiles"]
+    if not isinstance(percentiles, dict):
+        errors.append(f"{path}: 'percentiles' must be an object")
+    else:
+        for hist, summary in percentiles.items():
+            if not isinstance(summary, dict):
+                errors.append(
+                    f"{path}: percentiles['{hist}'] is not an object")
+                continue
+            for key in PERCENTILE_KEYS:
+                if key not in summary:
+                    errors.append(
+                        f"{path}: percentiles['{hist}'] missing '{key}'")
+                elif not is_number(summary[key]):
+                    errors.append(
+                        f"{path}: percentiles['{hist}']['{key}'] is "
+                        f"{summary[key]!r}, not a finite number")
+
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print("usage: check_bench_json.py BENCH_*.json", file=sys.stderr)
+        return 2
+    failures = []
+    for path in argv[1:]:
+        errors = check_file(path)
+        if errors:
+            failures.extend(errors)
+        else:
+            print(f"OK {path}")
+    for line in failures:
+        print(f"FAIL {line}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

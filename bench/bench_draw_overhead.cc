@@ -9,7 +9,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "src/core/client.h"
@@ -17,6 +22,7 @@
 #include "src/core/inverse_lottery.h"
 #include "src/core/list_lottery.h"
 #include "src/core/tree_lottery.h"
+#include "src/obs/json_writer.h"
 #include "src/util/fastrand.h"
 
 namespace lottery {
@@ -187,7 +193,80 @@ void BM_ActivationCascade(benchmark::State& state) {
 }
 BENCHMARK(BM_ActivationCascade);
 
+// Console reporter that additionally captures per-benchmark real time so a
+// --json report in the shared BENCH_<name>.json schema can be emitted next
+// to google-benchmark's own output. Complexity fits (BigO/RMS rows) are
+// synthetic aggregates and are excluded from the capture.
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration || run.report_big_o ||
+          run.report_rms) {
+        continue;
+      }
+      results_.emplace_back(run.benchmark_name(), run.GetAdjustedRealTime());
+    }
+    benchmark::ConsoleReporter::ReportRuns(reports);
+  }
+
+  const std::vector<std::pair<std::string, double>>& results() const {
+    return results_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> results_;
+};
+
 }  // namespace
 }  // namespace lottery
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel off the repo-wide --json/--seed flags before google-benchmark sees
+  // the command line (it rejects flags it does not know). The PRNG seeds
+  // here are fixed inside each benchmark, so --seed only lands in the
+  // report metadata.
+  std::string json_path;
+  int64_t seed = 42;
+  std::vector<char*> bench_argv;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+      continue;
+    }
+    if (arg.rfind("--seed=", 0) == 0) {
+      seed = std::atoll(arg.c_str() + 7);
+      continue;
+    }
+    bench_argv.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data())) {
+    return 1;
+  }
+  lottery::JsonCaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (!json_path.empty()) {
+    lottery::obs::JsonWriter w;
+    w.BeginObject();
+    w.Key("schema_version").Int(1);
+    w.Key("bench").String("bench_draw_overhead");
+    w.Key("metadata").BeginObject();
+    w.Key("seed").Int(seed);
+    w.EndObject();
+    w.Key("metrics").BeginObject();
+    for (const auto& [name, real_time_ns] : reporter.results()) {
+      w.Key(name + "_ns").Double(real_time_ns);
+    }
+    w.EndObject();
+    w.Key("percentiles").BeginObject().EndObject();
+    w.EndObject();
+    lottery::obs::WriteFile(json_path, w.str());
+    std::cout << "\nWrote JSON report to " << json_path << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,343 @@
+// Observability overhead: proof that the obs hooks cost < 2% of the
+// scheduling paths they instrument.
+//
+// The hooks are compiled in or out globally (LOTTERY_OBS), so one binary
+// cannot A/B the two configurations, and a naive differential (timed loop
+// with vs without extra hooks) drowns a ~2 ns signal in run-to-run noise.
+// Instead the overhead is computed by event accounting:
+//
+//   1. Measure the per-event cost of each hook primitive in a loop with a
+//      compiler barrier (so increments are not strength-reduced away):
+//      Counter::Inc, LatencyHistogram::Record, and the amortized
+//      LatencyHistogram::RecordSampled (1-in-16 sampling).
+//   2. Drive the real code paths — the raw scheduler decision cycle and
+//      the full kernel dispatch path — against a private obs::Registry,
+//      and read back exactly how many hook events each operation fired.
+//   3. overhead = (events x unit cost) / measured ns per operation.
+//
+// Both factors are stable (minimum of repeated multi-million-op loops),
+// and unit costs co-vary with path costs across machines, so the ratio is
+// robust. The gated quantity is draw latency: the scheduler decision cycle
+// (OnReady + PickNext + OnQuantumEnd) that every draw pays. The full
+// kernel dispatch path — which layers the event queue and context-switch
+// bookkeeping, plus the kernel's own hooks, on top of the draw — is
+// measured and reported alongside for context. With --check the binary
+// exits nonzero when the worst decision-cycle configuration reaches 2%,
+// which CI uses as a regression gate. --json emits the shared
+// BENCH_<name>.json schema.
+
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/obs/counter.h"
+#include "src/obs/histogram.h"
+#include "src/obs/registry.h"
+
+namespace lottery {
+namespace {
+
+// Keeps the stores in the measurement loops observable without adding a
+// memory access of its own.
+inline void Barrier() {
+#if defined(__GNUC__) || defined(__clang__)
+  asm volatile("" ::: "memory");
+#endif
+}
+
+double NsPerOp(uint64_t ops, std::chrono::steady_clock::duration elapsed) {
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                 .count()) /
+         static_cast<double>(ops);
+}
+
+// All measurements take the fastest of kReps passes: the minimum is the
+// noise floor of a throughput loop, and both the numerator (unit costs)
+// and the denominator (path costs) of the overhead ratio use it.
+constexpr int kReps = 5;
+constexpr uint64_t kUnitOps = 10'000'000;
+
+double MeasureCounterInc() {
+  obs::Counter counter;
+  double best = 0.0;
+  uint64_t total = 0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    for (uint64_t i = 0; i < kUnitOps; ++i) {
+      counter.Inc();
+      Barrier();
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    const double t = NsPerOp(kUnitOps, stop - start);
+    if (rep == 0 || t < best) {
+      best = t;
+    }
+    total += kUnitOps;
+  }
+  if (counter.value() != (obs::kObsEnabled ? total : 0)) {
+    std::cerr << "counter miscount\n";
+  }
+  return best;
+}
+
+double MeasureHistogramRecord() {
+  obs::LatencyHistogram hist;
+  double best = 0.0;
+  uint64_t total = 0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    for (uint64_t i = 0; i < kUnitOps; ++i) {
+      hist.Record(i & 0xFFF);
+      Barrier();
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    const double t = NsPerOp(kUnitOps, stop - start);
+    if (rep == 0 || t < best) {
+      best = t;
+    }
+    total += kUnitOps;
+  }
+  if (hist.count() != (obs::kObsEnabled ? total : 0)) {
+    std::cerr << "histogram miscount\n";
+  }
+  return best;
+}
+
+double MeasureHistogramRecordSampled() {
+  obs::LatencyHistogram hist;
+  double best = 0.0;
+  uint64_t total = 0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    for (uint64_t i = 0; i < kUnitOps; ++i) {
+      hist.RecordSampled(i & 0xFFF);
+      Barrier();
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    const double t = NsPerOp(kUnitOps, stop - start);
+    if (rep == 0 || t < best) {
+      best = t;
+    }
+    total += kUnitOps;
+  }
+  if (hist.events() != (obs::kObsEnabled ? total : 0)) {
+    std::cerr << "histogram event miscount\n";
+  }
+  return best;
+}
+
+struct UnitCosts {
+  double inc_ns;             // Counter::Inc
+  double record_ns;          // LatencyHistogram::Record (every call)
+  double record_sampled_ns;  // RecordSampled, amortized over the period
+};
+
+// Hook events fired against `registry`, priced by the unit costs. Sampled
+// histogram calls are charged the amortized rate; any recordings beyond
+// those produced by sampling came from unsampled Record sites and are
+// charged the full rate.
+double HookNs(const obs::Registry& registry, const UnitCosts& costs) {
+  uint64_t counter_events = 0;
+  for (const auto& [name, value] : registry.CounterValues()) {
+    counter_events += value;
+  }
+  uint64_t sampled_calls = 0;
+  uint64_t direct_records = 0;
+  for (const auto& [name, hist] : registry.Histograms()) {
+    const uint64_t from_sampling =
+        (hist->events() + obs::LatencyHistogram::kSamplePeriod - 1) /
+        obs::LatencyHistogram::kSamplePeriod;
+    sampled_calls += hist->events();
+    direct_records += hist->count() - from_sampling;
+  }
+  return static_cast<double>(counter_events) * costs.inc_ns +
+         static_cast<double>(sampled_calls) * costs.record_sampled_ns +
+         static_cast<double>(direct_records) * costs.record_ns;
+}
+
+struct PathCost {
+  double ns_per_op;        // measured cost of one decision / dispatch
+  double hook_ns_per_op;   // priced hook events per operation
+  double percent;          // 100 * hook / total
+};
+
+// Raw scheduler decision cycle (OnReady + PickNext + OnQuantumEnd), no
+// kernel: the tightest loop the hooks sit in.
+PathCost MeasureDecisionCycle(RunQueueBackend backend, int threads,
+                              uint32_t seed, const UnitCosts& costs) {
+  obs::Registry registry;
+  LotteryScheduler::Options sopts;
+  sopts.seed = seed;
+  sopts.backend = backend;
+  sopts.metrics = &registry;
+  LotteryScheduler sched(sopts);
+  const SimTime t0 = SimTime::Zero();
+  for (ThreadId id = 1; id <= static_cast<ThreadId>(threads); ++id) {
+    sched.AddThread(id, t0);
+    sched.FundThread(id, sched.table().base(), 100);
+    sched.OnReady(id, t0);
+  }
+  const SimDuration quantum = SimDuration::Millis(100);
+  constexpr int kRounds = 200000;
+  auto pass = [&]() {
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kRounds; ++i) {
+      const ThreadId id = sched.PickNext(t0);
+      sched.OnQuantumEnd(id, quantum, quantum, t0);
+      sched.OnReady(id, t0);
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    return NsPerOp(kRounds, stop - start);
+  };
+  pass();  // warm-up
+  registry.Reset();
+  double best = pass();  // counted pass: registry now holds kRounds' events
+  const double hook_ns = HookNs(registry, costs) / kRounds;
+  for (int rep = 1; rep < kReps; ++rep) {
+    const double t = pass();
+    if (t < best) {
+      best = t;
+    }
+  }
+  return {best, hook_ns, 100.0 * hook_ns / best};
+}
+
+// Full kernel dispatch path: event queue, context switch bookkeeping, and
+// the scheduler, with threads that consume whole quanta (no per-iteration
+// workload cost inflating the denominator). This is the draw latency a
+// simulated thread actually experiences per scheduling decision.
+class SpinBody : public ThreadBody {
+ public:
+  void Run(RunContext& ctx) override { ctx.Consume(ctx.remaining()); }
+};
+
+PathCost MeasureDispatchPath(int threads, uint32_t seed,
+                             const UnitCosts& costs) {
+  obs::Registry registry;
+  LotteryScheduler::Options sopts;
+  sopts.seed = seed;
+  sopts.metrics = &registry;
+  LotteryScheduler sched(sopts);
+  Kernel::Options kopts;
+  kopts.metrics = &registry;
+  Kernel kernel(&sched, kopts);
+  for (int i = 0; i < threads; ++i) {
+    const ThreadId tid =
+        kernel.Spawn("spin" + std::to_string(i), std::make_unique<SpinBody>());
+    sched.FundThread(tid, sched.table().base(), 100);
+  }
+  kernel.RunFor(SimDuration::Seconds(100));  // warm-up
+  registry.Reset();
+  auto dispatched = [&]() {
+    for (const auto& [name, value] : registry.CounterValues()) {
+      if (name == "kernel.dispatches") {
+        return value;
+      }
+    }
+    return uint64_t{0};
+  };
+  // Best-of-kReps segments for the path cost; hook events accumulate over
+  // the whole run (the per-dispatch mix is constant).
+  double best = 0.0;
+  uint64_t last = 0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    kernel.RunFor(SimDuration::Seconds(4000));
+    const auto stop = std::chrono::steady_clock::now();
+    const uint64_t now_total = dispatched();
+    if (now_total == last) {
+      return {0.0, 0.0, 0.0};
+    }
+    const double t = NsPerOp(now_total - last, stop - start);
+    if (rep == 0 || t < best) {
+      best = t;
+    }
+    last = now_total;
+  }
+  const double hook_ns = HookNs(registry, costs) / static_cast<double>(last);
+  return {best, hook_ns, 100.0 * hook_ns / best};
+}
+
+int Main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const auto seed = static_cast<uint32_t>(flags.GetInt("seed", 42));
+  const bool check = flags.GetBool("check", false);
+  BenchReport report(flags, "bench_obs_overhead");
+  report.Meta("obs_enabled", obs::kObsEnabled);
+
+  PrintHeader("Obs overhead",
+              "Hook events priced at measured unit cost vs path cost",
+              "roughly one counter increment and one sampled histogram "
+              "update per decision: well under 2% of the decision itself");
+
+  UnitCosts costs{};
+  costs.inc_ns = MeasureCounterInc();
+  costs.record_ns = MeasureHistogramRecord();
+  costs.record_sampled_ns = MeasureHistogramRecordSampled();
+  TextTable hooks({"hook primitive", "ns/event"});
+  hooks.AddRow({"Counter::Inc", FormatDouble(costs.inc_ns, 2)});
+  hooks.AddRow({"LatencyHistogram::Record", FormatDouble(costs.record_ns, 2)});
+  hooks.AddRow({"LatencyHistogram::RecordSampled (amortized 1/16)",
+                FormatDouble(costs.record_sampled_ns, 2)});
+  hooks.Print(std::cout);
+  report.Metric("counter_inc_ns", costs.inc_ns);
+  report.Metric("histogram_record_ns", costs.record_ns);
+  report.Metric("histogram_record_sampled_ns", costs.record_sampled_ns);
+
+  std::cout << "\nHooks " << (obs::kObsEnabled ? "enabled" : "disabled")
+            << "; overhead = priced hook events / measured path cost:\n";
+  TextTable table(
+      {"path", "threads", "path ns", "hook ns", "overhead %"});
+  double worst_draw = 0.0;      // gated: decision cycle = draw latency
+  double worst_dispatch = 0.0;  // reported: end-to-end kernel dispatch
+  auto add_row = [&](const std::string& path, int threads,
+                     const PathCost& cost, double* worst) {
+    if (cost.percent > *worst) {
+      *worst = cost.percent;
+    }
+    table.AddRow({path, std::to_string(threads),
+                  FormatDouble(cost.ns_per_op, 0),
+                  FormatDouble(cost.hook_ns_per_op, 2),
+                  FormatDouble(cost.percent, 2)});
+    const std::string key = path + "_" + std::to_string(threads) + "threads";
+    report.Metric(key + "_path_ns", cost.ns_per_op);
+    report.Metric(key + "_hook_ns", cost.hook_ns_per_op);
+    report.Metric(key + "_overhead_pct", cost.percent);
+  };
+  for (const int threads : {8, 50}) {
+    add_row("decision_list", threads,
+            MeasureDecisionCycle(RunQueueBackend::kList, threads, seed,
+                                 costs),
+            &worst_draw);
+    add_row("decision_tree", threads,
+            MeasureDecisionCycle(RunQueueBackend::kTree, threads, seed,
+                                 costs),
+            &worst_draw);
+    add_row("dispatch", threads, MeasureDispatchPath(threads, seed, costs),
+            &worst_dispatch);
+  }
+  table.Print(std::cout);
+  report.Metric("draw_latency_overhead_pct", worst_draw);
+  report.Metric("dispatch_overhead_pct", worst_dispatch);
+
+  std::cout << "\nWorst draw-latency overhead (decision rows, gated): "
+            << FormatDouble(worst_draw, 2) << "% (gate: < 2%)\n"
+            << "Worst dispatch-path overhead (reported): "
+            << FormatDouble(worst_dispatch, 2) << "%\n";
+  report.Write();
+  if (check && worst_draw >= 2.0) {
+    std::cerr << "FAIL: obs hook draw-latency overhead "
+              << FormatDouble(worst_draw, 2) << "% >= 2%\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace lottery
+
+int main(int argc, char** argv) { return lottery::Main(argc, argv); }

@@ -95,6 +95,7 @@ Response Measure(const std::string& policy, uint32_t seed) {
 int Main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const auto seed = static_cast<uint32_t>(flags.GetInt("seed", 42));
+  BenchReport report(flags, "bench_responsiveness");
 
   PrintHeader("Section 2 (responsiveness)",
               "Reallocation 1:1 -> 9:1 at t=60 s; A's share per 2 s window",
@@ -112,11 +113,16 @@ int Main(int argc, char** argv) {
                   share_at(9), share_at(19),
                   r.settle_seconds >= 0 ? FormatDouble(r.settle_seconds, 0)
                                         : "never"});
+    if (!r.shares.empty()) {
+      report.Metric(std::string(policy) + "_share_first_window", r.shares[0]);
+    }
+    report.Metric(std::string(policy) + "_settle_s", r.settle_seconds);
   }
   table.Print(std::cout);
   std::cout << "\n(target share is 0.90; 'settle' = first window at >= 81%. "
                "The decay-usage row uses nice -10, the strongest standard "
                "boost — the landing share is emergent, not requested.)\n";
+  report.Write();
   return 0;
 }
 

@@ -102,7 +102,8 @@ double InverseLossFrequency(uint32_t seed) {
   return static_cast<double>(losses0) / kDraws;
 }
 
-void Report(TextTable& table, const std::string& metric, double target,
+void Report(TextTable& table, BenchReport* report, const std::string& key,
+            const std::string& metric, double target,
             const std::vector<double>& values) {
   RunningStat stat;
   for (const double v : values) {
@@ -111,11 +112,15 @@ void Report(TextTable& table, const std::string& metric, double target,
   table.AddRow({metric, FormatDouble(target, 3), FormatDouble(stat.mean(), 3),
                 FormatDouble(stat.sample_stddev(), 3),
                 FormatDouble(stat.min(), 3), FormatDouble(stat.max(), 3)});
+  report->Metric(key + "_mean", stat.mean());
+  report->Metric(key + "_stddev", stat.sample_stddev());
 }
 
 int Main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const int64_t runs = flags.GetInt("runs", 10);
+  BenchReport report(flags, "bench_sensitivity");
+  report.Meta("runs", runs);
 
   PrintHeader("Sensitivity", "Headline metrics across seeds",
               "means sit on the targets; spreads are binomial-sized");
@@ -129,13 +134,17 @@ int Main(int argc, char** argv) {
     fig11.push_back(Fig11AcquisitionRatio(seed));
     inverse.push_back(InverseLossFrequency(seed));
   }
-  Report(table, "fig4 2:1 throughput ratio", 2.0, fig4);
-  Report(table, "fig7 3:1 query ratio", 3.0, fig7);
-  Report(table, "fig11 2:1 acquisition ratio (paper 1.80)", 1.8, fig11);
-  Report(table, "sec6.2 loss freq, t=10 of 20, n=4", 1.0 / 6.0, inverse);
+  Report(table, &report, "fig4_ratio", "fig4 2:1 throughput ratio", 2.0,
+         fig4);
+  Report(table, &report, "fig7_ratio", "fig7 3:1 query ratio", 3.0, fig7);
+  Report(table, &report, "fig11_ratio",
+         "fig11 2:1 acquisition ratio (paper 1.80)", 1.8, fig11);
+  Report(table, &report, "inverse_loss_freq",
+         "sec6.2 loss freq, t=10 of 20, n=4", 1.0 / 6.0, inverse);
   table.Print(std::cout);
   std::cout << "\n(" << runs << " independently seeded runs per metric; "
             << "rerun with --runs=N for more)\n";
+  report.Write();
   return 0;
 }
 

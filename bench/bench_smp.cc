@@ -19,6 +19,8 @@ int Main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const auto seed = static_cast<uint32_t>(flags.GetInt("seed", 42));
   const int64_t seconds = flags.GetInt("seconds", 200);
+  BenchReport report(flags, "bench_smp");
+  report.Meta("seconds", seconds);
 
   PrintHeader("Extension (SMP)", "One lottery run queue, 1-8 CPUs",
               "aggregate capacity fully used; shares of the aggregate follow "
@@ -80,12 +82,18 @@ int Main(int argc, char** argv) {
            FormatDouble(delivered.ToSecondsF(), 1),
            FormatDouble(100.0 * max_err, 1),
            FormatDouble(wall_ns / static_cast<double>(dispatches), 0)});
+      const std::string key =
+          std::string(backend == RunQueueBackend::kList ? "list" : "tree") +
+          "_" + std::to_string(cpus) + "cpu";
+      report.Metric(key + "_delivered_s", delivered.ToSecondsF());
+      report.Metric(key + "_mean_share_err_pct", 100.0 * max_err);
     }
   }
   table.Print(std::cout);
   std::cout << "\n(delivered CPU == cpus x " << seconds
             << " s in every row: the shared lottery queue is work-"
                "conserving; per-thread shares track funding within noise)\n";
+  report.Write();
   return 0;
 }
 

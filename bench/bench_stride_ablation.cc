@@ -83,6 +83,8 @@ int Main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const auto seed = static_cast<uint32_t>(flags.GetInt("seed", 42));
   const int64_t seconds = flags.GetInt("seconds", 400);
+  BenchReport report(flags, "bench_stride_ablation");
+  report.Meta("seconds", seconds);
 
   PrintHeader("Ablation", "Lottery vs stride vs decay-usage at a 2:1 target",
               "stride: ~zero error at every window size; lottery: error "
@@ -95,12 +97,19 @@ int Main(int argc, char** argv) {
       table.AddRow({policy, std::to_string(window) + " s",
                     FormatDouble(e.mean_abs_error, 3),
                     FormatDouble(e.overall_ratio, 3)});
+      report.Metric(std::string(policy) + "_w" + std::to_string(window) +
+                        "_mean_abs_error",
+                    e.mean_abs_error);
+      report.Metric(std::string(policy) + "_w" + std::to_string(window) +
+                        "_overall_ratio",
+                    e.overall_ratio);
     }
   }
   table.Print(std::cout);
   std::cout << "\n(decay-usage rows use nice=2 for the low-share task — the "
                "closest knob it offers; note the ratio it lands on is "
                "emergent, not requested)\n";
+  report.Write();
   return 0;
 }
 

@@ -8,11 +8,17 @@
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
+#include <cstdint>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
 
 #include "src/core/lottery_scheduler.h"
+#include "src/obs/json_writer.h"
+#include "src/obs/registry.h"
 #include "src/sim/kernel.h"
 #include "src/sim/trace.h"
 #include "src/util/flags.h"
@@ -30,6 +36,141 @@ inline void PrintHeader(const std::string& id, const std::string& title,
             << "==============================================================="
                "=\n";
 }
+
+// Machine-readable result sink behind the shared --json=PATH flag.
+//
+// Every bench constructs one of these right after parsing flags and calls
+// Write() before exiting. When --json is absent it is a no-op; when present
+// it emits a schema-stable document:
+//
+//   {"schema_version": 1, "bench": "<name>",
+//    "metadata": {"seed": ..., <bench-specific>},
+//    "metrics": {<bench headline numbers> + every obs counter},
+//    "percentiles": {<obs histogram>: {count, mean, p50, p90, p99, max}}}
+//
+// Counters and histograms come from obs::Registry::Default(), which is the
+// registry every kernel/scheduler in a bench process feeds unless it was
+// given a private one. CI's check_bench_json.py validates this shape.
+class BenchReport {
+ public:
+  BenchReport(const Flags& flags, std::string name)
+      : name_(std::move(name)), path_(flags.GetString("json", "")) {
+    Meta("seed", flags.GetInt("seed", 42));
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+  void Meta(const std::string& key, const std::string& value) {
+    meta_.emplace_back(key, Value::Str(value));
+  }
+  void Meta(const std::string& key, const char* value) {
+    meta_.emplace_back(key, Value::Str(value));
+  }
+  template <typename T>
+  void Meta(const std::string& key, T value) {
+    meta_.emplace_back(key, Value::Num(value));
+  }
+
+  template <typename T>
+  void Metric(const std::string& key, T value) {
+    metrics_.emplace_back(key, Value::Num(value));
+  }
+
+  void Write() const {
+    if (path_.empty()) {
+      return;
+    }
+    obs::JsonWriter w;
+    w.BeginObject();
+    w.Key("schema_version").Int(1);
+    w.Key("bench").String(name_);
+    w.Key("metadata").BeginObject();
+    for (const auto& [key, value] : meta_) {
+      w.Key(key);
+      value.Emit(w);
+    }
+    w.EndObject();
+    w.Key("metrics").BeginObject();
+    for (const auto& [key, value] : metrics_) {
+      w.Key(key);
+      value.Emit(w);
+    }
+    for (const auto& [key, value] : obs::Registry::Default().CounterValues()) {
+      w.Key(key).Uint(value);
+    }
+    w.EndObject();
+    w.Key("percentiles").BeginObject();
+    for (const auto& [key, hist] : obs::Registry::Default().Histograms()) {
+      w.Key(key).BeginObject();
+      w.Key("count").Uint(hist->count());
+      w.Key("mean").Double(hist->mean());
+      w.Key("p50").Double(hist->Percentile(0.50));
+      w.Key("p90").Double(hist->Percentile(0.90));
+      w.Key("p99").Double(hist->Percentile(0.99));
+      w.Key("max").Uint(hist->max());
+      w.EndObject();
+    }
+    w.EndObject();
+    w.EndObject();
+    obs::WriteFile(path_, w.str());
+    std::cout << "\nWrote JSON report to " << path_ << "\n";
+  }
+
+ private:
+  struct Value {
+    enum class Kind { kString, kInt, kUint, kDouble };
+    Kind kind = Kind::kInt;
+    std::string s;
+    int64_t i = 0;
+    uint64_t u = 0;
+    double d = 0.0;
+
+    static Value Str(std::string raw) {
+      Value v;
+      v.kind = Kind::kString;
+      v.s = std::move(raw);
+      return v;
+    }
+    template <typename T>
+    static Value Num(T raw) {
+      static_assert(std::is_arithmetic_v<T>,
+                    "BenchReport values must be strings or numbers");
+      Value v;
+      if constexpr (std::is_floating_point_v<T>) {
+        v.kind = Kind::kDouble;
+        v.d = static_cast<double>(raw);
+      } else if constexpr (std::is_unsigned_v<T>) {
+        v.kind = Kind::kUint;
+        v.u = static_cast<uint64_t>(raw);
+      } else {
+        v.kind = Kind::kInt;
+        v.i = static_cast<int64_t>(raw);
+      }
+      return v;
+    }
+    void Emit(obs::JsonWriter& w) const {
+      switch (kind) {
+        case Kind::kString:
+          w.String(s);
+          break;
+        case Kind::kInt:
+          w.Int(i);
+          break;
+        case Kind::kUint:
+          w.Uint(u);
+          break;
+        case Kind::kDouble:
+          w.Double(d);
+          break;
+      }
+    }
+  };
+
+  std::string name_;
+  std::string path_;
+  std::vector<std::pair<std::string, Value>> meta_;
+  std::vector<std::pair<std::string, Value>> metrics_;
+};
 
 // A kernel + lottery scheduler + tracer bundle with the paper's platform
 // parameters (100 ms quantum by default).

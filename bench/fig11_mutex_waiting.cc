@@ -20,6 +20,8 @@ int Main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const auto seed = static_cast<uint32_t>(flags.GetInt("seed", 42));
   const int64_t seconds = flags.GetInt("seconds", 120);
+  BenchReport report(flags, "fig11_mutex_waiting");
+  report.Meta("seconds", seconds);
 
   PrintHeader("Figure 11",
               "Lottery-scheduled mutex: 8 threads, groups A:B = 2:1",
@@ -98,6 +100,14 @@ int Main(int argc, char** argv) {
             << "Group A waiting-time histogram (s):\n"
             << hist_a.ToAscii(40) << "\nGroup B waiting-time histogram (s):\n"
             << hist_b.ToAscii(40);
+  report.Metric("group_a_acquisitions", acq_a);
+  report.Metric("group_b_acquisitions", acq_b);
+  report.Metric("acquisition_ratio_a_to_b",
+                static_cast<double>(acq_a) / static_cast<double>(acq_b));
+  report.Metric("group_a_mean_wait_s", wait_a.mean());
+  report.Metric("group_b_mean_wait_s", wait_b.mean());
+  report.Metric("wait_ratio_b_to_a", wait_b.mean() / wait_a.mean());
+  report.Write();
   return 0;
 }
 

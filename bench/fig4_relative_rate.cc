@@ -28,6 +28,8 @@ int Main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const auto seed = static_cast<uint32_t>(flags.GetInt("seed", 42));
   const int64_t seconds = flags.GetInt("seconds", 60);
+  BenchReport report(flags, "fig4_relative_rate");
+  report.Meta("seconds", seconds);
 
   PrintHeader("Figure 4", "Relative rate accuracy (2 Dhrystone tasks, 60 s)",
               "observed ratio tracks allocated ratio; variance grows with "
@@ -51,6 +53,8 @@ int Main(int argc, char** argv) {
             static_cast<double>(ratio),
         1));
     table.AddRow(row);
+    report.Metric("observed_ratio_" + std::to_string(ratio) + "to1",
+                  stat.mean());
   }
   table.Print(std::cout);
 
@@ -58,6 +62,8 @@ int Main(int argc, char** argv) {
   const double long_run = RunOnce(seed + 7, 20, 180);
   std::cout << "\n20 : 1 allocation over 180 s (paper: 19.08 : 1): "
             << FormatDouble(long_run, 2) << " : 1\n";
+  report.Metric("observed_ratio_20to1_180s", long_run);
+  report.Write();
   return 0;
 }
 

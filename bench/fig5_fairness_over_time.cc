@@ -18,6 +18,8 @@ int Main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const auto seed = static_cast<uint32_t>(flags.GetInt("seed", 42));
   const int64_t seconds = flags.GetInt("seconds", 200);
+  BenchReport report(flags, "fig5_fairness_over_time");
+  report.Meta("seconds", seconds);
 
   PrintHeader("Figure 5", "Fairness over time (2:1 allocation, 8 s windows)",
               "per-window rates hover near 2:1 for the whole 200 s run");
@@ -62,6 +64,10 @@ int Main(int argc, char** argv) {
             << ", stddev " << FormatDouble(ratio_stat.stddev(), 2) << ", range ["
             << FormatDouble(ratio_stat.min(), 2) << ", "
             << FormatDouble(ratio_stat.max(), 2) << "]\n";
+  report.Metric("overall_ratio", total_ratio);
+  report.Metric("window_ratio_mean", ratio_stat.mean());
+  report.Metric("window_ratio_stddev", ratio_stat.stddev());
+  report.Write();
   return 0;
 }
 

@@ -39,6 +39,9 @@ int Main(int argc, char** argv) {
   const auto seed = static_cast<uint32_t>(flags.GetInt("seed", 42));
   const int64_t stagger = flags.GetInt("stagger_seconds", 120);
   const int64_t total = flags.GetInt("seconds", 600);
+  BenchReport report(flags, "fig6_montecarlo");
+  report.Meta("seconds", total);
+  report.Meta("stagger_seconds", stagger);
 
   PrintHeader("Figure 6",
               "Monte-Carlo execution rates (3 staggered tasks, ticket value "
@@ -79,6 +82,13 @@ int Main(int argc, char** argv) {
     std::cout << "  " << FormatDouble(task.body->estimate(), 6) << " +/- "
               << FormatDouble(task.body->standard_error(), 6) << "\n";
   }
+  for (int i = 0; i < 3; ++i) {
+    report.Metric("mc" + std::to_string(i) + "_trials",
+                  tasks[i].body->trials());
+    report.Metric("mc" + std::to_string(i) + "_relative_error",
+                  tasks[i].body->relative_error());
+  }
+  report.Write();
   return 0;
 }
 

@@ -22,6 +22,8 @@ int Main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const auto seed = static_cast<uint32_t>(flags.GetInt("seed", 42));
   const int64_t seconds = flags.GetInt("seconds", 800);
+  BenchReport report(flags, "fig7_query_rates");
+  report.Meta("seconds", seconds);
 
   PrintHeader("Figure 7",
               "Query processing rates, 8:3:1 clients, transfer-funded server",
@@ -104,6 +106,16 @@ int Main(int argc, char** argv) {
   std::cout << "Response-time ratio: "
             << FormatRatio({means[2], means[1], means[0]}, 2)
             << " as c2:c1:c0 (paper: 132.20/43.19/17.19 = 7.7 : 2.5 : 1)\n";
+  report.Metric("client0_done_at_s", c0_done_at);
+  report.Metric("others_completed_at_c0_done", others_at_c0_done);
+  report.Metric("pair_throughput_ratio_3to1", r12);
+  for (int i = 0; i < 3; ++i) {
+    report.Metric("client" + std::to_string(i) + "_completed",
+                  clients[static_cast<size_t>(i)]->completed());
+    report.Metric("client" + std::to_string(i) + "_mean_response_s",
+                  means[static_cast<size_t>(i)]);
+  }
+  report.Write();
   return 0;
 }
 

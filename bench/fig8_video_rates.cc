@@ -20,6 +20,8 @@ int Main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const auto seed = static_cast<uint32_t>(flags.GetInt("seed", 42));
   const int64_t seconds = flags.GetInt("seconds", 300);
+  BenchReport report(flags, "fig8_video_rates");
+  report.Meta("seconds", seconds);
 
   PrintHeader("Figure 8", "Controlling video rates (3:2:1 -> 3:1:2 midway)",
               "cumulative frame slopes change at the switch; B and C swap");
@@ -75,6 +77,12 @@ int Main(int argc, char** argv) {
             << "Second-half frame rates (fps): "
             << FormatRatio({rate(0, false), rate(2, false), rate(1, false)}, 2)
             << "  as A:C:B  (intent 3:2:1 after swap; paper 2.89:1.92:1)\n";
+  const char* keys[] = {"a", "b", "c"};
+  for (int i = 0; i < 3; ++i) {
+    report.Metric(std::string(keys[i]) + "_fps_first_half", rate(i, true));
+    report.Metric(std::string(keys[i]) + "_fps_second_half", rate(i, false));
+  }
+  report.Write();
   return 0;
 }
 

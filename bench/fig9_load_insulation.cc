@@ -16,6 +16,8 @@ int Main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const auto seed = static_cast<uint32_t>(flags.GetInt("seed", 42));
   const int64_t seconds = flags.GetInt("seconds", 300);
+  BenchReport report(flags, "fig9_load_insulation");
+  report.Meta("seconds", seconds);
 
   PrintHeader("Figure 9", "Currencies insulate loads (B3 starts at t/2)",
               "B1/B2 slopes halve after B3 starts; A1/A2 slopes unchanged; "
@@ -75,6 +77,11 @@ int Main(int argc, char** argv) {
             << "  B1: " << FormatDouble(second_half_rate(b1, 2) / first_half_rate(2), 2)
             << "  B2: " << FormatDouble(second_half_rate(b2, 3) / first_half_rate(3), 2)
             << "  (paper: ~0.5 — diluted by B3's inflation)\n";
+  report.Metric("a1_rate_change", second_half_rate(a1, 0) / first_half_rate(0));
+  report.Metric("a2_rate_change", second_half_rate(a2, 1) / first_half_rate(1));
+  report.Metric("b1_rate_change", second_half_rate(b1, 2) / first_half_rate(2));
+  report.Metric("b2_rate_change", second_half_rate(b2, 3) / first_half_rate(3));
+  report.Write();
   return 0;
 }
 

@@ -36,6 +36,8 @@ int Main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const auto seed = static_cast<uint32_t>(flags.GetInt("seed", 42));
   const int64_t seconds = flags.GetInt("seconds", 300);
+  BenchReport report(flags, "fig_compensation");
+  report.Meta("seconds", seconds);
 
   PrintHeader("Section 4.5 (ablation)", "Compensation tickets on/off",
               "with compensation, B's CPU share matches its 1:1 allocation "
@@ -52,11 +54,16 @@ int Main(int argc, char** argv) {
     table.AddRow({FormatDouble(static_cast<double>(burst) / 100.0, 2),
                   FormatDouble(with_comp, 2), FormatDouble(without, 2),
                   FormatDouble(static_cast<double>(burst) / 100.0, 2)});
+    report.Metric("f" + std::to_string(burst) + "_ratio_compensated",
+                  with_comp);
+    report.Metric("f" + std::to_string(burst) + "_ratio_uncompensated",
+                  without);
   }
   table.Print(std::cout);
   std::cout << "\n(the paper's example: f = 1/5, equal 400-base-unit "
                "funding: compensation inflates the yielding thread to 2000 "
                "base units so it wins 5x as often, restoring 1:1)\n";
+  report.Write();
   return 0;
 }
 

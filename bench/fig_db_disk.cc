@@ -111,6 +111,8 @@ int Main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const auto seed = static_cast<uint32_t>(flags.GetInt("seed", 42));
   const int64_t seconds = flags.GetInt("seconds", 800);
+  BenchReport report(flags, "fig_db_disk");
+  report.Meta("seconds", seconds);
 
   PrintHeader("Footnote 7", "Disk-based database: queries cross CPU + disk",
               "throughput and response time are strongly ordered by the "
@@ -163,6 +165,10 @@ int Main(int argc, char** argv) {
     table.AddRow({"client" + std::to_string(i), std::to_string(funds[i]),
                   std::to_string(clients[static_cast<size_t>(i)]->completed()),
                   FormatDouble(lat.mean(), 2)});
+    report.Metric("client" + std::to_string(i) + "_completed",
+                  clients[static_cast<size_t>(i)]->completed());
+    report.Metric("client" + std::to_string(i) + "_mean_response_s",
+                  lat.mean());
   }
   table.Print(std::cout);
   std::cout << "\nThroughput ratio: "
@@ -178,6 +184,7 @@ int Main(int argc, char** argv) {
                "matter how many tickets a client holds, so differentiation "
                "concentrates in the waiting portion of the response times — "
                "the quantity tickets control.)\n";
+  report.Write();
   return 0;
 }
 

@@ -17,6 +17,7 @@ namespace {
 int Main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const auto seed = static_cast<uint32_t>(flags.GetInt("seed", 42));
+  BenchReport report(flags, "fig_inverse_lottery");
 
   PrintHeader("Section 6.2", "Inverse lottery: victim selection and memory shares",
               "loss probability (1/(n-1))(1 - t/T); more tickets => larger "
@@ -35,6 +36,10 @@ int Main(int argc, char** argv) {
     t1.AddRow({"c" + std::to_string(i), std::to_string(weights[i]),
                FormatDouble(InverseLossProbability(weights, i), 4),
                FormatDouble(static_cast<double>(losses[i]) / kDraws, 4)});
+    report.Metric("c" + std::to_string(i) + "_observed_loss_p",
+                  static_cast<double>(losses[i]) / kDraws);
+    report.Metric("c" + std::to_string(i) + "_predicted_loss_p",
+                  InverseLossProbability(weights, i));
   }
   t1.Print(std::cout);
 
@@ -56,10 +61,13 @@ int Main(int argc, char** argv) {
                std::to_string(cache.FramesHeld(2)),
                FormatDouble(static_cast<double>(cache.FramesHeld(1)) / 1000.0,
                             3)});
+    report.Metric("share_rich_" + std::to_string(ratio) + "to1",
+                  static_cast<double>(cache.FramesHeld(1)) / 1000.0);
   }
   t2.Print(std::cout);
   std::cout << "(equilibrium balances (T-t)*frames across clients, so the "
                "rich:poor frame ratio approaches the ticket ratio)\n";
+  report.Write();
   return 0;
 }
 

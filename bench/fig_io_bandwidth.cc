@@ -17,6 +17,7 @@ namespace {
 int Main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const auto seed = static_cast<uint32_t>(flags.GetInt("seed", 42));
+  BenchReport report(flags, "fig_io_bandwidth");
 
   PrintHeader("Section 6 (I/O)", "Lottery-scheduled disk and link bandwidth",
               "saturated bandwidth splits by tickets; queueing delay falls "
@@ -49,6 +50,9 @@ int Main(int argc, char** argv) {
                       2),
          FormatDouble(disk.QueueDelay(1).mean(), 2),
          FormatDouble(disk.QueueDelay(2).mean(), 2)});
+    report.Metric("disk_observed_ratio_" + std::to_string(ratio) + "to1",
+                  static_cast<double>(disk.BytesServed(1)) /
+                      static_cast<double>(disk.BytesServed(2)));
   }
   disk_table.Print(std::cout);
 
@@ -79,6 +83,13 @@ int Main(int argc, char** argv) {
     }
     const double total = static_cast<double>(
         link.CellsSent(1) + link.CellsSent(2) + link.CellsSent(3));
+    for (uint32_t c = 1; c <= 3; ++c) {
+      report.Metric("link_" + std::to_string(alloc[0]) + "_" +
+                        std::to_string(alloc[1]) + "_" +
+                        std::to_string(alloc[2]) + "_share_c" +
+                        std::to_string(c),
+                    static_cast<double>(link.CellsSent(c)) / total);
+    }
     link_table.AddRow(
         {std::to_string(alloc[0]) + ":" + std::to_string(alloc[1]) + ":" +
              std::to_string(alloc[2]),
@@ -126,8 +137,11 @@ int Main(int argc, char** argv) {
     xb_table.AddRow({std::to_string(rounds), FormatDouble(throughput, 3),
                      rounds == 1 ? "~1 - 1/e, single-round statistical match"
                                  : "approaches a maximal matching"});
+    report.Metric("crossbar_throughput_r" + std::to_string(rounds),
+                  throughput);
   }
   xb_table.Print(std::cout);
+  report.Write();
   return 0;
 }
 

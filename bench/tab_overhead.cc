@@ -65,6 +65,8 @@ int Main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const auto seed = static_cast<uint32_t>(flags.GetInt("seed", 42));
   const int64_t seconds = flags.GetInt("seconds", 200);
+  BenchReport report(flags, "tab_overhead");
+  report.Meta("seconds", seconds);
 
   PrintHeader("Section 5.6 (Table)", "Scheduling overhead across policies",
               "lottery overhead comparable to timesharing: the paper saw "
@@ -98,6 +100,9 @@ int Main(int argc, char** argv) {
                     FormatDouble(r.ns_per_dispatch, 0),
                     std::to_string(r.dispatches),
                     std::to_string(r.total_iterations)});
+      report.Metric(std::string(policy) + "_" + std::to_string(tasks) +
+                        "tasks_ns_per_dispatch",
+                    r.ns_per_dispatch);
     }
   }
   table.Print(std::cout);
@@ -153,11 +158,15 @@ int Main(int argc, char** argv) {
                   .count()) /
           kRounds;
       pure.AddRow({policy, std::to_string(threads), FormatDouble(ns, 0)});
+      report.Metric(std::string(policy) + "_" + std::to_string(threads) +
+                        "threads_ns_per_decision",
+                    ns);
     }
   }
   pure.Print(std::cout);
   std::cout << "\n(the paper's prototype, unoptimized, was within ~2.7% of "
                "Mach timesharing end-to-end; the same parity shows here)\n";
+  report.Write();
   return 0;
 }
 

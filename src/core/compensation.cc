@@ -2,15 +2,15 @@
 
 namespace lottery {
 
-void CompensationPolicy::OnQuantumEnd(Client* client, SimDuration used,
+bool CompensationPolicy::OnQuantumEnd(Client* client, SimDuration used,
                                       SimDuration quantum) const {
   if (!options_.enabled) {
-    return;
+    return false;
   }
   if (used >= quantum) {
     // Full quantum consumed: entitled share already delivered.
     client->ClearCompensation();
-    return;
+    return false;
   }
   int64_t used_ns = used.nanos();
   const int64_t quantum_ns = quantum.nanos();
@@ -25,6 +25,7 @@ void CompensationPolicy::OnQuantumEnd(Client* client, SimDuration used,
     den = 1;
   }
   client->SetCompensation(num, den);
+  return true;
 }
 
 void CompensationPolicy::OnQuantumStart(Client* client) const {

@@ -34,8 +34,9 @@ class CompensationPolicy {
   explicit CompensationPolicy(Options options) : options_(options) {}
 
   // Called when `client`'s thread ends a quantum having consumed `used` of
-  // `quantum`. Grants (or clears) the compensation multiplier.
-  void OnQuantumEnd(Client* client, SimDuration used,
+  // `quantum`. Grants (or clears) the compensation multiplier; returns true
+  // iff a compensation ticket was granted (for the obs counters).
+  bool OnQuantumEnd(Client* client, SimDuration used,
                     SimDuration quantum) const;
 
   // Called when `client`'s thread is dispatched: "until the client starts

@@ -9,7 +9,14 @@ LotteryScheduler::LotteryScheduler(Options options)
     : options_(options),
       rng_(options.seed),
       compensation_(options.compensation),
-      run_queue_(options.move_to_front) {}
+      run_queue_(options.move_to_front),
+      metrics_(options.metrics != nullptr ? options.metrics
+                                          : &obs::Registry::Default()),
+      draws_(metrics_->counter("lottery.draws")),
+      zero_fallbacks_(metrics_->counter("lottery.zero_fallbacks")),
+      compensation_grants_(metrics_->counter("lottery.compensation_grants")),
+      transfers_(metrics_->counter("lottery.transfers")),
+      draw_cost_(metrics_->histogram("lottery.draw_cost")) {}
 
 LotteryScheduler::~LotteryScheduler() = default;
 
@@ -102,6 +109,8 @@ ThreadId LotteryScheduler::PickNextFromTree() {
     return kInvalidThreadId;
   }
   ++num_lotteries_;
+  draws_->Inc();
+  draw_cost_->RecordSampled(tree_queue_.draw_depth());
   SyncTreeWeights();
   ThreadId winner_id;
   const auto drawn = tree_queue_.Draw(rng_);
@@ -116,6 +125,7 @@ ThreadId LotteryScheduler::PickNextFromTree() {
     std::advance(it, static_cast<ptrdiff_t>(index));
     winner_id = it->second;
     ++num_zero_fallbacks_;
+    zero_fallbacks_->Inc();
   }
   ThreadState& state = StateOf(winner_id);
   tree_queue_.Remove(state.tree_slot);
@@ -133,13 +143,17 @@ ThreadId LotteryScheduler::PickNext(SimTime /*now*/) {
     return kInvalidThreadId;
   }
   ++num_lotteries_;
+  draws_->Inc();
+  const uint64_t scanned_before = run_queue_.total_scanned();
   Client* winner = run_queue_.Draw(rng_);
+  draw_cost_->RecordSampled(run_queue_.total_scanned() - scanned_before);
   if (winner == nullptr) {
     // Every ready client currently has zero funding (e.g. all their backing
     // is deactivated). Degrade to round-robin so no one starves: take the
     // front; the requeue path appends, rotating the list.
     winner = run_queue_.Front();
     ++num_zero_fallbacks_;
+    zero_fallbacks_->Inc();
   }
   run_queue_.Remove(winner);
   const auto it = by_client_.find(winner);
@@ -157,7 +171,9 @@ ThreadId LotteryScheduler::PickNext(SimTime /*now*/) {
 void LotteryScheduler::OnQuantumEnd(ThreadId id, SimDuration used,
                                     SimDuration quantum, SimTime /*now*/) {
   ThreadState& state = StateOf(id);
-  compensation_.OnQuantumEnd(state.client.get(), used, quantum);
+  if (compensation_.OnQuantumEnd(state.client.get(), used, quantum)) {
+    compensation_grants_->Inc();
+  }
 }
 
 Currency* LotteryScheduler::thread_currency(ThreadId id) {

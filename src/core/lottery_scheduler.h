@@ -24,6 +24,7 @@
 #include "src/core/currency.h"
 #include "src/core/list_lottery.h"
 #include "src/core/tree_lottery.h"
+#include "src/obs/registry.h"
 #include "src/sched/scheduler.h"
 #include "src/util/fastrand.h"
 
@@ -44,6 +45,9 @@ class LotteryScheduler : public Scheduler {
     // Face amount of each thread's self ticket (its claim on its own
     // currency). Any positive value works — shares are relative.
     int64_t thread_ticket_amount = 1000;
+    // Metric sink; nullptr selects obs::Registry::Default(). Tests pass
+    // their own registry for isolated counter assertions.
+    obs::Registry* metrics = nullptr;
   };
 
   LotteryScheduler() : LotteryScheduler(Options{}) {}
@@ -86,6 +90,12 @@ class LotteryScheduler : public Scheduler {
   // Draws decided by the zero-funding round-robin fallback.
   uint64_t num_zero_fallbacks() const { return num_zero_fallbacks_; }
   const ListLottery& run_queue() const { return run_queue_; }
+  // The registry this scheduler's obs hooks write into.
+  obs::Registry& metrics() { return *metrics_; }
+  // Counts one ticket transfer against this scheduler (lottery.transfers).
+  // Called by the kernel services (mutex, rwlock, semaphore, RPC) at each
+  // TicketTransfer they create on behalf of a blocking thread.
+  void NoteTransfer() { transfers_->Inc(); }
 
  private:
   struct ThreadState {
@@ -114,6 +124,14 @@ class LotteryScheduler : public Scheduler {
   std::unordered_map<const Client*, ThreadId> by_client_;
   uint64_t num_lotteries_ = 0;
   uint64_t num_zero_fallbacks_ = 0;
+
+  // Obs hooks (resolved once; raw pointers into metrics_).
+  obs::Registry* metrics_;
+  obs::Counter* draws_;
+  obs::Counter* zero_fallbacks_;
+  obs::Counter* compensation_grants_;
+  obs::Counter* transfers_;
+  obs::LatencyHistogram* draw_cost_;
 };
 
 }  // namespace lottery

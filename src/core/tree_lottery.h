@@ -13,6 +13,7 @@
 #ifndef SRC_CORE_TREE_LOTTERY_H_
 #define SRC_CORE_TREE_LOTTERY_H_
 
+#include <bit>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -43,6 +44,12 @@ class TreeLottery {
   // Deterministic variant used by tests: returns the slot owning the
   // `value`-th weight unit, value in [0, total).
   size_t SlotForValue(uint64_t value) const;
+
+  // Fenwick levels visited by one Draw descent: the tree analogue of the
+  // list lottery's scan length (both feed the lottery.draw_cost histogram).
+  size_t draw_depth() const {
+    return static_cast<size_t>(std::bit_width(weights_.size()));
+  }
 
  private:
   void Grow(size_t min_capacity);

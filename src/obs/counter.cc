@@ -1,0 +1,11 @@
+#include "src/obs/counter.h"
+
+namespace lottery {
+namespace obs {
+
+std::string Counter::DebugString(const std::string& name) const {
+  return name + "=" + std::to_string(value_);
+}
+
+}  // namespace obs
+}  // namespace lottery

@@ -1,0 +1,50 @@
+// Low-overhead event counters for the observability layer.
+//
+// A Counter is a named monotonic uint64 owned by a Registry. Hot paths hold
+// a raw Counter* and call Inc(); the body is guarded by the compile-time
+// switch kObsEnabled (set via the LOTTERY_OBS CMake option), so a disabled
+// build inlines every hook to nothing — the scheduling fast paths measured
+// by tab_overhead and bench_obs_overhead carry no residual cost.
+
+#ifndef SRC_OBS_COUNTER_H_
+#define SRC_OBS_COUNTER_H_
+
+#include <cstdint>
+#include <string>
+
+namespace lottery {
+namespace obs {
+
+// Compile-time master switch. Defined by the build (-DLOTTERY_OBS_DISABLED
+// when the LOTTERY_OBS CMake option is OFF); must be consistent across all
+// translation units of a binary.
+#ifdef LOTTERY_OBS_DISABLED
+inline constexpr bool kObsEnabled = false;
+#else
+inline constexpr bool kObsEnabled = true;
+#endif
+
+class Counter {
+ public:
+  void Inc(uint64_t delta = 1) {
+    if constexpr (kObsEnabled) {
+      value_ += delta;
+    } else {
+      (void)delta;
+    }
+  }
+
+  uint64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+  // "name=value", for debug dumps and error messages.
+  std::string DebugString(const std::string& name) const;
+
+ private:
+  uint64_t value_ = 0;
+};
+
+}  // namespace obs
+}  // namespace lottery
+
+#endif  // SRC_OBS_COUNTER_H_

@@ -1,0 +1,101 @@
+#include "src/obs/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace lottery {
+namespace obs {
+
+size_t LatencyHistogram::BucketIndex(uint64_t value) {
+  const size_t width = static_cast<size_t>(std::bit_width(value));
+  return std::min(width, kNumBuckets - 1);
+}
+
+uint64_t LatencyHistogram::BucketLo(size_t bucket) {
+  return bucket == 0 ? 0 : uint64_t{1} << (bucket - 1);
+}
+
+uint64_t LatencyHistogram::BucketHi(size_t bucket) {
+  if (bucket == 0) {
+    return 0;
+  }
+  if (bucket == kNumBuckets - 1) {
+    return UINT64_MAX;  // saturating overflow bucket
+  }
+  return (uint64_t{1} << bucket) - 1;
+}
+
+void LatencyHistogram::RecordAlways(uint64_t value) {
+  ++counts_[BucketIndex(value)];
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  count_ += other.count_;
+  events_ += other.events_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void LatencyHistogram::Reset() {
+  counts_.fill(0);
+  count_ = 0;
+  events_ = 0;
+  sum_ = 0;
+  min_ = UINT64_MAX;
+  max_ = 0;
+}
+
+double LatencyHistogram::mean() const {
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+double LatencyHistogram::Percentile(double fraction) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  const double rank = fraction * static_cast<double>(count_);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    if (counts_[i] == 0) {
+      continue;
+    }
+    const double lo_rank = static_cast<double>(cumulative);
+    cumulative += counts_[i];
+    if (static_cast<double>(cumulative) >= rank) {
+      // Interpolate inside [lo, hi] by the rank's position in the bucket.
+      const double lo = static_cast<double>(BucketLo(i));
+      const double hi =
+          static_cast<double>(std::min(BucketHi(i), max_));
+      const double span = static_cast<double>(counts_[i]);
+      const double within = std::clamp((rank - lo_rank) / span, 0.0, 1.0);
+      const double value = lo + (hi - lo) * within;
+      return std::clamp(value, static_cast<double>(min_),
+                        static_cast<double>(max_));
+    }
+  }
+  return static_cast<double>(max_);
+}
+
+std::string LatencyHistogram::Summary() const {
+  char buffer[160];
+  std::snprintf(buffer, sizeof(buffer),
+                "count=%llu mean=%.1f p50=%.1f p90=%.1f p99=%.1f max=%llu",
+                static_cast<unsigned long long>(count_), mean(),
+                Percentile(0.50), Percentile(0.90), Percentile(0.99),
+                static_cast<unsigned long long>(max_));
+  return std::string(buffer);
+}
+
+}  // namespace obs
+}  // namespace lottery

@@ -1,0 +1,105 @@
+// Fixed log-bucket latency histogram.
+//
+// 64 buckets over the full uint64 domain: bucket 0 holds the value 0, and
+// bucket i (1 <= i <= 63) holds values in [2^(i-1), 2^i - 1]; values whose
+// bit width exceeds 63 saturate into the last bucket, which therefore acts
+// as the overflow bucket. Recording is an increment into a fixed array —
+// no allocation, no floating point — so it is safe in scheduling hot paths,
+// and the whole body compiles away when kObsEnabled is false. The hottest
+// call sites (one histogram update per scheduling decision) use
+// RecordSampled, which pays the bucket update only once per kSamplePeriod
+// events while still counting every event.
+//
+// Percentiles (p50/p90/p99) are extracted by walking the cumulative counts
+// and interpolating linearly inside the crossing bucket, clamped to the
+// observed min/max. That matches how the paper's latency claims are stated
+// (response-time distributions, Figure 11) while keeping the data structure
+// mergeable across runs.
+
+#ifndef SRC_OBS_HISTOGRAM_H_
+#define SRC_OBS_HISTOGRAM_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "src/obs/counter.h"
+
+namespace lottery {
+namespace obs {
+
+class LatencyHistogram {
+ public:
+  static constexpr size_t kNumBuckets = 64;
+  // Sampling period for RecordSampled: hot paths keep full event counts but
+  // only pay the bucket update once per kSamplePeriod events.
+  static constexpr uint64_t kSamplePeriod = 16;
+  static constexpr uint64_t kSampleMask = kSamplePeriod - 1;
+
+  void Record(uint64_t value) {
+    if constexpr (kObsEnabled) {
+      RecordAlways(value);
+    } else {
+      (void)value;
+    }
+  }
+
+  // Hot-path variant: records every kSamplePeriod-th value (the first call
+  // always records, so count() == ceil(events() / kSamplePeriod)). The
+  // percentile shape is preserved statistically while the common case costs
+  // one increment and a predictable branch. Deterministic given call order.
+  void RecordSampled(uint64_t value) {
+    if constexpr (kObsEnabled) {
+      if ((events_++ & kSampleMask) == 0) {
+        RecordAlways(value);
+      }
+    } else {
+      (void)value;
+    }
+  }
+
+  // Unconditional variant, for callers that feed histograms from cold paths
+  // (bench result aggregation) regardless of the hook switch.
+  void RecordAlways(uint64_t value);
+
+  void Merge(const LatencyHistogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  // Total RecordSampled calls (recorded or skipped). Record/RecordAlways do
+  // not advance this; it exists so exact event counts survive sampling.
+  uint64_t events() const { return events_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double mean() const;
+
+  // Inclusive bucket bounds; BucketIndex is the placement function.
+  static size_t BucketIndex(uint64_t value);
+  static uint64_t BucketLo(size_t bucket);
+  static uint64_t BucketHi(size_t bucket);
+  uint64_t bucket_count(size_t bucket) const { return counts_[bucket]; }
+  // Count landed in the saturating last bucket (values >= 2^62).
+  uint64_t overflow() const { return counts_[kNumBuckets - 1]; }
+
+  // Value below which `fraction` (in [0, 1]) of recordings fall, estimated
+  // by linear interpolation within the crossing bucket. 0 when empty.
+  double Percentile(double fraction) const;
+
+  // "count=... mean=... p50=... p90=... p99=... max=..." for text output.
+  std::string Summary() const;
+
+ private:
+  std::array<uint64_t, kNumBuckets> counts_{};
+  uint64_t count_ = 0;
+  uint64_t events_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = UINT64_MAX;
+  uint64_t max_ = 0;
+};
+
+}  // namespace obs
+}  // namespace lottery
+
+#endif  // SRC_OBS_HISTOGRAM_H_

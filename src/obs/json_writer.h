@@ -1,0 +1,61 @@
+// Minimal streaming JSON writer.
+//
+// Emits schema-stable, machine-readable output for the bench harnesses
+// (BENCH_<name>.json) and the metric registry without pulling in a JSON
+// dependency. The writer keeps a nesting stack and inserts commas
+// automatically; keys and string values are escaped per RFC 8259. Doubles
+// are emitted with enough precision to round-trip metric values and are
+// sanitised (NaN/Inf become null, which the CI schema check rejects —
+// a bench emitting non-finite metrics is a bug worth failing on).
+
+#ifndef SRC_OBS_JSON_WRITER_H_
+#define SRC_OBS_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lottery {
+namespace obs {
+
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  // Writes a key inside an object; must be followed by a value or Begin*.
+  JsonWriter& Key(const std::string& name);
+
+  JsonWriter& String(const std::string& value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& Uint(uint64_t value);
+  JsonWriter& Double(double value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  // The document so far. Valid JSON once all scopes are closed.
+  const std::string& str() const { return out_; }
+
+  static std::string Escape(const std::string& raw);
+
+ private:
+  enum class Scope { kObject, kArray };
+  void BeforeValue();
+
+  std::string out_;
+  std::vector<Scope> stack_;
+  std::vector<bool> has_items_;
+  bool pending_key_ = false;
+};
+
+// Writes `contents` to `path` atomically enough for bench use (truncate +
+// write + flush). Throws std::runtime_error on I/O failure so benches fail
+// loudly instead of silently dropping their JSON in CI.
+void WriteFile(const std::string& path, const std::string& contents);
+
+}  // namespace obs
+}  // namespace lottery
+
+#endif  // SRC_OBS_JSON_WRITER_H_

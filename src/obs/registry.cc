@@ -1,0 +1,86 @@
+#include "src/obs/registry.h"
+
+#include "src/obs/json_writer.h"
+
+namespace lottery {
+namespace obs {
+
+Counter* Registry::counter(const std::string& name) {
+  return &counters_[name];
+}
+
+LatencyHistogram* Registry::histogram(const std::string& name) {
+  return &histograms_[name];
+}
+
+const Counter* Registry::FindCounter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const LatencyHistogram* Registry::FindHistogram(
+    const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::pair<std::string, uint64_t>> Registry::CounterValues()
+    const {
+  std::vector<std::pair<std::string, uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.emplace_back(name, counter.value());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, const LatencyHistogram*>>
+Registry::Histograms() const {
+  std::vector<std::pair<std::string, const LatencyHistogram*>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    out.emplace_back(name, &histogram);
+  }
+  return out;
+}
+
+void Registry::Reset() {
+  for (auto& [name, counter] : counters_) {
+    counter.Reset();
+  }
+  for (auto& [name, histogram] : histograms_) {
+    histogram.Reset();
+  }
+}
+
+std::string Registry::ToJson() const {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("counters").BeginObject();
+  for (const auto& [name, counter] : counters_) {
+    json.Key(name).Uint(counter.value());
+  }
+  json.EndObject();
+  json.Key("histograms").BeginObject();
+  for (const auto& [name, histogram] : histograms_) {
+    json.Key(name).BeginObject();
+    json.Key("count").Uint(histogram.count());
+    json.Key("mean").Double(histogram.mean());
+    json.Key("p50").Double(histogram.Percentile(0.50));
+    json.Key("p90").Double(histogram.Percentile(0.90));
+    json.Key("p99").Double(histogram.Percentile(0.99));
+    json.Key("max").Uint(histogram.max());
+    json.EndObject();
+  }
+  json.EndObject();
+  json.EndObject();
+  return json.str();
+}
+
+Registry& Registry::Default() {
+  static Registry* const kDefault = new Registry();
+  return *kDefault;
+}
+
+}  // namespace obs
+}  // namespace lottery

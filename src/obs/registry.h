@@ -1,0 +1,71 @@
+// Named metric registry.
+//
+// Components resolve their metrics once at construction (create-or-get by
+// name) and keep raw pointers; std::map nodes are stable, so the pointers
+// stay valid for the registry's lifetime. Benches and tests either share
+// the process-wide Default() registry (the bench JSON path dumps it) or
+// pass their own instance for isolation.
+//
+// Naming convention: dotted lowercase, "<component>.<event>", e.g.
+// "lottery.draws", "kernel.dispatches", "mutex.wait_us". Histograms carry
+// their unit as the final suffix.
+
+#ifndef SRC_OBS_REGISTRY_H_
+#define SRC_OBS_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/obs/counter.h"
+#include "src/obs/histogram.h"
+
+namespace lottery {
+namespace obs {
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // Create-or-get: repeated lookups of one name return the same object, so
+  // independent components contributing to one logical metric merge freely.
+  Counter* counter(const std::string& name);
+  LatencyHistogram* histogram(const std::string& name);
+
+  // Lookup without creation; nullptr when the name is unknown.
+  const Counter* FindCounter(const std::string& name) const;
+  const LatencyHistogram* FindHistogram(const std::string& name) const;
+
+  // Snapshots in name order (deterministic output).
+  std::vector<std::pair<std::string, uint64_t>> CounterValues() const;
+  std::vector<std::pair<std::string, const LatencyHistogram*>> Histograms()
+      const;
+
+  size_t num_counters() const { return counters_.size(); }
+  size_t num_histograms() const { return histograms_.size(); }
+
+  // Zeroes every metric but keeps registrations (component pointers stay
+  // valid). Used by multi-phase benches between runs.
+  void Reset();
+
+  // {"counters": {name: value, ...},
+  //  "histograms": {name: {count, mean, p50, p90, p99, max}, ...}}
+  std::string ToJson() const;
+
+  // Process-wide registry used whenever a component is not handed an
+  // explicit one. Never destroyed during static teardown races.
+  static Registry& Default();
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, LatencyHistogram> histograms_;
+};
+
+}  // namespace obs
+}  // namespace lottery
+
+#endif  // SRC_OBS_REGISTRY_H_

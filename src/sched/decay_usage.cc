@@ -50,6 +50,7 @@ ThreadId DecayUsageScheduler::PickNext(SimTime /*now*/) {
   }
   if (best != kInvalidThreadId) {
     threads_.at(best).ready = false;
+    picks_->Inc();
   }
   return best;
 }

@@ -20,6 +20,7 @@
 #include <deque>
 #include <unordered_map>
 
+#include "src/obs/registry.h"
 #include "src/sched/scheduler.h"
 
 namespace lottery {
@@ -30,10 +31,16 @@ class DecayUsageScheduler : public Scheduler {
     int base_priority = 0;
     // Weight of the usage term (BSD used estcpu/4).
     int usage_divisor = 4;
+    // Metric registry; nullptr selects obs::Registry::Default().
+    obs::Registry* metrics = nullptr;
   };
 
   DecayUsageScheduler() : DecayUsageScheduler(Options{}) {}
-  explicit DecayUsageScheduler(Options options) : options_(options) {}
+  explicit DecayUsageScheduler(Options options)
+      : options_(options),
+        picks_((options.metrics != nullptr ? options.metrics
+                                           : &obs::Registry::Default())
+                   ->counter("sched.decay-usage.picks")) {}
 
   void AddThread(ThreadId id, SimTime now) override;
   void RemoveThread(ThreadId id, SimTime now) override;
@@ -62,6 +69,7 @@ class DecayUsageScheduler : public Scheduler {
   Options options_;
   std::unordered_map<ThreadId, ThreadState> threads_;
   uint64_t next_seq_ = 0;
+  obs::Counter* picks_;
 };
 
 }  // namespace lottery

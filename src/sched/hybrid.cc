@@ -69,11 +69,13 @@ ThreadId HybridScheduler::PickNext(SimTime now) {
   const ThreadId fixed_pick = fixed_.PickNext(now);
   if (fixed_pick != kInvalidThreadId) {
     ready_.erase(fixed_pick);
+    picks_->Inc();
     return fixed_pick;
   }
   const ThreadId pick = lottery_.PickNext(now);
   if (pick != kInvalidThreadId) {
     ready_.erase(pick);
+    picks_->Inc();
   }
   return pick;
 }

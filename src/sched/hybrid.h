@@ -26,7 +26,9 @@ class HybridScheduler : public Scheduler {
  public:
   HybridScheduler() : HybridScheduler(LotteryScheduler::Options{}) {}
   explicit HybridScheduler(LotteryScheduler::Options lottery_options)
-      : lottery_(lottery_options) {}
+      : lottery_(lottery_options),
+        fixed_(&lottery_.metrics()),
+        picks_(lottery_.metrics().counter("sched.hybrid.picks")) {}
 
   // Moves a thread into the fixed-priority band (larger = higher). It keeps
   // its currency/client but stops competing in lotteries. May be called
@@ -55,6 +57,7 @@ class HybridScheduler : public Scheduler {
   PriorityScheduler fixed_;
   std::unordered_set<ThreadId> fixed_members_;
   std::unordered_set<ThreadId> ready_;
+  obs::Counter* picks_;
 };
 
 }  // namespace lottery

@@ -49,6 +49,7 @@ ThreadId PriorityScheduler::PickNext(SimTime /*now*/) {
       const ThreadId id = it->second.front();
       it->second.pop_front();
       queued_[id] = false;
+      picks_->Inc();
       return id;
     }
   }

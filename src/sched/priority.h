@@ -11,6 +11,7 @@
 #include <map>
 #include <unordered_map>
 
+#include "src/obs/registry.h"
 #include "src/sched/scheduler.h"
 
 namespace lottery {
@@ -19,6 +20,10 @@ class PriorityScheduler : public Scheduler {
  public:
   // Larger value means higher priority.
   static constexpr int kDefaultPriority = 0;
+
+  explicit PriorityScheduler(obs::Registry* metrics = nullptr)
+      : picks_((metrics != nullptr ? metrics : &obs::Registry::Default())
+                   ->counter("sched.fixed-priority.picks")) {}
 
   void AddThread(ThreadId id, SimTime now) override;
   void RemoveThread(ThreadId id, SimTime now) override;
@@ -39,6 +44,7 @@ class PriorityScheduler : public Scheduler {
   std::unordered_map<ThreadId, bool> queued_;
   // Ready queues ordered by priority (descending via reverse iteration).
   std::map<int, std::deque<ThreadId>> ready_;
+  obs::Counter* picks_;
 };
 
 }  // namespace lottery

@@ -40,6 +40,7 @@ ThreadId RoundRobinScheduler::PickNext(SimTime /*now*/) {
   const ThreadId id = queue_.front();
   queue_.pop_front();
   queued_.erase(id);
+  picks_->Inc();
   return id;
 }
 

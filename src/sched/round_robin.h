@@ -8,12 +8,17 @@
 #include <deque>
 #include <unordered_set>
 
+#include "src/obs/registry.h"
 #include "src/sched/scheduler.h"
 
 namespace lottery {
 
 class RoundRobinScheduler : public Scheduler {
  public:
+  explicit RoundRobinScheduler(obs::Registry* metrics = nullptr)
+      : picks_((metrics != nullptr ? metrics : &obs::Registry::Default())
+                   ->counter("sched.round-robin.picks")) {}
+
   void AddThread(ThreadId id, SimTime now) override;
   void RemoveThread(ThreadId id, SimTime now) override;
   void OnReady(ThreadId id, SimTime now) override;
@@ -27,6 +32,7 @@ class RoundRobinScheduler : public Scheduler {
   std::deque<ThreadId> queue_;
   std::unordered_set<ThreadId> known_;
   std::unordered_set<ThreadId> queued_;
+  obs::Counter* picks_;
 };
 
 }  // namespace lottery

@@ -77,6 +77,7 @@ ThreadId StrideScheduler::PickNext(SimTime /*now*/) {
     global_tickets_ -= state.tickets;
     global_pass_ = state.pass;
     running_ = best;
+    picks_->Inc();
   }
   return best;
 }

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "src/obs/registry.h"
 #include "src/sched/scheduler.h"
 
 namespace lottery {
@@ -22,6 +23,10 @@ namespace lottery {
 class StrideScheduler : public Scheduler {
  public:
   static constexpr int64_t kStride1 = int64_t{1} << 20;
+
+  explicit StrideScheduler(obs::Registry* metrics = nullptr)
+      : picks_((metrics != nullptr ? metrics : &obs::Registry::Default())
+                   ->counter("sched.stride.picks")) {}
 
   void AddThread(ThreadId id, SimTime now) override;
   void RemoveThread(ThreadId id, SimTime now) override;
@@ -54,6 +59,7 @@ class StrideScheduler : public Scheduler {
   int64_t global_tickets_ = 0;  // tickets of ready threads
   ThreadId running_ = kInvalidThreadId;
   uint64_t next_seq_ = 0;
+  obs::Counter* picks_;
 };
 
 }  // namespace lottery

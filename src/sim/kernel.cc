@@ -62,7 +62,18 @@ Kernel::Kernel(Scheduler* scheduler, Options options, Tracer* tracer)
       options_(options),
       tracer_(tracer),
       now_(SimTime::Zero()),
-      last_tick_(SimTime::Zero()) {
+      last_tick_(SimTime::Zero()),
+      metrics_(options.metrics != nullptr ? options.metrics
+                                          : &obs::Registry::Default()),
+      m_dispatches_(metrics_->counter("kernel.dispatches")),
+      m_quantum_expiries_(metrics_->counter("kernel.quantum_expiries")),
+      m_yields_(metrics_->counter("kernel.yields")),
+      m_sleeps_(metrics_->counter("kernel.sleeps")),
+      m_blocks_(metrics_->counter("kernel.blocks")),
+      m_wakes_(metrics_->counter("kernel.wakes")),
+      m_exits_(metrics_->counter("kernel.exits")),
+      m_context_switches_(metrics_->counter("kernel.context_switches")),
+      m_slice_us_(metrics_->histogram("kernel.slice_us")) {
   if (options_.quantum.nanos() <= 0) {
     throw std::invalid_argument("Kernel: quantum must be positive");
   }
@@ -121,6 +132,7 @@ void Kernel::Wake(ThreadId tid, SimTime when) {
   }
   thread.runnable = true;
   ++runnable_count_;
+  m_wakes_->Inc();
   scheduler_->OnReady(tid, when);
 }
 
@@ -160,10 +172,15 @@ void Kernel::FinishSlice(ThreadId tid, Disposition disposition,
   thread.pending_wake = false;
   switch (disposition) {
     case Disposition::kPreempted:
+      m_quantum_expiries_->Inc();
+      scheduler_->OnReady(tid, when);
+      break;
     case Disposition::kYield:
+      m_yields_->Inc();
       scheduler_->OnReady(tid, when);
       break;
     case Disposition::kSleep:
+      m_sleeps_->Inc();
       if (pending_wake) {
         scheduler_->OnReady(tid, when);
         break;
@@ -178,6 +195,7 @@ void Kernel::FinishSlice(ThreadId tid, Disposition disposition,
       });
       break;
     case Disposition::kBlock:
+      m_blocks_->Inc();
       if (pending_wake) {
         // The unblocking event (e.g. a mutex grant from another CPU)
         // arrived while the slice was in flight.
@@ -189,12 +207,15 @@ void Kernel::FinishSlice(ThreadId tid, Disposition disposition,
       scheduler_->OnBlocked(tid, when);
       break;
     case Disposition::kExit:
+      m_exits_->Inc();
       thread.runnable = false;
       --runnable_count_;
       thread.alive = false;
       --live_threads_;
       scheduler_->RemoveThread(tid, when);
-      thread.body.reset();
+      // The body is retained until the kernel is destroyed: callers commonly
+      // hold a raw pointer into it to harvest final workload state after the
+      // run, and a dead thread's Run() is never re-entered.
       break;
   }
 }
@@ -249,14 +270,18 @@ void Kernel::RunUntil(SimTime end) {
     }
     if (tid != cpu_last_[cpu]) {
       ++context_switches_;
+      m_context_switches_->Inc();
       cpu_last_[cpu] = tid;
     }
     ++thread.dispatches;
+    m_dispatches_->Inc();
     thread.running = true;
     thread.pending_wake = false;
 
     RunContext ctx(this, tid, now_, options_.quantum);
     thread.body->Run(ctx);
+    m_slice_us_->RecordSampled(
+        static_cast<uint64_t>(ctx.used().nanos()) / 1000u);
 
     if (tracer_ != nullptr && tracer_->dispatch_log_enabled()) {
       tracer_->RecordDispatch(tid, static_cast<int>(cpu), now_, ctx.used());

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/core/lottery_scheduler.h"
+#include "src/obs/registry.h"
 #include "src/sched/scheduler.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/trace.h"
@@ -101,6 +102,9 @@ class Kernel {
     // cross-CPU service effects become visible at dispatch granularity
     // (bounded by one quantum) — see DESIGN.md.
     int num_cpus = 1;
+    // Metric sink; nullptr selects obs::Registry::Default(). Kernel services
+    // (mutexes, locks, semaphores) inherit this registry via metrics().
+    obs::Registry* metrics = nullptr;
   };
 
   // `scheduler` must outlive the kernel. `tracer` may be null.
@@ -139,6 +143,8 @@ class Kernel {
   LotteryScheduler* lottery() { return lottery_; }
   Tracer* tracer() { return tracer_; }
   const Options& options() const { return options_; }
+  // Registry the kernel's obs hooks write into (never null).
+  obs::Registry& metrics() { return *metrics_; }
 
   // --- Accounting -------------------------------------------------------------
 
@@ -196,6 +202,18 @@ class Kernel {
   std::vector<SimTime> cpu_free_;
   std::vector<ThreadId> cpu_last_;
   std::vector<SimDuration> cpu_busy_;
+
+  // Obs hooks (resolved once; raw pointers into metrics_).
+  obs::Registry* metrics_;
+  obs::Counter* m_dispatches_;
+  obs::Counter* m_quantum_expiries_;
+  obs::Counter* m_yields_;
+  obs::Counter* m_sleeps_;
+  obs::Counter* m_blocks_;
+  obs::Counter* m_wakes_;
+  obs::Counter* m_exits_;
+  obs::Counter* m_context_switches_;
+  obs::LatencyHistogram* m_slice_us_;
 };
 
 }  // namespace lottery

@@ -6,7 +6,11 @@ namespace lottery {
 
 RpcPort::RpcPort(Kernel* kernel, const std::string& name,
                  int64_t transfer_amount)
-    : kernel_(kernel), name_(name), transfer_amount_(transfer_amount) {
+    : kernel_(kernel),
+      name_(name),
+      transfer_amount_(transfer_amount),
+      m_calls_(kernel->metrics().counter("rpc.calls")),
+      m_latency_us_(kernel->metrics().histogram("rpc.latency_us")) {
   LotteryScheduler* ls = kernel_->lottery();
   if (ls != nullptr) {
     currency_ = ls->table().CreateCurrency("port:" + name);
@@ -40,6 +44,7 @@ void RpcPort::RegisterServer(ThreadId tid) {
 
 void RpcPort::Call(RunContext& ctx, int64_t payload) {
   ++total_calls_;
+  m_calls_->Inc();
   RpcMessage message;
   message.client = ctx.self();
   message.payload = payload;
@@ -50,6 +55,7 @@ void RpcPort::Call(RunContext& ctx, int64_t payload) {
     message.transfer = std::make_unique<TicketTransfer>(
         &ls->table(), ls->thread_currency(ctx.self()), nullptr,
         transfer_amount_);
+    ls->NoteTransfer();
   }
 
   if (!waiting_servers_.empty()) {
@@ -97,8 +103,9 @@ void RpcPort::Reply(RunContext& ctx, RpcMessage message) {
     throw std::invalid_argument("RpcPort::Reply: message has no client");
   }
   message.transfer.reset();  // destroy the transfer ticket
+  const SimDuration latency = ctx.now() - message.sent_at;
+  m_latency_us_->Record(static_cast<uint64_t>(latency.nanos()) / 1000u);
   if (kernel_->tracer() != nullptr) {
-    const SimDuration latency = ctx.now() - message.sent_at;
     kernel_->tracer()->RecordSample(
         "rpc_latency:" + kernel_->ThreadName(message.client), ctx.now(),
         latency.ToSecondsF());

@@ -27,6 +27,7 @@
 #include <string>
 
 #include "src/core/transfer.h"
+#include "src/obs/registry.h"
 #include "src/sim/kernel.h"
 
 namespace lottery {
@@ -84,6 +85,10 @@ class RpcPort {
   // tickets issued in it.
   Currency* currency_ = nullptr;
   std::map<ThreadId, Ticket*> server_tickets_;
+
+  // Obs hooks (from the kernel's registry).
+  obs::Counter* m_calls_;
+  obs::LatencyHistogram* m_latency_us_;
 };
 
 }  // namespace lottery

@@ -7,7 +7,13 @@ namespace lottery {
 
 SimRwLock::SimRwLock(Kernel* kernel, const std::string& name,
                      int64_t transfer_amount)
-    : kernel_(kernel), name_(name), transfer_amount_(transfer_amount) {
+    : kernel_(kernel),
+      name_(name),
+      transfer_amount_(transfer_amount),
+      m_read_admissions_(kernel->metrics().counter("rwlock.read_admissions")),
+      m_write_admissions_(
+          kernel->metrics().counter("rwlock.write_admissions")),
+      m_wait_us_(kernel->metrics().histogram("rwlock.wait_us")) {
   LotteryScheduler* ls = kernel_->lottery();
   if (ls != nullptr) {
     currency_ = ls->table().CreateCurrency("rwlock:" + name);
@@ -39,6 +45,7 @@ uint64_t SimRwLock::WaiterWeight(const Waiter& waiter) const {
 
 void SimRwLock::AdmitReader(ThreadId tid) {
   ++read_admissions_;
+  m_read_admissions_->Inc();
   LotteryScheduler* ls = kernel_->lottery();
   if (ls != nullptr) {
     Ticket* inherit = ls->table().CreateTicket(currency_, transfer_amount_);
@@ -51,6 +58,7 @@ void SimRwLock::AdmitReader(ThreadId tid) {
 
 void SimRwLock::AdmitWriter(ThreadId tid) {
   ++write_admissions_;
+  m_write_admissions_->Inc();
   writer_ = tid;
   LotteryScheduler* ls = kernel_->lottery();
   if (ls != nullptr) {
@@ -78,6 +86,7 @@ bool SimRwLock::AcquireRead(RunContext& ctx) {
   if (ls != nullptr) {
     waiter.transfer = std::make_unique<TicketTransfer>(
         &ls->table(), ls->thread_currency(tid), currency_, transfer_amount_);
+    ls->NoteTransfer();
   }
   waiters_.push_back(std::move(waiter));
   return false;
@@ -100,6 +109,7 @@ bool SimRwLock::AcquireWrite(RunContext& ctx) {
   if (ls != nullptr) {
     waiter.transfer = std::make_unique<TicketTransfer>(
         &ls->table(), ls->thread_currency(tid), currency_, transfer_amount_);
+    ls->NoteTransfer();
   }
   waiters_.push_back(std::move(waiter));
   return false;
@@ -210,6 +220,8 @@ void SimRwLock::AdmitNext(RunContext& ctx) {
         continue;
       }
       waiter.transfer.reset();
+      m_wait_us_->Record(
+          static_cast<uint64_t>((ctx.now() - waiter.since).nanos()) / 1000u);
       AdmitReader(waiter.tid);
       kernel_->Wake(waiter.tid, ctx.now());
     }
@@ -227,6 +239,8 @@ void SimRwLock::AdmitNext(RunContext& ctx) {
     Waiter winner = std::move(waiters_[writer_index]);
     waiters_.erase(waiters_.begin() + static_cast<ptrdiff_t>(writer_index));
     winner.transfer.reset();
+    m_wait_us_->Record(
+        static_cast<uint64_t>((ctx.now() - winner.since).nanos()) / 1000u);
     AdmitWriter(winner.tid);
     kernel_->Wake(winner.tid, ctx.now());
   }

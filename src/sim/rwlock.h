@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "src/core/transfer.h"
+#include "src/obs/registry.h"
 #include "src/sim/kernel.h"
 
 namespace lottery {
@@ -84,6 +85,11 @@ class SimRwLock {
   Currency* currency_ = nullptr;
   Ticket* writer_inherit_ = nullptr;  // funds the writer while write-held
   std::map<ThreadId, Ticket*> reader_inherit_;  // one per active reader
+
+  // Obs hooks (from the kernel's registry).
+  obs::Counter* m_read_admissions_;
+  obs::Counter* m_write_admissions_;
+  obs::LatencyHistogram* m_wait_us_;
 };
 
 }  // namespace lottery

@@ -9,7 +9,9 @@ SimSemaphore::SimSemaphore(Kernel* kernel, const std::string& name,
     : kernel_(kernel),
       name_(name),
       transfer_amount_(transfer_amount),
-      permits_(initial_permits) {
+      permits_(initial_permits),
+      m_waits_(kernel->metrics().counter("semaphore.waits")),
+      m_wait_us_(kernel->metrics().histogram("semaphore.wait_us")) {
   if (initial_permits < 0) {
     throw std::invalid_argument("SimSemaphore: negative initial permits");
   }
@@ -46,6 +48,7 @@ void SimSemaphore::SetBeneficiary(ThreadId tid) {
 
 bool SimSemaphore::Wait(RunContext& ctx) {
   ++total_waits_;
+  m_waits_->Inc();
   if (permits_ > 0) {
     --permits_;
     return true;
@@ -58,6 +61,7 @@ bool SimSemaphore::Wait(RunContext& ctx) {
     waiter.transfer = std::make_unique<TicketTransfer>(
         &ls->table(), ls->thread_currency(ctx.self()), currency_,
         transfer_amount_);
+    ls->NoteTransfer();
   }
   waiters_.push_back(std::move(waiter));
   return false;
@@ -95,6 +99,8 @@ void SimSemaphore::Signal(RunContext& ctx) {
   Waiter winner = std::move(waiters_[winner_index]);
   waiters_.erase(waiters_.begin() + static_cast<ptrdiff_t>(winner_index));
   winner.transfer.reset();
+  m_wait_us_->Record(
+      static_cast<uint64_t>((ctx.now() - winner.since).nanos()) / 1000u);
   if (kernel_->tracer() != nullptr) {
     kernel_->tracer()->RecordSample(
         "sem_wait:" + kernel_->ThreadName(winner.tid), ctx.now(),

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "src/core/transfer.h"
+#include "src/obs/registry.h"
 #include "src/sim/kernel.h"
 
 namespace lottery {
@@ -73,6 +74,10 @@ class SimSemaphore {
   Currency* currency_ = nullptr;
   Ticket* inheritance_ticket_ = nullptr;
   ThreadId beneficiary_ = kInvalidThreadId;
+
+  // Obs hooks (from the kernel's registry).
+  obs::Counter* m_waits_;
+  obs::LatencyHistogram* m_wait_us_;
 };
 
 }  // namespace lottery

@@ -6,7 +6,12 @@ namespace lottery {
 
 SimMutex::SimMutex(Kernel* kernel, const std::string& name,
                    int64_t transfer_amount)
-    : kernel_(kernel), name_(name), transfer_amount_(transfer_amount) {
+    : kernel_(kernel),
+      name_(name),
+      transfer_amount_(transfer_amount),
+      m_acquisitions_(kernel->metrics().counter("mutex.acquisitions")),
+      m_contended_(kernel->metrics().counter("mutex.contended")),
+      m_wait_us_(kernel->metrics().histogram("mutex.wait_us")) {
   LotteryScheduler* ls = kernel_->lottery();
   if (ls != nullptr) {
     currency_ = ls->table().CreateCurrency("mutex:" + name);
@@ -40,6 +45,7 @@ bool SimMutex::Acquire(RunContext& ctx) {
   Waiter waiter;
   waiter.tid = tid;
   waiter.since = ctx.now();
+  m_contended_->Inc();
   LotteryScheduler* ls = kernel_->lottery();
   if (ls != nullptr) {
     // Figure 10: the waiter backs the lock currency with a ticket issued in
@@ -47,6 +53,7 @@ bool SimMutex::Acquire(RunContext& ctx) {
     // the waiter's entire funding into the lock.
     waiter.transfer = std::make_unique<TicketTransfer>(
         &ls->table(), ls->thread_currency(tid), currency_, transfer_amount_);
+    ls->NoteTransfer();
   }
   waiters_.push_back(std::move(waiter));
   return false;
@@ -95,8 +102,9 @@ void SimMutex::Release(RunContext& ctx) {
   waiters_.erase(waiters_.begin() + static_cast<ptrdiff_t>(winner_index));
   winner.transfer.reset();  // destroy the winner's transfer ticket
 
+  const SimDuration waited = ctx.now() - winner.since;
+  m_wait_us_->Record(static_cast<uint64_t>(waited.nanos()) / 1000u);
   if (kernel_->tracer() != nullptr) {
-    const SimDuration waited = ctx.now() - winner.since;
     kernel_->tracer()->RecordSample(
         "mutex_wait:" + kernel_->ThreadName(winner.tid), ctx.now(),
         waited.ToSecondsF());
@@ -109,6 +117,7 @@ void SimMutex::Release(RunContext& ctx) {
 void SimMutex::GrantTo(ThreadId tid) {
   owner_ = tid;
   ++acquisitions_;
+  m_acquisitions_->Inc();
   LotteryScheduler* ls = kernel_->lottery();
   if (ls != nullptr) {
     // Move the inheritance ticket: the new owner now executes with its own

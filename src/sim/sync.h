@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "src/core/transfer.h"
+#include "src/obs/registry.h"
 #include "src/sim/kernel.h"
 
 namespace lottery {
@@ -72,6 +73,12 @@ class SimMutex {
   // Lottery-mode machinery (null when the policy scheduler is not lottery).
   Currency* currency_ = nullptr;
   Ticket* inheritance_ticket_ = nullptr;
+
+  // Obs hooks (from the kernel's registry): grants, contended acquires, and
+  // the Figure 11 waiting-time histogram in microseconds of simulated time.
+  obs::Counter* m_acquisitions_;
+  obs::Counter* m_contended_;
+  obs::LatencyHistogram* m_wait_us_;
 };
 
 }  // namespace lottery

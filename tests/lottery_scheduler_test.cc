@@ -4,6 +4,9 @@
 
 #include <map>
 
+#include "src/obs/histogram.h"
+#include "src/obs/registry.h"
+
 namespace lottery {
 namespace {
 
@@ -165,6 +168,69 @@ TEST(LotteryScheduler, HierarchicalFundingIsProportional) {
 TEST(LotteryScheduler, NameIsLottery) {
   LotteryScheduler sched;
   EXPECT_EQ(sched.name(), "lottery");
+}
+
+TEST(LotteryScheduler, MetricsMatchGroundTruth) {
+  // Scripted run against an isolated registry: the obs counters must agree
+  // exactly with what the script did.
+  obs::Registry metrics;
+  LotteryScheduler::Options opts;
+  opts.seed = 123;
+  opts.metrics = &metrics;
+  LotteryScheduler sched(opts);
+  sched.AddThread(1, kT0);
+  sched.AddThread(2, kT0);
+  sched.FundThread(1, sched.table().base(), 300);
+  sched.FundThread(2, sched.table().base(), 100);
+
+  constexpr uint64_t kRounds = 50;
+  uint64_t fractional_rounds = 0;
+  for (uint64_t i = 0; i < kRounds; ++i) {
+    sched.OnReady(1, kT0);
+    sched.OnReady(2, kT0);
+    const ThreadId w = sched.PickNext(kT0);
+    ASSERT_NE(w, kInvalidThreadId);
+    // Alternate full and fractional quanta; only fractional ones earn a
+    // compensation ticket.
+    const bool fractional = (i % 2) == 1;
+    if (fractional) {
+      ++fractional_rounds;
+    }
+    sched.OnQuantumEnd(w, fractional ? SimDuration::Millis(20) : kQuantum,
+                       kQuantum, kT0);
+    sched.OnBlocked(1, kT0);
+    sched.OnBlocked(2, kT0);
+  }
+
+  const auto hooked = [](uint64_t n) { return obs::kObsEnabled ? n : 0; };
+  ASSERT_NE(metrics.FindCounter("lottery.draws"), nullptr);
+  EXPECT_EQ(metrics.FindCounter("lottery.draws")->value(), hooked(kRounds));
+  EXPECT_EQ(metrics.FindCounter("lottery.compensation_grants")->value(),
+            hooked(fractional_rounds));
+  EXPECT_EQ(metrics.FindCounter("lottery.zero_fallbacks")->value(), 0u);
+  EXPECT_EQ(metrics.FindCounter("lottery.transfers")->value(), 0u);
+  // The draw-cost histogram sees every draw (sampled 1-in-kSamplePeriod
+  // into the buckets, first event always recorded).
+  const obs::LatencyHistogram* cost =
+      metrics.FindHistogram("lottery.draw_cost");
+  ASSERT_NE(cost, nullptr);
+  EXPECT_EQ(cost->events(), hooked(kRounds));
+  EXPECT_EQ(cost->count(),
+            (hooked(kRounds) + obs::LatencyHistogram::kSamplePeriod - 1) /
+                obs::LatencyHistogram::kSamplePeriod);
+  // num_lotteries is the scheduler's own (unhooked) tally of the same event.
+  EXPECT_EQ(sched.num_lotteries(), kRounds);
+}
+
+TEST(LotteryScheduler, TransferCounterTracksNotes) {
+  obs::Registry metrics;
+  LotteryScheduler::Options opts;
+  opts.metrics = &metrics;
+  LotteryScheduler sched(opts);
+  sched.NoteTransfer();
+  sched.NoteTransfer();
+  EXPECT_EQ(metrics.FindCounter("lottery.transfers")->value(),
+            obs::kObsEnabled ? 2u : 0u);
 }
 
 }  // namespace

@@ -1,0 +1,266 @@
+// Unit tests for the observability layer: counters, log-bucket latency
+// histograms (including the saturating overflow bucket and 1-in-N sampled
+// recording), the named registry, and the streaming JSON writer.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "src/obs/counter.h"
+#include "src/obs/histogram.h"
+#include "src/obs/json_writer.h"
+#include "src/obs/registry.h"
+
+namespace lottery {
+namespace obs {
+namespace {
+
+// Several expectations depend on whether the hooks are compiled in; the
+// suite runs in both CI configurations, so scale them by the switch.
+constexpr uint64_t Hooked(uint64_t n) { return kObsEnabled ? n : 0; }
+
+TEST(Counter, StartsAtZeroAndCounts) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Inc();
+  c.Inc(5);
+  EXPECT_EQ(c.value(), Hooked(6));
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Counter, DebugString) {
+  Counter c;
+  c.Inc(3);
+  EXPECT_EQ(c.DebugString("lottery.draws"),
+            "lottery.draws=" + std::to_string(Hooked(3)));
+}
+
+TEST(Histogram, BucketPlacement) {
+  // Bucket 0 holds the value 0; bucket i holds [2^(i-1), 2^i - 1].
+  EXPECT_EQ(LatencyHistogram::BucketIndex(0), 0u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(1), 1u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(2), 2u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(3), 2u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(4), 3u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex((uint64_t{1} << 20) - 1), 20u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(uint64_t{1} << 20), 21u);
+  for (size_t bucket = 1; bucket < LatencyHistogram::kNumBuckets - 1;
+       ++bucket) {
+    EXPECT_EQ(LatencyHistogram::BucketIndex(LatencyHistogram::BucketLo(bucket)),
+              bucket);
+    EXPECT_EQ(LatencyHistogram::BucketIndex(LatencyHistogram::BucketHi(bucket)),
+              bucket);
+  }
+}
+
+TEST(Histogram, OverflowBucketSaturates) {
+  LatencyHistogram h;
+  h.RecordAlways(std::numeric_limits<uint64_t>::max());
+  h.RecordAlways(uint64_t{1} << 63);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), std::numeric_limits<uint64_t>::max());
+}
+
+TEST(Histogram, BasicStats) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);  // empty histogram reports 0, not UINT64_MAX
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  h.RecordAlways(10);
+  h.RecordAlways(20);
+  h.RecordAlways(30);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 60u);
+  EXPECT_EQ(h.min(), 10u);
+  EXPECT_EQ(h.max(), 30u);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+}
+
+TEST(Histogram, PercentilesInterpolate) {
+  LatencyHistogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) {
+    h.RecordAlways(v);
+  }
+  // Uniform 1..1000: log buckets plus linear interpolation land close to
+  // the exact order statistics, clamped to [min, max].
+  EXPECT_NEAR(h.Percentile(0.50), 500.0, 40.0);
+  EXPECT_NEAR(h.Percentile(0.90), 900.0, 40.0);
+  EXPECT_NEAR(h.Percentile(0.99), 990.0, 40.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 1000.0);
+}
+
+TEST(Histogram, PercentileOfSingleValue) {
+  LatencyHistogram h;
+  h.RecordAlways(42);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.99), 42.0);
+}
+
+TEST(Histogram, MergeAddsBucketsAndExtremes) {
+  LatencyHistogram a, b;
+  a.RecordAlways(5);
+  a.RecordAlways(100);
+  b.RecordAlways(1);
+  b.RecordAlways(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.sum(), 1106u);
+  EXPECT_EQ(a.min(), 1u);
+  EXPECT_EQ(a.max(), 1000u);
+}
+
+TEST(Histogram, ResetClearsEverything) {
+  LatencyHistogram h;
+  h.RecordAlways(7);
+  h.RecordSampled(7);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.events(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(Histogram, SampledRecordingCountsEveryEvent) {
+  LatencyHistogram h;
+  constexpr uint64_t kEvents = 100;
+  for (uint64_t i = 0; i < kEvents; ++i) {
+    h.RecordSampled(8);
+  }
+  EXPECT_EQ(h.events(), Hooked(kEvents));
+  // First call records, then every kSamplePeriod-th: ceil(events / period).
+  const uint64_t expected =
+      (Hooked(kEvents) + LatencyHistogram::kSamplePeriod - 1) /
+      LatencyHistogram::kSamplePeriod;
+  EXPECT_EQ(h.count(), expected);
+  if (kObsEnabled) {
+    EXPECT_EQ(h.min(), 8u);
+    EXPECT_EQ(h.max(), 8u);
+  }
+}
+
+TEST(Registry, CreateOrGetReturnsStablePointers) {
+  Registry reg;
+  Counter* c1 = reg.counter("a.events");
+  Counter* c2 = reg.counter("a.events");
+  EXPECT_EQ(c1, c2);
+  LatencyHistogram* h1 = reg.histogram("a.wait_us");
+  LatencyHistogram* h2 = reg.histogram("a.wait_us");
+  EXPECT_EQ(h1, h2);
+  EXPECT_EQ(reg.num_counters(), 1u);
+  EXPECT_EQ(reg.num_histograms(), 1u);
+  EXPECT_EQ(reg.FindCounter("a.events"), c1);
+  EXPECT_EQ(reg.FindCounter("missing"), nullptr);
+  EXPECT_EQ(reg.FindHistogram("missing"), nullptr);
+}
+
+TEST(Registry, SnapshotsAreNameOrdered) {
+  Registry reg;
+  reg.counter("z.last")->Inc(2);
+  reg.counter("a.first")->Inc(1);
+  reg.histogram("m.mid")->RecordAlways(5);
+  const auto counters = reg.CounterValues();
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters[0].first, "a.first");
+  EXPECT_EQ(counters[0].second, Hooked(1));
+  EXPECT_EQ(counters[1].first, "z.last");
+  EXPECT_EQ(counters[1].second, Hooked(2));
+  const auto histograms = reg.Histograms();
+  ASSERT_EQ(histograms.size(), 1u);
+  EXPECT_EQ(histograms[0].first, "m.mid");
+  EXPECT_EQ(histograms[0].second->count(), 1u);
+}
+
+TEST(Registry, ResetZeroesButKeepsRegistrations) {
+  Registry reg;
+  Counter* c = reg.counter("k.n");
+  LatencyHistogram* h = reg.histogram("k.us");
+  c->Inc(9);
+  h->RecordAlways(9);
+  reg.Reset();
+  EXPECT_EQ(reg.counter("k.n"), c);  // same node after reset
+  EXPECT_EQ(reg.histogram("k.us"), h);
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(h->count(), 0u);
+}
+
+TEST(Registry, ToJsonContainsMetrics) {
+  Registry reg;
+  reg.counter("lottery.draws")->Inc(4);
+  reg.histogram("lottery.draw_cost")->RecordAlways(3);
+  const std::string json = reg.ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"lottery.draws\":" + std::to_string(Hooked(4))),
+            std::string::npos);
+  EXPECT_NE(json.find("\"lottery.draw_cost\""), std::string::npos);
+}
+
+TEST(JsonWriter, NestedDocument) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema_version").Int(1);
+  w.Key("metrics").BeginObject();
+  w.Key("ratio").Double(2.5);
+  w.Key("count").Uint(7);
+  w.EndObject();
+  w.Key("tags").BeginArray().String("a").String("b").EndArray();
+  w.Key("ok").Bool(true);
+  w.Key("none").Null();
+  w.EndObject();
+  EXPECT_EQ(w.str(),
+            "{\"schema_version\":1,"
+            "\"metrics\":{\"ratio\":2.5,\"count\":7},"
+            "\"tags\":[\"a\",\"b\"],"
+            "\"ok\":true,"
+            "\"none\":null}");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  JsonWriter w;
+  w.BeginArray().String("quote\" slash\\ tab\t nl\n bell\x01").EndArray();
+  EXPECT_EQ(w.str(), "[\"quote\\\" slash\\\\ tab\\t nl\\n bell\\u0001\"]");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.BeginArray()
+      .Double(std::nan(""))
+      .Double(std::numeric_limits<double>::infinity())
+      .Double(1.5)
+      .EndArray();
+  EXPECT_EQ(w.str(), "[null,null,1.5]");
+}
+
+TEST(JsonWriter, MisuseThrows) {
+  {
+    JsonWriter w;
+    w.BeginObject();
+    EXPECT_THROW(w.Int(1), std::logic_error);  // value without key
+  }
+  {
+    JsonWriter w;
+    w.BeginArray();
+    EXPECT_THROW(w.Key("k"), std::logic_error);  // key inside array
+  }
+  {
+    JsonWriter w;
+    w.BeginObject();
+    EXPECT_THROW(w.EndArray(), std::logic_error);  // mismatched close
+  }
+}
+
+TEST(WriteFileFn, FailsLoudlyOnBadPath) {
+  EXPECT_THROW(WriteFile("/nonexistent-dir/x/y.json", "{}"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace lottery
