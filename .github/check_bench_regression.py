@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: compare BENCH_<name>.json metrics to baselines.
+
+Usage: check_bench_regression.py --baseline-dir bench/baselines \
+           [--tolerance 0.15] CURRENT.json [CURRENT.json...]
+
+Each current report is matched to a baseline by basename. Only the
+*deterministic* metrics are gated: every key whose name contains "_ns" is
+wall-clock (host-dependent, unstable across runners) and is skipped; what
+remains — obs counters, draw-cost percentiles in scan/depth units, and
+sim-derived results — is reproducible for a fixed seed, so any drift beyond
+the tolerance is a behavioural change, not noise.
+
+Rules, per baseline metric:
+  * missing from the current report ............................ FAIL
+  * baseline == 0 (e.g. tree full_syncs) ....... current must be 0 exactly
+  * otherwise .......... |current - baseline| / baseline > tolerance FAILs
+Metrics present only in the current report are ignored (new metrics land
+first, baselines follow in the same change).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_metrics(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        raise ValueError(f"{path}: no 'metrics' object")
+    return metrics
+
+
+def gated(name):
+    return "_ns" not in name
+
+
+def compare(current_path, baseline_path, tolerance):
+    failures = []
+    current = load_metrics(current_path)
+    baseline = load_metrics(baseline_path)
+    checked = 0
+    for name, base_value in sorted(baseline.items()):
+        if not gated(name):
+            continue
+        checked += 1
+        if name not in current:
+            failures.append(f"{current_path}: metric '{name}' present in "
+                            f"baseline but missing from the report")
+            continue
+        cur_value = current[name]
+        if not isinstance(cur_value, (int, float)) or isinstance(
+                cur_value, bool):
+            failures.append(
+                f"{current_path}: metric '{name}' is {cur_value!r}, "
+                "not a number")
+            continue
+        if base_value == 0:
+            if cur_value != 0:
+                failures.append(
+                    f"{current_path}: '{name}' = {cur_value} but the "
+                    "baseline is exactly 0 (zero-baselines are strict: "
+                    "e.g. steady-state full resyncs must stay impossible)")
+            continue
+        rel = abs(cur_value - base_value) / abs(base_value)
+        if rel > tolerance:
+            failures.append(
+                f"{current_path}: '{name}' = {cur_value:g} vs baseline "
+                f"{base_value:g} ({100.0 * rel:.1f}% drift, tolerance "
+                f"{100.0 * tolerance:.0f}%)")
+    return checked, failures
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline-dir", required=True,
+                        help="directory holding baseline BENCH_*.json files")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="max relative drift for nonzero baselines "
+                             "(default 0.15)")
+    parser.add_argument("reports", nargs="+", metavar="CURRENT.json")
+    args = parser.parse_args(argv[1:])
+
+    failures = []
+    for path in args.reports:
+        baseline_path = os.path.join(args.baseline_dir, os.path.basename(path))
+        if not os.path.exists(baseline_path):
+            failures.append(f"{path}: no baseline at {baseline_path} "
+                            "(commit one to bench/baselines/)")
+            continue
+        try:
+            checked, file_failures = compare(path, baseline_path,
+                                             args.tolerance)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            failures.append(f"{path}: {exc}")
+            continue
+        if file_failures:
+            failures.extend(file_failures)
+        else:
+            print(f"OK {path}: {checked} gated metrics within "
+                  f"{100.0 * args.tolerance:.0f}% of baseline")
+    for line in failures:
+        print(f"FAIL {line}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

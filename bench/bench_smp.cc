@@ -27,13 +27,18 @@ int Main(int argc, char** argv) {
               "funding; tree backend holds its O(lg n) cost advantage");
 
   TextTable table({"cpus", "backend", "delivered CPU (s)", "mean share err %",
-                   "host ns/dispatch"});
+                   "host ns/dispatch", "p50 sync ns", "p50 draw ns"});
   for (const int cpus : {1, 2, 4, 8}) {
     for (const RunQueueBackend backend :
          {RunQueueBackend::kList, RunQueueBackend::kTree}) {
+      // Per-config registry: counters and the sync/draw split histograms
+      // restart from zero for every (cpus, backend) cell instead of
+      // accumulating in the process-wide default.
+      obs::Registry reg;
       LotteryScheduler::Options sopts;
       sopts.seed = seed;
       sopts.backend = backend;
+      sopts.metrics = &reg;
       LotteryScheduler sched(sopts);
       Kernel::Options kopts;
       kopts.quantum = SimDuration::Millis(100);
@@ -76,17 +81,52 @@ int Main(int argc, char** argv) {
       const double wall_ns = static_cast<double>(
           std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start)
               .count());
+      // Tree dispatches sample a wall-clock split of weight-sync vs the
+      // draw itself (lottery.sync_ns / lottery.tree_draw_ns); the list
+      // backend has no sync phase, so those cells stay empty.
+      const obs::LatencyHistogram* sync_hist =
+          reg.FindHistogram("lottery.sync_ns");
+      const obs::LatencyHistogram* draw_hist =
+          reg.FindHistogram("lottery.tree_draw_ns");
+      const bool is_tree = backend == RunQueueBackend::kTree;
+      const bool have_split = is_tree && sync_hist != nullptr &&
+                              sync_hist->count() > 0 &&
+                              draw_hist != nullptr && draw_hist->count() > 0;
       table.AddRow(
-          {std::to_string(cpus),
-           backend == RunQueueBackend::kList ? "list" : "tree",
+          {std::to_string(cpus), is_tree ? "tree" : "list",
            FormatDouble(delivered.ToSecondsF(), 1),
            FormatDouble(100.0 * max_err, 1),
-           FormatDouble(wall_ns / static_cast<double>(dispatches), 0)});
+           FormatDouble(wall_ns / static_cast<double>(dispatches), 0),
+           have_split ? FormatDouble(sync_hist->Percentile(0.50), 0) : "-",
+           have_split ? FormatDouble(draw_hist->Percentile(0.50), 0) : "-"});
       const std::string key =
-          std::string(backend == RunQueueBackend::kList ? "list" : "tree") +
-          "_" + std::to_string(cpus) + "cpu";
+          std::string(is_tree ? "tree" : "list") + "_" +
+          std::to_string(cpus) + "cpu";
+      const auto counter_of = [&reg](const char* name) {
+        const obs::Counter* c = reg.FindCounter(name);
+        return c == nullptr ? uint64_t{0} : c->value();
+      };
       report.Metric(key + "_delivered_s", delivered.ToSecondsF());
       report.Metric(key + "_mean_share_err_pct", 100.0 * max_err);
+      report.Metric(key + "_host_ns_per_dispatch",
+                    wall_ns / static_cast<double>(dispatches));
+      report.Metric(key + "_draws", counter_of("lottery.draws"));
+      const obs::LatencyHistogram* cost =
+          reg.FindHistogram("lottery.draw_cost");
+      if (cost != nullptr && cost->count() > 0) {
+        report.Metric(key + "_draw_cost_p50", cost->Percentile(0.50));
+        report.Metric(key + "_draw_cost_p99", cost->Percentile(0.99));
+      }
+      if (is_tree) {
+        report.Metric(key + "_full_syncs", counter_of("tree.full_syncs"));
+        report.Metric(key + "_leaf_updates", counter_of("tree.leaf_updates"));
+      }
+      if (have_split) {
+        report.Metric(key + "_sync_ns_p50", sync_hist->Percentile(0.50));
+        report.Metric(key + "_sync_ns_p99", sync_hist->Percentile(0.99));
+        report.Metric(key + "_tree_draw_ns_p50", draw_hist->Percentile(0.50));
+        report.Metric(key + "_tree_draw_ns_p99", draw_hist->Percentile(0.99));
+      }
     }
   }
   table.Print(std::cout);

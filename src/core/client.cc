@@ -25,7 +25,7 @@ void Client::HoldTicket(Ticket* ticket) {
   if (active_) {
     table_->ActivateTicket(ticket);
   }
-  cache_valid_ = false;
+  Invalidate();
 }
 
 void Client::ReleaseTicket(Ticket* ticket) {
@@ -39,7 +39,7 @@ void Client::ReleaseTicket(Ticket* ticket) {
   const auto it = std::find(tickets_.begin(), tickets_.end(), ticket);
   *it = tickets_.back();
   tickets_.pop_back();
-  cache_valid_ = false;
+  Invalidate();
 }
 
 void Client::SetActive(bool active) {
@@ -54,29 +54,41 @@ void Client::SetActive(bool active) {
       table_->DeactivateTicket(t);
     }
   }
-  cache_valid_ = false;
+  Invalidate();
 }
 
 void Client::SetCompensation(int64_t num, int64_t den) {
   if (num <= 0 || den <= 0) {
     throw std::invalid_argument("SetCompensation: factors must be positive");
   }
+  if (num == comp_num_ && den == comp_den_) {
+    return;
+  }
   comp_num_ = num;
   comp_den_ = den;
-  cache_valid_ = false;
+  Invalidate();
 }
 
 void Client::ClearCompensation() {
+  // No-op when there is nothing to clear: the scheduler calls this on every
+  // quantum start, and steady-state dispatches must not dirty anything.
+  if (comp_num_ == 1 && comp_den_ == 1) {
+    return;
+  }
   comp_num_ = 1;
   comp_den_ = 1;
-  cache_valid_ = false;
+  Invalidate();
+}
+
+void Client::Invalidate() {
+  table_->MarkClientDirty(this);
 }
 
 Funding Client::Value() const {
   if (!active_) {
     return Funding::Zero();
   }
-  if (cache_valid_ && value_epoch_ == table_->epoch()) {
+  if (cache_valid_) {
     return cached_value_;
   }
   Funding sum = Funding::Zero();
@@ -86,9 +98,9 @@ Funding Client::Value() const {
   if (comp_num_ != comp_den_) {
     sum = sum.ScaleBy(comp_num_, comp_den_);
   }
-  value_epoch_ = table_->epoch();
   cached_value_ = sum;
   cache_valid_ = true;
+  table_->NoteClientReprice();
   return sum;
 }
 

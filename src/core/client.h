@@ -59,14 +59,24 @@ class Client {
   double compensation_factor() const {
     return static_cast<double>(comp_num_) / static_cast<double>(comp_den_);
   }
+  // Exact factor terms, for ground-truth value recomputation in tests.
+  int64_t compensation_num() const { return comp_num_; }
+  int64_t compensation_den() const { return comp_den_; }
 
   // --- Value ----------------------------------------------------------------
 
   // Current value in base units: sum of held (active) ticket values times
-  // the compensation factor. Zero while inactive. Memoized per table epoch.
+  // the compensation factor. Zero while inactive. Cached; invalidated by
+  // the table's dirty propagation and by local mutations.
   Funding Value() const;
 
  private:
+  friend class CurrencyTable;  // flips cache_valid_ from MarkClientDirty
+
+  // Routes a local mutation through the table so registered ValueObservers
+  // hear about it too.
+  void Invalidate();
+
   CurrencyTable* table_;
   std::string name_;
   std::vector<Ticket*> tickets_;
@@ -74,7 +84,6 @@ class Client {
   int64_t comp_num_ = 1;
   int64_t comp_den_ = 1;
 
-  mutable uint64_t value_epoch_ = 0;
   mutable Funding cached_value_{};
   mutable bool cache_valid_ = false;
 };

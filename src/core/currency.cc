@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <sstream>
 #include <stdexcept>
+#include <unordered_set>
 
 #include "src/core/client.h"
+#include "src/obs/registry.h"
 
 namespace lottery {
 
@@ -32,13 +34,83 @@ void Currency::AllowInflator(const std::string& principal) {
   inflators_.insert(principal);
 }
 
-CurrencyTable::CurrencyTable() {
+CurrencyTable::CurrencyTable(obs::Registry* metrics)
+    : metrics_(metrics != nullptr ? metrics : &obs::Registry::Default()),
+      currency_dirty_marks_(metrics_->counter("currency.dirty_marks")),
+      currency_reprices_(metrics_->counter("currency.reprices")),
+      client_dirty_marks_(metrics_->counter("client.dirty_marks")),
+      client_reprices_(metrics_->counter("client.reprices")) {
   currencies_.push_back(
       std::unique_ptr<Currency>(new Currency("base", /*is_base=*/true, "")));
   base_ = currencies_.back().get();
 }
 
 CurrencyTable::~CurrencyTable() = default;
+
+void CurrencyTable::AddObserver(ValueObserver* observer) {
+  if (std::find(observers_.begin(), observers_.end(), observer) !=
+      observers_.end()) {
+    throw std::invalid_argument("AddObserver: observer already registered");
+  }
+  observers_.push_back(observer);
+}
+
+void CurrencyTable::RemoveObserver(ValueObserver* observer) {
+  const auto it = std::find(observers_.begin(), observers_.end(), observer);
+  if (it != observers_.end()) {
+    observers_.erase(it);
+  }
+}
+
+void CurrencyTable::MarkCurrencyDirty(Currency* currency) {
+  // The base currency is the unit of account; it has no cached value, and
+  // base-denominated tickets are worth their face value no matter what
+  // happens to the base's active amount, so nothing downstream can change.
+  if (currency->is_base() || currency->value_dirty_) {
+    return;
+  }
+  currency->value_dirty_ = true;
+  currency_dirty_marks_->Inc();
+  PropagateDenominationChange(currency);
+}
+
+void CurrencyTable::PropagateDenominationChange(Currency* denom) {
+  if (denom->is_base()) {
+    return;  // base tickets are face value: active-amount changes are inert
+  }
+  for (Ticket* t : denom->issued_) {
+    if (t->funds_ != nullptr) {
+      MarkCurrencyDirty(t->funds_);
+    } else if (t->holder_ != nullptr) {
+      MarkClientDirty(t->holder_);
+    }
+  }
+}
+
+void CurrencyTable::MarkTicketDirty(Ticket* ticket) {
+  if (ticket->funds_ != nullptr) {
+    MarkCurrencyDirty(ticket->funds_);
+  } else if (ticket->holder_ != nullptr) {
+    MarkClientDirty(ticket->holder_);
+  }
+}
+
+void CurrencyTable::MarkClientDirty(Client* client) {
+  if (client->cache_valid_) {
+    client->cache_valid_ = false;
+    client_dirty_marks_->Inc();
+  }
+  // Notify unconditionally: observers may have refreshed their copy of the
+  // client's value (rearming nothing on the client itself), so the dirty
+  // flag alone cannot gate notifications.
+  for (ValueObserver* observer : observers_) {
+    observer->OnClientValueDirty(client);
+  }
+}
+
+void CurrencyTable::NoteClientReprice() const {
+  client_reprices_->Inc();
+}
 
 Currency* CurrencyTable::CreateCurrency(const std::string& name,
                                         const std::string& owner) {
@@ -137,12 +209,16 @@ void CurrencyTable::SetAmount(Ticket* ticket, int64_t amount) {
   }
   const int64_t delta = amount - ticket->amount_;
   ticket->denomination_->issued_amount_ += delta;
+  ticket->amount_ = amount;
   if (ticket->active_) {
     // Amounts are strictly positive, so this cannot cross zero and no
-    // activation cascade is needed — only the sum changes.
-    ticket->denomination_->active_amount_ += delta;
+    // activation cascade is needed — only the sum changes. AddActiveAmount
+    // still propagates the denomination change (every sibling ticket's
+    // share shifts); the ticket's own target must be marked explicitly
+    // because propagation skips the base currency.
+    AddActiveAmount(ticket->denomination_, delta);
+    MarkTicketDirty(ticket);
   }
-  ticket->amount_ = amount;
   BumpEpoch();
 }
 
@@ -166,6 +242,7 @@ void CurrencyTable::Fund(Currency* target, Ticket* ticket) {
   if (target->active_amount_ > 0) {
     ActivateTicket(ticket);
   }
+  MarkCurrencyDirty(target);
   BumpEpoch();
 }
 
@@ -179,6 +256,7 @@ void CurrencyTable::Unfund(Ticket* ticket) {
   }
   EraseOne(target->backing_, ticket);
   ticket->funds_ = nullptr;
+  MarkCurrencyDirty(target);
   BumpEpoch();
 }
 
@@ -188,12 +266,13 @@ Funding CurrencyTable::CurrencyValue(const Currency* currency) const {
     // defined directly by TicketValue.
     return Funding::Zero();
   }
-  if (currency->value_epoch_ == epoch_) {
+  if (!currency->value_dirty_) {
     return currency->cached_value_;
   }
   const Funding value = CurrencyValueUncached(currency);
-  currency->value_epoch_ = epoch_;
   currency->cached_value_ = value;
+  currency->value_dirty_ = false;
+  currency_reprices_->Inc();
   return value;
 }
 
@@ -251,6 +330,10 @@ void CurrencyTable::ActivateTicket(Ticket* ticket) {
   }
   ticket->active_ = true;
   AddActiveAmount(ticket->denomination_, ticket->amount_);
+  // Propagation skips the base currency, so the ticket's own target needs
+  // an explicit mark (a base ticket flipping active changes its value from
+  // zero to face value even though the base itself never reprices).
+  MarkTicketDirty(ticket);
   BumpEpoch();
 }
 
@@ -260,6 +343,7 @@ void CurrencyTable::DeactivateTicket(Ticket* ticket) {
   }
   ticket->active_ = false;
   AddActiveAmount(ticket->denomination_, -ticket->amount_);
+  MarkTicketDirty(ticket);
   BumpEpoch();
 }
 
@@ -271,28 +355,44 @@ void CurrencyTable::AddActiveAmount(Currency* currency, int64_t delta) {
                            currency->name());
   }
   const bool now_active = currency->active_amount_ > 0;
-  if (was_active == now_active || currency->is_base()) {
-    return;
-  }
-  // Section 4.4: "if a ticket activation changes a currency's active amount
-  // from zero, the activation propagates to each of its backing tickets",
-  // and symmetrically for deactivation.
-  for (Ticket* b : currency->backing_) {
-    if (now_active) {
-      ActivateTicket(b);
-    } else {
-      DeactivateTicket(b);
+  if (was_active != now_active && !currency->is_base()) {
+    // Section 4.4: "if a ticket activation changes a currency's active
+    // amount from zero, the activation propagates to each of its backing
+    // tickets", and symmetrically for deactivation.
+    for (Ticket* b : currency->backing_) {
+      if (now_active) {
+        ActivateTicket(b);
+      } else {
+        DeactivateTicket(b);
+      }
     }
   }
+  // The denominator of every ticket issued in this currency changed, so
+  // everything those tickets feed must reprice. (No-op for the base: base
+  // tickets are worth face value independent of the base's active amount.)
+  PropagateDenominationChange(currency);
 }
 
 bool CurrencyTable::Reaches(const Currency* from, const Currency* to) const {
   if (from == to) {
     return true;
   }
-  for (const Ticket* t : from->backing_) {
-    if (Reaches(t->denomination_, to)) {
-      return true;
+  // Iterative DFS with a visited set: diamond-shaped graphs have
+  // exponentially many paths but only linearly many nodes.
+  std::unordered_set<const Currency*> visited;
+  std::vector<const Currency*> stack{from};
+  visited.insert(from);
+  while (!stack.empty()) {
+    const Currency* cur = stack.back();
+    stack.pop_back();
+    for (const Ticket* t : cur->backing_) {
+      const Currency* next = t->denomination_;
+      if (next == to) {
+        return true;
+      }
+      if (visited.insert(next).second) {
+        stack.push_back(next);
+      }
     }
   }
   return false;

@@ -14,6 +14,14 @@
 // currency, fund/unfund, compute values), enforces graph acyclicity, and
 // optionally enforces per-currency access control (Section 4.7 notes that a
 // complete system should protect currencies with ACLs).
+//
+// Value caching is incremental: each currency carries a dirty bit, and every
+// mutation walks *forward* from the touched node along issued-ticket edges,
+// marking only the currencies and clients whose value can actually change
+// (see DESIGN.md "Incremental pricing"). Registered ValueObservers hear
+// about every client whose value may have changed, which is how the
+// scheduler's tree backend and ListLottery's cached total stay in sync
+// without repricing the whole graph.
 
 #ifndef SRC_CORE_CURRENCY_H_
 #define SRC_CORE_CURRENCY_H_
@@ -28,6 +36,24 @@
 #include "src/core/ticket.h"
 
 namespace lottery {
+
+namespace obs {
+class Counter;
+class Registry;
+}  // namespace obs
+
+class Client;
+
+// Hook for components that cache values derived from client values (run
+// queues, schedulers). OnClientValueDirty fires for every client whose value
+// may have changed, possibly more than once per mutation — observers must
+// deduplicate and must not mutate the CurrencyTable reentrantly. Refreshing
+// the value (Client::Value) is deferred to the observer's convenience.
+class ValueObserver {
+ public:
+  virtual ~ValueObserver() = default;
+  virtual void OnClientValueDirty(Client* client) = 0;
+};
 
 class Currency {
  public:
@@ -65,15 +91,20 @@ class Currency {
   int64_t active_amount_ = 0;
   int64_t issued_amount_ = 0;
 
-  // Value memoization, keyed by the table's mutation epoch.
-  mutable uint64_t value_epoch_ = 0;
+  // Value memoization, invalidated by dirty propagation: the bit is set when
+  // a mutation can change this currency's value (CurrencyTable::
+  // MarkCurrencyDirty) and cleared when CurrencyValue recomputes.
+  mutable bool value_dirty_ = true;
   mutable Funding cached_value_{};
 };
 
 class CurrencyTable {
  public:
-  // Creates the table with its base currency (named "base").
-  CurrencyTable();
+  // Creates the table with its base currency (named "base"). `metrics`
+  // (nullptr selects obs::Registry::Default()) receives the invalidation
+  // counters: currency.dirty_marks / currency.reprices and
+  // client.dirty_marks / client.reprices.
+  explicit CurrencyTable(obs::Registry* metrics = nullptr);
   ~CurrencyTable();
   CurrencyTable(const CurrencyTable&) = delete;
   CurrencyTable& operator=(const CurrencyTable&) = delete;
@@ -136,9 +167,19 @@ class CurrencyTable {
   // with no active issued amount has rate 0.
   double ExchangeRate(const Currency* currency) const;
 
-  // Mutation epoch; bumps on any change that can affect values. Exposed so
-  // clients/lotteries can memoize their own derived values.
+  // Mutation epoch; bumps on any change that can affect values. Purely
+  // informational (tests and introspection); caching is driven by the
+  // per-node dirty bits, not by this counter.
   uint64_t epoch() const { return epoch_; }
+
+  // --- Change notification --------------------------------------------------
+
+  // Registers/unregisters an observer notified whenever a client's value may
+  // have changed. Observers must outlive neither the table nor the clients
+  // they are told about; RemoveObserver on an unregistered observer is a
+  // no-op.
+  void AddObserver(ValueObserver* observer);
+  void RemoveObserver(ValueObserver* observer);
 
   size_t num_currencies() const { return currencies_.size(); }
   size_t num_tickets() const { return tickets_.size(); }
@@ -171,8 +212,34 @@ class CurrencyTable {
 
   void BumpEpoch() { ++epoch_; }
 
+  // --- Dirty propagation (see DESIGN.md "Incremental pricing") -------------
+  //
+  // Invalidation walks forward along issued-ticket edges: a change inside
+  // currency C can only affect the values of currencies funded by tickets
+  // issued in C and of clients holding such tickets. Base-denominated
+  // tickets are worth their face value regardless of the base currency's
+  // active amount, so propagation never descends through the base — which
+  // is what keeps a block/unblock cascade O(depth) instead of O(graph).
+
+  // Marks `currency` dirty and propagates to everything its value feeds.
+  // Early-exits if already dirty: the downstream was marked when the bit was
+  // first set and cannot have revalidated without clearing this bit too.
+  void MarkCurrencyDirty(Currency* currency);
+  // Propagates a change of `denom`'s value or active amount to the
+  // currencies/clients funded by tickets issued in `denom`.
+  void PropagateDenominationChange(Currency* denom);
+  // Marks whatever `ticket` directly feeds (the currency it funds or the
+  // client holding it).
+  void MarkTicketDirty(Ticket* ticket);
+  // Invalidates a client's cached value and notifies observers. Called by
+  // propagation and by Client for its local mutations (hold/release,
+  // activation, compensation).
+  void MarkClientDirty(Client* client);
+  void NoteClientReprice() const;
+
   // True if `from` can reach `to` following backing edges (from's backing
-  // tickets' denominations, transitively).
+  // tickets' denominations, transitively). Iterative with a visited set so
+  // diamond-shaped graphs stay linear in edges, not exponential in depth.
   bool Reaches(const Currency* from, const Currency* to) const;
 
   Funding CurrencyValueUncached(const Currency* currency) const;
@@ -183,6 +250,14 @@ class CurrencyTable {
   std::string superuser_ = "root";
   uint64_t epoch_ = 1;
   uint64_t next_ticket_id_ = 1;
+  std::vector<ValueObserver*> observers_;
+
+  // Obs hooks (resolved once at construction; raw pointers into metrics_).
+  obs::Registry* metrics_;
+  obs::Counter* currency_dirty_marks_;
+  obs::Counter* currency_reprices_;
+  obs::Counter* client_dirty_marks_;
+  obs::Counter* client_reprices_;
 };
 
 }  // namespace lottery

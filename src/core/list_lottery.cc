@@ -5,67 +5,149 @@
 
 namespace lottery {
 
+ListLottery::~ListLottery() {
+  if (table_ != nullptr) {
+    table_->RemoveObserver(this);
+  }
+}
+
 void ListLottery::Add(Client* client) {
-  if (Contains(client)) {
+  if (members_.count(client) > 0) {
     throw std::invalid_argument("ListLottery::Add: duplicate client");
   }
-  clients_.push_back(client);
+  if (table_ == nullptr) {
+    table_ = client->table();
+    table_->AddObserver(this);
+  } else if (client->table() != table_) {
+    throw std::invalid_argument(
+        "ListLottery::Add: client belongs to a different CurrencyTable");
+  }
+  order_.push_back(client);
+  const Funding value = client->Value();
+  members_.emplace(client, Entry{order_.size() - 1, value, false});
+  total_ += value;
 }
 
 void ListLottery::Remove(Client* client) {
-  const auto it = std::find(clients_.begin(), clients_.end(), client);
-  if (it == clients_.end()) {
+  const auto it = members_.find(client);
+  if (it == members_.end()) {
     throw std::invalid_argument("ListLottery::Remove: unknown client");
   }
-  clients_.erase(it);
+  order_[it->second.index] = nullptr;
+  ++tombstones_;
+  total_ -= it->second.last;
+  // A pending dirty_members_ entry (if any) is skipped at refresh time.
+  members_.erase(it);
+  if (tombstones_ >= 8 && tombstones_ > members_.size()) {
+    Compact();
+  }
+}
+
+void ListLottery::Compact() {
+  size_t out = 0;
+  for (Client* c : order_) {
+    if (c != nullptr) {
+      members_[c].index = out;
+      order_[out++] = c;
+    }
+  }
+  order_.resize(out);
+  tombstones_ = 0;
 }
 
 bool ListLottery::Contains(const Client* client) const {
-  return std::find(clients_.begin(), clients_.end(), client) !=
-         clients_.end();
+  // The map is keyed by Client*; lookup does not mutate the client.
+  return members_.count(const_cast<Client*>(client)) > 0;
 }
 
 Funding ListLottery::Total() const {
-  Funding total = Funding::Zero();
-  for (const Client* c : clients_) {
-    total += c->Value();
+  for (Client* c : dirty_members_) {
+    const auto it = members_.find(c);
+    if (it == members_.end()) {
+      continue;  // removed (or removed and re-added as a clean entry)
+    }
+    Entry& entry = it->second;
+    if (!entry.dirty) {
+      continue;
+    }
+    entry.dirty = false;
+    const Funding value = c->Value();
+    total_ += value - entry.last;
+    entry.last = value;
   }
-  return total;
+  dirty_members_.clear();
+  return total_;
+}
+
+void ListLottery::OnClientValueDirty(Client* client) {
+  const auto it = members_.find(client);
+  if (it == members_.end() || it->second.dirty) {
+    return;
+  }
+  it->second.dirty = true;
+  dirty_members_.push_back(client);
 }
 
 Client* ListLottery::Draw(FastRand& rng) {
-  if (clients_.empty()) {
+  if (members_.empty()) {
     return nullptr;
   }
-  // First pass: total active funding. (The Mach prototype maintained this
-  // incrementally as the base currency's active amount; recomputing keeps
-  // the sum exactly consistent with the per-client values below.)
+  // The total is maintained incrementally from dirty notifications, and the
+  // per-client values below come from the same caches, so the draw interval
+  // partition stays exact.
   const Funding total = Total();
   if (total.IsZero()) {
     return nullptr;
   }
   const uint64_t winner_value = rng.NextBelow64(total.raw_unsigned());
 
-  // Second pass: accumulate until the winning value is covered (Figure 1).
+  // Accumulate until the winning value is covered (Figure 1).
   uint64_t sum = 0;
   ++num_draws_;
-  for (auto it = clients_.begin(); it != clients_.end(); ++it) {
+  for (size_t i = 0; i < order_.size(); ++i) {
+    Client* candidate = order_[i];
+    if (candidate == nullptr) {
+      continue;
+    }
     ++total_scanned_;
-    sum += (*it)->Value().raw_unsigned();
+    sum += candidate->Value().raw_unsigned();
     if (sum > winner_value) {
-      Client* winner = *it;
-      if (move_to_front_ && it != clients_.begin()) {
-        clients_.erase(it);
-        clients_.push_front(winner);
+      if (move_to_front_ && i > 0) {
+        // Identical semantics to list erase + push_front: the winner moves
+        // to the front, everything before it shifts back one slot.
+        std::rotate(order_.begin(),
+                    order_.begin() + static_cast<ptrdiff_t>(i),
+                    order_.begin() + static_cast<ptrdiff_t>(i) + 1);
+        for (size_t j = 0; j <= i; ++j) {
+          if (order_[j] != nullptr) {
+            members_[order_[j]].index = j;
+          }
+        }
       }
-      return winner;
+      return candidate;
     }
   }
   throw std::logic_error("ListLottery::Draw: ran past end of list");
 }
 
 std::vector<Client*> ListLottery::ClientsInOrder() const {
-  return std::vector<Client*>(clients_.begin(), clients_.end());
+  std::vector<Client*> out;
+  out.reserve(members_.size());
+  for (Client* c : order_) {
+    if (c != nullptr) {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+Client* ListLottery::Front() const {
+  for (Client* c : order_) {
+    if (c != nullptr) {
+      return c;
+    }
+  }
+  return nullptr;
 }
 
 }  // namespace lottery

@@ -5,32 +5,49 @@
 // then the client list is traversed accumulating each client's value in base
 // units until the running sum exceeds the winning value. Clients that win
 // often migrate to the front, shortening the average traversal.
+//
+// Storage is an index-mapped vector rather than a linked list: Draw walks a
+// contiguous Client* array (cache-friendly), Remove tombstones in O(1) and
+// compacts lazily, and move-to-front is std::rotate over the winner's prefix
+// — the resulting client order is identical to the paper's list semantics,
+// so fixed-seed draw sequences are unchanged.
+//
+// The total is cached and maintained by CurrencyTable dirty notifications
+// (the lottery registers itself as a ValueObserver of its members' table),
+// so a draw costs O(scan) instead of O(n + scan).
 
 #ifndef SRC_CORE_LIST_LOTTERY_H_
 #define SRC_CORE_LIST_LOTTERY_H_
 
 #include <cstdint>
-#include <list>
+#include <unordered_map>
 #include <vector>
 
 #include "src/core/client.h"
+#include "src/core/currency.h"
 #include "src/core/funding.h"
 #include "src/util/fastrand.h"
 
 namespace lottery {
 
-class ListLottery {
+class ListLottery final : public ValueObserver {
  public:
   explicit ListLottery(bool move_to_front = true)
       : move_to_front_(move_to_front) {}
+  ~ListLottery() override;
+  ListLottery(const ListLottery&) = delete;
+  ListLottery& operator=(const ListLottery&) = delete;
 
+  // Members must all belong to one CurrencyTable, and that table must
+  // outlive this lottery (the lottery observes it for value changes).
   void Add(Client* client);
   void Remove(Client* client);
   bool Contains(const Client* client) const;
-  size_t size() const { return clients_.size(); }
-  bool empty() const { return clients_.empty(); }
+  size_t size() const { return members_.size(); }
+  bool empty() const { return members_.empty(); }
 
-  // Sum of all member clients' current values.
+  // Sum of all member clients' current values. Cached: refreshed lazily
+  // from the members the table reported dirty since the last call.
   Funding Total() const;
 
   // Holds one lottery: picks a winner with probability proportional to its
@@ -41,16 +58,34 @@ class ListLottery {
   // Clients in current list order (front first); exposed for tests and for
   // deterministic zero-funding fallbacks.
   std::vector<Client*> ClientsInOrder() const;
-  Client* Front() const { return clients_.empty() ? nullptr : clients_.front(); }
+  Client* Front() const;
 
   // Instrumentation: cumulative clients examined by Draw traversals and the
   // number of draws, for reproducing the move-to-front search-length claim.
   uint64_t total_scanned() const { return total_scanned_; }
   uint64_t num_draws() const { return num_draws_; }
 
+  // ValueObserver: a member's value may have changed; fold it into the
+  // cached total at the next Total() call.
+  void OnClientValueDirty(Client* client) override;
+
  private:
+  struct Entry {
+    size_t index;        // position in order_ (order_[index] == client)
+    Funding last;        // value last folded into total_
+    bool dirty = false;  // queued in dirty_members_
+  };
+
+  void Compact();
+
   bool move_to_front_;
-  std::list<Client*> clients_;
+  CurrencyTable* table_ = nullptr;  // set on first Add
+  std::vector<Client*> order_;      // draw order; nullptr = tombstone
+  size_t tombstones_ = 0;
+  // Value-cache state is logically const: Total() refreshes it on demand.
+  mutable std::unordered_map<Client*, Entry> members_;
+  mutable std::vector<Client*> dirty_members_;
+  mutable Funding total_{};
   uint64_t total_scanned_ = 0;
   uint64_t num_draws_ = 0;
 };

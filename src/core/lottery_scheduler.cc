@@ -1,6 +1,6 @@
 #include "src/core/lottery_scheduler.h"
 
-#include <iterator>
+#include <chrono>
 #include <stdexcept>
 
 namespace lottery {
@@ -8,6 +8,7 @@ namespace lottery {
 LotteryScheduler::LotteryScheduler(Options options)
     : options_(options),
       rng_(options.seed),
+      table_(options.metrics),
       compensation_(options.compensation),
       run_queue_(options.move_to_front),
       metrics_(options.metrics != nullptr ? options.metrics
@@ -16,9 +17,25 @@ LotteryScheduler::LotteryScheduler(Options options)
       zero_fallbacks_(metrics_->counter("lottery.zero_fallbacks")),
       compensation_grants_(metrics_->counter("lottery.compensation_grants")),
       transfers_(metrics_->counter("lottery.transfers")),
-      draw_cost_(metrics_->histogram("lottery.draw_cost")) {}
+      leaf_updates_(metrics_->counter("tree.leaf_updates")),
+      full_syncs_(metrics_->counter("tree.full_syncs")),
+      draw_cost_(metrics_->histogram("lottery.draw_cost")),
+      sync_ns_(metrics_->histogram("lottery.sync_ns")),
+      tree_draw_ns_(metrics_->histogram("lottery.tree_draw_ns")) {
+  if (options_.backend == RunQueueBackend::kTree) {
+    // The list backend needs no scheduler-side tracking: run_queue_ itself
+    // observes the table for its cached total.
+    table_.AddObserver(this);
+  }
+}
 
-LotteryScheduler::~LotteryScheduler() = default;
+LotteryScheduler::~LotteryScheduler() {
+  table_.RemoveObserver(this);  // no-op under the list backend
+}
+
+void LotteryScheduler::OnClientValueDirty(Client* client) {
+  dirty_clients_.insert(client);
+}
 
 LotteryScheduler::ThreadState& LotteryScheduler::StateOf(ThreadId id) {
   const auto it = threads_.find(id);
@@ -34,14 +51,15 @@ void LotteryScheduler::AddThread(ThreadId id, SimTime /*now*/) {
     throw std::invalid_argument("LotteryScheduler::AddThread: duplicate id");
   }
   ThreadState state;
+  state.id = id;
   const std::string tag = "thread:" + std::to_string(id);
   state.currency = table_.CreateCurrency(tag);
   state.client = std::make_unique<Client>(&table_, tag);
   state.self_ticket =
       table_.CreateTicket(state.currency, options_.thread_ticket_amount);
   state.client->HoldTicket(state.self_ticket);
-  by_client_[state.client.get()] = id;
-  threads_.emplace(id, std::move(state));
+  ThreadState& stored = threads_.emplace(id, std::move(state)).first->second;
+  by_client_[stored.client.get()] = &stored;
 }
 
 void LotteryScheduler::RemoveThread(ThreadId id, SimTime /*now*/) {
@@ -51,13 +69,17 @@ void LotteryScheduler::RemoveThread(ThreadId id, SimTime /*now*/) {
       run_queue_.Remove(state.client.get());
     } else {
       tree_queue_.Remove(state.tree_slot);
-      tree_slot_owner_.erase(state.tree_slot);
+      tree_slot_owner_[state.tree_slot] = nullptr;
     }
   }
   state.client->SetActive(false);
   by_client_.erase(state.client.get());
   table_.DestroyTicket(state.self_ticket);
+  Client* dead = state.client.get();
   state.client.reset();
+  // After reset: the Client destructor releases any remaining tickets,
+  // which re-notifies observers and can re-insert the pointer.
+  dirty_clients_.erase(dead);
   // Destroys the thread currency and all tickets funding it. Outstanding
   // transfer tickets issued in this currency must have been released first
   // (DestroyCurrency throws otherwise).
@@ -74,7 +96,13 @@ void LotteryScheduler::OnReady(ThreadId id, SimTime /*now*/) {
     } else {
       state.tree_slot =
           tree_queue_.Add(state.client->Value().raw_unsigned());
-      tree_slot_owner_[state.tree_slot] = id;
+      if (state.tree_slot >= tree_slot_owner_.size()) {
+        tree_slot_owner_.resize(state.tree_slot + 1, nullptr);
+      }
+      tree_slot_owner_[state.tree_slot] = &state;
+      // The slot was seeded with the current value; any pending dirty mark
+      // (e.g. from the unblock activation above) is already folded in.
+      dirty_clients_.erase(state.client.get());
     }
     state.in_queue = true;
   }
@@ -87,7 +115,7 @@ void LotteryScheduler::OnBlocked(ThreadId id, SimTime /*now*/) {
       run_queue_.Remove(state.client.get());
     } else {
       tree_queue_.Remove(state.tree_slot);
-      tree_slot_owner_.erase(state.tree_slot);
+      tree_slot_owner_[state.tree_slot] = nullptr;
     }
     state.in_queue = false;
   }
@@ -95,44 +123,91 @@ void LotteryScheduler::OnBlocked(ThreadId id, SimTime /*now*/) {
 }
 
 void LotteryScheduler::SyncTreeWeights() {
-  if (tree_sync_epoch_ == table_.epoch()) {
+  if (dirty_clients_.empty()) {
     return;
   }
-  for (const auto& [slot, tid] : tree_slot_owner_) {
-    tree_queue_.SetWeight(slot, StateOf(tid).client->Value().raw_unsigned());
+  if (dirty_clients_.size() > tree_queue_.size()) {
+    // More dirty clients than queued slots: one bulk pass is cheaper than
+    // per-client lookups (and covers the first sync after mass arrivals).
+    full_syncs_->Inc();
+    for (ThreadState* state : tree_slot_owner_) {
+      if (state == nullptr) {
+        continue;
+      }
+      tree_queue_.SetWeight(state->tree_slot,
+                            state->client->Value().raw_unsigned());
+    }
+  } else {
+    for (Client* client : dirty_clients_) {
+      const auto it = by_client_.find(client);
+      if (it == by_client_.end()) {
+        continue;
+      }
+      ThreadState& state = *it->second;
+      if (!state.in_queue) {
+        continue;  // not competing; OnReady seeds a fresh weight later
+      }
+      tree_queue_.SetWeight(state.tree_slot, client->Value().raw_unsigned());
+      leaf_updates_->Inc();
+    }
   }
-  tree_sync_epoch_ = table_.epoch();
+  dirty_clients_.clear();
 }
 
 ThreadId LotteryScheduler::PickNextFromTree() {
-  if (tree_slot_owner_.empty()) {
+  if (tree_queue_.empty()) {
     return kInvalidThreadId;
   }
   ++num_lotteries_;
   draws_->Inc();
   draw_cost_->RecordSampled(tree_queue_.draw_depth());
+  // Sample the wall-clock sync/draw split on the histogram cadence; the
+  // clock reads would otherwise dominate a tree dispatch.
+  const bool timed = obs::kObsEnabled && (timing_tick_++ % 16 == 0);
+  std::chrono::steady_clock::time_point t0;
+  if (timed) {
+    t0 = std::chrono::steady_clock::now();
+  }
   SyncTreeWeights();
-  ThreadId winner_id;
+  std::chrono::steady_clock::time_point t1;
+  if (timed) {
+    t1 = std::chrono::steady_clock::now();
+    sync_ns_->Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count()));
+  }
+  ThreadState* winner = nullptr;
   const auto drawn = tree_queue_.Draw(rng_);
   if (drawn.has_value()) {
-    winner_id = tree_slot_owner_.at(*drawn);
+    winner = tree_slot_owner_[*drawn];
   } else {
     // All ready clients have zero funding; pick arbitrarily so no one
     // starves (uniform over the zero-funded set across draws).
-    const size_t index = static_cast<size_t>(rng_.NextBelow(
-        static_cast<uint32_t>(tree_slot_owner_.size())));
-    auto it = tree_slot_owner_.begin();
-    std::advance(it, static_cast<ptrdiff_t>(index));
-    winner_id = it->second;
+    size_t index = static_cast<size_t>(rng_.NextBelow(
+        static_cast<uint32_t>(tree_queue_.size())));
+    for (ThreadState* state : tree_slot_owner_) {
+      if (state == nullptr) {
+        continue;
+      }
+      if (index-- == 0) {
+        winner = state;
+        break;
+      }
+    }
     ++num_zero_fallbacks_;
     zero_fallbacks_->Inc();
   }
-  ThreadState& state = StateOf(winner_id);
-  tree_queue_.Remove(state.tree_slot);
-  tree_slot_owner_.erase(state.tree_slot);
-  state.in_queue = false;
-  compensation_.OnQuantumStart(state.client.get());
-  return winner_id;
+  tree_queue_.Remove(winner->tree_slot);
+  tree_slot_owner_[winner->tree_slot] = nullptr;
+  winner->in_queue = false;
+  compensation_.OnQuantumStart(winner->client.get());
+  if (timed) {
+    const auto t2 = std::chrono::steady_clock::now();
+    tree_draw_ns_->Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t2 - t1)
+            .count()));
+  }
+  return winner->id;
 }
 
 ThreadId LotteryScheduler::PickNext(SimTime /*now*/) {
@@ -160,12 +235,12 @@ ThreadId LotteryScheduler::PickNext(SimTime /*now*/) {
   if (it == by_client_.end()) {
     throw std::logic_error("LotteryScheduler::PickNext: orphan client");
   }
-  ThreadState& state = StateOf(it->second);
+  ThreadState& state = *it->second;
   state.in_queue = false;
   // The thread starts its next quantum: any compensation ticket expires
   // (Section 4.5). Its tickets stay active while it runs.
   compensation_.OnQuantumStart(winner);
-  return it->second;
+  return state.id;
 }
 
 void LotteryScheduler::OnQuantumEnd(ThreadId id, SimDuration used,

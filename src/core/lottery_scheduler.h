@@ -17,6 +17,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/core/client.h"
@@ -35,7 +36,7 @@ namespace lottery {
 // of partial ticket sums", O(lg n) per draw once client values are synced.
 enum class RunQueueBackend { kList, kTree };
 
-class LotteryScheduler : public Scheduler {
+class LotteryScheduler : public Scheduler, private ValueObserver {
  public:
   struct Options {
     uint32_t seed = 12345;
@@ -99,6 +100,7 @@ class LotteryScheduler : public Scheduler {
 
  private:
   struct ThreadState {
+    ThreadId id = kInvalidThreadId;
     std::unique_ptr<Client> client;
     Currency* currency = nullptr;
     Ticket* self_ticket = nullptr;
@@ -107,10 +109,16 @@ class LotteryScheduler : public Scheduler {
   };
 
   ThreadState& StateOf(ThreadId id);
-  // Tree backend: re-push client values into the Fenwick weights if any
-  // currency mutation happened since the last sync.
+  // Tree backend: re-push into the Fenwick weights the values of exactly
+  // the clients the currency table reported dirty since the last sync —
+  // O(dirty · lg n) instead of O(n · lg n) per dispatch. Falls back to one
+  // full resync (tree.full_syncs) when more clients are dirty than queued.
   void SyncTreeWeights();
   ThreadId PickNextFromTree();
+
+  // ValueObserver (registered with table_ under the tree backend only; the
+  // list backend's run_queue_ observes the table itself).
+  void OnClientValueDirty(Client* client) override;
 
   Options options_;
   FastRand rng_;
@@ -118,12 +126,18 @@ class LotteryScheduler : public Scheduler {
   CompensationPolicy compensation_;
   ListLottery run_queue_;
   TreeLottery tree_queue_;
-  std::unordered_map<size_t, ThreadId> tree_slot_owner_;
-  uint64_t tree_sync_epoch_ = 0;
+  // Slot -> owning thread state, nullptr for free slots. Slots are small
+  // dense indices recycled by TreeLottery, and unordered_map nodes give
+  // ThreadState a stable address, so a flat vector of pointers makes winner
+  // resolution a single indexed load (a hash map here shows up at 10k
+  // clients in bench_draw_overhead's churn rig).
+  std::vector<ThreadState*> tree_slot_owner_;
+  std::unordered_set<Client*> dirty_clients_;
   std::unordered_map<ThreadId, ThreadState> threads_;
-  std::unordered_map<const Client*, ThreadId> by_client_;
+  std::unordered_map<const Client*, ThreadState*> by_client_;
   uint64_t num_lotteries_ = 0;
   uint64_t num_zero_fallbacks_ = 0;
+  uint64_t timing_tick_ = 0;
 
   // Obs hooks (resolved once; raw pointers into metrics_).
   obs::Registry* metrics_;
@@ -131,7 +145,13 @@ class LotteryScheduler : public Scheduler {
   obs::Counter* zero_fallbacks_;
   obs::Counter* compensation_grants_;
   obs::Counter* transfers_;
+  obs::Counter* leaf_updates_;
+  obs::Counter* full_syncs_;
   obs::LatencyHistogram* draw_cost_;
+  // Wall-clock split of a tree dispatch: weight sync vs the draw itself
+  // (sampled 1-in-16 dispatches; see bench_smp / bench_draw_overhead).
+  obs::LatencyHistogram* sync_ns_;
+  obs::LatencyHistogram* tree_draw_ns_;
 };
 
 }  // namespace lottery

@@ -120,6 +120,35 @@ TEST(CurrencyTable, AllowsDiamondGraph) {
   SUCCEED();
 }
 
+TEST(CurrencyTable, CycleCheckSurvivesDeepDiamondGraph) {
+  // A 32-layer ladder of 2 currencies per layer, each funded by tickets
+  // from both currencies of the layer below, has 2^32 root-to-base paths.
+  // The Reaches visited set makes the Fund cycle check linear in edges, so
+  // this test finishes instantly instead of effectively hanging.
+  CurrencyTable table;
+  Currency* prev[2] = {table.CreateCurrency("l0a"), table.CreateCurrency("l0b")};
+  table.Fund(prev[0], table.CreateTicket(table.base(), 10));
+  table.Fund(prev[1], table.CreateTicket(table.base(), 10));
+  for (int layer = 1; layer < 32; ++layer) {
+    Currency* cur[2] = {
+        table.CreateCurrency("l" + std::to_string(layer) + "a"),
+        table.CreateCurrency("l" + std::to_string(layer) + "b")};
+    for (Currency* c : cur) {
+      table.Fund(c, table.CreateTicket(prev[0], 5));
+      table.Fund(c, table.CreateTicket(prev[1], 5));
+    }
+    prev[0] = cur[0];
+    prev[1] = cur[1];
+  }
+  // Legal edge into the top layer is accepted...
+  Currency* top = table.CreateCurrency("top");
+  table.Fund(top, table.CreateTicket(prev[0], 1));
+  // ...and a back edge from the bottom to the top is still rejected.
+  Currency* bottom = table.FindCurrency("l0a");
+  Ticket* back = table.CreateTicket(top, 1);
+  EXPECT_THROW(table.Fund(bottom, back), std::invalid_argument);
+}
+
 TEST(CurrencyTable, DestroyCurrencyRequiresNoIssuedTickets) {
   CurrencyTable table;
   Currency* a = table.CreateCurrency("a");

@@ -199,6 +199,113 @@ TEST_F(ListLotteryTest, DynamicMembershipStaysFair) {
   EXPECT_NEAR(static_cast<double>(c_wins) / kDraws, 0.5, 0.02);
 }
 
+TEST_F(ListLotteryTest, CachedTotalTracksValueChanges) {
+  ListLottery lot;
+  Client* a = MakeClient("a", 10);
+  Client* b = MakeClient("b", 30);
+  lot.Add(a);
+  lot.Add(b);
+  EXPECT_EQ(lot.Total().base_units(), 40);
+  // Inflation, deactivation, compensation, and removal must all be folded
+  // into the cached total via the observer notifications.
+  table_.SetAmount(a->tickets()[0], 25);
+  EXPECT_EQ(lot.Total().base_units(), 55);
+  b->SetActive(false);
+  EXPECT_EQ(lot.Total().base_units(), 25);
+  b->SetActive(true);
+  EXPECT_EQ(lot.Total().base_units(), 55);
+  a->SetCompensation(2, 1);
+  EXPECT_EQ(lot.Total().base_units(), 80);
+  a->ClearCompensation();
+  lot.Remove(b);
+  EXPECT_EQ(lot.Total().base_units(), 25);
+  lot.Add(b);
+  EXPECT_EQ(lot.Total().base_units(), 55);
+}
+
+TEST_F(ListLotteryTest, CachedTotalSeesMutationsWhileMemberIsInactive) {
+  // A member whose funding changes *while it is worth zero* must surface
+  // the new value as soon as it reactivates.
+  ListLottery lot;
+  Client* a = MakeClient("a", 10);
+  lot.Add(a);
+  a->SetActive(false);
+  EXPECT_EQ(lot.Total().base_units(), 0);
+  table_.SetAmount(a->tickets()[0], 70);
+  a->SetActive(true);
+  EXPECT_EQ(lot.Total().base_units(), 70);
+}
+
+TEST_F(ListLotteryTest, CachedTotalExactAcrossCurrencyGraph) {
+  // Fixed-point currency-graph values (not just whole base units) must sum
+  // exactly: 1000 base split 3 ways leaves no rounding drift in the total.
+  ListLottery lot;
+  Currency* shared = table_.CreateCurrency("shared");
+  table_.Fund(shared, table_.CreateTicket(table_.base(), 1000));
+  std::vector<Client*> cs;
+  for (int i = 0; i < 3; ++i) {
+    clients_.push_back(
+        std::make_unique<Client>(&table_, "g" + std::to_string(i)));
+    Client* c = clients_.back().get();
+    c->HoldTicket(table_.CreateTicket(shared, 1));
+    c->SetActive(true);
+    lot.Add(c);
+    cs.push_back(c);
+  }
+  Funding manual = Funding::Zero();
+  for (Client* c : cs) {
+    manual += c->Value();
+  }
+  EXPECT_EQ(lot.Total().raw(), manual.raw());
+  table_.SetAmount(cs[1]->tickets()[0], 5);
+  manual = Funding::Zero();
+  for (Client* c : cs) {
+    manual += c->Value();
+  }
+  EXPECT_EQ(lot.Total().raw(), manual.raw());
+}
+
+TEST_F(ListLotteryTest, RejectsClientsFromAnotherTable) {
+  ListLottery lot;
+  lot.Add(MakeClient("a", 1));
+  CurrencyTable other;
+  Client foreign(&other, "foreign");
+  EXPECT_THROW(lot.Add(&foreign), std::invalid_argument);
+}
+
+TEST_F(ListLotteryTest, HeavyChurnCompactsTombstones) {
+  // Add/remove churn far past the live count: draws stay correct and the
+  // order semantics match the paper's list (spot-checked via Front()).
+  ListLottery lot;
+  std::vector<Client*> cs;
+  for (int i = 0; i < 64; ++i) {
+    cs.push_back(MakeClient("c" + std::to_string(i), 1 + (i % 5)));
+  }
+  FastRand rng(123);
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 64; ++i) {
+      lot.Add(cs[static_cast<size_t>(i)]);
+    }
+    for (int i = 0; i < 60; ++i) {
+      lot.Remove(cs[static_cast<size_t>(i)]);
+    }
+    Funding manual = Funding::Zero();
+    for (int i = 60; i < 64; ++i) {
+      manual += cs[static_cast<size_t>(i)]->Value();
+    }
+    ASSERT_EQ(lot.Total().raw(), manual.raw());
+    Client* w = lot.Draw(rng);
+    ASSERT_NE(w, nullptr);
+    ASSERT_TRUE(lot.Contains(w));
+    ASSERT_EQ(lot.ClientsInOrder().front(), w);  // move-to-front applied
+    for (int i = 60; i < 64; ++i) {
+      lot.Remove(cs[static_cast<size_t>(i)]);
+    }
+    ASSERT_TRUE(lot.empty());
+    ASSERT_TRUE(lot.Total().IsZero());
+  }
+}
+
 // --- TreeLottery ------------------------------------------------------------
 
 TEST(TreeLottery, EmptyDrawsNullopt) {
