@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""clang-tidy over compile_commands.json, with a content-hash cache.
+
+CI calls this from the static-analysis job. A full clang-tidy pass over the
+tree costs minutes; almost all of it is re-analyzing files that did not
+change. Each translation unit is keyed by a hash of (clang-tidy version,
+.clang-tidy config, compile command, source text, every repo header it can
+include); a cache hit skips the invocation entirely. The cache directory is
+persisted across CI runs with actions/cache, so a typical PR re-analyzes
+only the files it touches.
+
+Usage:
+  run_clang_tidy_cached.py --build-dir BUILD [--cache-dir DIR] [--jobs N]
+
+Exits non-zero if any analyzed file produced diagnostics (WarningsAsErrors
+is '*' in .clang-tidy, so warnings fail too).
+"""
+
+import argparse
+import concurrent.futures
+import hashlib
+import json
+import os
+import re
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# Only analyze first-party code; gtest/benchmark system headers are not ours.
+SOURCE_RE = re.compile(r"^(src|tools|tests|bench)/.*\.(cc|cpp)$")
+
+
+def file_digest(path):
+    h = hashlib.sha256()
+    try:
+        with open(path, "rb") as f:
+            h.update(f.read())
+    except OSError:
+        h.update(b"<unreadable>")
+    return h.hexdigest()
+
+
+def repo_header_digest():
+    """One digest over every repo header: any header edit invalidates all
+    TUs. Coarser than per-TU include tracking but safe, simple, and still
+    a full cache hit on the common touch-nothing rebuild."""
+    h = hashlib.sha256()
+    for top in ("src", "tools", "tests", "bench"):
+        for root, dirs, files in os.walk(os.path.join(REPO_ROOT, top)):
+            dirs.sort()
+            for name in sorted(files):
+                if name.endswith((".h", ".hpp")):
+                    path = os.path.join(root, name)
+                    rel = os.path.relpath(path, REPO_ROOT)
+                    h.update(rel.encode())
+                    h.update(file_digest(path).encode())
+    return h.hexdigest()
+
+
+def tidy_version(tidy):
+    try:
+        return subprocess.run([tidy, "--version"], capture_output=True,
+                              text=True, check=True).stdout
+    except (OSError, subprocess.CalledProcessError):
+        return None
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--build-dir", required=True)
+    ap.add_argument("--cache-dir",
+                    default=os.path.join(REPO_ROOT, ".tidy-cache"))
+    ap.add_argument("--jobs", type=int, default=os.cpu_count() or 2)
+    ap.add_argument("--clang-tidy", default="clang-tidy")
+    args = ap.parse_args()
+
+    version = tidy_version(args.clang_tidy)
+    if version is None:
+        print(f"error: {args.clang_tidy} not found or not runnable",
+              file=sys.stderr)
+        return 2
+
+    cc_path = os.path.join(args.build_dir, "compile_commands.json")
+    with open(cc_path) as f:
+        commands = json.load(f)
+
+    os.makedirs(args.cache_dir, exist_ok=True)
+    base = hashlib.sha256()
+    base.update(version.encode())
+    base.update(file_digest(os.path.join(REPO_ROOT, ".clang-tidy")).encode())
+    base.update(repo_header_digest().encode())
+    base_digest = base.hexdigest()
+
+    entries = []
+    for entry in commands:
+        rel = os.path.relpath(os.path.abspath(
+            os.path.join(entry["directory"], entry["file"])), REPO_ROOT)
+        if SOURCE_RE.match(rel.replace(os.sep, "/")):
+            entries.append((rel, entry))
+
+    def analyze(item):
+        rel, entry = item
+        key = hashlib.sha256()
+        key.update(base_digest.encode())
+        key.update(entry.get("command", " ".join(
+            entry.get("arguments", []))).encode())
+        key.update(file_digest(os.path.join(REPO_ROOT, rel)).encode())
+        stamp = os.path.join(args.cache_dir, key.hexdigest())
+        if os.path.exists(stamp):
+            return rel, True, ""
+        proc = subprocess.run(
+            [args.clang_tidy, "-p", args.build_dir, "--quiet", rel],
+            capture_output=True, text=True, cwd=REPO_ROOT)
+        if proc.returncode == 0:
+            with open(stamp, "w") as f:
+                f.write("ok\n")
+            return rel, False, ""
+        return rel, False, proc.stdout + proc.stderr
+
+    failures = []
+    hits = 0
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        for rel, cached, output in pool.map(analyze, entries):
+            if cached:
+                hits += 1
+            elif output:
+                failures.append((rel, output))
+
+    print(f"clang-tidy: {len(entries)} TUs, {hits} cache hits, "
+          f"{len(failures)} with diagnostics")
+    for rel, output in failures:
+        print(f"\n=== {rel} ===\n{output}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

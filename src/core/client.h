@@ -56,7 +56,8 @@ class Client {
   void SetCompensation(int64_t num, int64_t den);
   void ClearCompensation();
   bool has_compensation() const { return comp_num_ != comp_den_; }
-  double compensation_factor() const {
+  // Reporting only; value arithmetic uses the exact num/den terms.
+  double compensation_factor() const {  // lotlint: float-ok
     return static_cast<double>(comp_num_) / static_cast<double>(comp_den_);
   }
   // Exact factor terms, for ground-truth value recomputation in tests.

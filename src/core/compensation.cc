@@ -1,5 +1,7 @@
 #include "src/core/compensation.h"
 
+#include "src/util/invariant.h"
+
 namespace lottery {
 
 bool CompensationPolicy::OnQuantumEnd(Client* client, SimDuration used,
@@ -24,6 +26,11 @@ bool CompensationPolicy::OnQuantumEnd(Client* client, SimDuration used,
     num = options_.max_factor;
     den = 1;
   }
+  // Section 4.5's bound: the multiplier is q/f, at least 1 (the quantum was
+  // under-consumed) and never beyond the configured cap.
+  LOT_ASSERT(num >= den && num <= den * options_.max_factor,
+             "compensation grant outside [1, max_factor] for " +
+                 client->name());
   client->SetCompensation(num, den);
   return true;
 }

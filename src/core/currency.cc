@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "src/core/client.h"
+#include "src/core/invariants.h"
 #include "src/obs/registry.h"
 
 namespace lottery {
@@ -120,6 +121,7 @@ Currency* CurrencyTable::CreateCurrency(const std::string& name,
   currencies_.push_back(
       std::unique_ptr<Currency>(new Currency(name, /*is_base=*/false, owner)));
   BumpEpoch();
+  LOT_DCHECK_TABLE(*this);
   return currencies_.back().get();
 }
 
@@ -154,6 +156,7 @@ void CurrencyTable::DestroyCurrency(Currency* currency) {
   }
   currencies_.erase(it);
   BumpEpoch();
+  LOT_DCHECK_TABLE(*this);
 }
 
 Ticket* CurrencyTable::CreateTicket(Currency* denomination, int64_t amount,
@@ -173,6 +176,7 @@ Ticket* CurrencyTable::CreateTicket(Currency* denomination, int64_t amount,
   denomination->issued_.push_back(ticket);
   denomination->issued_amount_ += amount;
   BumpEpoch();
+  LOT_DCHECK_TABLE(*this);
   return ticket;
 }
 
@@ -198,6 +202,7 @@ void CurrencyTable::DestroyTicket(Ticket* ticket) {
   }
   tickets_.erase(it);
   BumpEpoch();
+  LOT_DCHECK_TABLE(*this);
 }
 
 void CurrencyTable::SetAmount(Ticket* ticket, int64_t amount) {
@@ -220,6 +225,7 @@ void CurrencyTable::SetAmount(Ticket* ticket, int64_t amount) {
     MarkTicketDirty(ticket);
   }
   BumpEpoch();
+  LOT_DCHECK_TABLE(*this);
 }
 
 void CurrencyTable::Fund(Currency* target, Ticket* ticket) {
@@ -244,6 +250,7 @@ void CurrencyTable::Fund(Currency* target, Ticket* ticket) {
   }
   MarkCurrencyDirty(target);
   BumpEpoch();
+  LOT_DCHECK_TABLE(*this);
 }
 
 void CurrencyTable::Unfund(Ticket* ticket) {
@@ -258,6 +265,7 @@ void CurrencyTable::Unfund(Ticket* ticket) {
   ticket->funds_ = nullptr;
   MarkCurrencyDirty(target);
   BumpEpoch();
+  LOT_DCHECK_TABLE(*this);
 }
 
 Funding CurrencyTable::CurrencyValue(const Currency* currency) const {
@@ -313,6 +321,7 @@ Funding CurrencyTable::PotentialTicketValue(const Ticket* ticket) const {
   return CurrencyValue(denom).ScaleBy(ticket->amount_, active);
 }
 
+// lotlint: float-ok (introspection only; result never feeds ticket state)
 double CurrencyTable::ExchangeRate(const Currency* currency) const {
   if (currency->is_base()) {
     return 1.0;
@@ -320,7 +329,7 @@ double CurrencyTable::ExchangeRate(const Currency* currency) const {
   if (currency->active_amount() <= 0) {
     return 0.0;
   }
-  return CurrencyValue(currency).ToBaseF() /
+  return CurrencyValue(currency).ToBaseF() /  // lotlint: float-ok
          static_cast<double>(currency->active_amount());
 }
 

@@ -77,6 +77,9 @@ class Currency {
 
  private:
   friend class CurrencyTable;
+  // Corrupts private state to prove the invariant checks catch it
+  // (tests/invariant_test.cc); never used outside death tests.
+  friend class InvariantTestPeer;
 
   Currency(std::string name, bool is_base, std::string owner)
       : name_(std::move(name)), is_base_(is_base), owner_(std::move(owner)) {}
@@ -165,7 +168,7 @@ class CurrencyTable {
   // maintaining an exchange rate between each local currency and a base
   // currency"). The base currency's rate is 1 by definition; a currency
   // with no active issued amount has rate 0.
-  double ExchangeRate(const Currency* currency) const;
+  double ExchangeRate(const Currency* currency) const;  // lotlint: float-ok
 
   // Mutation epoch; bumps on any change that can affect values. Purely
   // informational (tests and introspection); caching is driven by the

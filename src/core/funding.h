@@ -36,7 +36,8 @@ class Funding {
   }
   // Base units, truncated.
   constexpr int64_t base_units() const { return raw_ >> kFractionalBits; }
-  constexpr double ToBaseF() const {
+  // Display/reporting only; never fed back into fixed-point state.
+  constexpr double ToBaseF() const {  // lotlint: float-ok
     return static_cast<double>(raw_) / static_cast<double>(kOne);
   }
 

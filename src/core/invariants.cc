@@ -1,0 +1,141 @@
+#include "src/core/invariants.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/client.h"
+#include "src/core/currency.h"
+#include "src/core/ticket.h"
+
+namespace lottery {
+namespace invariants {
+
+void CheckTicketConservation(const CurrencyTable& table) {
+  for (const Currency* c : table.Currencies()) {
+    int64_t issued_sum = 0;
+    int64_t active_sum = 0;
+    for (const Ticket* t : c->issued()) {
+      LOT_ASSERT(t->amount() > 0,
+                 "ticket conservation: non-positive ticket amount in " +
+                     c->name());
+      LOT_ASSERT(t->denomination() == c,
+                 "ticket conservation: ticket issued-list/denomination "
+                 "mismatch in " +
+                     c->name());
+      issued_sum += t->amount();
+      if (t->active()) {
+        active_sum += t->amount();
+      }
+    }
+    LOT_ASSERT(c->issued_amount() == issued_sum,
+               "ticket conservation: issued_amount " +
+                   std::to_string(c->issued_amount()) + " != sum " +
+                   std::to_string(issued_sum) + " in " + c->name());
+    LOT_ASSERT(c->active_amount() == active_sum,
+               "ticket conservation: active_amount " +
+                   std::to_string(c->active_amount()) + " != sum " +
+                   std::to_string(active_sum) + " in " + c->name());
+    for (const Ticket* t : c->backing()) {
+      LOT_ASSERT(t->funds() == c,
+                 "ticket conservation: backing-list/funds mismatch in " +
+                     c->name());
+      LOT_ASSERT(t->active() == (c->active_amount() > 0),
+                 "ticket conservation: backing ticket activation out of "
+                 "sync with funded currency " +
+                     c->name());
+    }
+  }
+  for (const Ticket* t : table.Tickets()) {
+    LOT_ASSERT(!(t->funds() != nullptr && t->holder() != nullptr),
+               "ticket conservation: ticket both backs a currency and is "
+               "held by a client");
+    LOT_ASSERT(!t->active() ||
+                   (t->funds() != nullptr || t->holder() != nullptr),
+               "ticket conservation: unattached ticket is active");
+    if (t->holder() != nullptr) {
+      LOT_ASSERT(t->active() == t->holder()->active(),
+                 "ticket conservation: held ticket activation out of sync "
+                 "with holder " +
+                     t->holder()->name());
+    }
+  }
+}
+
+namespace {
+
+enum class Color : uint8_t { kWhite, kGrey, kBlack };
+
+// DFS along backing edges; a grey->grey edge is a cycle.
+void VisitAcyclic(const Currency* c,
+                  std::vector<std::pair<const Currency*, Color>>* colors) {
+  Color* mine = nullptr;
+  for (auto& [cur, color] : *colors) {
+    if (cur == c) {
+      mine = &color;
+      break;
+    }
+  }
+  LOT_ASSERT(mine != nullptr, "acyclicity: currency missing from table");
+  if (*mine == Color::kBlack) {
+    return;
+  }
+  LOT_ASSERT(*mine != Color::kGrey,
+             "acyclicity: currency graph cycle through " + c->name());
+  *mine = Color::kGrey;
+  for (const Ticket* t : c->backing()) {
+    VisitAcyclic(t->denomination(), colors);
+  }
+  // Re-find: the vector is stable (no growth during the walk), but keep the
+  // lookup honest rather than caching a pointer across recursion.
+  for (auto& [cur, color] : *colors) {
+    if (cur == c) {
+      color = Color::kBlack;
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+void CheckAcyclicity(const CurrencyTable& table) {
+  const std::vector<Currency*> all = table.Currencies();
+  std::vector<std::pair<const Currency*, Color>> colors;
+  colors.reserve(all.size());
+  for (const Currency* c : all) {
+    colors.emplace_back(c, Color::kWhite);
+  }
+  for (const Currency* c : all) {
+    VisitAcyclic(c, &colors);
+  }
+}
+
+void CheckCompensationBound(const Client& client, int64_t max_factor) {
+  const int64_t num = client.compensation_num();
+  const int64_t den = client.compensation_den();
+  LOT_ASSERT(den > 0, "compensation: non-positive denominator for " +
+                          client.name());
+  LOT_ASSERT(num >= den,
+             "compensation: deflationary factor (< 1) for " + client.name());
+  LOT_ASSERT(num <= den * max_factor,
+             "compensation: factor exceeds q/f cap " +
+                 std::to_string(max_factor) + " for " + client.name());
+}
+
+void CheckTable(const CurrencyTable& table) {
+  CheckTicketConservation(table);
+  CheckAcyclicity(table);
+}
+
+void CheckTableSampled(const CurrencyTable& table) {
+  // Deterministic sampling: small tables (the unit/fig regime) are swept on
+  // every mutation; big fuzz tables 1-in-64 so debug runs stay subquadratic.
+  static uint64_t tick = 0;
+  ++tick;
+  if (table.num_tickets() <= 128 || tick % 64 == 0) {
+    CheckTable(table);
+  }
+}
+
+}  // namespace invariants
+}  // namespace lottery

@@ -1,3 +1,6 @@
+// lotlint: file float-ok — loss probabilities are inherently real-valued;
+// the draw itself (DrawInverse) is integer-exact over complementary weights.
+
 #include "src/core/inverse_lottery.h"
 
 #include <numeric>

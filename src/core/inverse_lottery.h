@@ -10,6 +10,9 @@
 // implemented with a single uniform draw over the complementary weights
 // (T - t_i), whose sum is exactly (n - 1) * T.
 
+// lotlint: file float-ok — loss probabilities are inherently real-valued;
+// the draw itself (DrawInverse) is integer-exact over complementary weights.
+
 #ifndef SRC_CORE_INVERSE_LOTTERY_H_
 #define SRC_CORE_INVERSE_LOTTERY_H_
 

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "src/core/invariants.h"
+
 namespace lottery {
 
 LotteryScheduler::LotteryScheduler(Options options)
@@ -60,6 +62,7 @@ void LotteryScheduler::AddThread(ThreadId id, SimTime /*now*/) {
   state.client->HoldTicket(state.self_ticket);
   ThreadState& stored = threads_.emplace(id, std::move(state)).first->second;
   by_client_[stored.client.get()] = &stored;
+  LOT_DCHECK_TABLE(table_);
 }
 
 void LotteryScheduler::RemoveThread(ThreadId id, SimTime /*now*/) {
@@ -85,6 +88,7 @@ void LotteryScheduler::RemoveThread(ThreadId id, SimTime /*now*/) {
   // (DestroyCurrency throws otherwise).
   table_.DestroyCurrency(state.currency);
   threads_.erase(id);
+  LOT_DCHECK_TABLE(table_);
 }
 
 void LotteryScheduler::OnReady(ThreadId id, SimTime /*now*/) {
@@ -106,6 +110,8 @@ void LotteryScheduler::OnReady(ThreadId id, SimTime /*now*/) {
     }
     state.in_queue = true;
   }
+  LOT_ASSERT(state.in_queue && state.client->active(),
+             "OnReady left thread " + std::to_string(id) + " not competing");
 }
 
 void LotteryScheduler::OnBlocked(ThreadId id, SimTime /*now*/) {
@@ -120,6 +126,8 @@ void LotteryScheduler::OnBlocked(ThreadId id, SimTime /*now*/) {
     state.in_queue = false;
   }
   state.client->SetActive(false);
+  LOT_ASSERT(!state.in_queue && !state.client->active(),
+             "OnBlocked left thread " + std::to_string(id) + " competing");
 }
 
 void LotteryScheduler::SyncTreeWeights() {
@@ -138,6 +146,7 @@ void LotteryScheduler::SyncTreeWeights() {
                             state->client->Value().raw_unsigned());
     }
   } else {
+    // lotlint: ordered-ok (order-independent fold: one SetWeight per client)
     for (Client* client : dirty_clients_) {
       const auto it = by_client_.find(client);
       if (it == by_client_.end()) {
@@ -164,14 +173,28 @@ ThreadId LotteryScheduler::PickNextFromTree() {
   // Sample the wall-clock sync/draw split on the histogram cadence; the
   // clock reads would otherwise dominate a tree dispatch.
   const bool timed = obs::kObsEnabled && (timing_tick_++ % 16 == 0);
-  std::chrono::steady_clock::time_point t0;
+  std::chrono::steady_clock::time_point t0;  // lotlint: wallclock-ok
   if (timed) {
-    t0 = std::chrono::steady_clock::now();
+    t0 = std::chrono::steady_clock::now();  // lotlint: wallclock-ok
   }
   SyncTreeWeights();
-  std::chrono::steady_clock::time_point t1;
+#if LOT_INVARIANTS_ENABLED
+  // Sampled O(n) sweep: the Fenwick total must equal the sum of the live
+  // slots' weights, or incremental SetWeight updates have drifted.
+  if (timing_tick_ % 64 == 1) {
+    uint64_t weight_sum = 0;
+    for (ThreadState* s : tree_slot_owner_) {
+      if (s != nullptr) {
+        weight_sum += tree_queue_.Weight(s->tree_slot);
+      }
+    }
+    LOT_ASSERT(weight_sum == tree_queue_.total(),
+               "tree lottery: partial sums out of sync with slot weights");
+  }
+#endif
+  std::chrono::steady_clock::time_point t1;  // lotlint: wallclock-ok
   if (timed) {
-    t1 = std::chrono::steady_clock::now();
+    t1 = std::chrono::steady_clock::now();  // lotlint: wallclock-ok
     sync_ns_->Record(static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
             .count()));
@@ -197,12 +220,13 @@ ThreadId LotteryScheduler::PickNextFromTree() {
     ++num_zero_fallbacks_;
     zero_fallbacks_->Inc();
   }
+  LOT_ASSERT(winner != nullptr, "tree draw returned no winner");
   tree_queue_.Remove(winner->tree_slot);
   tree_slot_owner_[winner->tree_slot] = nullptr;
   winner->in_queue = false;
   compensation_.OnQuantumStart(winner->client.get());
   if (timed) {
-    const auto t2 = std::chrono::steady_clock::now();
+    const auto t2 = std::chrono::steady_clock::now();  // lotlint: wallclock-ok
     tree_draw_ns_->Record(static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(t2 - t1)
             .count()));
@@ -240,6 +264,9 @@ ThreadId LotteryScheduler::PickNext(SimTime /*now*/) {
   // The thread starts its next quantum: any compensation ticket expires
   // (Section 4.5). Its tickets stay active while it runs.
   compensation_.OnQuantumStart(winner);
+  LOT_ASSERT(!winner->has_compensation(),
+             "quantum start left a live compensation factor on " +
+                 winner->name());
   return state.id;
 }
 
@@ -249,6 +276,7 @@ void LotteryScheduler::OnQuantumEnd(ThreadId id, SimDuration used,
   if (compensation_.OnQuantumEnd(state.client.get(), used, quantum)) {
     compensation_grants_->Inc();
   }
+  LOT_DCHECK_COMPENSATION(*state.client, options_.compensation.max_factor);
 }
 
 Currency* LotteryScheduler::thread_currency(ThreadId id) {
@@ -265,6 +293,7 @@ Ticket* LotteryScheduler::FundThread(ThreadId id, Currency* denomination,
   ThreadState& state = StateOf(id);
   Ticket* ticket = table_.CreateTicket(denomination, amount, principal);
   table_.Fund(state.currency, ticket);
+  LOT_DCHECK_TICKET_CONSERVATION(table_);
   return ticket;
 }
 

@@ -43,6 +43,8 @@ class Ticket {
  private:
   friend class CurrencyTable;
   friend class Client;
+  // Corrupts private state in death tests (tests/invariant_test.cc).
+  friend class InvariantTestPeer;
 
   Ticket(uint64_t id, Currency* denomination, int64_t amount)
       : id_(id), denomination_(denomination), amount_(amount) {}

@@ -1,5 +1,7 @@
 #include "src/core/transfer.h"
 
+#include "src/core/invariants.h"
+
 namespace lottery {
 
 TicketTransfer::TicketTransfer(CurrencyTable* table, Currency* source,
@@ -8,6 +10,8 @@ TicketTransfer::TicketTransfer(CurrencyTable* table, Currency* source,
   if (target != nullptr) {
     table_->Fund(target, ticket_);
   }
+  // A transfer moves claim on `source`'s value; it must not mint amount.
+  LOT_DCHECK_TICKET_CONSERVATION(*table_);
 }
 
 TicketTransfer::~TicketTransfer() { Release(); }
@@ -36,12 +40,14 @@ void TicketTransfer::Retarget(Currency* new_target) {
     table_->Unfund(ticket_);
   }
   table_->Fund(new_target, ticket_);
+  LOT_DCHECK_TICKET_CONSERVATION(*table_);
 }
 
 void TicketTransfer::Release() {
   if (ticket_ != nullptr) {
     table_->DestroyTicket(ticket_);
     ticket_ = nullptr;
+    LOT_DCHECK_TICKET_CONSERVATION(*table_);
   }
 }
 

@@ -18,7 +18,7 @@
 
 #include <cstdint>
 #include <deque>
-#include <unordered_map>
+#include <map>
 
 #include "src/obs/registry.h"
 #include "src/sched/scheduler.h"
@@ -67,7 +67,10 @@ class DecayUsageScheduler : public Scheduler {
   double EffectivePriority(const ThreadState& state) const;
 
   Options options_;
-  std::unordered_map<ThreadId, ThreadState> threads_;
+  // Ordered by ThreadId: PickNext and the decay Tick iterate this, and the
+  // winner scan must visit threads in an implementation-independent order
+  // (lotlint rule D2 flags unordered iteration in scheduling paths).
+  std::map<ThreadId, ThreadState> threads_;
   uint64_t next_seq_ = 0;
   obs::Counter* picks_;
 };

@@ -13,7 +13,7 @@
 #define SRC_SCHED_STRIDE_H_
 
 #include <cstdint>
-#include <unordered_map>
+#include <map>
 
 #include "src/obs/registry.h"
 #include "src/sched/scheduler.h"
@@ -54,7 +54,11 @@ class StrideScheduler : public Scheduler {
 
   void UpdateGlobalPass();
 
-  std::unordered_map<ThreadId, ThreadState> threads_;
+  // Ordered by ThreadId: PickNext scans this to choose the minimum-pass
+  // thread, and an unordered map would make the scan order (and thus any
+  // latent tie-break) depend on the standard library's hashing. (lotlint
+  // rule D2 flags unordered iteration in scheduling paths.)
+  std::map<ThreadId, ThreadState> threads_;
   int64_t global_pass_ = 0;
   int64_t global_tickets_ = 0;  // tickets of ready threads
   ThreadId running_ = kInvalidThreadId;

@@ -1,0 +1,26 @@
+#include "src/util/invariant.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lottery {
+namespace internal {
+
+namespace {
+uint64_t g_checks_run = 0;
+}  // namespace
+
+void InvariantFailure(const char* expr, const char* file, int line,
+                      const std::string& message) {
+  std::fprintf(stderr, "LOT_ASSERT failed: %s @ %s:%d: %s\n", expr, file,
+               line, message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+uint64_t InvariantChecksRun() { return g_checks_run; }
+
+void NoteInvariantCheck() { ++g_checks_run; }
+
+}  // namespace internal
+}  // namespace lottery

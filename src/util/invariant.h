@@ -1,0 +1,69 @@
+// LOT_ASSERT family: runtime invariant checks, compiled out in Release.
+//
+// The lottery's fairness guarantees rest on invariants — ticket conservation
+// under transfers, currency-graph acyclicity, compensation factors bounded
+// by q/f — that no unit test can police at every mutation site. LOT_ASSERT
+// turns them into executable documentation: Debug builds (or any build
+// configured with -DLOTTERY_INVARIANTS=ON) check them on the hot paths and
+// abort with a precise message on the first violation; Release builds
+// compile every check down to nothing, so the fig4–fig11 reproductions pay
+// zero cost.
+//
+// Conventions:
+//   * LOT_ASSERT(cond, msg)  — fundamental invariant; msg is any expression
+//     convertible to std::string, evaluated only on failure.
+//   * LOT_DCHECK_* macros (see src/core/invariants.h) — whole-structure
+//     sweeps (conservation, acyclicity) placed at mutator exits.
+//   * Failure calls std::abort() after printing to stderr, so gtest death
+//     tests can match the message.
+//
+// The static half of the contract lives in tools/lotlint (rule S1 requires
+// every public CurrencyTable/LotteryScheduler mutator to carry a
+// LOT_-family check); see DESIGN.md "Determinism contract".
+
+#ifndef SRC_UTIL_INVARIANT_H_
+#define SRC_UTIL_INVARIANT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace lottery {
+namespace internal {
+
+// Prints "LOT_ASSERT failed ..." to stderr and aborts. Never returns.
+[[noreturn]] void InvariantFailure(const char* expr, const char* file,
+                                   int line, const std::string& message);
+
+// Count of LOT_ASSERT conditions evaluated so far in this process. Lets
+// pass-through tests prove the checks were actually exercised (a Release
+// binary reports 0).
+uint64_t InvariantChecksRun();
+void NoteInvariantCheck();
+
+}  // namespace internal
+}  // namespace lottery
+
+#if defined(LOTTERY_INVARIANTS)
+#define LOT_INVARIANTS_ENABLED 1
+#define LOT_ASSERT(cond, msg)                                            \
+  do {                                                                   \
+    ::lottery::internal::NoteInvariantCheck();                           \
+    if (!(cond)) {                                                       \
+      ::lottery::internal::InvariantFailure(#cond, __FILE__, __LINE__,   \
+                                            (msg));                      \
+    }                                                                    \
+  } while (false)
+#else
+#define LOT_INVARIANTS_ENABLED 0
+// Arguments stay in a dead branch so they still typecheck (and their
+// variables count as used) but fold away entirely.
+#define LOT_ASSERT(cond, msg)     \
+  do {                            \
+    if (false) {                  \
+      static_cast<void>(cond);    \
+      static_cast<void>(msg);     \
+    }                             \
+  } while (false)
+#endif
+
+#endif  // SRC_UTIL_INVARIANT_H_

@@ -1,0 +1,187 @@
+// Golden-file tests for lotlint (tools/lotlint). Each fixture in
+// tests/lotlint_fixtures/ carries known violations; the tests pin the
+// exact rule/line sets so any analyzer change that adds false positives or
+// loses true positives fails here before it fails on the real tree.
+//
+// Fixtures use a .txt suffix so the repo-wide `lotlint src bench tests`
+// run (which the static-analysis CI job keeps at zero findings) never
+// scans them; the tests re-map them to virtual src/core/ paths to put them
+// in rule scope.
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "tools/lotlint/lotlint.h"
+
+namespace {
+
+std::string ReadFixture(const std::string& name) {
+  const std::string path = std::string(LOTLINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "missing fixture " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// (rule, line) pairs for compact golden comparison.
+std::multiset<std::pair<std::string, int>> RuleLines(
+    const lotlint::Report& report) {
+  std::multiset<std::pair<std::string, int>> out;
+  for (const lotlint::Finding& f : report.findings) {
+    out.insert({f.rule, f.line});
+  }
+  return out;
+}
+
+TEST(LotlintNondet, FlagsRngAndClocksSuppressesAudited) {
+  const lotlint::Report report =
+      lotlint::AnalyzeFile("src/core/nondet.cc", ReadFixture("nondet.cc.txt"));
+  const std::multiset<std::pair<std::string, int>> expected = {
+      {"D1-nondet", 12},     // std::random_device
+      {"D1-nondet", 13},     // srand
+      {"D1-nondet", 14},     // rand
+      {"D1-wallclock", 18},  // time(nullptr)
+      {"D1-wallclock", 19},  // system_clock
+      {"D1-wallclock", 20},  // steady_clock (src/core scope)
+  };
+  EXPECT_EQ(RuleLines(report), expected);
+  EXPECT_EQ(report.suppressed, 1);  // the wallclock-ok line
+}
+
+TEST(LotlintNondet, BenchScopeAllowsSteadyClock) {
+  const lotlint::Report report =
+      lotlint::AnalyzeFile("bench/nondet.cc", ReadFixture("nondet.cc.txt"));
+  // steady_clock is legal in bench harness code; rand/srand/random_device,
+  // time() and system_clock stay banned everywhere — the line-20
+  // steady_clock finding from the src/core scan must be the only one gone.
+  EXPECT_EQ(RuleLines(report),
+            (std::multiset<std::pair<std::string, int>>{{"D1-nondet", 12},
+                                                        {"D1-nondet", 13},
+                                                        {"D1-nondet", 14},
+                                                        {"D1-wallclock", 18},
+                                                        {"D1-wallclock", 19}}));
+}
+
+TEST(LotlintUnordered, CrossFileDeclThenIterate) {
+  const lotlint::Report report = lotlint::Analyze(
+      {{"src/core/unordered.h", ReadFixture("unordered.h.txt")},
+       {"src/core/unordered.cc", ReadFixture("unordered.cc.txt")}});
+  const std::multiset<std::pair<std::string, int>> expected = {
+      {"D2-unordered-iter", 7},   // by_id_ (unordered_map)
+      {"D2-unordered-iter", 10},  // dirty_ (unordered_set)
+      {"D2-unordered-iter", 13},  // by_ptr_ (pointer-keyed std::map)
+  };
+  EXPECT_EQ(RuleLines(report), expected);
+  EXPECT_EQ(report.suppressed, 1);  // the ordered-ok annotated loop
+}
+
+TEST(LotlintUnordered, StemScopingKeepsUnrelatedFilesClean) {
+  // Same iteration code, but the declaring header has a different stem:
+  // the decls must not leak onto unrelated files.
+  const lotlint::Report report = lotlint::Analyze(
+      {{"src/core/other.h", ReadFixture("unordered.h.txt")},
+       {"src/core/unordered.cc", ReadFixture("unordered.cc.txt")}});
+  EXPECT_TRUE(report.findings.empty())
+      << report.findings.front().file << ":" << report.findings.front().line;
+}
+
+TEST(LotlintUnordered, OutOfScopeDirUnflagged) {
+  const lotlint::Report report = lotlint::Analyze(
+      {{"src/obs/unordered.h", ReadFixture("unordered.h.txt")},
+       {"src/obs/unordered.cc", ReadFixture("unordered.cc.txt")}});
+  EXPECT_TRUE(report.findings.empty());
+}
+
+TEST(LotlintFloat, FlagsTicketPathDoubles) {
+  const lotlint::Report report = lotlint::AnalyzeFile(
+      "src/core/floatmath.cc", ReadFixture("floatmath.cc.txt"));
+  const std::multiset<std::pair<std::string, int>> expected = {
+      {"D3-float-ticket", 6},
+      {"D3-float-ticket", 7},
+      {"D3-float-ticket", 10},
+      {"D3-float-ticket", 11},
+  };
+  EXPECT_EQ(RuleLines(report), expected);
+  EXPECT_EQ(report.suppressed, 2);  // float-ok signature + its cast line
+}
+
+TEST(LotlintFloat, BenchScopeIsExempt) {
+  const lotlint::Report report = lotlint::AnalyzeFile(
+      "bench/floatmath.cc", ReadFixture("floatmath.cc.txt"));
+  EXPECT_TRUE(report.findings.empty());
+}
+
+TEST(LotlintMutator, RequiresInvariantCheckInDefinitions) {
+  const lotlint::Report report = lotlint::AnalyzeFile(
+      "src/core/mutator.cc", ReadFixture("mutator.cc.txt"));
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].rule, "S1-mutator-invariant");
+  EXPECT_EQ(report.findings[0].line, 6);  // CurrencyTable::Fund
+  EXPECT_NE(report.findings[0].message.find("CurrencyTable::Fund"),
+            std::string::npos);
+  EXPECT_EQ(report.suppressed, 1);  // invariant-ok DestroyTicket
+}
+
+TEST(LotlintClean, CleanFileHasNoFindings) {
+  const lotlint::Report report =
+      lotlint::AnalyzeFile("src/core/clean.cc", ReadFixture("clean.cc.txt"));
+  EXPECT_TRUE(report.findings.empty());
+  EXPECT_EQ(report.suppressed, 0);
+}
+
+TEST(LotlintWaivers, FileWideWaiverSuppressesWholeFile) {
+  const std::string content =
+      "// lotlint: file float-ok — fixture\n"
+      "double a;\n"
+      "double b;\n";
+  const lotlint::Report report =
+      lotlint::AnalyzeFile("src/core/waived.cc", content);
+  EXPECT_TRUE(report.findings.empty());
+  EXPECT_EQ(report.suppressed, 2);
+}
+
+TEST(LotlintWaivers, WrongKeywordDoesNotSuppress) {
+  const std::string content = "double a;  // lotlint: ordered-ok\n";
+  const lotlint::Report report =
+      lotlint::AnalyzeFile("src/core/waived.cc", content);
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].rule, "D3-float-ticket");
+  EXPECT_EQ(report.suppressed, 0);
+}
+
+TEST(LotlintLexer, IgnoresCommentsAndStrings) {
+  const std::string content =
+      "// rand() in a comment\n"
+      "/* std::random_device in a block comment */\n"
+      "const char* s = \"rand() time(0) system_clock\";\n"
+      "const char* r = R\"(rand() inside a raw string)\";\n";
+  const lotlint::Report report =
+      lotlint::AnalyzeFile("src/core/comments.cc", content);
+  EXPECT_TRUE(report.findings.empty());
+}
+
+TEST(LotlintJson, SchemaStableOutput) {
+  lotlint::Report report = lotlint::AnalyzeFile(
+      "src/core/floatmath.cc", ReadFixture("floatmath.cc.txt"));
+  const std::string json = lotlint::ReportToJson(report);
+  // Key order and shape are part of the contract: CI diffs this output.
+  EXPECT_EQ(json.find("{\n  \"findings\": ["), 0u);
+  EXPECT_NE(json.find("\"count\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"suppressed\": 2"), std::string::npos);
+  EXPECT_NE(
+      json.find("\"file\": \"src/core/floatmath.cc\", \"line\": 6, "
+                "\"rule\": \"D3-float-ticket\""),
+      std::string::npos);
+  // Empty report: stable empty shape.
+  const std::string empty = lotlint::ReportToJson(lotlint::Report{});
+  EXPECT_EQ(empty,
+            "{\n  \"findings\": [],\n  \"count\": 0,\n  \"suppressed\": 0\n}\n");
+}
+
+}  // namespace

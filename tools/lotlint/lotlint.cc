@@ -1,0 +1,585 @@
+#include "tools/lotlint/lotlint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <tuple>
+
+namespace lotlint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+struct Token {
+  enum Kind { kIdent, kNumber, kString, kPunct };
+  Kind kind;
+  std::string text;
+  int line;
+};
+
+struct Scan {
+  std::string path;
+  std::vector<Token> toks;
+  // line -> suppression keywords announced by "// lotlint: <kw>" comments.
+  std::map<int, std::vector<std::string>> line_waivers;
+  std::set<std::string> file_waivers;  // "// lotlint: file <kw>"
+  std::vector<std::string> lines;      // raw source, for snippets
+};
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Parses "lotlint:" annotations out of a comment's text.
+void ParseAnnotations(const std::string& comment, int line, Scan* scan) {
+  size_t pos = comment.find("lotlint:");
+  while (pos != std::string::npos) {
+    size_t i = pos + 8;
+    while (i < comment.size() && comment[i] == ' ') ++i;
+    bool file_wide = false;
+    if (comment.compare(i, 5, "file ") == 0) {
+      file_wide = true;
+      i += 5;
+      while (i < comment.size() && comment[i] == ' ') ++i;
+    }
+    size_t start = i;
+    while (i < comment.size() &&
+           (std::islower(static_cast<unsigned char>(comment[i])) != 0 ||
+            comment[i] == '-')) {
+      ++i;
+    }
+    if (i > start) {
+      const std::string keyword = comment.substr(start, i - start);
+      if (file_wide) {
+        scan->file_waivers.insert(keyword);
+      } else {
+        scan->line_waivers[line].push_back(keyword);
+      }
+    }
+    pos = comment.find("lotlint:", i);
+  }
+}
+
+const char* kMultiPunct[] = {"<<=", ">>=", "...", "::", "->", "<<", ">>",
+                             "<=", ">=", "==", "!=", "&&", "||", "+=",
+                             "-=", "*=", "/=", "++", "--"};
+
+Scan Lex(const std::string& path, const std::string& content) {
+  Scan scan;
+  scan.path = path;
+  {
+    std::istringstream in(content);
+    std::string l;
+    while (std::getline(in, l)) scan.lines.push_back(l);
+  }
+  const size_t n = content.size();
+  size_t i = 0;
+  int line = 1;
+  auto advance = [&](size_t count) {
+    for (size_t k = 0; k < count && i < n; ++k, ++i) {
+      if (content[i] == '\n') ++line;
+    }
+  };
+  while (i < n) {
+    const char c = content[i];
+    if (c == '\n' || c == ' ' || c == '\t' || c == '\r' || c == '\f' ||
+        c == '\v') {
+      advance(1);
+      continue;
+    }
+    if (c == '/' && i + 1 < n && content[i + 1] == '/') {
+      const size_t eol = content.find('\n', i);
+      const size_t end = eol == std::string::npos ? n : eol;
+      ParseAnnotations(content.substr(i, end - i), line, &scan);
+      advance(end - i);
+      continue;
+    }
+    if (c == '/' && i + 1 < n && content[i + 1] == '*') {
+      const int start_line = line;
+      const size_t close = content.find("*/", i + 2);
+      const size_t end = close == std::string::npos ? n : close + 2;
+      ParseAnnotations(content.substr(i, end - i), start_line, &scan);
+      advance(end - i);
+      continue;
+    }
+    if (c == '"' || (c == 'R' && i + 1 < n && content[i + 1] == '"')) {
+      if (c == 'R') {
+        // Raw string: R"delim( ... )delim"
+        const size_t open = content.find('(', i + 2);
+        const std::string delim =
+            open == std::string::npos
+                ? ""
+                : content.substr(i + 2, open - (i + 2));
+        const std::string closer = ")" + delim + "\"";
+        const size_t close = open == std::string::npos
+                                 ? std::string::npos
+                                 : content.find(closer, open + 1);
+        const size_t end =
+            close == std::string::npos ? n : close + closer.size();
+        scan.toks.push_back({Token::kString, "<raw-string>", line});
+        advance(end - i);
+        continue;
+      }
+      size_t j = i + 1;
+      while (j < n && content[j] != '"') {
+        if (content[j] == '\\') ++j;
+        ++j;
+      }
+      scan.toks.push_back({Token::kString, "<string>", line});
+      advance((j < n ? j + 1 : n) - i);
+      continue;
+    }
+    if (c == '\'') {
+      size_t j = i + 1;
+      while (j < n && content[j] != '\'') {
+        if (content[j] == '\\') ++j;
+        ++j;
+      }
+      scan.toks.push_back({Token::kString, "<char>", line});
+      advance((j < n ? j + 1 : n) - i);
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      size_t j = i;
+      while (j < n && IsIdentChar(content[j])) ++j;
+      scan.toks.push_back({Token::kIdent, content.substr(i, j - i), line});
+      advance(j - i);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      size_t j = i;
+      while (j < n && (IsIdentChar(content[j]) || content[j] == '.' ||
+                       content[j] == '\'' ||
+                       ((content[j] == '+' || content[j] == '-') && j > i &&
+                        (content[j - 1] == 'e' || content[j - 1] == 'E' ||
+                         content[j - 1] == 'p' || content[j - 1] == 'P')))) {
+        ++j;
+      }
+      scan.toks.push_back({Token::kNumber, content.substr(i, j - i), line});
+      advance(j - i);
+      continue;
+    }
+    bool matched = false;
+    for (const char* p : kMultiPunct) {
+      const size_t len = std::char_traits<char>::length(p);
+      if (content.compare(i, len, p) == 0) {
+        scan.toks.push_back({Token::kPunct, p, line});
+        advance(len);
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      scan.toks.push_back({Token::kPunct, std::string(1, c), line});
+      advance(1);
+    }
+  }
+  return scan;
+}
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+// ---------------------------------------------------------------------------
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool PathInAny(const std::string& path,
+               const std::vector<std::string>& prefixes) {
+  for (const auto& p : prefixes) {
+    if (StartsWith(path, p)) return true;
+  }
+  return false;
+}
+
+const std::vector<std::string> kSimCoreDirs = {"src/core/", "src/sched/",
+                                               "src/sim/"};
+const std::vector<std::string> kNoWallClockDirs = {
+    "src/core/", "src/sched/", "src/sim/", "src/workloads/", "src/ctl/"};
+
+std::string SnippetAt(const Scan& scan, int line) {
+  if (line < 1 || static_cast<size_t>(line) > scan.lines.size()) return "";
+  std::string s = scan.lines[static_cast<size_t>(line) - 1];
+  const size_t first = s.find_first_not_of(" \t");
+  return first == std::string::npos ? "" : s.substr(first);
+}
+
+struct RawFinding {
+  Finding finding;
+  std::string waiver;  // keyword that suppresses it
+};
+
+void Emit(const Scan& scan, int line, const std::string& rule,
+          const std::string& message, const std::string& waiver,
+          std::vector<RawFinding>* out) {
+  out->push_back(
+      {{scan.path, line, rule, message, SnippetAt(scan, line)}, waiver});
+}
+
+// Finds the index of the token matching an opening (/[/{ at `open`.
+size_t MatchingClose(const std::vector<Token>& toks, size_t open) {
+  const std::string& o = toks[open].text;
+  const std::string c = o == "(" ? ")" : o == "[" ? "]" : "}";
+  int depth = 0;
+  for (size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].text == o) ++depth;
+    if (toks[i].text == c && --depth == 0) return i;
+  }
+  return toks.size();
+}
+
+// ---------------------------------------------------------------------------
+// D1: nondeterminism sources
+// ---------------------------------------------------------------------------
+
+void RuleNondet(const Scan& scan, std::vector<RawFinding>* out) {
+  // Functions — flagged only as direct calls, so a class can declare its
+  // own member named `rand` or `time` without tripping the rule.
+  static const std::set<std::string> kRngCalls = {"rand", "srand", "drand48",
+                                                  "lrand48", "mrand48"};
+  static const std::set<std::string> kClockCalls = {"time", "clock",
+                                                    "gettimeofday"};
+  // Types — flagged wherever the name appears.
+  static const std::set<std::string> kWallEverywhere = {"system_clock"};
+  static const std::set<std::string> kWallSimCore = {"steady_clock",
+                                                     "high_resolution_clock"};
+  // An identifier right before the name means a declaration (`int rand()`)
+  // — unless it is a statement keyword, in which case `return rand();` is
+  // still a call.
+  static const std::set<std::string> kStmtKeywords = {"return", "else", "do",
+                                                      "co_return"};
+  const bool in_sim_core = PathInAny(scan.path, kNoWallClockDirs);
+  const auto& toks = scan.toks;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != Token::kIdent) continue;
+    const std::string& t = toks[i].text;
+    const std::string prev = i > 0 ? toks[i - 1].text : "";
+    const std::string prev2 = i > 1 ? toks[i - 2].text : "";
+    // Member access (foo.rand(), p->time()) is some other API, not libc's.
+    const bool member = prev == "." || prev == "->" ||
+                        (prev == "::" && prev2 != "std" && prev2 != "chrono");
+    if (member) continue;
+    const bool is_call =
+        i + 1 < toks.size() && toks[i + 1].text == "(" &&
+        (i == 0 || toks[i - 1].kind != Token::kIdent ||
+         kStmtKeywords.count(prev) > 0);
+    if (t == "random_device" || (kRngCalls.count(t) > 0 && is_call)) {
+      Emit(scan, toks[i].line, "D1-nondet",
+           "nondeterministic RNG source '" + t +
+               "': use FastRand (seeded) so fixed-seed runs stay "
+               "bit-identical",
+           "nondet-ok", out);
+      continue;
+    }
+    if (kWallEverywhere.count(t) > 0 ||
+        (in_sim_core && kWallSimCore.count(t) > 0) ||
+        (kClockCalls.count(t) > 0 && is_call)) {
+      Emit(scan, toks[i].line, "D1-wallclock",
+           "wall-clock source '" + t +
+               "': simulation/scheduling code must run on SimTime, not "
+               "host time",
+           "wallclock-ok", out);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// D2: iteration over unordered / pointer-keyed containers
+// ---------------------------------------------------------------------------
+
+// Path without its extension: "src/sched/stride.h" -> "src/sched/stride".
+// A header and its source file share a stem; D2 declarations collected from
+// one apply to iterations in the other (and in itself), but not to
+// same-named members of unrelated classes elsewhere in the tree.
+std::string Stem(const std::string& path) {
+  const size_t slash = path.rfind('/');
+  const size_t dot = path.rfind('.');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return path;
+  }
+  return path.substr(0, dot);
+}
+
+// Phase A: collect names declared with hash-ordered or pointer-keyed
+// container types, keyed by (file stem, name) — declarations usually live
+// in headers; iterations in the paired sources.
+void CollectUnorderedDecls(
+    const Scan& scan,
+    std::map<std::pair<std::string, std::string>, std::string>* decls) {
+  const auto& toks = scan.toks;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != Token::kIdent) continue;
+    const std::string& t = toks[i].text;
+    const bool unordered = t == "unordered_map" || t == "unordered_set";
+    const bool ordered = (t == "map" || t == "set") && i >= 2 &&
+                         toks[i - 1].text == "::" &&
+                         toks[i - 2].text == "std";
+    if (!unordered && !ordered) continue;
+    if (i + 1 >= toks.size() || toks[i + 1].text != "<") continue;
+    // Walk the template argument list; note whether the key type (tokens
+    // before the first depth-1 comma) contains a pointer.
+    int depth = 0;
+    bool key_done = false;
+    bool key_is_pointer = false;
+    size_t j = i + 1;
+    for (; j < toks.size(); ++j) {
+      const std::string& p = toks[j].text;
+      if (p == "<") ++depth;
+      if (p == ">") --depth;
+      if (p == ">>") depth -= 2;
+      if (depth <= 0 && p != "<") break;
+      if (depth == 1) {
+        if (p == ",") key_done = true;
+        if (p == "*" && !key_done) key_is_pointer = true;
+      }
+    }
+    if (j >= toks.size()) continue;
+    if (ordered && !key_is_pointer) continue;  // value-keyed map/set: fine
+    // The declared name follows the closing '>'.
+    if (j + 1 < toks.size() && toks[j + 1].kind == Token::kIdent) {
+      const std::string& name = toks[j + 1].text;
+      const std::string why =
+          unordered ? "std::" + t
+                    : "pointer-keyed std::" + t;
+      decls->emplace(std::make_pair(Stem(scan.path), name), why);
+    }
+  }
+}
+
+// Phase B: flag range-for statements whose range expression mentions a
+// collected container name, in the sim/sched/core directories.
+void RuleUnorderedIter(
+    const Scan& scan,
+    const std::map<std::pair<std::string, std::string>, std::string>& decls,
+    std::vector<RawFinding>* out) {
+  if (!PathInAny(scan.path, kSimCoreDirs)) return;
+  const std::string stem = Stem(scan.path);
+  const auto& toks = scan.toks;
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != Token::kIdent || toks[i].text != "for" ||
+        toks[i + 1].text != "(") {
+      continue;
+    }
+    const size_t close = MatchingClose(toks, i + 1);
+    if (close >= toks.size()) continue;
+    // Find the range-for ':' — a lone colon at parenthesis depth 1 outside
+    // brackets/braces ("::" lexes as its own token, so no confusion).
+    size_t colon = 0;
+    int depth = 0;
+    for (size_t j = i + 1; j < close; ++j) {
+      const std::string& p = toks[j].text;
+      if (p == "(" || p == "[" || p == "{") ++depth;
+      if (p == ")" || p == "]" || p == "}") --depth;
+      if (p == ":" && depth == 1) {
+        colon = j;
+        break;
+      }
+    }
+    if (colon == 0) continue;  // classic for(;;) loop
+    for (size_t j = colon + 1; j < close; ++j) {
+      if (toks[j].kind != Token::kIdent) continue;
+      const auto it = decls.find({stem, toks[j].text});
+      if (it == decls.end()) continue;
+      Emit(scan, toks[i].line, "D2-unordered-iter",
+           "iteration over '" + it->first.second + "' (" + it->second +
+               "): order is implementation/address-dependent; if it feeds "
+               "a scheduling decision the fixed-seed outputs drift — use "
+               "an ordered structure or annotate an audited site",
+           "ordered-ok", out);
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// D3: floating point in ticket/pass arithmetic
+// ---------------------------------------------------------------------------
+
+void RuleFloat(const Scan& scan, std::vector<RawFinding>* out) {
+  const bool in_scope = StartsWith(scan.path, "src/core/") ||
+                        StartsWith(scan.path, "src/sched/stride");
+  if (!in_scope) return;
+  for (const Token& t : scan.toks) {
+    if (t.kind == Token::kIdent && (t.text == "float" || t.text == "double")) {
+      Emit(scan, t.line, "D3-float-ticket",
+           "'" + t.text +
+               "' in a ticket/pass arithmetic path: stride and currency "
+               "math must stay integer/fixed-point (Funding) so totals "
+               "never drift from the sum of the parts",
+           "float-ok", out);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// S1: public mutators must carry an invariant check
+// ---------------------------------------------------------------------------
+
+struct MutatorClass {
+  const char* class_name;
+  std::set<std::string> mutators;
+};
+
+const MutatorClass kMutatorClasses[] = {
+    {"CurrencyTable",
+     {"CreateCurrency", "DestroyCurrency", "CreateTicket", "DestroyTicket",
+      "SetAmount", "Fund", "Unfund"}},
+    {"LotteryScheduler",
+     {"AddThread", "RemoveThread", "OnReady", "OnBlocked", "PickNext",
+      "PickNextFromTree", "OnQuantumEnd", "FundThread"}},
+};
+
+void RuleMutatorInvariant(const Scan& scan, std::vector<RawFinding>* out) {
+  if (!StartsWith(scan.path, "src/core/")) return;
+  const auto& toks = scan.toks;
+  for (const MutatorClass& mc : kMutatorClasses) {
+    for (size_t i = 0; i + 3 < toks.size(); ++i) {
+      if (toks[i].text != mc.class_name || toks[i + 1].text != "::" ||
+          toks[i + 2].kind != Token::kIdent ||
+          mc.mutators.count(toks[i + 2].text) == 0 ||
+          toks[i + 3].text != "(") {
+        continue;
+      }
+      // Definition, not a call: after the parameter list comes an optional
+      // qualifier run, then '{'. A ';' instead means a declaration.
+      const size_t params_close = MatchingClose(toks, i + 3);
+      size_t j = params_close + 1;
+      while (j < toks.size() && toks[j].text != "{" && toks[j].text != ";" &&
+             toks[j].text != "(") {
+        ++j;
+      }
+      if (j >= toks.size() || toks[j].text != "{") continue;
+      const size_t body_close = MatchingClose(toks, j);
+      bool has_check = false;
+      for (size_t k = j; k < body_close; ++k) {
+        if (toks[k].kind == Token::kIdent &&
+            StartsWith(toks[k].text, "LOT_")) {
+          has_check = true;
+          break;
+        }
+      }
+      if (!has_check) {
+        Emit(scan, toks[i].line, "S1-mutator-invariant",
+             std::string(mc.class_name) + "::" + toks[i + 2].text +
+                 " mutates shared lottery state but carries no LOT_ASSERT/"
+                 "LOT_DCHECK invariant check (see src/core/invariants.h)",
+             "invariant-ok", out);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+bool IsWaived(const Scan& scan, const RawFinding& raw) {
+  if (scan.file_waivers.count(raw.waiver) > 0) return true;
+  for (int line = raw.finding.line - 1; line <= raw.finding.line; ++line) {
+    const auto it = scan.line_waivers.find(line);
+    if (it == scan.line_waivers.end()) continue;
+    for (const std::string& kw : it->second) {
+      if (kw == raw.waiver) return true;
+    }
+  }
+  return false;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Report Analyze(
+    const std::vector<std::pair<std::string, std::string>>& files) {
+  std::vector<Scan> scans;
+  scans.reserve(files.size());
+  for (const auto& [path, content] : files) {
+    scans.push_back(Lex(path, content));
+  }
+  std::map<std::pair<std::string, std::string>, std::string> unordered_decls;
+  for (const Scan& scan : scans) {
+    CollectUnorderedDecls(scan, &unordered_decls);
+  }
+  Report report;
+  for (const Scan& scan : scans) {
+    std::vector<RawFinding> raw;
+    RuleNondet(scan, &raw);
+    RuleUnorderedIter(scan, unordered_decls, &raw);
+    RuleFloat(scan, &raw);
+    RuleMutatorInvariant(scan, &raw);
+    for (RawFinding& r : raw) {
+      if (IsWaived(scan, r)) {
+        ++report.suppressed;
+      } else {
+        report.findings.push_back(std::move(r.finding));
+      }
+    }
+  }
+  std::sort(report.findings.begin(), report.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+  return report;
+}
+
+Report AnalyzeFile(const std::string& virtual_path,
+                   const std::string& content) {
+  return Analyze({{virtual_path, content}});
+}
+
+std::string ReportToJson(const Report& report) {
+  std::ostringstream out;
+  out << "{\n  \"findings\": [";
+  for (size_t i = 0; i < report.findings.size(); ++i) {
+    const Finding& f = report.findings[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    {\"file\": \"" << JsonEscape(f.file) << "\", \"line\": "
+        << f.line << ", \"rule\": \"" << JsonEscape(f.rule)
+        << "\", \"message\": \"" << JsonEscape(f.message)
+        << "\", \"snippet\": \"" << JsonEscape(f.snippet) << "\"}";
+  }
+  if (!report.findings.empty()) out << "\n  ";
+  out << "],\n  \"count\": " << report.findings.size()
+      << ",\n  \"suppressed\": " << report.suppressed << "\n}\n";
+  return out.str();
+}
+
+}  // namespace lotlint

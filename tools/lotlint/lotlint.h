@@ -1,0 +1,78 @@
+// lotlint — the project's determinism & invariant static-analysis pass.
+//
+// A self-contained token-level analyzer (own lexer, per-rule visitors, no
+// libclang) that enforces the rules in DESIGN.md "Determinism contract":
+//
+//   D1-nondet     no nondeterministic RNG sources (rand, srand, drand48,
+//                 std::random_device, ...) anywhere in src/, bench/, tests/.
+//                 FastRand (seeded, splittable) is the sanctioned RNG.
+//   D1-wallclock  no wall clocks. time(), clock(), gettimeofday and
+//                 std::chrono::system_clock are banned everywhere;
+//                 steady_clock / high_resolution_clock are additionally
+//                 banned in src/core, src/sched, src/sim, src/workloads,
+//                 src/ctl (simulations must run on SimTime — wall clocks in
+//                 bench harness code are fine).
+//   D2-unordered-iter  no iteration over std::unordered_map/unordered_set
+//                 or pointer-keyed std::map/std::set in src/core, src/sched,
+//                 src/sim: iteration order there is implementation- or
+//                 address-dependent, and if it feeds a scheduling decision
+//                 the fixed-seed fig4–fig11 outputs stop being bit-stable.
+//   D3-float-ticket  no float/double in ticket/pass arithmetic (src/core
+//                 and src/sched/stride.*): stride and currency paths must
+//                 stay in integer/fixed-point (Funding) arithmetic.
+//   S1-mutator-invariant  every public mutator of CurrencyTable and
+//                 LotteryScheduler must carry a LOT_-family invariant check
+//                 (LOT_ASSERT / LOT_DCHECK_*; see src/util/invariant.h).
+//
+// Audited sites are allowlisted in the source with a comment on the same
+// or the preceding line:   // lotlint: <keyword> — rationale
+// where <keyword> is the rule's suppression keyword (nondet-ok,
+// wallclock-ok, ordered-ok, float-ok, invariant-ok). A file-wide waiver is
+//   // lotlint: file <keyword> — rationale
+//
+// Findings are schema-stable (file, line, rule, message, snippet) so CI can
+// diff counts across PRs the same way check_bench_regression.py diffs perf.
+
+#ifndef TOOLS_LOTLINT_LOTLINT_H_
+#define TOOLS_LOTLINT_LOTLINT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lotlint {
+
+struct Finding {
+  std::string file;     // repo-relative path, forward slashes
+  int line = 0;         // 1-based
+  std::string rule;     // e.g. "D2-unordered-iter"
+  std::string message;  // human-readable diagnosis
+  std::string snippet;  // the offending source line, trimmed
+};
+
+struct Report {
+  std::vector<Finding> findings;  // unsuppressed, sorted (file, line, rule)
+  int suppressed = 0;             // findings waived by lotlint: annotations
+};
+
+// Analyzes a set of files together. `files` maps repo-relative virtual
+// paths (used for rule scoping) to file contents. Cross-file state (D2's
+// container-declaration table) is built over the whole set, so headers
+// declaring containers must be in the same batch as the sources iterating
+// them. D2 matching is scoped by file stem: a declaration in foo.h applies
+// to iterations in foo.cc (and vice versa), not to same-named members of
+// unrelated classes elsewhere in the tree.
+Report Analyze(
+    const std::vector<std::pair<std::string, std::string>>& files);
+
+// Single-file convenience used by the golden-fixture tests.
+Report AnalyzeFile(const std::string& virtual_path,
+                   const std::string& content);
+
+// {"findings": [{file, line, rule, message, snippet}...],
+//  "count": N, "suppressed": M} — stable key order, findings sorted.
+std::string ReportToJson(const Report& report);
+
+}  // namespace lotlint
+
+#endif  // TOOLS_LOTLINT_LOTLINT_H_

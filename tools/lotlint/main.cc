@@ -1,0 +1,110 @@
+// lotlint CLI.
+//
+//   lotlint [--root=DIR] [--json=PATH] [path...]
+//
+// Walks the given paths (default: src bench tests) under --root (default:
+// the current directory), analyzes every .h/.cc/.cpp/.hpp file, prints
+// unsuppressed findings as "file:line: [rule] message", and exits 1 if any
+// exist. --json=PATH additionally writes the schema-stable findings report
+// (same shape every run, findings sorted) so CI and future PRs can diff
+// finding counts the way check_bench_regression.py diffs perf numbers.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/lotlint/lotlint.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool HasSourceExtension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp";
+}
+
+std::string ReadFile(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// Repo-relative virtual path with forward slashes (rule scoping key).
+std::string VirtualPath(const fs::path& root, const fs::path& file) {
+  return fs::relative(file, root).generic_string();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string json_path;
+  std::vector<std::string> targets;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--root=", 0) == 0) {
+      root = arg.substr(7);
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: lotlint [--root=DIR] [--json=PATH] [path...]\n";
+      return 0;
+    } else {
+      targets.push_back(arg);
+    }
+  }
+  if (targets.empty()) {
+    targets = {"src", "bench", "tests"};
+  }
+
+  std::vector<fs::path> files;
+  for (const std::string& t : targets) {
+    const fs::path p = fs::path(root) / t;
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(p)) {
+        if (entry.is_regular_file() && HasSourceExtension(entry.path())) {
+          files.push_back(entry.path());
+        }
+      }
+    } else if (fs::is_regular_file(p, ec)) {
+      files.push_back(p);
+    } else {
+      std::cerr << "lotlint: cannot read " << p.string() << "\n";
+      return 2;
+    }
+  }
+  // Deterministic order regardless of directory enumeration.
+  std::sort(files.begin(), files.end());
+
+  std::vector<std::pair<std::string, std::string>> inputs;
+  inputs.reserve(files.size());
+  for (const fs::path& f : files) {
+    inputs.emplace_back(VirtualPath(fs::path(root), f), ReadFile(f));
+  }
+
+  const lotlint::Report report = lotlint::Analyze(inputs);
+
+  for (const lotlint::Finding& f : report.findings) {
+    std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
+              << f.message << "\n    " << f.snippet << "\n";
+  }
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "lotlint: cannot write " << json_path << "\n";
+      return 2;
+    }
+    out << lotlint::ReportToJson(report);
+  }
+  std::cout << "lotlint: scanned " << inputs.size() << " files, "
+            << report.findings.size() << " finding(s), " << report.suppressed
+            << " suppressed by annotation\n";
+  return report.findings.empty() ? 0 : 1;
+}
