@@ -1,0 +1,113 @@
+// Fault-injection overhead: what does the chaos machinery cost when it is
+// disabled, armed-but-idle, and actively firing?
+//
+// Three identically-seeded chaos scenarios per backend:
+//   off    — no injector installed (Options.faults == nullptr)
+//   idle   — injector installed with an empty plan (guards run, no draws)
+//   firing — a rich plan across all eight fault classes
+//
+// The first two must produce bit-identical traces (the subsystem is free
+// when unused); the bench reports wall-clock per simulated second and the
+// dispatch counts so a CI eye can spot the machinery getting expensive.
+
+#include <chrono>  // lotlint: wallclock-ok (host-side cost measurement only)
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/sim/chaos.h"
+
+namespace lottery {
+namespace {
+
+constexpr const char* kRichPlan =
+    "crash:p=0.002;spurious-wake:p=0.3;delayed-unblock:p=0.1;"
+    "rpc-drop:every=6;rpc-dup:every=9;rpc-reorder:p=0.2;"
+    "disk-timeout:p=0.2;revoke:p=0.3";
+
+struct Cell {
+  chaos::ScenarioResult result;
+  double wall_ms = 0.0;
+};
+
+Cell RunCell(const std::string& backend, uint64_t seed,
+             const std::string& plan) {
+  chaos::Scenario scenario;
+  scenario.seed = seed;
+  scenario.backend = backend;
+  scenario.plan = plan;
+  scenario.num_threads = 12;
+  scenario.horizon = SimDuration::Seconds(2);
+  Cell cell;
+  const auto t0 = std::chrono::steady_clock::now();  // lotlint: wallclock-ok
+  cell.result = chaos::RunScenario(scenario);
+  const auto t1 = std::chrono::steady_clock::now();  // lotlint: wallclock-ok
+  cell.wall_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  return cell;
+}
+
+int Main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const uint64_t seed =
+      static_cast<uint64_t>(flags.GetInt("seed", 42));
+  BenchReport report(flags, "bench_fault_overhead");
+
+  PrintHeader("bench_fault_overhead",
+              "cost of the fault-injection subsystem",
+              "(not in paper; infrastructure ablation)");
+  std::printf("%-8s %-8s %12s %12s %10s %12s\n", "backend", "mode",
+              "dispatches", "injections", "wall_ms", "trace_hash");
+
+  int failures = 0;
+  for (const char* backend : {"list", "tree", "stride"}) {
+    // "off" means empty plan too — RunScenario always installs an
+    // injector, so idle-vs-firing is the interesting ablation; the
+    // fault_test suite separately proves a null injector is a no-op at the
+    // kernel level.
+    const Cell idle = RunCell(backend, seed, "");
+    const Cell firing = RunCell(backend, seed, kRichPlan);
+    std::printf("%-8s %-8s %12llu %12llu %10.2f %12llx\n", backend, "idle",
+                static_cast<unsigned long long>(idle.result.dispatches),
+                static_cast<unsigned long long>(idle.result.injections),
+                idle.wall_ms,
+                static_cast<unsigned long long>(idle.result.trace_hash));
+    std::printf("%-8s %-8s %12llu %12llu %10.2f %12llx\n", backend, "firing",
+                static_cast<unsigned long long>(firing.result.dispatches),
+                static_cast<unsigned long long>(firing.result.injections),
+                firing.wall_ms,
+                static_cast<unsigned long long>(firing.result.trace_hash));
+    if (!idle.result.ok() || !firing.result.ok()) {
+      std::printf("ORACLE VIOLATION under %s\n", backend);
+      ++failures;
+    }
+    if (firing.result.injections == 0) {
+      std::printf("rich plan injected nothing under %s\n", backend);
+      ++failures;
+    }
+    report.Metric(std::string(backend) + ".idle_dispatches",
+                  idle.result.dispatches);
+    report.Metric(std::string(backend) + ".firing_dispatches",
+                  firing.result.dispatches);
+    report.Metric(std::string(backend) + ".firing_injections",
+                  firing.result.injections);
+    // Wall-clock keys end in _ns so the CI regression gate skips them
+    // (shared-runner noise), matching the other benches' convention.
+    report.Metric(std::string(backend) + ".idle_wall_ns",
+                  static_cast<uint64_t>(idle.wall_ms * 1e6));
+    report.Metric(std::string(backend) + ".firing_wall_ns",
+                  static_cast<uint64_t>(firing.wall_ms * 1e6));
+  }
+
+  report.Write();
+  if (failures > 0) {
+    std::printf("\n%d check(s) failed\n", failures);
+    return 1;
+  }
+  std::printf("\nall checks passed\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace lottery
+
+int main(int argc, char** argv) { return lottery::Main(argc, argv); }

@@ -159,10 +159,34 @@ void CurrencyTable::DestroyCurrency(Currency* currency) {
   LOT_DCHECK_TABLE(*this);
 }
 
+void CurrencyTable::RetireCurrency(Currency* currency) {
+  if (currency == base_) {
+    throw std::invalid_argument("RetireCurrency: cannot retire base");
+  }
+  if (currency->issued_.empty()) {
+    DestroyCurrency(currency);
+    return;
+  }
+  // The owner is gone: withdraw its funding now. The surviving issued
+  // tickets (in-flight transfers) stay structurally valid but are worth
+  // zero — exactly the paper's semantics for a backrupt currency — and the
+  // last of them to be destroyed reclaims the currency itself.
+  while (!currency->backing_.empty()) {
+    DestroyTicket(currency->backing_.back());
+  }
+  currency->retired_ = true;
+  BumpEpoch();
+  LOT_DCHECK_TABLE(*this);
+}
+
 Ticket* CurrencyTable::CreateTicket(Currency* denomination, int64_t amount,
                                     const std::string& principal) {
   if (amount <= 0) {
     throw std::invalid_argument("CreateTicket: amount must be positive");
+  }
+  if (denomination->retired_) {
+    throw std::logic_error("CreateTicket: denomination " +
+                           denomination->name() + " is retired");
   }
   const bool is_superuser = !superuser_.empty() && principal == superuser_;
   if (!is_superuser && !denomination->MayInflate(principal)) {
@@ -201,6 +225,11 @@ void CurrencyTable::DestroyTicket(Ticket* ticket) {
     throw std::logic_error("DestroyTicket: unknown ticket");
   }
   tickets_.erase(it);
+  if (denom->retired_ && denom->issued_.empty()) {
+    // Last issued ticket of a retired currency: reclaim it (backing is
+    // already empty, so this is a plain erase).
+    DestroyCurrency(denom);
+  }
   BumpEpoch();
   LOT_DCHECK_TABLE(*this);
 }
@@ -234,6 +263,10 @@ void CurrencyTable::Fund(Currency* target, Ticket* ticket) {
   }
   if (target->is_base()) {
     throw std::invalid_argument("Fund: the base currency cannot be funded");
+  }
+  if (target->retired_) {
+    throw std::logic_error("Fund: currency " + target->name() +
+                           " is retired");
   }
   // Adding edge target -> denomination(ticket); reject if the denomination
   // already (transitively) depends on target.

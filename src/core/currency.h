@@ -62,6 +62,11 @@ class Currency {
 
   const std::string& name() const { return name_; }
   bool is_base() const { return is_base_; }
+  // A retired currency is awaiting destruction: its owner died while other
+  // parties still held tickets issued in it (e.g. an in-flight RPC transfer
+  // from a crashed client). Its backing is gone — issued tickets are worth
+  // zero — and the table reclaims it when the last issued ticket dies.
+  bool retired() const { return retired_; }
   // Sum of the amounts of currently active tickets issued in this currency.
   int64_t active_amount() const { return active_amount_; }
   // Sum of the amounts of all tickets issued in this currency.
@@ -86,6 +91,7 @@ class Currency {
 
   std::string name_;
   bool is_base_;
+  bool retired_ = false;
   std::string owner_;
   std::set<std::string> inflators_;
 
@@ -125,6 +131,14 @@ class CurrencyTable {
   // Destroys a currency. Its backing tickets are destroyed with it. It must
   // have no issued tickets (they represent value held by others).
   void DestroyCurrency(Currency* currency);
+  // Destroys a currency whose owner is gone but whose issued tickets may
+  // still be held by others (in-flight transfers from a crashed thread).
+  // The backing tickets are destroyed immediately — the dead owner's
+  // funding is withdrawn, so outstanding issued tickets are worth zero —
+  // and the currency itself lingers, retired, until DestroyTicket reclaims
+  // it with its last issued ticket. Equivalent to DestroyCurrency when no
+  // issued tickets remain.
+  void RetireCurrency(Currency* currency);
 
   // --- Ticket lifecycle ---------------------------------------------------
 

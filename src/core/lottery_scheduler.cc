@@ -83,10 +83,12 @@ void LotteryScheduler::RemoveThread(ThreadId id, SimTime /*now*/) {
   // After reset: the Client destructor releases any remaining tickets,
   // which re-notifies observers and can re-insert the pointer.
   dirty_clients_.erase(dead);
-  // Destroys the thread currency and all tickets funding it. Outstanding
-  // transfer tickets issued in this currency must have been released first
-  // (DestroyCurrency throws otherwise).
-  table_.DestroyCurrency(state.currency);
+  // Destroys the thread currency and all tickets funding it. A thread that
+  // dies with in-flight transfers (a crashed RPC client whose call is still
+  // queued) leaves tickets issued in this currency in others' hands; the
+  // currency is then retired — worth zero, reclaimed with its last issued
+  // ticket — instead of destroyed outright.
+  table_.RetireCurrency(state.currency);
   threads_.erase(id);
   LOT_DCHECK_TABLE(table_);
 }

@@ -1,6 +1,9 @@
 #include "src/sim/disk.h"
 
 #include <stdexcept>
+#include <utility>
+
+#include "src/sim/fault.h"
 
 namespace lottery {
 
@@ -91,6 +94,25 @@ void DiskScheduler::AdvanceTo(SimTime deadline) {
       }
       now_ = in_flight_.done;
       ClientState& state = StateOf(in_flight_.client);
+      if (faults_ != nullptr &&
+          faults_->active(FaultClass::kDiskTimeout) &&
+          in_flight_.request.attempts <
+              faults_->MaxRetriesOf(FaultClass::kDiskTimeout) &&
+          faults_->Fire(FaultClass::kDiskTimeout, now_)) {
+        // The transfer timed out: re-queue at the head (preserving the
+        // client's FIFO order) with bounded exponential backoff. After
+        // max_retries the request is forced through — no request starves.
+        ++timeouts_;
+        Request retry = std::move(in_flight_.request);
+        const SimDuration base =
+            faults_->DelayOf(FaultClass::kDiskTimeout);
+        const uint32_t shift = retry.attempts < 6 ? retry.attempts : 6;
+        retry.submitted = now_ + base * (int64_t{1} << shift);
+        ++retry.attempts;
+        state.queue.push_front(std::move(retry));
+        in_flight_.active = false;
+        continue;
+      }
       state.bytes_served += in_flight_.request.bytes;
       ++state.requests_served;
       if (in_flight_.request.on_complete) {

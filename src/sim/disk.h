@@ -25,6 +25,8 @@
 
 namespace lottery {
 
+class FaultInjector;
+
 class DiskScheduler {
  public:
   using ClientId = uint32_t;
@@ -38,6 +40,13 @@ class DiskScheduler {
 
   void RegisterClient(ClientId client, uint64_t tickets);
   void SetTickets(ClientId client, uint64_t tickets);
+
+  // Arms disk-timeout injection (kDiskTimeout opportunities fire at each
+  // would-be completion). nullptr disables. The injector must outlive the
+  // disk scheduler.
+  void SetFaultInjector(FaultInjector* faults) { faults_ = faults; }
+  // Completions that timed out and were re-queued for retry.
+  uint64_t timeouts() const { return timeouts_; }
 
   using Completion = std::function<void(SimTime)>;
 
@@ -70,6 +79,8 @@ class DiskScheduler {
     int64_t bytes;
     SimTime submitted;
     Completion on_complete;
+    // Injected-timeout retries already spent on this request.
+    uint32_t attempts = 0;
   };
   struct ClientState {
     uint64_t tickets = 1;
@@ -94,6 +105,8 @@ class DiskScheduler {
 
   Options options_;
   FastRand* rng_;
+  FaultInjector* faults_ = nullptr;
+  uint64_t timeouts_ = 0;
   std::map<ClientId, ClientState> clients_;
   SimTime now_;
   InFlight in_flight_;

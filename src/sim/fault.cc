@@ -1,0 +1,263 @@
+#include "src/sim/fault.h"
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace lottery {
+
+namespace {
+
+constexpr const char* kClassNames[kNumFaultClasses] = {
+    "crash",        "spurious-wake", "delayed-unblock", "rpc-drop",
+    "rpc-dup",      "rpc-reorder",   "disk-timeout",    "revoke",
+};
+
+// Class defaults when a spec leaves the magnitude fields zero.
+SimDuration DefaultDelay(FaultClass fault) {
+  switch (fault) {
+    case FaultClass::kDelayedUnblock:
+      return SimDuration::Millis(10);
+    case FaultClass::kRpcDrop:
+      return SimDuration::Millis(1);  // loss-notice delay for the caller
+    case FaultClass::kDiskTimeout:
+      return SimDuration::Millis(1);  // backoff base
+    default:
+      return SimDuration{};
+  }
+}
+
+bool ParseClassName(const std::string& name, FaultClass* out) {
+  for (size_t i = 0; i < kNumFaultClasses; ++i) {
+    if (name == kClassNames[i]) {
+      *out = static_cast<FaultClass>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+uint64_t ParseUint(const std::string& text, const std::string& context) {
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') {
+    throw std::invalid_argument("FaultPlan: bad integer '" + text + "' in " +
+                                context);
+  }
+  return static_cast<uint64_t>(value);
+}
+
+double ParseDouble(const std::string& text, const std::string& context) {
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') {
+    throw std::invalid_argument("FaultPlan: bad number '" + text + "' in " +
+                                context);
+  }
+  return value;
+}
+
+}  // namespace
+
+const char* FaultClassName(FaultClass fault) {
+  return kClassNames[static_cast<size_t>(fault)];
+}
+
+std::string FaultSpec::ToString() const {
+  std::ostringstream out;
+  out << FaultClassName(fault);
+  char sep = ':';
+  if (probability_ppm > 0) {
+    // Render as ppm to round-trip exactly (decimal p= is accepted on input).
+    out << sep << "ppm=" << probability_ppm;
+    sep = ',';
+  }
+  if (every_nth > 0) {
+    out << sep << "every=" << every_nth;
+    sep = ',';
+  }
+  if (at_nanos >= 0) {
+    out << sep << "at_ns=" << at_nanos;
+    sep = ',';
+  }
+  if (delay.nanos() > 0) {
+    out << sep << "delay_us=" << delay.nanos() / 1000;
+    sep = ',';
+  }
+  if (fault == FaultClass::kDiskTimeout) {
+    out << sep << "retries=" << max_retries;
+  }
+  return out.str();
+}
+
+std::string FaultPlan::ToString() const {
+  std::string out;
+  for (const FaultSpec& spec : specs) {
+    if (!out.empty()) {
+      out += ';';
+    }
+    out += spec.ToString();
+  }
+  return out;
+}
+
+FaultPlan FaultPlan::Parse(const std::string& text) {
+  FaultPlan plan;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t end = text.find(';', pos);
+    if (end == std::string::npos) {
+      end = text.size();
+    }
+    const std::string item = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (item.empty()) {
+      continue;
+    }
+
+    const size_t colon = item.find(':');
+    const std::string name = item.substr(0, colon);
+    FaultSpec spec;
+    if (!ParseClassName(name, &spec.fault)) {
+      throw std::invalid_argument("FaultPlan: unknown fault class '" + name +
+                                  "'");
+    }
+    bool armed = false;
+    if (colon != std::string::npos) {
+      size_t kpos = colon + 1;
+      while (kpos < item.size()) {
+        size_t kend = item.find(',', kpos);
+        if (kend == std::string::npos) {
+          kend = item.size();
+        }
+        const std::string kv = item.substr(kpos, kend - kpos);
+        kpos = kend + 1;
+        const size_t eq = kv.find('=');
+        if (eq == std::string::npos) {
+          throw std::invalid_argument("FaultPlan: expected key=value, got '" +
+                                      kv + "'");
+        }
+        const std::string key = kv.substr(0, eq);
+        const std::string value = kv.substr(eq + 1);
+        if (key == "p") {
+          const double p = ParseDouble(value, item);
+          if (p < 0.0 || p > 1.0) {
+            throw std::invalid_argument("FaultPlan: p out of [0,1] in " +
+                                        item);
+          }
+          spec.probability_ppm = static_cast<uint32_t>(p * 1e6 + 0.5);
+          armed = true;
+        } else if (key == "ppm") {
+          const uint64_t ppm = ParseUint(value, item);
+          if (ppm > 1000000) {
+            throw std::invalid_argument("FaultPlan: ppm > 1e6 in " + item);
+          }
+          spec.probability_ppm = static_cast<uint32_t>(ppm);
+          armed = true;
+        } else if (key == "every") {
+          spec.every_nth = ParseUint(value, item);
+          armed = true;
+        } else if (key == "at") {
+          spec.at_nanos =
+              static_cast<int64_t>(ParseDouble(value, item) * 1e9);
+          armed = true;
+        } else if (key == "at_ns") {
+          spec.at_nanos = static_cast<int64_t>(ParseUint(value, item));
+          armed = true;
+        } else if (key == "delay_ms") {
+          spec.delay =
+              SimDuration::Millis(static_cast<int64_t>(ParseUint(value, item)));
+        } else if (key == "delay_us") {
+          spec.delay =
+              SimDuration::Micros(static_cast<int64_t>(ParseUint(value, item)));
+        } else if (key == "retries") {
+          spec.max_retries = static_cast<uint32_t>(ParseUint(value, item));
+        } else {
+          throw std::invalid_argument("FaultPlan: unknown key '" + key +
+                                      "' in " + item);
+        }
+      }
+    }
+    if (!armed) {
+      throw std::invalid_argument(
+          "FaultPlan: spec '" + item +
+          "' has no trigger (need p=, ppm=, every=, or at=)");
+    }
+    plan.specs.push_back(spec);
+  }
+  return plan;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, uint64_t seed)
+    : plan_(std::move(plan)),
+      // Offset the mixer so an injector and a SplitMix64-derived scheduler
+      // seeded from the same user value land on unrelated streams.
+      rng_(SplitMix64(seed ^ 0xFA01'7C0D'ECAF'F00Dull).NextFastRandSeed()) {
+  for (const FaultSpec& spec : plan_.specs) {
+    PerClass& pc = classes_[static_cast<size_t>(spec.fault)];
+    pc.armed = true;
+    // Later specs override magnitudes; triggers accumulate conservatively
+    // (any armed trigger can fire).
+    if (spec.probability_ppm > 0) {
+      pc.probability_ppm = spec.probability_ppm;
+    }
+    if (spec.every_nth > 0) {
+      pc.every_nth = spec.every_nth;
+    }
+    if (spec.at_nanos >= 0) {
+      pc.at_nanos = spec.at_nanos;
+    }
+    if (spec.delay.nanos() > 0) {
+      pc.delay = spec.delay;
+    }
+    if (spec.max_retries > 0) {
+      pc.max_retries = spec.max_retries;
+    }
+  }
+}
+
+bool FaultInjector::Fire(FaultClass fault, SimTime now) {
+  PerClass& pc = classes_[static_cast<size_t>(fault)];
+  if (!pc.armed) {
+    return false;
+  }
+  ++pc.opportunities;
+  bool fired = false;
+  if (pc.every_nth > 0 && pc.opportunities % pc.every_nth == 0) {
+    fired = true;
+  }
+  if (pc.at_nanos >= 0 && !pc.at_fired && now.nanos() >= pc.at_nanos) {
+    pc.at_fired = true;
+    fired = true;
+  }
+  // Draw unconditionally when the probability trigger is armed, so the
+  // stream consumed per opportunity is independent of the outcome.
+  if (pc.probability_ppm > 0 &&
+      rng_.NextBelow(1000000u) < pc.probability_ppm) {
+    fired = true;
+  }
+  if (fired) {
+    ++pc.injected;
+  }
+  return fired;
+}
+
+SimDuration FaultInjector::DelayOf(FaultClass fault) const {
+  const PerClass& pc = PerClassOf(fault);
+  return pc.delay.nanos() > 0 ? pc.delay : DefaultDelay(fault);
+}
+
+uint32_t FaultInjector::MaxRetriesOf(FaultClass fault) const {
+  const PerClass& pc = PerClassOf(fault);
+  return pc.max_retries > 0 ? pc.max_retries : 3;
+}
+
+uint64_t FaultInjector::total_injections() const {
+  uint64_t total = 0;
+  for (const PerClass& pc : classes_) {
+    total += pc.injected;
+  }
+  return total;
+}
+
+}  // namespace lottery

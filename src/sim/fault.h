@@ -1,0 +1,151 @@
+// Deterministic fault injection for the simulator.
+//
+// A FaultPlan is a declarative list of fault specs — each names a fault
+// class (thread crash, spurious wakeup, delayed unblock, RPC drop/
+// duplicate/reorder, disk timeout, currency revocation) and a trigger:
+// per-opportunity probability, every-Nth opportunity, or a one-shot
+// simulated time. The FaultInjector evaluates specs at well-defined
+// *opportunity points* inside the kernel and its services (one dispatch, one
+// wake, one RPC call, one disk completion, ...), drawing from its own
+// FastRand stream so that a given (seed, plan) pair reproduces bit-
+// identically and an empty plan perturbs nothing — the injector's stream is
+// decorrelated from the scheduler's, and inactive classes draw no randomness
+// at all.
+//
+// Protected threads (FaultInjector::Protect) are exempt from thread-targeted
+// faults; conformance tests use this to keep their measured threads alive
+// while sacrificial load absorbs the chaos.
+
+#ifndef SRC_SIM_FAULT_H_
+#define SRC_SIM_FAULT_H_
+
+#include <array>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/sched/scheduler.h"
+#include "src/util/fastrand.h"
+#include "src/util/sim_time.h"
+
+namespace lottery {
+
+enum class FaultClass : uint8_t {
+  kThreadCrash = 0,   // involuntary exit at end of the current quantum
+  kSpuriousWakeup,    // a sleeping thread is woken before its timer
+  kDelayedUnblock,    // a service wake is postponed by `delay`
+  kRpcDrop,           // a call is lost; its transfer rolls back
+  kRpcDuplicate,      // a call is delivered twice (second is a ghost)
+  kRpcReorder,        // pending requests are delivered out of order
+  kDiskTimeout,       // a disk completion times out and retries with backoff
+  kCurrencyRevoke,    // a funding ticket is revoked, later restored
+  kNumFaultClasses,
+};
+
+constexpr size_t kNumFaultClasses =
+    static_cast<size_t>(FaultClass::kNumFaultClasses);
+
+// Canonical plan-grammar name ("crash", "rpc-drop", ...).
+const char* FaultClassName(FaultClass fault);
+
+// A single fault rule. Triggers compose: the fault fires at an opportunity
+// if *any* armed trigger matches (probability draw, every-Nth counter, or
+// the one-shot time threshold).
+struct FaultSpec {
+  FaultClass fault = FaultClass::kThreadCrash;
+  // Per-opportunity firing probability in parts per million (0 = disarmed).
+  uint32_t probability_ppm = 0;
+  // Fire on every Nth opportunity (0 = disarmed).
+  uint64_t every_nth = 0;
+  // Fire once at the first opportunity at or after this time (< 0 = disarmed).
+  int64_t at_nanos = -1;
+  // Class-specific magnitude: wake delay for kDelayedUnblock, backoff base
+  // for kDiskTimeout. Zero selects the class default.
+  SimDuration delay{};
+  // kDiskTimeout: retries before the request is forced through.
+  uint32_t max_retries = 3;
+
+  std::string ToString() const;
+};
+
+// An ordered list of fault specs with a textual round-trip form:
+//   "crash:p=0.001;rpc-drop:every=7;disk-timeout:p=0.2,delay_ms=2,retries=4"
+// Spec separator ';', key separator ','. Keys: p (probability, decimal),
+// every (uint), at (seconds, decimal), delay_ms (uint), retries (uint).
+struct FaultPlan {
+  std::vector<FaultSpec> specs;
+
+  bool empty() const { return specs.empty(); }
+  std::string ToString() const;
+  // Throws std::invalid_argument on malformed input. An empty string parses
+  // to an empty plan.
+  static FaultPlan Parse(const std::string& text);
+};
+
+class FaultInjector {
+ public:
+  // The injector derives its private RNG stream from `seed` (decorrelated
+  // from any scheduler seeded with the same value).
+  FaultInjector(FaultPlan plan, uint64_t seed);
+
+  // Cheap guard: true iff the plan arms `fault`. Call sites check this
+  // before Fire so inactive classes cost nothing and draw no randomness.
+  bool active(FaultClass fault) const {
+    return PerClassOf(fault).armed;
+  }
+
+  // Registers one opportunity for `fault` at time `now`; returns true if
+  // the fault fires. Deterministic given construction seed and the sequence
+  // of (fault, now) opportunities.
+  bool Fire(FaultClass fault, SimTime now);
+
+  // Thread-targeted faults (crash, spurious wakeup, revocation of a
+  // thread's funding) never hit protected threads.
+  void Protect(ThreadId tid) { protected_.insert(tid); }
+  bool IsProtected(ThreadId tid) const { return protected_.count(tid) > 0; }
+
+  // Magnitude parameters of the (last) armed spec for `fault`, falling back
+  // to class defaults when the spec leaves them zero.
+  SimDuration DelayOf(FaultClass fault) const;
+  uint32_t MaxRetriesOf(FaultClass fault) const;
+
+  uint64_t opportunities(FaultClass fault) const {
+    return PerClassOf(fault).opportunities;
+  }
+  uint64_t injections(FaultClass fault) const {
+    return PerClassOf(fault).injected;
+  }
+  uint64_t total_injections() const;
+
+  const FaultPlan& plan() const { return plan_; }
+  // The injector's private stream; chaos machinery uses it to pick fault
+  // *targets* (which sleeper, which ticket) deterministically.
+  FastRand& rng() { return rng_; }
+
+ private:
+  struct PerClass {
+    bool armed = false;
+    uint32_t probability_ppm = 0;
+    uint64_t every_nth = 0;
+    int64_t at_nanos = -1;
+    bool at_fired = false;
+    SimDuration delay{};
+    uint32_t max_retries = 0;
+    uint64_t opportunities = 0;
+    uint64_t injected = 0;
+  };
+
+  const PerClass& PerClassOf(FaultClass fault) const {
+    return classes_[static_cast<size_t>(fault)];
+  }
+
+  FaultPlan plan_;
+  FastRand rng_;
+  std::array<PerClass, kNumFaultClasses> classes_{};
+  std::set<ThreadId> protected_;
+};
+
+}  // namespace lottery
+
+#endif  // SRC_SIM_FAULT_H_

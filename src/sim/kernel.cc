@@ -1,6 +1,9 @@
 #include "src/sim/kernel.h"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "src/sim/fault.h"
 
 namespace lottery {
 
@@ -130,10 +133,60 @@ void Kernel::Wake(ThreadId tid, SimTime when) {
     }
     return;
   }
+  FaultInjector* faults = options_.faults;
+  if (faults != nullptr &&
+      faults->active(FaultClass::kDelayedUnblock) &&
+      !faults->IsProtected(tid) &&
+      faults->Fire(FaultClass::kDelayedUnblock, when)) {
+    // The wake condition already happened (mutex granted, reply sent,
+    // timer expired); only its delivery is postponed.
+    const SimDuration delay = faults->DelayOf(FaultClass::kDelayedUnblock);
+    events_.Schedule(when + delay, [this, tid](SimTime at) {
+      if (Alive(tid)) {
+        WakeNow(tid, at);
+      }
+    });
+    return;
+  }
+  WakeNow(tid, when);
+}
+
+void Kernel::WakeNow(ThreadId tid, SimTime when) {
+  Thread& thread = ThreadOf(tid);
+  if (thread.runnable) {
+    // A delayed wake can land after another wake already delivered; the
+    // same lost-wakeup race as in Wake applies.
+    if (thread.running) {
+      thread.pending_wake = true;
+    }
+    return;
+  }
+  thread.sleeping = false;
   thread.runnable = true;
   ++runnable_count_;
   m_wakes_->Inc();
   scheduler_->OnReady(tid, when);
+}
+
+void Kernel::AddExitObserver(ThreadExitObserver* observer) {
+  exit_observers_.push_back(observer);
+}
+
+void Kernel::RemoveExitObserver(ThreadExitObserver* observer) {
+  exit_observers_.erase(
+      std::remove(exit_observers_.begin(), exit_observers_.end(), observer),
+      exit_observers_.end());
+}
+
+std::vector<ThreadId> Kernel::SleepingThreads() const {
+  std::vector<ThreadId> sleeping;
+  for (ThreadId tid = 1; tid < next_tid_; ++tid) {
+    const auto it = threads_.find(tid);
+    if (it != threads_.end() && it->second.alive && it->second.sleeping) {
+      sleeping.push_back(tid);
+    }
+  }
+  return sleeping;
 }
 
 bool Kernel::IsQuiescent() const {
@@ -187,6 +240,7 @@ void Kernel::FinishSlice(ThreadId tid, Disposition disposition,
       }
       thread.runnable = false;
       --runnable_count_;
+      thread.sleeping = true;
       scheduler_->OnBlocked(tid, when);
       events_.Schedule(when + sleep, [this, tid](SimTime at) {
         if (Alive(tid)) {
@@ -212,6 +266,11 @@ void Kernel::FinishSlice(ThreadId tid, Disposition disposition,
       --runnable_count_;
       thread.alive = false;
       --live_threads_;
+      // Let services withdraw tickets tied to this thread (mutex
+      // inheritance, RPC server funding) while its currency still exists.
+      for (ThreadExitObserver* observer : exit_observers_) {
+        observer->OnThreadExit(tid, when);
+      }
       scheduler_->RemoveThread(tid, when);
       // The body is retained until the kernel is destroyed: callers commonly
       // hold a raw pointer into it to harvest final workload state after the
@@ -308,6 +367,15 @@ void Kernel::RunUntil(SimTime end) {
     if (!ctx.disposition_set_) {
       disposition = ctx.remaining().nanos() == 0 ? Disposition::kPreempted
                                                  : Disposition::kYield;
+    }
+    if (options_.faults != nullptr && disposition != Disposition::kExit &&
+        options_.faults->active(FaultClass::kThreadCrash) &&
+        !options_.faults->IsProtected(tid) &&
+        options_.faults->Fire(FaultClass::kThreadCrash, slice_end)) {
+      // Involuntary exit at the end of the quantum: whatever the body
+      // requested (block, sleep, requeue) is overridden, and the thread
+      // dies holding its service state — exit observers roll it back.
+      disposition = Disposition::kExit;
     }
     scheduler_->OnQuantumEnd(tid, ctx.used(), options_.quantum, slice_end);
     if (options_.num_cpus == 1) {

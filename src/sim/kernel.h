@@ -27,8 +27,20 @@
 
 namespace lottery {
 
+class FaultInjector;
 class Kernel;
 class RunContext;
+
+// Notified when a thread exits — voluntarily or via an injected crash —
+// after it leaves the run queue but *before* the scheduler destroys its
+// currency. Kernel services (mutexes, RPC ports) use this to withdraw
+// tickets that fund, or are funded by, the dying thread: the last moment
+// such tickets are still safely attached.
+class ThreadExitObserver {
+ public:
+  virtual ~ThreadExitObserver() = default;
+  virtual void OnThreadExit(ThreadId tid, SimTime when) = 0;
+};
 
 // A thread's behaviour. Bodies are small state machines: each Run call may span
 // several logical phases, consuming CPU via ctx.Consume and invoking kernel
@@ -105,6 +117,10 @@ class Kernel {
     // Metric sink; nullptr selects obs::Registry::Default(). Kernel services
     // (mutexes, locks, semaphores) inherit this registry via metrics().
     obs::Registry* metrics = nullptr;
+    // Fault injector consulted at dispatch and wake opportunities; kernel
+    // services pick it up via faults(). nullptr (the default) disables
+    // injection entirely — no hooks run, no randomness is drawn.
+    FaultInjector* faults = nullptr;
   };
 
   // `scheduler` must outlive the kernel. `tracer` may be null.
@@ -122,6 +138,17 @@ class Kernel {
   void Wake(ThreadId tid, SimTime when);
   bool Alive(ThreadId tid) const;
   const std::string& ThreadName(ThreadId tid) const;
+
+  // Exit observers fire for every thread exit (voluntary or injected crash),
+  // in registration order, before the scheduler's RemoveThread. Observers
+  // must not wake or re-register the dying thread.
+  void AddExitObserver(ThreadExitObserver* observer);
+  void RemoveExitObserver(ThreadExitObserver* observer);
+
+  // Threads currently in a timed sleep (SleepFor), in tid order. The chaos
+  // controller's spurious-wakeup fault targets these — never threads blocked
+  // on a service, whose protocols require their wake to mean completion.
+  std::vector<ThreadId> SleepingThreads() const;
 
   // --- Execution -------------------------------------------------------------
 
@@ -142,6 +169,8 @@ class Kernel {
   // services (RPC, mutexes) use this for ticket transfers.
   LotteryScheduler* lottery() { return lottery_; }
   Tracer* tracer() { return tracer_; }
+  // Fault injector shared by the kernel and its services; may be null.
+  FaultInjector* faults() { return options_.faults; }
   const Options& options() const { return options_; }
   // Registry the kernel's obs hooks write into (never null).
   obs::Registry& metrics() { return *metrics_; }
@@ -170,12 +199,19 @@ class Kernel {
     // A Wake arrived while the slice was in flight; upgrade the slice's
     // block/sleep disposition to a requeue (prevents lost wakeups on SMP).
     bool pending_wake = false;
+    // In a timed sleep (set when a kSleep slice parks the thread, cleared
+    // on wake); distinguishes spurious-wakeup-eligible threads from ones
+    // blocked on a service.
+    bool sleeping = false;
     SimDuration cpu_time{};
     uint64_t dispatches = 0;
   };
 
   Thread& ThreadOf(ThreadId tid);
   const Thread& ThreadOf(ThreadId tid) const;
+  // Wake without fault evaluation: the target of a delayed-unblock
+  // injection, and the path every undelayed Wake funnels through.
+  void WakeNow(ThreadId tid, SimTime when);
   void DeliverTicks();
   // No runnable threads, no pending events, no slice in flight.
   bool IsQuiescent() const;
@@ -202,6 +238,7 @@ class Kernel {
   std::vector<SimTime> cpu_free_;
   std::vector<ThreadId> cpu_last_;
   std::vector<SimDuration> cpu_busy_;
+  std::vector<ThreadExitObserver*> exit_observers_;
 
   // Obs hooks (resolved once; raw pointers into metrics_).
   obs::Registry* metrics_;

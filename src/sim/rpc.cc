@@ -1,6 +1,9 @@
 #include "src/sim/rpc.h"
 
 #include <stdexcept>
+#include <utility>
+
+#include "src/sim/fault.h"
 
 namespace lottery {
 
@@ -15,10 +18,13 @@ RpcPort::RpcPort(Kernel* kernel, const std::string& name,
   if (ls != nullptr) {
     currency_ = ls->table().CreateCurrency("port:" + name);
   }
+  kernel_->AddExitObserver(this);
 }
 
 RpcPort::~RpcPort() {
+  kernel_->RemoveExitObserver(this);
   if (currency_ == nullptr) {
+    pending_.clear();
     return;
   }
   CurrencyTable& table = kernel_->lottery()->table();
@@ -58,6 +64,40 @@ void RpcPort::Call(RunContext& ctx, int64_t payload) {
     ls->NoteTransfer();
   }
 
+  FaultInjector* faults = kernel_->faults();
+  if (faults != nullptr && faults->active(FaultClass::kRpcDrop) &&
+      faults->Fire(FaultClass::kRpcDrop, ctx.now())) {
+    // The message is lost in transit. Destroying the transfer rolls the
+    // client's funding back (exactly once, by RAII); the blocked caller is
+    // woken after a notice delay, as if its call timed out.
+    ++dropped_calls_;
+    message.transfer.reset();
+    const ThreadId client = message.client;
+    const SimDuration notice = faults->DelayOf(FaultClass::kRpcDrop);
+    kernel_->events().Schedule(ctx.now() + notice,
+                               [this, client](SimTime at) {
+                                 if (kernel_->Alive(client)) {
+                                   kernel_->Wake(client, at);
+                                 }
+                               });
+    return;
+  }
+  const bool duplicate =
+      faults != nullptr && faults->active(FaultClass::kRpcDuplicate) &&
+      faults->Fire(FaultClass::kRpcDuplicate, ctx.now());
+  if (duplicate) {
+    // Second delivery of the same request: a ghost with no funding whose
+    // reply will be discarded. The server does the work twice — the
+    // observable cost of a duplicated message.
+    ++duplicated_calls_;
+    RpcMessage ghost;
+    ghost.client = message.client;
+    ghost.payload = message.payload;
+    ghost.sent_at = message.sent_at;
+    ghost.ghost = true;
+    pending_.push_back(std::move(ghost));
+  }
+
   if (!waiting_servers_.empty()) {
     // A server thread is blocked in receive: fund it directly and wake it
     // ("if the server thread is already waiting... it is immediately funded
@@ -76,6 +116,18 @@ void RpcPort::Call(RunContext& ctx, int64_t payload) {
       message.transfer->FundTarget(currency_);
     }
     pending_.push_back(std::move(message));
+  }
+
+  if (faults != nullptr && faults->active(FaultClass::kRpcReorder) &&
+      pending_.size() >= 2 &&
+      faults->Fire(FaultClass::kRpcReorder, ctx.now())) {
+    // Deliver the newest request first: move it to the queue head. The
+    // receive path retargets whatever transfer it dequeues, so funding
+    // follows the reordered message correctly.
+    ++reordered_calls_;
+    RpcMessage last = std::move(pending_.back());
+    pending_.pop_back();
+    pending_.push_front(std::move(last));
   }
 }
 
@@ -103,6 +155,17 @@ void RpcPort::Reply(RunContext& ctx, RpcMessage message) {
     throw std::invalid_argument("RpcPort::Reply: message has no client");
   }
   message.transfer.reset();  // destroy the transfer ticket
+  if (message.ghost) {
+    // Reply to an injected duplicate: the original's reply (already sent
+    // or still to come) is the one that wakes the client.
+    return;
+  }
+  if (!kernel_->Alive(message.client)) {
+    // The client crashed while its call was in flight; destroying the
+    // transfer above reclaimed its retired currency. Nothing to wake.
+    ++dead_client_replies_;
+    return;
+  }
   const SimDuration latency = ctx.now() - message.sent_at;
   m_latency_us_->Record(static_cast<uint64_t>(latency.nanos()) / 1000u);
   if (kernel_->tracer() != nullptr) {
@@ -111,6 +174,42 @@ void RpcPort::Reply(RunContext& ctx, RpcMessage message) {
         latency.ToSecondsF());
   }
   kernel_->Wake(message.client, ctx.now());
+}
+
+void RpcPort::OnThreadExit(ThreadId tid, SimTime /*when*/) {
+  // Dead receive-waiter: drop its slot so a future Call cannot try to fund
+  // and wake a corpse.
+  for (auto it = waiting_servers_.begin(); it != waiting_servers_.end();) {
+    if (*it == tid) {
+      it = waiting_servers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Undelivered calls funded directly at the dying thread (the
+  // waiting-server fast path in Call): retarget them to the port currency
+  // before RemoveThread destroys the dead thread's currency — and the
+  // parked transfer tickets backing it with it — so a surviving server can
+  // still pick them up.
+  LotteryScheduler* ls = kernel_->lottery();
+  if (ls != nullptr && currency_ != nullptr) {
+    Currency* dead = ls->thread_currency(tid);
+    if (dead != nullptr) {
+      for (RpcMessage& message : pending_) {
+        if (message.transfer != nullptr &&
+            message.transfer->target() == dead) {
+          message.transfer->Retarget(currency_);
+        }
+      }
+    }
+  }
+  // Dead registered server: withdraw the port-currency ticket backing its
+  // thread currency while that currency still exists.
+  const auto it = server_tickets_.find(tid);
+  if (it != server_tickets_.end()) {
+    kernel_->lottery()->table().DestroyTicket(it->second);
+    server_tickets_.erase(it);
+  }
 }
 
 }  // namespace lottery

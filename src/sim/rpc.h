@@ -38,9 +38,15 @@ struct RpcMessage {
   SimTime sent_at;
   // Lottery mode only: the client's funding, parked or funding a server.
   std::unique_ptr<TicketTransfer> transfer;
+  // Injected duplicate delivery: carries no transfer, and its reply is
+  // discarded (the client is only woken by the original's reply).
+  bool ghost = false;
 };
 
-class RpcPort {
+// Observes thread exits so a dying server's port-funded ticket is withdrawn
+// before its thread currency is destroyed, and so dead receive-waiters drop
+// out of the queue.
+class RpcPort : public ThreadExitObserver {
  public:
   RpcPort(Kernel* kernel, const std::string& name,
           int64_t transfer_amount = 1000);
@@ -74,6 +80,18 @@ class RpcPort {
   const std::string& name() const { return name_; }
   uint64_t total_calls() const { return total_calls_; }
 
+  // Fault-injection outcomes (zero without an armed injector).
+  uint64_t dropped_calls() const { return dropped_calls_; }
+  uint64_t duplicated_calls() const { return duplicated_calls_; }
+  uint64_t reordered_calls() const { return reordered_calls_; }
+  uint64_t dead_client_replies() const { return dead_client_replies_; }
+
+  // ThreadExitObserver: withdraws a dead server's funding ticket and its
+  // receive slot. Parked calls from dead clients stay queued — Reply
+  // tolerates them, and destroying their transfer reclaims the client's
+  // retired currency.
+  void OnThreadExit(ThreadId tid, SimTime when) override;
+
  private:
   Kernel* kernel_;
   std::string name_;
@@ -81,6 +99,10 @@ class RpcPort {
   std::deque<RpcMessage> pending_;
   std::deque<ThreadId> waiting_servers_;
   uint64_t total_calls_ = 0;
+  uint64_t dropped_calls_ = 0;
+  uint64_t duplicated_calls_ = 0;
+  uint64_t reordered_calls_ = 0;
+  uint64_t dead_client_replies_ = 0;
   // Lottery mode: the currency parked requests fund, and the per-server
   // tickets issued in it.
   Currency* currency_ = nullptr;

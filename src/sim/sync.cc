@@ -18,9 +18,11 @@ SimMutex::SimMutex(Kernel* kernel, const std::string& name,
     inheritance_ticket_ =
         ls->table().CreateTicket(currency_, transfer_amount_);
   }
+  kernel_->AddExitObserver(this);
 }
 
 SimMutex::~SimMutex() {
+  kernel_->RemoveExitObserver(this);
   if (currency_ != nullptr) {
     CurrencyTable& table = kernel_->lottery()->table();
     // Outstanding waiters would hold transfer tickets issued in thread
@@ -63,6 +65,27 @@ void SimMutex::Release(RunContext& ctx) {
   if (owner_ != ctx.self()) {
     throw std::logic_error("SimMutex: release by non-owner of " + name_);
   }
+  ReleaseAndGrant(ctx.now());
+}
+
+void SimMutex::OnThreadExit(ThreadId tid, SimTime when) {
+  // A dead waiter's transfer rolls back to (what remains of) its thread
+  // currency; the erase destroys the TicketTransfer.
+  for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
+    if (it->tid == tid) {
+      waiters_.erase(it);
+      break;
+    }
+  }
+  if (owner_ == tid) {
+    // The owner died holding the lock. Release the inheritance ticket from
+    // its doomed currency and pass ownership on, exactly as a voluntary
+    // Release would — otherwise the waiters' funding is stranded forever.
+    ReleaseAndGrant(when);
+  }
+}
+
+void SimMutex::ReleaseAndGrant(SimTime now) {
   LotteryScheduler* ls = kernel_->lottery();
 
   if (waiters_.empty()) {
@@ -102,16 +125,16 @@ void SimMutex::Release(RunContext& ctx) {
   waiters_.erase(waiters_.begin() + static_cast<ptrdiff_t>(winner_index));
   winner.transfer.reset();  // destroy the winner's transfer ticket
 
-  const SimDuration waited = ctx.now() - winner.since;
+  const SimDuration waited = now - winner.since;
   m_wait_us_->Record(static_cast<uint64_t>(waited.nanos()) / 1000u);
   if (kernel_->tracer() != nullptr) {
     kernel_->tracer()->RecordSample(
-        "mutex_wait:" + kernel_->ThreadName(winner.tid), ctx.now(),
+        "mutex_wait:" + kernel_->ThreadName(winner.tid), now,
         waited.ToSecondsF());
   }
 
   GrantTo(winner.tid);
-  kernel_->Wake(winner.tid, ctx.now());
+  kernel_->Wake(winner.tid, now);
 }
 
 void SimMutex::GrantTo(ThreadId tid) {

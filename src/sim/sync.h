@@ -25,7 +25,11 @@
 
 namespace lottery {
 
-class SimMutex {
+// Observes thread exits so that an owner dying while holding the lock —
+// voluntarily or through an injected crash — releases the inheritance
+// ticket and passes ownership on instead of stranding the waiters' funding
+// in a currency about to be destroyed.
+class SimMutex : public ThreadExitObserver {
  public:
   // `kernel` must outlive the mutex. Transfer amounts are the face value of
   // waiter transfer tickets; any positive constant works (shares are
@@ -54,6 +58,11 @@ class SimMutex {
   // Total acquisitions granted so far (for the Figure 11 counts).
   uint64_t acquisitions() const { return acquisitions_; }
 
+  // ThreadExitObserver: purges the dead thread from the waiter list (its
+  // transfer rolls back) and, if it owned the mutex, releases and re-grants
+  // at `when` so the lock currency never funds a destroyed currency.
+  void OnThreadExit(ThreadId tid, SimTime when) override;
+
  private:
   struct Waiter {
     ThreadId tid;
@@ -62,6 +71,9 @@ class SimMutex {
   };
 
   void GrantTo(ThreadId tid);
+  // The release path shared by Release and OnThreadExit: drops or re-grants
+  // the inheritance ticket and wakes the lottery-picked next owner.
+  void ReleaseAndGrant(SimTime now);
 
   Kernel* kernel_;
   std::string name_;

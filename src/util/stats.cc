@@ -167,14 +167,12 @@ double ChiSquareStatistic(const std::vector<int64_t>& observed,
   return chi2;
 }
 
-double ChiSquareCritical(int df, double alpha) {
-  if (df < 1) {
-    throw std::invalid_argument("ChiSquareCritical: df < 1");
-  }
-  // Inverse normal via Acklam-style rational approximation (sufficient
-  // accuracy for test thresholds).
-  const double p = 1.0 - alpha;
-  // Beasley-Springer-Moro.
+namespace {
+
+// Inverse standard-normal CDF via Acklam-style rational approximation
+// (Beasley-Springer-Moro coefficients; sufficient accuracy for test
+// thresholds).
+double InverseNormal(double p) {
   static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
                              -2.759285104469687e+02, 1.383577518672690e+02,
                              -3.066479806614716e+01, 2.506628277459239e+00};
@@ -187,26 +185,91 @@ double ChiSquareCritical(int df, double alpha) {
   static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
                              2.445134137142996e+00, 3.754408661907416e+00};
   const double plow = 0.02425;
-  double z;
   if (p < plow) {
     const double q = std::sqrt(-2.0 * std::log(p));
-    z = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
-        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
-  } else if (p <= 1.0 - plow) {
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= 1.0 - plow) {
     const double q = p - 0.5;
     const double r = q * q;
-    z = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
-        q /
-        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
-  } else {
-    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
-    z = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
-        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+            a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
   }
+  const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+           c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+}  // namespace
+
+double ChiSquareCritical(int df, double alpha) {
+  if (df < 1) {
+    throw std::invalid_argument("ChiSquareCritical: df < 1");
+  }
+  const double z = InverseNormal(1.0 - alpha);
   // Wilson-Hilferty: chi2 ~ df * (1 - 2/(9 df) + z sqrt(2/(9 df)))^3.
   const double k = static_cast<double>(df);
   const double t = 1.0 - 2.0 / (9.0 * k) + z * std::sqrt(2.0 / (9.0 * k));
   return k * t * t * t;
+}
+
+double KsStatisticUniform(const std::vector<double>& samples, double lo,
+                          double hi) {
+  if (samples.empty()) {
+    throw std::invalid_argument("KsStatisticUniform: no samples");
+  }
+  if (!(hi > lo)) {
+    throw std::invalid_argument("KsStatisticUniform: empty range");
+  }
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  const double n = static_cast<double>(sorted.size());
+  double sup = 0.0;
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    const double f =
+        std::clamp((sorted[i] - lo) / (hi - lo), 0.0, 1.0);
+    // Both one-sided gaps around the step at sample i.
+    const double above = static_cast<double>(i + 1) / n - f;
+    const double below = f - static_cast<double>(i) / n;
+    sup = std::max({sup, above, below});
+  }
+  return sup;
+}
+
+double KsCritical(size_t n, double alpha) {
+  if (n == 0) {
+    throw std::invalid_argument("KsCritical: n == 0");
+  }
+  if (!(alpha > 0.0 && alpha < 1.0)) {
+    throw std::invalid_argument("KsCritical: alpha outside (0,1)");
+  }
+  const double c = std::sqrt(-std::log(alpha / 2.0) / 2.0);
+  return c / std::sqrt(static_cast<double>(n));
+}
+
+ProportionInterval BinomialConfidence(int64_t successes, int64_t trials,
+                                      double confidence) {
+  if (trials <= 0 || successes < 0 || successes > trials) {
+    throw std::invalid_argument("BinomialConfidence: bad counts");
+  }
+  if (!(confidence > 0.0 && confidence < 1.0)) {
+    throw std::invalid_argument("BinomialConfidence: confidence outside (0,1)");
+  }
+  const double z = InverseNormal(0.5 + confidence / 2.0);
+  const double n = static_cast<double>(trials);
+  const double phat = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (phat + z2 / (2.0 * n)) / denom;
+  const double margin =
+      z * std::sqrt(phat * (1.0 - phat) / n + z2 / (4.0 * n * n)) / denom;
+  return ProportionInterval{std::max(0.0, center - margin),
+                            std::min(1.0, center + margin)};
 }
 
 LinearFit FitLine(const std::vector<double>& xs,

@@ -109,6 +109,30 @@ double ChiSquareStatistic(const std::vector<int64_t>& observed,
 // df >= 3, which is ample for pass/fail property tests.
 double ChiSquareCritical(int df, double alpha);
 
+// One-sample Kolmogorov-Smirnov statistic of `samples` against the uniform
+// distribution on [lo, hi]: sup |F_empirical - F_uniform|. `samples` need
+// not be sorted (a sorted copy is made). Requires hi > lo and at least one
+// sample. The conformance suite uses it to test that a thread's dispatch
+// times are spread evenly across a run rather than bunched.
+double KsStatisticUniform(const std::vector<double>& samples, double lo,
+                          double hi);
+
+// Critical value for the one-sample KS test at significance `alpha`:
+// c(alpha) / sqrt(n) with c(alpha) = sqrt(-ln(alpha/2) / 2), the standard
+// large-n approximation (accurate to a few percent for n >= 35).
+double KsCritical(size_t n, double alpha);
+
+// Wilson score interval for a binomial proportion: observing `successes` in
+// `trials`, the returned [lo, hi] covers the true probability with
+// approximately `confidence` (e.g. 0.99). Well-behaved near 0 and 1, unlike
+// the normal approximation.
+struct ProportionInterval {
+  double lo;
+  double hi;
+};
+ProportionInterval BinomialConfidence(int64_t successes, int64_t trials,
+                                      double confidence);
+
 // Least-squares slope/intercept of y on x. Requires xs.size() == ys.size()
 // and at least two distinct x values.
 struct LinearFit {

@@ -3,10 +3,19 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
 #include "src/core/client.h"
 #include "src/core/compensation.h"
 #include "src/core/currency.h"
+#include "src/core/lottery_scheduler.h"
 #include "src/core/transfer.h"
+#include "src/sim/chaos.h"
+#include "src/sim/fault.h"
+#include "src/sim/kernel.h"
 
 namespace lottery {
 namespace {
@@ -76,6 +85,78 @@ TEST_F(CompensationTest, OverfullUsageClears) {
   policy.OnQuantumEnd(client_.get(), SimDuration::Millis(110),
                       SimDuration::Millis(100));
   EXPECT_FALSE(client_->has_compensation());
+}
+
+TEST_F(CompensationTest, CapHoldsUnderInjectedFaults) {
+  // Low-consumption sleepers under heavy spurious wakeups and delayed
+  // unblocks: every slice uses a sliver of its quantum, so uncapped
+  // compensation would inflate 100x. The factor must stay within the
+  // configured cap at every point of the run, not just at the end.
+  class Sliver : public ThreadBody {
+   public:
+    void Run(RunContext& ctx) override {
+      ctx.Consume(SimDuration::Micros(100));
+      ctx.SleepFor(SimDuration::Millis(2));
+    }
+  };
+
+  constexpr int64_t kCap = 50;
+  LotteryScheduler::Options sopts;
+  sopts.seed = 31;
+  sopts.compensation = CompensationPolicy::Options{true, kCap};
+  LotteryScheduler sched(sopts);
+  FaultInjector faults(
+      FaultPlan::Parse("spurious-wake:p=1.0;delayed-unblock:p=0.6"), 31);
+  Kernel::Options kopts;
+  kopts.quantum = SimDuration::Millis(10);
+  kopts.faults = &faults;
+  Kernel kernel(&sched, kopts);
+  chaos::ChaosController::Options copts;
+  copts.period = SimDuration::Millis(1);
+  chaos::ChaosController controller(&kernel, &faults, copts);
+
+  std::vector<ThreadId> tids;
+  for (int i = 0; i < 4; ++i) {
+    const ThreadId tid =
+        kernel.Spawn("sliver" + std::to_string(i), std::make_unique<Sliver>());
+    sched.FundThread(tid, sched.table().base(), 100 * (i + 1));
+    tids.push_back(tid);
+  }
+  controller.Start();
+
+  // Sample the compensation state of every live thread throughout the run.
+  int64_t max_num_per_den = 0;
+  bool saw_compensation = false;
+  std::function<void(SimTime)> sample = [&](SimTime at) {
+    for (const ThreadId tid : tids) {
+      if (!kernel.Alive(tid)) {
+        continue;
+      }
+      const Client* client = sched.client(tid);
+      ASSERT_NE(client, nullptr);
+      ASSERT_GT(client->compensation_den(), 0);
+      ASSERT_GE(client->compensation_num(), client->compensation_den());
+      ASSERT_LE(client->compensation_num(),
+                client->compensation_den() * kCap)
+          << "thread " << tid << " over the cap at " << at.nanos() << "ns";
+      max_num_per_den =
+          std::max(max_num_per_den, client->compensation_num() /
+                                        client->compensation_den());
+      saw_compensation |= client->has_compensation();
+    }
+    if (at < SimTime::Zero() + SimDuration::Millis(495)) {
+      kernel.events().Schedule(at + SimDuration::Millis(1), sample);
+    }
+  };
+  kernel.events().Schedule(SimTime::Zero() + SimDuration::Millis(1), sample);
+  kernel.RunFor(SimDuration::Millis(500));
+
+  EXPECT_TRUE(saw_compensation);
+  // The workload's 100us-of-10ms slices should drive factors all the way to
+  // the cap — proving the bound was the binding constraint, not the load.
+  EXPECT_EQ(max_num_per_den, kCap);
+  EXPECT_GT(controller.spurious_wakes(), 0u);
+  EXPECT_GT(faults.injections(FaultClass::kDelayedUnblock), 0u);
 }
 
 // --- Transfers ---------------------------------------------------------------

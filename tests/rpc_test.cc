@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "src/sched/round_robin.h"
+#include "src/sim/fault.h"
 #include "src/workloads/compute.h"
 #include "src/workloads/query_server.h"
 
@@ -205,6 +206,99 @@ TEST_F(RpcLotteryTest, SplitTransfersAcrossTwoServers) {
   EXPECT_EQ(sched_->ThreadValue(w2).base_units(), 400);
   kernel_->RunFor(SimDuration::Seconds(10));
   EXPECT_TRUE(rc->done_ || !kernel_->Alive(1));
+}
+
+// --- Injected message loss (rpc-drop) --------------------------------------
+
+class RpcDropTest : public ::testing::Test {
+ protected:
+  // Builds the lottery stack with an injector installed; `plan` decides
+  // which calls get lost.
+  void Build(const std::string& plan) {
+    LotteryScheduler::Options opts;
+    opts.seed = 7;
+    sched_ = std::make_unique<LotteryScheduler>(opts);
+    faults_ = std::make_unique<FaultInjector>(FaultPlan::Parse(plan), 7);
+    Kernel::Options ko = KOpts();
+    ko.faults = faults_.get();
+    kernel_ = std::make_unique<Kernel>(sched_.get(), ko);
+    port_ = std::make_unique<RpcPort>(kernel_.get(), "db");
+
+    QueryClient::Options copts;
+    copts.num_queries = -1;  // run forever so no currency is torn down
+    copts.query_cost = SimDuration::Millis(20);
+    auto client = std::make_unique<QueryClient>(port_.get(), copts);
+    client_ = client.get();
+    client_tid_ = kernel_->Spawn("client", std::move(client));
+    sched_->FundThread(client_tid_, sched_->table().base(), 800);
+    auto worker = std::make_unique<QueryWorker>(port_.get());
+    worker_ = worker.get();
+    worker_tid_ = kernel_->Spawn("worker", std::move(worker));
+    port_->RegisterServer(worker_tid_);
+    const ThreadId spin = kernel_->Spawn("spin",
+                                         std::make_unique<ComputeTask>());
+    sched_->FundThread(spin, sched_->table().base(), 200);
+    baseline_tickets_ = sched_->table().num_tickets();
+  }
+
+  std::unique_ptr<LotteryScheduler> sched_;
+  std::unique_ptr<FaultInjector> faults_;
+  std::unique_ptr<Kernel> kernel_;
+  std::unique_ptr<RpcPort> port_;
+  QueryClient* client_ = nullptr;
+  QueryWorker* worker_ = nullptr;
+  ThreadId client_tid_ = kInvalidThreadId;
+  ThreadId worker_tid_ = kInvalidThreadId;
+  size_t baseline_tickets_ = 0;
+};
+
+TEST_F(RpcDropTest, EveryCallDroppedRollsBackAndWakesExactlyOnce) {
+  Build("rpc-drop:every=1");
+  kernel_->RunFor(SimDuration::Seconds(5));
+
+  EXPECT_GT(port_->total_calls(), 10u);
+  // Every call was lost before reaching the server.
+  EXPECT_EQ(port_->dropped_calls(), port_->total_calls());
+  EXPECT_EQ(worker_->served(), 0);
+  EXPECT_EQ(port_->pending_requests(), 0u);
+  // Exactly-once loss notice: the client progressed to the next query for
+  // each drop — a missed wake would wedge it, a double wake would let it
+  // complete more queries than calls it made. The final drop's notice may
+  // still be pending at the horizon, hence the one-call slack.
+  EXPECT_LE(static_cast<uint64_t>(client_->completed()),
+            port_->dropped_calls());
+  EXPECT_GE(static_cast<uint64_t>(client_->completed()) + 1,
+            port_->dropped_calls());
+  // The transfer rolled back by RAII: no leaked tickets, and the worker
+  // carries none of the client's funding. The client's own value is its 800
+  // base tickets, possibly scaled up by compensation (it runs only slivers
+  // of its quanta).
+  EXPECT_EQ(sched_->table().num_tickets(), baseline_tickets_);
+  EXPECT_EQ(sched_->ThreadValue(worker_tid_).base_units(), 0);
+  EXPECT_GE(sched_->ThreadValue(client_tid_).base_units(), 800);
+}
+
+TEST_F(RpcDropTest, MixedDropsServeTheSurvivorsExactlyOnce) {
+  Build("rpc-drop:every=2");
+  kernel_->RunFor(SimDuration::Seconds(5));
+
+  EXPECT_GT(port_->dropped_calls(), 5u);
+  EXPECT_GT(static_cast<uint64_t>(worker_->served()), 5u);
+  // Delivered + dropped partition the calls; nothing is double-counted,
+  // nothing is lost twice. (One call may be in flight at the horizon.)
+  EXPECT_GE(port_->total_calls(),
+            port_->dropped_calls() + static_cast<uint64_t>(worker_->served()));
+  EXPECT_LE(port_->total_calls(), port_->dropped_calls() +
+                                      static_cast<uint64_t>(worker_->served()) +
+                                      1u);
+  // The client saw exactly one wake per finished call, dropped or served
+  // (the last notice may still be in flight at the horizon).
+  EXPECT_LE(static_cast<uint64_t>(client_->completed()),
+            port_->dropped_calls() + static_cast<uint64_t>(worker_->served()));
+  EXPECT_GE(static_cast<uint64_t>(client_->completed()) + 1,
+            port_->dropped_calls() + static_cast<uint64_t>(worker_->served()));
+  // No leaked transfer tickets beyond the possible in-flight call.
+  EXPECT_LE(sched_->table().num_tickets(), baseline_tickets_ + 1);
 }
 
 TEST_F(RpcLotteryTest, ReplyWithoutClientThrows) {

@@ -182,6 +182,74 @@ TEST(ChiSquare, CriticalRejectsBadDf) {
   EXPECT_THROW(ChiSquareCritical(0, 0.05), std::invalid_argument);
 }
 
+TEST(KolmogorovSmirnov, PerfectlyUniformGridScoresLow) {
+  // Midpoints of n equal buckets: the empirical CDF straddles the uniform
+  // CDF symmetrically, so the statistic is exactly 1/(2n).
+  std::vector<double> samples;
+  const int n = 100;
+  for (int i = 0; i < n; ++i) {
+    samples.push_back((i + 0.5) / n);
+  }
+  EXPECT_NEAR(KsStatisticUniform(samples, 0.0, 1.0), 1.0 / (2.0 * n), 1e-12);
+  EXPECT_LT(KsStatisticUniform(samples, 0.0, 1.0), KsCritical(n, 0.01));
+}
+
+TEST(KolmogorovSmirnov, BunchedSamplesScoreHigh) {
+  // Everything in the first tenth of the range: D is nearly 0.9.
+  std::vector<double> samples;
+  for (int i = 0; i < 50; ++i) {
+    samples.push_back(0.1 * (i + 0.5) / 50.0);
+  }
+  const double d = KsStatisticUniform(samples, 0.0, 1.0);
+  EXPECT_GT(d, 0.85);
+  EXPECT_GT(d, KsCritical(samples.size(), 0.01));
+}
+
+TEST(KolmogorovSmirnov, UnsortedInputAndCustomRange) {
+  // Samples at 10/20/30 of [0,40]: the largest gap is the 1/4 between
+  // F(10-) = 0 and the uniform CDF 0.25 (and symmetrically at 30).
+  const std::vector<double> samples = {30.0, 10.0, 20.0};
+  EXPECT_NEAR(KsStatisticUniform(samples, 0.0, 40.0), 0.25, 1e-12);
+}
+
+TEST(KolmogorovSmirnov, CriticalMatchesLargeSampleTable) {
+  // c(0.01) = 1.6276, c(0.05) = 1.3581 (classic large-n table values).
+  EXPECT_NEAR(KsCritical(100, 0.01), 1.6276 / 10.0, 1e-3);
+  EXPECT_NEAR(KsCritical(400, 0.05), 1.3581 / 20.0, 1e-3);
+  EXPECT_GT(KsCritical(10, 0.01), KsCritical(1000, 0.01));
+}
+
+TEST(KolmogorovSmirnov, RejectsBadInput) {
+  EXPECT_THROW(KsStatisticUniform({}, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(KsStatisticUniform({0.5}, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(KsCritical(0, 0.01), std::invalid_argument);
+  EXPECT_THROW(KsCritical(10, 0.0), std::invalid_argument);
+  EXPECT_THROW(KsCritical(10, 1.0), std::invalid_argument);
+}
+
+TEST(BinomialConfidence, WilsonIntervalBracketsTruthAndShrinks) {
+  // 700 of 1000 at 99%: the interval must bracket 0.7 tightly.
+  const ProportionInterval i1 = BinomialConfidence(700, 1000, 0.99);
+  EXPECT_LT(i1.lo, 0.7);
+  EXPECT_GT(i1.hi, 0.7);
+  EXPECT_LT(i1.hi - i1.lo, 0.08);
+  // Ten times the data: strictly narrower.
+  const ProportionInterval i2 = BinomialConfidence(7000, 10000, 0.99);
+  EXPECT_LT(i2.hi - i2.lo, i1.hi - i1.lo);
+  // Wilson handles the boundary gracefully (no NaN, stays inside [0,1]).
+  const ProportionInterval edge = BinomialConfidence(0, 20, 0.99);
+  EXPECT_GE(edge.lo, 0.0);
+  EXPECT_GT(edge.hi, 0.0);
+  EXPECT_LT(edge.hi, 0.4);
+}
+
+TEST(BinomialConfidence, RejectsBadInput) {
+  EXPECT_THROW(BinomialConfidence(5, 0, 0.99), std::invalid_argument);
+  EXPECT_THROW(BinomialConfidence(-1, 10, 0.99), std::invalid_argument);
+  EXPECT_THROW(BinomialConfidence(11, 10, 0.99), std::invalid_argument);
+  EXPECT_THROW(BinomialConfidence(5, 10, 1.0), std::invalid_argument);
+}
+
 TEST(FitLine, ExactLine) {
   const auto fit = FitLine({1.0, 2.0, 3.0, 4.0}, {3.0, 5.0, 7.0, 9.0});
   EXPECT_NEAR(fit.slope, 2.0, 1e-12);

@@ -430,8 +430,8 @@ struct MutatorClass {
 
 const MutatorClass kMutatorClasses[] = {
     {"CurrencyTable",
-     {"CreateCurrency", "DestroyCurrency", "CreateTicket", "DestroyTicket",
-      "SetAmount", "Fund", "Unfund"}},
+     {"CreateCurrency", "DestroyCurrency", "RetireCurrency", "CreateTicket",
+      "DestroyTicket", "SetAmount", "Fund", "Unfund"}},
     {"LotteryScheduler",
      {"AddThread", "RemoveThread", "OnReady", "OnBlocked", "PickNext",
       "PickNextFromTree", "OnQuantumEnd", "FundThread"}},
