@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "src/core/lottery_scheduler.h"
+#include "src/obs/etrace/trace_buffer.h"
 #include "src/obs/json_writer.h"
 #include "src/obs/registry.h"
 #include "src/sim/kernel.h"
@@ -172,17 +173,46 @@ class BenchReport {
   std::vector<std::pair<std::string, Value>> metrics_;
 };
 
+// Shared --trace=PATH support. MakeTrace returns a recording buffer (seed
+// stamped from --seed) when the flag is set, null otherwise; pass it to
+// LotteryRig and call WriteTrace before exiting. The RNG sequence — and so
+// every printed number — is identical with or without the flag.
+inline std::unique_ptr<etrace::TraceBuffer> MakeTrace(const Flags& flags) {
+  if (flags.GetString("trace", "").empty()) {
+    return nullptr;
+  }
+  auto trace = std::make_unique<etrace::TraceBuffer>();
+  trace->set_seed(static_cast<uint64_t>(flags.GetInt("seed", 42)));
+  return trace;
+}
+
+inline void WriteTrace(const Flags& flags, const etrace::TraceBuffer* trace) {
+  const std::string path = flags.GetString("trace", "");
+  if (trace != nullptr && !path.empty()) {
+    trace->WriteToFile(path);
+    std::cout << "(structured trace written to " << path << ", "
+              << trace->size() << " events";
+    if (trace->overwritten() > 0) {
+      std::cout << ", " << trace->overwritten() << " overwritten";
+    }
+    std::cout << ")\n";
+  }
+}
+
 // A kernel + lottery scheduler + tracer bundle with the paper's platform
 // parameters (100 ms quantum by default).
 struct LotteryRig {
   explicit LotteryRig(uint32_t seed, int64_t quantum_ms = 100,
-                      SimDuration window = SimDuration::Seconds(1))
+                      SimDuration window = SimDuration::Seconds(1),
+                      etrace::TraceBuffer* trace = nullptr)
       : tracer(window) {
     LotteryScheduler::Options sopts;
     sopts.seed = seed;
+    sopts.trace = trace;
     scheduler = std::make_unique<LotteryScheduler>(sopts);
     Kernel::Options kopts;
     kopts.quantum = SimDuration::Millis(quantum_ms);
+    kopts.trace = trace;
     kernel = std::make_unique<Kernel>(scheduler.get(), kopts, &tracer);
   }
 

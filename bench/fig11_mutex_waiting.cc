@@ -27,7 +27,9 @@ int Main(int argc, char** argv) {
               "Lottery-scheduled mutex: 8 threads, groups A:B = 2:1",
               "acquisitions ~1.8:1 (A:B); mean waits ~1:2.1 (A:B)");
 
-  LotteryRig rig(seed);
+  const auto trace = MakeTrace(flags);  // --trace=PATH (etrace binary)
+  LotteryRig rig(seed, /*quantum_ms=*/100, SimDuration::Seconds(1),
+                 trace.get());
   SimMutex mutex(rig.kernel.get(), "m");
   MutexTask::Options mopts;
   mopts.hold = SimDuration::Millis(50);
@@ -108,6 +110,7 @@ int Main(int argc, char** argv) {
   report.Metric("group_b_mean_wait_s", wait_b.mean());
   report.Metric("wait_ratio_b_to_a", wait_b.mean() / wait_a.mean());
   report.Write();
+  WriteTrace(flags, trace.get());
   return 0;
 }
 

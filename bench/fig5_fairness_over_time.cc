@@ -24,7 +24,9 @@ int Main(int argc, char** argv) {
   PrintHeader("Figure 5", "Fairness over time (2:1 allocation, 8 s windows)",
               "per-window rates hover near 2:1 for the whole 200 s run");
 
-  LotteryRig rig(seed, /*quantum_ms=*/100, SimDuration::Seconds(8));
+  const auto trace = MakeTrace(flags);  // --trace=PATH (etrace binary)
+  LotteryRig rig(seed, /*quantum_ms=*/100, SimDuration::Seconds(8),
+                 trace.get());
   const ThreadId a = rig.SpawnCompute("a", rig.scheduler->table().base(), 200);
   const ThreadId b = rig.SpawnCompute("b", rig.scheduler->table().base(), 100);
   rig.kernel->RunFor(SimDuration::Seconds(seconds));
@@ -68,6 +70,7 @@ int Main(int argc, char** argv) {
   report.Metric("window_ratio_mean", ratio_stat.mean());
   report.Metric("window_ratio_stddev", ratio_stat.stddev());
   report.Write();
+  WriteTrace(flags, trace.get());
   return 0;
 }
 

@@ -30,7 +30,9 @@ int Main(int argc, char** argv) {
               "client 8 finishes its 20 queries early; remaining clients "
               "proceed at ~3:1; response times scale inversely with funding");
 
-  LotteryRig rig(seed);
+  const auto trace = MakeTrace(flags);  // --trace=PATH (etrace binary)
+  LotteryRig rig(seed, /*quantum_ms=*/100, SimDuration::Seconds(1),
+                 trace.get());
   RpcPort port(rig.kernel.get(), "db");
 
   // The paper's query (substring scan over 4.6 MB on a 25 MHz DECStation)
@@ -116,6 +118,7 @@ int Main(int argc, char** argv) {
                   means[static_cast<size_t>(i)]);
   }
   report.Write();
+  WriteTrace(flags, trace.get());
   return 0;
 }
 

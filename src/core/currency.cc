@@ -7,6 +7,7 @@
 
 #include "src/core/client.h"
 #include "src/core/invariants.h"
+#include "src/obs/etrace/trace_buffer.h"
 #include "src/obs/registry.h"
 
 namespace lottery {
@@ -19,6 +20,23 @@ void EraseOne(std::vector<Ticket*>& vec, Ticket* value) {
   if (it != vec.end()) {
     *it = vec.back();
     vec.pop_back();
+  }
+}
+
+// Currency-category trace event; name ids are interned at currency creation
+// so this never touches the intern map.
+void TraceCurrency(etrace::TraceBuffer* trace, etrace::EventType type,
+                   uint32_t name_id, uint64_t v1 = 0, uint64_t v2 = 0,
+                   uint32_t a = 0) {
+  if (etrace::On(trace, etrace::kCatCurrency)) {
+    etrace::Event e;
+    e.t_ns = trace->now();
+    e.v1 = v1;
+    e.v2 = v2;
+    e.a = a;
+    e.name = name_id;
+    e.type = static_cast<uint16_t>(type);
+    trace->Append(e);
   }
 }
 
@@ -35,8 +53,10 @@ void Currency::AllowInflator(const std::string& principal) {
   inflators_.insert(principal);
 }
 
-CurrencyTable::CurrencyTable(obs::Registry* metrics)
-    : metrics_(metrics != nullptr ? metrics : &obs::Registry::Default()),
+CurrencyTable::CurrencyTable(obs::Registry* metrics,
+                             etrace::TraceBuffer* trace)
+    : trace_(trace),
+      metrics_(metrics != nullptr ? metrics : &obs::Registry::Default()),
       currency_dirty_marks_(metrics_->counter("currency.dirty_marks")),
       currency_reprices_(metrics_->counter("currency.reprices")),
       client_dirty_marks_(metrics_->counter("client.dirty_marks")),
@@ -44,9 +64,24 @@ CurrencyTable::CurrencyTable(obs::Registry* metrics)
   currencies_.push_back(
       std::unique_ptr<Currency>(new Currency("base", /*is_base=*/true, "")));
   base_ = currencies_.back().get();
+  if (trace_ != nullptr) {
+    base_->trace_name_ = trace_->Intern(base_->name());
+  }
+  TraceCurrency(trace_, etrace::EventType::kCurrencyCreate,
+                base_->trace_name_);
 }
 
 CurrencyTable::~CurrencyTable() = default;
+
+void CurrencyTable::SetTrace(etrace::TraceBuffer* trace) {
+  trace_ = trace;
+  if (trace_ == nullptr) {
+    return;
+  }
+  for (const auto& currency : currencies_) {
+    currency->trace_name_ = trace_->Intern(currency->name());
+  }
+}
 
 void CurrencyTable::AddObserver(ValueObserver* observer) {
   if (std::find(observers_.begin(), observers_.end(), observer) !=
@@ -120,9 +155,15 @@ Currency* CurrencyTable::CreateCurrency(const std::string& name,
   }
   currencies_.push_back(
       std::unique_ptr<Currency>(new Currency(name, /*is_base=*/false, owner)));
+  Currency* currency = currencies_.back().get();
+  if (trace_ != nullptr) {
+    currency->trace_name_ = trace_->Intern(currency->name());
+  }
+  TraceCurrency(trace_, etrace::EventType::kCurrencyCreate,
+                currency->trace_name_);
   BumpEpoch();
   LOT_DCHECK_TABLE(*this);
-  return currencies_.back().get();
+  return currency;
 }
 
 Currency* CurrencyTable::FindCurrency(const std::string& name) const {
@@ -154,6 +195,8 @@ void CurrencyTable::DestroyCurrency(Currency* currency) {
   if (it == currencies_.end()) {
     throw std::logic_error("DestroyCurrency: unknown currency");
   }
+  TraceCurrency(trace_, etrace::EventType::kCurrencyDestroy,
+                currency->trace_name_);
   currencies_.erase(it);
   BumpEpoch();
   LOT_DCHECK_TABLE(*this);
@@ -175,6 +218,8 @@ void CurrencyTable::RetireCurrency(Currency* currency) {
     DestroyTicket(currency->backing_.back());
   }
   currency->retired_ = true;
+  TraceCurrency(trace_, etrace::EventType::kCurrencyRetire,
+                currency->trace_name_);
   BumpEpoch();
   LOT_DCHECK_TABLE(*this);
 }
@@ -282,6 +327,9 @@ void CurrencyTable::Fund(Currency* target, Ticket* ticket) {
     ActivateTicket(ticket);
   }
   MarkCurrencyDirty(target);
+  TraceCurrency(trace_, etrace::EventType::kFund, target->trace_name_,
+                static_cast<uint64_t>(ticket->amount_), 0,
+                static_cast<uint32_t>(ticket->id_));
   BumpEpoch();
   LOT_DCHECK_TABLE(*this);
 }
@@ -297,6 +345,9 @@ void CurrencyTable::Unfund(Ticket* ticket) {
   EraseOne(target->backing_, ticket);
   ticket->funds_ = nullptr;
   MarkCurrencyDirty(target);
+  TraceCurrency(trace_, etrace::EventType::kUnfund, target->trace_name_,
+                static_cast<uint64_t>(ticket->amount_), 0,
+                static_cast<uint32_t>(ticket->id_));
   BumpEpoch();
   LOT_DCHECK_TABLE(*this);
 }
@@ -314,6 +365,9 @@ Funding CurrencyTable::CurrencyValue(const Currency* currency) const {
   currency->cached_value_ = value;
   currency->value_dirty_ = false;
   currency_reprices_->Inc();
+  TraceCurrency(trace_, etrace::EventType::kReprice, currency->trace_name_,
+                value.raw_unsigned(),
+                static_cast<uint64_t>(currency->active_amount_));
   return value;
 }
 

@@ -42,6 +42,10 @@ class Counter;
 class Registry;
 }  // namespace obs
 
+namespace etrace {
+class TraceBuffer;
+}  // namespace etrace
+
 class Client;
 
 // Hook for components that cache values derived from client values (run
@@ -75,6 +79,10 @@ class Currency {
   const std::vector<Ticket*>& backing() const { return backing_; }
   const std::vector<Ticket*>& issued() const { return issued_; }
 
+  // Interned name id in the owning table's TraceBuffer (0 when the table
+  // is not tracing); stable for the currency's lifetime.
+  uint32_t trace_name() const { return trace_name_; }
+
   // Access control (empty owner means unrestricted).
   const std::string& owner() const { return owner_; }
   bool MayInflate(const std::string& principal) const;
@@ -105,6 +113,10 @@ class Currency {
   // MarkCurrencyDirty) and cleared when CurrencyValue recomputes.
   mutable bool value_dirty_ = true;
   mutable Funding cached_value_{};
+
+  // Interned name id in the table's TraceBuffer (0 when not tracing), so
+  // reprice events on the draw path never touch the intern map.
+  uint32_t trace_name_ = 0;
 };
 
 class CurrencyTable {
@@ -112,14 +124,24 @@ class CurrencyTable {
   // Creates the table with its base currency (named "base"). `metrics`
   // (nullptr selects obs::Registry::Default()) receives the invalidation
   // counters: currency.dirty_marks / currency.reprices and
-  // client.dirty_marks / client.reprices.
-  explicit CurrencyTable(obs::Registry* metrics = nullptr);
+  // client.dirty_marks / client.reprices. `trace` (optional) receives
+  // structured kCatCurrency events for every currency mutation/reprice;
+  // currency names are interned at creation so recording is lookup-free.
+  explicit CurrencyTable(obs::Registry* metrics = nullptr,
+                         etrace::TraceBuffer* trace = nullptr);
   ~CurrencyTable();
   CurrencyTable(const CurrencyTable&) = delete;
   CurrencyTable& operator=(const CurrencyTable&) = delete;
 
   Currency* base() { return base_; }
   const Currency* base() const { return base_; }
+
+  // Attaches (or detaches, with nullptr) the structured-event trace at
+  // runtime. On attach, every currency's name is (re-)interned so later
+  // events never carry name id 0 even for currencies created while
+  // detached. Re-attaching the buffer the table was constructed with is a
+  // pointer swap plus idempotent intern lookups.
+  void SetTrace(etrace::TraceBuffer* trace);
 
   // --- Currency lifecycle -------------------------------------------------
 
@@ -201,6 +223,10 @@ class CurrencyTable {
   size_t num_currencies() const { return currencies_.size(); }
   size_t num_tickets() const { return tickets_.size(); }
 
+  // Structured-event trace attached at construction (may be null). Exposed
+  // so ticket-transfer RAII (transfer.cc) can record into the same buffer.
+  etrace::TraceBuffer* trace() const { return trace_; }
+
   // Looks up a ticket by its stable id (used by the user-level command
   // interface, which names tickets by id as the paper's lstkt/rmtkt did).
   Ticket* FindTicket(uint64_t id) const;
@@ -268,6 +294,8 @@ class CurrencyTable {
   uint64_t epoch_ = 1;
   uint64_t next_ticket_id_ = 1;
   std::vector<ValueObserver*> observers_;
+
+  etrace::TraceBuffer* trace_;
 
   // Obs hooks (resolved once at construction; raw pointers into metrics_).
   obs::Registry* metrics_;

@@ -88,7 +88,7 @@ void ListLottery::OnClientValueDirty(Client* client) {
   dirty_members_.push_back(client);
 }
 
-Client* ListLottery::Draw(FastRand& rng) {
+Client* ListLottery::Draw(FastRand& rng, uint64_t* drawn_value) {
   if (members_.empty()) {
     return nullptr;
   }
@@ -100,6 +100,9 @@ Client* ListLottery::Draw(FastRand& rng) {
     return nullptr;
   }
   const uint64_t winner_value = rng.NextBelow64(total.raw_unsigned());
+  if (drawn_value != nullptr) {
+    *drawn_value = winner_value;
+  }
 
   // Accumulate until the winning value is covered (Figure 1).
   uint64_t sum = 0;

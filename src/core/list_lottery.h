@@ -52,13 +52,20 @@ class ListLottery final : public ValueObserver {
 
   // Holds one lottery: picks a winner with probability proportional to its
   // value. Returns nullptr if the list is empty or the total is zero.
-  // Does not remove the winner.
-  Client* Draw(FastRand& rng);
+  // Does not remove the winner. When `drawn_value` is non-null and a winner
+  // is picked, it receives the random value in [0, Total()) that selected
+  // the winner (recorded by the etrace decision stream; the RNG sequence is
+  // identical whether or not it is requested).
+  Client* Draw(FastRand& rng, uint64_t* drawn_value = nullptr);
 
   // Clients in current list order (front first); exposed for tests and for
   // deterministic zero-funding fallbacks.
   std::vector<Client*> ClientsInOrder() const;
   Client* Front() const;
+
+  // Raw draw order including nullptr tombstones; allocation-free access for
+  // trace snapshots. Mutated by Draw (move-to-front) — snapshot before.
+  const std::vector<Client*>& raw_order() const { return order_; }
 
   // Instrumentation: cumulative clients examined by Draw traversals and the
   // number of draws, for reproducing the move-to-front search-length claim.

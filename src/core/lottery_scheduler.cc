@@ -4,13 +4,14 @@
 #include <stdexcept>
 
 #include "src/core/invariants.h"
+#include "src/obs/etrace/trace_buffer.h"
 
 namespace lottery {
 
 LotteryScheduler::LotteryScheduler(Options options)
     : options_(options),
       rng_(options.seed),
-      table_(options.metrics),
+      table_(options.metrics, options.trace),
       compensation_(options.compensation),
       run_queue_(options.move_to_front),
       metrics_(options.metrics != nullptr ? options.metrics
@@ -201,8 +202,28 @@ ThreadId LotteryScheduler::PickNextFromTree() {
         std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
             .count()));
   }
+  // Candidate snapshot (verbose, opt-in): weights as the draw below sees
+  // them, in Fenwick slot order — the prefix order SlotForValue resolves
+  // against, so each winner is re-derivable from (snapshot, random value).
+  if (etrace::On(options_.trace, etrace::kCatLotterySnapshot)) {
+    uint32_t index = 0;
+    for (size_t slot = 0; slot < tree_slot_owner_.size(); ++slot) {
+      ThreadState* state = tree_slot_owner_[slot];
+      if (state == nullptr) {
+        continue;
+      }
+      etrace::Event e;
+      e.t_ns = options_.trace->now();
+      e.a = state->id;
+      e.b = index++;
+      e.v1 = tree_queue_.Weight(slot);
+      e.type = static_cast<uint16_t>(etrace::EventType::kCandidate);
+      options_.trace->Append(e);
+    }
+  }
   ThreadState* winner = nullptr;
-  const auto drawn = tree_queue_.Draw(rng_);
+  uint64_t drawn_value = 0;
+  const auto drawn = tree_queue_.Draw(rng_, &drawn_value);
   if (drawn.has_value()) {
     winner = tree_slot_owner_[*drawn];
   } else {
@@ -210,6 +231,7 @@ ThreadId LotteryScheduler::PickNextFromTree() {
     // starves (uniform over the zero-funded set across draws).
     size_t index = static_cast<size_t>(rng_.NextBelow(
         static_cast<uint32_t>(tree_queue_.size())));
+    drawn_value = index;  // decision event: index into live slots
     for (ThreadState* state : tree_slot_owner_) {
       if (state == nullptr) {
         continue;
@@ -223,6 +245,19 @@ ThreadId LotteryScheduler::PickNextFromTree() {
     zero_fallbacks_->Inc();
   }
   LOT_ASSERT(winner != nullptr, "tree draw returned no winner");
+  if (etrace::On(options_.trace, etrace::kCatLottery)) {
+    etrace::Event e;
+    e.t_ns = options_.trace->now();
+    e.a = winner->id;
+    e.v1 = drawn_value;
+    e.v2 = tree_queue_.total();
+    e.v3 = tree_queue_.Weight(winner->tree_slot);
+    e.flags = static_cast<uint16_t>(
+        etrace::kDecisionTree |
+        (drawn.has_value() ? 0 : etrace::kDecisionFallback));
+    e.type = static_cast<uint16_t>(etrace::EventType::kDecision);
+    options_.trace->Append(e);
+  }
   tree_queue_.Remove(winner->tree_slot);
   tree_slot_owner_[winner->tree_slot] = nullptr;
   winner->in_queue = false;
@@ -236,7 +271,10 @@ ThreadId LotteryScheduler::PickNextFromTree() {
   return winner->id;
 }
 
-ThreadId LotteryScheduler::PickNext(SimTime /*now*/) {
+ThreadId LotteryScheduler::PickNext(SimTime now) {
+  // Advance the trace's sim-time cursor: everything recorded from here to
+  // the dispatch (decisions, reprices, transfer churn) stamps this instant.
+  etrace::SetNow(options_.trace, now.nanos());
   if (options_.backend == RunQueueBackend::kTree) {
     return PickNextFromTree();
   }
@@ -245,16 +283,52 @@ ThreadId LotteryScheduler::PickNext(SimTime /*now*/) {
   }
   ++num_lotteries_;
   draws_->Inc();
+  // Candidate snapshot (verbose, opt-in) in list order, captured before the
+  // draw's move-to-front mutates it: the winner is the first candidate
+  // whose running value sum exceeds the drawn random value.
+  if (etrace::On(options_.trace, etrace::kCatLotterySnapshot)) {
+    uint32_t index = 0;
+    for (Client* candidate : run_queue_.raw_order()) {
+      if (candidate == nullptr) {
+        continue;
+      }
+      const auto cit = by_client_.find(candidate);
+      etrace::Event e;
+      e.t_ns = options_.trace->now();
+      e.a = cit != by_client_.end() ? cit->second->id : kInvalidThreadId;
+      e.b = index++;
+      e.v1 = candidate->Value().raw_unsigned();
+      e.type = static_cast<uint16_t>(etrace::EventType::kCandidate);
+      options_.trace->Append(e);
+    }
+  }
   const uint64_t scanned_before = run_queue_.total_scanned();
-  Client* winner = run_queue_.Draw(rng_);
+  uint64_t drawn_value = 0;
+  Client* winner = run_queue_.Draw(rng_, &drawn_value);
   draw_cost_->RecordSampled(run_queue_.total_scanned() - scanned_before);
+  bool fallback = false;
   if (winner == nullptr) {
     // Every ready client currently has zero funding (e.g. all their backing
     // is deactivated). Degrade to round-robin so no one starves: take the
     // front; the requeue path appends, rotating the list.
     winner = run_queue_.Front();
+    fallback = true;
     ++num_zero_fallbacks_;
     zero_fallbacks_->Inc();
+  }
+  // Total/value reads below are cache hits (the draw just refreshed them);
+  // capture before Remove() deducts the winner from the cached total.
+  if (etrace::On(options_.trace, etrace::kCatLottery)) {
+    etrace::Event e;
+    e.t_ns = options_.trace->now();
+    e.v1 = drawn_value;
+    e.v2 = run_queue_.Total().raw_unsigned();
+    e.v3 = winner->Value().raw_unsigned();
+    e.flags = fallback ? etrace::kDecisionFallback : uint16_t{0};
+    e.type = static_cast<uint16_t>(etrace::EventType::kDecision);
+    const auto wit = by_client_.find(winner);
+    e.a = wit != by_client_.end() ? wit->second->id : kInvalidThreadId;
+    options_.trace->Append(e);
   }
   run_queue_.Remove(winner);
   const auto it = by_client_.find(winner);
@@ -279,6 +353,11 @@ void LotteryScheduler::OnQuantumEnd(ThreadId id, SimDuration used,
     compensation_grants_->Inc();
   }
   LOT_DCHECK_COMPENSATION(*state.client, options_.compensation.max_factor);
+}
+
+void LotteryScheduler::SetTrace(etrace::TraceBuffer* trace) {
+  options_.trace = trace;
+  table_.SetTrace(trace);
 }
 
 Currency* LotteryScheduler::thread_currency(ThreadId id) {

@@ -49,6 +49,13 @@ class LotteryScheduler : public Scheduler, private ValueObserver {
     // Metric sink; nullptr selects obs::Registry::Default(). Tests pass
     // their own registry for isolated counter assertions.
     obs::Registry* metrics = nullptr;
+    // Structured-event trace (optional). The scheduler records kCatLottery
+    // decision events (drawn random value, total tickets, winner) and — when
+    // kCatLotterySnapshot is enabled — a per-candidate ticket snapshot ahead
+    // of each decision, enough to re-derive every winner offline (tracectl
+    // summarize / tests). The currency table shares the same buffer. The
+    // RNG sequence is identical with or without tracing.
+    etrace::TraceBuffer* trace = nullptr;
   };
 
   LotteryScheduler() : LotteryScheduler(Options{}) {}
@@ -85,6 +92,13 @@ class LotteryScheduler : public Scheduler, private ValueObserver {
 
   FastRand& rng() { return rng_; }
   const CompensationPolicy& compensation() const { return compensation_; }
+
+  // Attaches (or detaches, with nullptr) the structured-event trace at
+  // runtime — both the scheduler's own decision hooks and the currency
+  // table's. Never perturbs the RNG sequence, so toggling between runs of
+  // the same seed keeps the schedule identical (bench_obs_overhead A/Bs
+  // tracing on one world this way).
+  void SetTrace(etrace::TraceBuffer* trace);
 
   // --- Instrumentation ------------------------------------------------------
   uint64_t num_lotteries() const { return num_lotteries_; }

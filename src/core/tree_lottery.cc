@@ -78,11 +78,16 @@ void TreeLottery::AddDelta(size_t slot, int64_t delta) {
   }
 }
 
-std::optional<size_t> TreeLottery::Draw(FastRand& rng) const {
+std::optional<size_t> TreeLottery::Draw(FastRand& rng,
+                                        uint64_t* drawn_value) const {
   if (total_ == 0) {
     return std::nullopt;
   }
-  return SlotForValue(rng.NextBelow64(total_));
+  const uint64_t value = rng.NextBelow64(total_);
+  if (drawn_value != nullptr) {
+    *drawn_value = value;
+  }
+  return SlotForValue(value);
 }
 
 size_t TreeLottery::SlotForValue(uint64_t value) const {

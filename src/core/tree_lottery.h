@@ -39,8 +39,11 @@ class TreeLottery {
   bool empty() const { return live_count_ == 0; }
 
   // Picks a slot with probability weight/total in O(lg capacity);
-  // std::nullopt if the total weight is zero.
-  std::optional<size_t> Draw(FastRand& rng) const;
+  // std::nullopt if the total weight is zero. A non-null `drawn_value`
+  // receives the random value in [0, total()) behind the pick (for the
+  // etrace decision stream; the RNG sequence is unchanged either way).
+  std::optional<size_t> Draw(FastRand& rng,
+                             uint64_t* drawn_value = nullptr) const;
   // Deterministic variant used by tests: returns the slot owning the
   // `value`-th weight unit, value in [0, total).
   size_t SlotForValue(uint64_t value) const;

@@ -1,0 +1,28 @@
+// Chrome trace-event JSON exporter (Perfetto-loadable).
+//
+// Maps a loaded TraceFile onto the legacy Chrome trace-event format that
+// ui.perfetto.dev imports: one thread track per simulated thread (named via
+// "M"/thread_name metadata), "X" complete events for CPU slices, "i"
+// instants for wakes/decisions/mutex/disk/fault events, and "s"/"t"/"f"
+// flow events keyed by the RPC span id so send→receive→reply renders as
+// arrows across thread tracks. Timestamps are sim-time microseconds.
+//
+// Output is a pure function of the trace bytes, so two same-seed runs
+// convert to bit-identical JSON (exercised by tests/tracectl_test.cc).
+
+#ifndef SRC_OBS_ETRACE_EXPORT_H_
+#define SRC_OBS_ETRACE_EXPORT_H_
+
+#include <string>
+
+#include "src/obs/etrace/trace_buffer.h"
+
+namespace lottery {
+namespace etrace {
+
+std::string ToChromeTraceJson(const TraceFile& trace);
+
+}  // namespace etrace
+}  // namespace lottery
+
+#endif  // SRC_OBS_ETRACE_EXPORT_H_

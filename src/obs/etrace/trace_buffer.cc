@@ -1,0 +1,236 @@
+#include "src/obs/etrace/trace_buffer.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/obs/json_writer.h"
+
+namespace lottery {
+namespace etrace {
+namespace {
+
+// Binary trace format, all integers little-endian:
+//
+//   magic    8 bytes  "LOTETRC1"
+//   version  u32      1
+//   mask     u32      category mask the buffer recorded with
+//   seed     u64
+//   overwritten u64   events lost to ring wrap (oldest-first)
+//   nstrings u32      string table size (entry 0 is always "")
+//     per string: u32 length + raw bytes
+//   nevents  u64
+//     per event: t_ns i64, v1 u64, v2 u64, v3 u64, a u32, b u32,
+//                name u32, type u16, flags u16   (44 bytes packed)
+constexpr char kMagic[8] = {'L', 'O', 'T', 'E', 'T', 'R', 'C', '1'};
+constexpr uint32_t kVersion = 1;
+
+void PutU16(std::string* out, uint16_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutI64(std::string* out, int64_t v) { PutU64(out, static_cast<uint64_t>(v)); }
+
+class Reader {
+ public:
+  explicit Reader(const std::string& bytes) : bytes_(bytes) {}
+
+  uint16_t U16() {
+    const uint32_t lo = Byte();
+    const uint32_t hi = Byte();
+    return static_cast<uint16_t>(lo | (hi << 8));
+  }
+
+  uint32_t U32() {
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(Byte()) << (8 * i);
+    return v;
+  }
+
+  uint64_t U64() {
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(Byte()) << (8 * i);
+    return v;
+  }
+
+  int64_t I64() { return static_cast<int64_t>(U64()); }
+
+  std::string Bytes(size_t n) {
+    if (pos_ + n > bytes_.size()) Fail();
+    std::string s = bytes_.substr(pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  uint32_t Byte() {
+    if (pos_ >= bytes_.size()) Fail();
+    return static_cast<unsigned char>(bytes_[pos_++]);
+  }
+
+  [[noreturn]] void Fail() {
+    throw std::runtime_error("etrace: truncated trace file");
+  }
+
+  const std::string& bytes_;
+  size_t pos_ = 0;
+};
+
+void PutEvent(std::string* out, const Event& e) {
+  PutI64(out, e.t_ns);
+  PutU64(out, e.v1);
+  PutU64(out, e.v2);
+  PutU64(out, e.v3);
+  PutU32(out, e.a);
+  PutU32(out, e.b);
+  PutU32(out, e.name);
+  PutU16(out, e.type);
+  PutU16(out, e.flags);
+}
+
+Event ReadEvent(Reader* r) {
+  Event e;
+  e.t_ns = r->I64();
+  e.v1 = r->U64();
+  e.v2 = r->U64();
+  e.v3 = r->U64();
+  e.a = r->U32();
+  e.b = r->U32();
+  e.name = r->U32();
+  e.type = r->U16();
+  e.flags = r->U16();
+  return e;
+}
+
+const std::string kEmptyName;
+
+}  // namespace
+
+TraceBuffer::TraceBuffer(size_t capacity, uint32_t mask)
+    : events_(capacity == 0 ? 1 : capacity), mask_(mask) {
+  strings_.push_back("");  // id 0 reserved for "no name"
+}
+
+uint32_t TraceBuffer::Intern(const std::string& s) {
+  if (s.empty()) return 0;
+  const auto it = intern_.find(s);
+  if (it != intern_.end()) return it->second;
+  const auto id = static_cast<uint32_t>(strings_.size());
+  strings_.push_back(s);
+  intern_.emplace(s, id);
+  return id;
+}
+
+const Event& TraceBuffer::At(size_t i) const {
+  // Oldest retained event sits at head_ once the ring has wrapped.
+  const size_t start = count_ == events_.size() ? head_ : 0;
+  return events_[(start + i) % events_.size()];
+}
+
+std::vector<Event> TraceBuffer::Events() const {
+  std::vector<Event> out;
+  out.reserve(count_);
+  for (size_t i = 0; i < count_; ++i) out.push_back(At(i));
+  return out;
+}
+
+const std::string& TraceBuffer::Name(uint32_t id) const {
+  if (id >= strings_.size()) return kEmptyName;
+  return strings_[id];
+}
+
+void TraceBuffer::Clear() {
+  head_ = 0;
+  count_ = 0;
+  overwritten_ = 0;
+  now_ns_ = 0;
+  last_span_ = 0;
+}
+
+std::string TraceBuffer::Serialize() const {
+  std::string out;
+  out.reserve(64 + count_ * 44 + strings_.size() * 16);
+  out.append(kMagic, sizeof(kMagic));
+  PutU32(&out, kVersion);
+  PutU32(&out, mask_);
+  PutU64(&out, seed_);
+  PutU64(&out, overwritten_);
+  PutU32(&out, static_cast<uint32_t>(strings_.size()));
+  for (const std::string& s : strings_) {
+    PutU32(&out, static_cast<uint32_t>(s.size()));
+    out.append(s);
+  }
+  PutU64(&out, static_cast<uint64_t>(count_));
+  for (size_t i = 0; i < count_; ++i) PutEvent(&out, At(i));
+  return out;
+}
+
+void TraceBuffer::WriteToFile(const std::string& path) const {
+  obs::WriteFile(path, Serialize());
+}
+
+const std::string& TraceFile::Name(uint32_t id) const {
+  if (id >= strings.size()) return kEmptyName;
+  return strings[id];
+}
+
+TraceFile TraceFile::Parse(const std::string& bytes) {
+  Reader r(bytes);
+  if (r.Bytes(sizeof(kMagic)) != std::string(kMagic, sizeof(kMagic))) {
+    throw std::runtime_error("etrace: bad magic (not a LOTETRC1 trace)");
+  }
+  TraceFile trace;
+  trace.version = r.U32();
+  if (trace.version != kVersion) {
+    throw std::runtime_error("etrace: unsupported trace version " +
+                             std::to_string(trace.version));
+  }
+  trace.mask = r.U32();
+  trace.seed = r.U64();
+  trace.overwritten = r.U64();
+  const uint32_t nstrings = r.U32();
+  trace.strings.reserve(nstrings);
+  for (uint32_t i = 0; i < nstrings; ++i) {
+    const uint32_t len = r.U32();
+    trace.strings.push_back(r.Bytes(len));
+  }
+  const uint64_t nevents = r.U64();
+  // 44 packed bytes per event; reject counts the payload cannot hold.
+  if (nevents > r.remaining() / 44) {
+    throw std::runtime_error("etrace: event count exceeds file size");
+  }
+  trace.events.reserve(static_cast<size_t>(nevents));
+  for (uint64_t i = 0; i < nevents; ++i) {
+    trace.events.push_back(ReadEvent(&r));
+  }
+  return trace;
+}
+
+TraceFile TraceFile::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("etrace: cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (!in.good() && !in.eof()) {
+    throw std::runtime_error("etrace: read failure on " + path);
+  }
+  return Parse(buf.str());
+}
+
+}  // namespace etrace
+}  // namespace lottery

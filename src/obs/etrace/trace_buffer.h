@@ -1,0 +1,162 @@
+// Deterministic bounded event trace.
+//
+// TraceBuffer is a fixed-capacity ring of Events plus a string-intern
+// table. Recording (Append) is allocation-free: the ring is sized at
+// construction and overwrites the oldest event once full, counting every
+// overwrite explicitly — there is no silent truncation. Interning allocates
+// and is meant for registration-time paths only (Spawn, CreateCurrency,
+// port/mutex construction), never per-event.
+//
+// Hot paths gate on On(trace, category): with the LOTTERY_OBS CMake option
+// OFF the helper is a compile-time `false` and every hook folds away
+// (exact-zero residual, enforced by bench_obs_overhead --check); with obs
+// compiled in, a masked-off category costs a null check plus one bit test.
+//
+// Time: the simulator's components do not all carry a clock (CurrencyTable
+// mutators have no SimTime), so the buffer keeps a "current sim time"
+// cursor advanced by the Kernel and the scheduler; hooks that know a better
+// timestamp stamp events explicitly, the rest use now().
+//
+// Everything recorded is a pure function of the seed and configuration, so
+// a serialized trace is byte-identical across runs — `tracectl diff` relies
+// on this to localize the first divergence between two runs.
+
+#ifndef SRC_OBS_ETRACE_TRACE_BUFFER_H_
+#define SRC_OBS_ETRACE_TRACE_BUFFER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/obs/counter.h"
+#include "src/obs/etrace/event.h"
+
+namespace lottery {
+namespace etrace {
+
+class TraceBuffer {
+ public:
+  static constexpr size_t kDefaultCapacity = size_t{1} << 20;
+
+  explicit TraceBuffer(size_t capacity = kDefaultCapacity,
+                       uint32_t mask = kDefaultCategories);
+  TraceBuffer(const TraceBuffer&) = delete;
+  TraceBuffer& operator=(const TraceBuffer&) = delete;
+
+  uint32_t mask() const { return mask_; }
+  void set_mask(uint32_t mask) { mask_ = mask; }
+
+  // Recorded into the file header; tracectl summarize reports it.
+  uint64_t seed() const { return seed_; }
+  void set_seed(uint64_t seed) { seed_ = seed; }
+
+  // Sim-time cursor for hooks without their own clock.
+  int64_t now() const { return now_ns_; }
+  void set_now(int64_t t_ns) {
+    if constexpr (obs::kObsEnabled) {
+      now_ns_ = t_ns;
+    } else {
+      (void)t_ns;
+    }
+  }
+
+  // Monotonic causal span ids (RPC send→receive→reply flows). Never 0.
+  uint64_t NextSpanId() { return ++last_span_; }
+
+  // Returns a stable id for `s`, adding it to the table on first use.
+  // Allocates; registration-time only. Id 0 is reserved for "no name".
+  uint32_t Intern(const std::string& s);
+
+  // Records one event. Allocation-free; overwrites the oldest event when
+  // the ring is full. Callers must stamp e.t_ns (use now() when no better
+  // timestamp exists) and are expected to gate with On() first.
+  void Append(const Event& e) {
+    if constexpr (obs::kObsEnabled) {
+      events_[head_] = e;
+      ++head_;
+      if (head_ == events_.size()) head_ = 0;
+      if (count_ < events_.size()) {
+        ++count_;
+      } else {
+        ++overwritten_;
+      }
+    } else {
+      (void)e;
+    }
+  }
+
+  size_t size() const { return count_; }
+  size_t capacity() const { return events_.size(); }
+  uint64_t overwritten() const { return overwritten_; }
+
+  // i-th surviving event in chronological order (0 = oldest retained).
+  const Event& At(size_t i) const;
+  std::vector<Event> Events() const;
+
+  const std::vector<std::string>& strings() const { return strings_; }
+  // Name for an interned id; "" for id 0 or out of range.
+  const std::string& Name(uint32_t id) const;
+
+  void Clear();
+
+  // Binary serialization (format documented in trace_buffer.cc).
+  std::string Serialize() const;
+  // Throws std::runtime_error on I/O failure.
+  void WriteToFile(const std::string& path) const;
+
+ private:
+  std::vector<Event> events_;
+  size_t head_ = 0;  // next write slot
+  size_t count_ = 0;
+  uint64_t overwritten_ = 0;
+  uint32_t mask_;
+  int64_t now_ns_ = 0;
+  uint64_t seed_ = 0;
+  uint64_t last_span_ = 0;
+  std::vector<std::string> strings_;        // id -> name; [0] == ""
+  std::map<std::string, uint32_t> intern_;  // ordered: deterministic (D2)
+};
+
+// Null-safe sim-time cursor advance; folds to nothing when obs is off.
+inline void SetNow(TraceBuffer* trace, int64_t t_ns) {
+  if constexpr (obs::kObsEnabled) {
+    if (trace != nullptr) trace->set_now(t_ns);
+  } else {
+    (void)trace;
+    (void)t_ns;
+  }
+}
+
+// The hot-path gate. Compile-time false when obs is disabled, so the
+// enclosing `if` — including event construction — folds to nothing.
+inline bool On(const TraceBuffer* trace, uint32_t category) {
+  if constexpr (!obs::kObsEnabled) {
+    (void)trace;
+    (void)category;
+    return false;
+  } else {
+    return trace != nullptr && (trace->mask() & category) != 0;
+  }
+}
+
+// A loaded trace file: header fields plus flat event/string vectors.
+struct TraceFile {
+  uint32_t version = 0;
+  uint32_t mask = 0;
+  uint64_t seed = 0;
+  uint64_t overwritten = 0;
+  std::vector<std::string> strings;
+  std::vector<Event> events;
+
+  const std::string& Name(uint32_t id) const;
+
+  // Both throw std::runtime_error on malformed input / I/O failure.
+  static TraceFile Parse(const std::string& bytes);
+  static TraceFile Load(const std::string& path);
+};
+
+}  // namespace etrace
+}  // namespace lottery
+
+#endif  // SRC_OBS_ETRACE_TRACE_BUFFER_H_

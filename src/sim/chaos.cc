@@ -13,6 +13,7 @@
 #include "src/sim/disk.h"
 #include "src/sim/rpc.h"
 #include "src/sim/sync.h"
+#include "src/obs/etrace/trace_buffer.h"
 #include "src/sim/trace.h"
 
 namespace lottery {
@@ -531,7 +532,8 @@ std::string Scenario::ReproCommand() const {
   return out.str();
 }
 
-ScenarioResult RunScenario(const Scenario& scenario) {
+ScenarioResult RunScenario(const Scenario& scenario,
+                           etrace::TraceBuffer* trace) {
   if (scenario.backend != "list" && scenario.backend != "tree" &&
       scenario.backend != "stride") {
     throw std::invalid_argument("RunScenario: unknown backend '" +
@@ -551,6 +553,10 @@ ScenarioResult RunScenario(const Scenario& scenario) {
 
   obs::Registry registry;
   FaultInjector injector(FaultPlan::Parse(scenario.plan), scenario.seed);
+  if (trace != nullptr) {
+    trace->set_seed(scenario.seed);
+    injector.SetTrace(trace);
+  }
 
   std::unique_ptr<LotteryScheduler> lottery;
   std::unique_ptr<StrideScheduler> stride;
@@ -564,6 +570,7 @@ ScenarioResult RunScenario(const Scenario& scenario) {
     opts.backend = scenario.backend == "tree" ? RunQueueBackend::kTree
                                               : RunQueueBackend::kList;
     opts.metrics = &registry;
+    opts.trace = trace;
     lottery = std::make_unique<LotteryScheduler>(opts);
     scheduler = lottery.get();
   }
@@ -576,6 +583,7 @@ ScenarioResult RunScenario(const Scenario& scenario) {
   kopts.num_cpus = scenario.num_cpus;
   kopts.metrics = &registry;
   kopts.faults = &injector;
+  kopts.trace = trace;
   Kernel kernel(scheduler, kopts, &tracer);
 
   SimMutex mutex(&kernel, "chaos.mutex");
@@ -585,6 +593,7 @@ ScenarioResult RunScenario(const Scenario& scenario) {
   dopts.seek_overhead = SimDuration::Micros(200);
   DiskScheduler disk(dopts, &disk_rng);
   disk.SetFaultInjector(&injector);
+  disk.SetTrace(trace);
   ServerCrashJanitor janitor(&kernel);
 
   const auto fund = [&](ThreadId tid, int64_t amount) {
@@ -708,6 +717,7 @@ ScenarioResult RunScenario(const Scenario& scenario) {
   }
   result.spurious_wakes = controller.spurious_wakes();
   result.revocations = controller.revocations();
+  result.dispatch_log_dropped = tracer.dropped();
   for (const ThreadId tid : tids) {
     result.dispatches += kernel.Dispatches(tid);
   }

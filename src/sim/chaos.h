@@ -112,6 +112,9 @@ struct ScenarioResult {
   // dispatch, 0 = B. The conformance suite KS-tests A's win positions
   // against uniform — a rate-invariant check that wins are well mixed.
   std::vector<uint8_t> measured_sequence;
+  // Dispatches the harness's Gantt log could not retain (its cap is one
+  // mebi-entry). Callers surface this so truncation is never silent.
+  uint64_t dispatch_log_dropped = 0;
   // Violated oracles, empty when the run is clean. Each entry is a
   // human-readable description of one failed check.
   std::vector<std::string> violations;
@@ -119,8 +122,12 @@ struct ScenarioResult {
   bool ok() const { return violations.empty(); }
 };
 
-// Builds and runs the scenario, sweeping every oracle at the end.
-ScenarioResult RunScenario(const Scenario& scenario);
+// Builds and runs the scenario, sweeping every oracle at the end. When
+// `trace` is non-null the whole run records into it (scheduler decisions,
+// slices, services, fault firings) and the buffer's seed is stamped from
+// the scenario — tools/faultctl's --trace path.
+ScenarioResult RunScenario(const Scenario& scenario,
+                           etrace::TraceBuffer* trace = nullptr);
 
 // Swarm-fuzzing generators: a random plan (each class independently armed
 // with a random trigger) and a random scenario around it.

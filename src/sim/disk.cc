@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "src/obs/etrace/trace_buffer.h"
 #include "src/sim/fault.h"
 
 namespace lottery {
@@ -25,6 +26,11 @@ void DiskScheduler::SetTickets(ClientId client, uint64_t tickets) {
   StateOf(client).tickets = tickets;
 }
 
+void DiskScheduler::SetTrace(etrace::TraceBuffer* trace) {
+  trace_ = trace;
+  trace_name_ = trace != nullptr ? trace->Intern("disk") : 0;
+}
+
 DiskScheduler::ClientState& DiskScheduler::StateOf(ClientId client) {
   const auto it = clients_.find(client);
   if (it == clients_.end()) {
@@ -45,6 +51,15 @@ void DiskScheduler::Submit(ClientId client, int64_t bytes, SimTime when,
   }
   if (when < now_) {
     when = now_;
+  }
+  if (etrace::On(trace_, etrace::kCatDisk)) {
+    etrace::Event e;
+    e.t_ns = when.nanos();
+    e.v1 = static_cast<uint64_t>(bytes);
+    e.a = client;
+    e.name = trace_name_;
+    e.type = static_cast<uint16_t>(etrace::EventType::kDiskSubmit);
+    trace_->Append(e);
   }
   StateOf(client).queue.push_back(
       Request{bytes, when, std::move(on_complete)});
@@ -115,6 +130,18 @@ void DiskScheduler::AdvanceTo(SimTime deadline) {
       }
       state.bytes_served += in_flight_.request.bytes;
       ++state.requests_served;
+      if (etrace::On(trace_, etrace::kCatDisk)) {
+        etrace::Event e;
+        e.t_ns = now_.nanos();
+        e.v1 = static_cast<uint64_t>(in_flight_.request.bytes);
+        e.v2 = static_cast<uint64_t>(
+            (now_ - in_flight_.request.submitted).nanos());
+        e.a = in_flight_.client;
+        e.name = trace_name_;
+        e.flags = in_flight_.request.attempts > 0 ? 1 : 0;
+        e.type = static_cast<uint16_t>(etrace::EventType::kDiskComplete);
+        trace_->Append(e);
+      }
       if (in_flight_.request.on_complete) {
         in_flight_.request.on_complete(now_);
       }

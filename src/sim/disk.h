@@ -26,6 +26,9 @@
 namespace lottery {
 
 class FaultInjector;
+namespace etrace {
+class TraceBuffer;
+}
 
 class DiskScheduler {
  public:
@@ -47,6 +50,10 @@ class DiskScheduler {
   void SetFaultInjector(FaultInjector* faults) { faults_ = faults; }
   // Completions that timed out and were re-queued for retry.
   uint64_t timeouts() const { return timeouts_; }
+
+  // Records kCatDisk submit/complete events into `trace` (nullptr
+  // disables). The buffer must outlive the disk scheduler.
+  void SetTrace(etrace::TraceBuffer* trace);
 
   using Completion = std::function<void(SimTime)>;
 
@@ -106,6 +113,8 @@ class DiskScheduler {
   Options options_;
   FastRand* rng_;
   FaultInjector* faults_ = nullptr;
+  etrace::TraceBuffer* trace_ = nullptr;
+  uint32_t trace_name_ = 0;  // interned "disk"
   uint64_t timeouts_ = 0;
   std::map<ClientId, ClientState> clients_;
   SimTime now_;

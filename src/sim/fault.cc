@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "src/obs/etrace/trace_buffer.h"
+
 namespace lottery {
 
 namespace {
@@ -238,8 +240,24 @@ bool FaultInjector::Fire(FaultClass fault, SimTime now) {
   }
   if (fired) {
     ++pc.injected;
+    if (etrace::On(trace_, etrace::kCatFault)) {
+      etrace::Event e;
+      e.t_ns = now.nanos();
+      e.a = static_cast<uint32_t>(fault);
+      e.name = trace_names_[static_cast<size_t>(fault)];
+      e.type = static_cast<uint16_t>(etrace::EventType::kFault);
+      trace_->Append(e);
+    }
   }
   return fired;
+}
+
+void FaultInjector::SetTrace(etrace::TraceBuffer* trace) {
+  trace_ = trace;
+  for (size_t i = 0; i < kNumFaultClasses; ++i) {
+    trace_names_[i] =
+        trace != nullptr ? trace->Intern(kClassNames[i]) : 0;
+  }
 }
 
 SimDuration FaultInjector::DelayOf(FaultClass fault) const {

@@ -31,6 +31,10 @@
 
 namespace lottery {
 
+namespace etrace {
+class TraceBuffer;
+}
+
 enum class FaultClass : uint8_t {
   kThreadCrash = 0,   // involuntary exit at end of the current quantum
   kSpuriousWakeup,    // a sleeping thread is woken before its timer
@@ -123,6 +127,11 @@ class FaultInjector {
   // *targets* (which sleeper, which ticket) deterministically.
   FastRand& rng() { return rng_; }
 
+  // Records a kCatFault event into `trace` for every firing (nullptr
+  // disables). Class names are interned up front, so Fire stays
+  // allocation-free. The buffer must outlive the injector.
+  void SetTrace(etrace::TraceBuffer* trace);
+
  private:
   struct PerClass {
     bool armed = false;
@@ -144,6 +153,8 @@ class FaultInjector {
   FastRand rng_;
   std::array<PerClass, kNumFaultClasses> classes_{};
   std::set<ThreadId> protected_;
+  etrace::TraceBuffer* trace_ = nullptr;
+  std::array<uint32_t, kNumFaultClasses> trace_names_{};
 };
 
 }  // namespace lottery

@@ -3,9 +3,32 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "src/obs/etrace/trace_buffer.h"
 #include "src/sim/fault.h"
 
 namespace lottery {
+
+namespace {
+
+// Maps the kernel's slice outcome onto the trace encoding (event.h keeps
+// its own constants so the file format never shifts under enum edits).
+uint16_t SliceFlagOf(Disposition disposition) {
+  switch (disposition) {
+    case Disposition::kPreempted:
+      return etrace::kSlicePreempt;
+    case Disposition::kYield:
+      return etrace::kSliceYield;
+    case Disposition::kSleep:
+      return etrace::kSliceSleep;
+    case Disposition::kBlock:
+      return etrace::kSliceBlock;
+    case Disposition::kExit:
+      return etrace::kSliceExit;
+  }
+  return etrace::kSlicePreempt;
+}
+
+}  // namespace
 
 RunContext::RunContext(Kernel* kernel, ThreadId self, SimTime start,
                        SimDuration budget)
@@ -104,6 +127,30 @@ const Kernel::Thread& Kernel::ThreadOf(ThreadId tid) const {
   return const_cast<Kernel*>(this)->ThreadOf(tid);
 }
 
+void Kernel::SetTrace(etrace::TraceBuffer* trace) {
+  options_.trace = trace;
+  if (!etrace::On(options_.trace, etrace::kCatSched)) {
+    return;
+  }
+  // Late attach: re-emit thread names (tid order for determinism) so the
+  // trace is self-describing even when recording starts mid-run.
+  std::vector<ThreadId> tids;
+  tids.reserve(threads_.size());
+  // lotlint: ordered-ok (keys only; sorted before any event is emitted)
+  for (const auto& entry : threads_) {
+    tids.push_back(entry.first);
+  }
+  std::sort(tids.begin(), tids.end());
+  for (const ThreadId tid : tids) {
+    etrace::Event e;
+    e.t_ns = now_.nanos();
+    e.a = tid;
+    e.name = options_.trace->Intern(ThreadOf(tid).name);
+    e.type = static_cast<uint16_t>(etrace::EventType::kThreadName);
+    options_.trace->Append(e);
+  }
+}
+
 ThreadId Kernel::Spawn(const std::string& name,
                        std::unique_ptr<ThreadBody> body, bool start_ready) {
   const ThreadId tid = next_tid_++;
@@ -112,6 +159,14 @@ ThreadId Kernel::Spawn(const std::string& name,
   thread.body = std::move(body);
   threads_.emplace(tid, std::move(thread));
   ++live_threads_;
+  if (etrace::On(options_.trace, etrace::kCatSched)) {
+    etrace::Event e;
+    e.t_ns = now_.nanos();
+    e.a = tid;
+    e.name = options_.trace->Intern(name);
+    e.type = static_cast<uint16_t>(etrace::EventType::kThreadName);
+    options_.trace->Append(e);
+  }
   scheduler_->AddThread(tid, now_);
   if (start_ready) {
     Wake(tid, now_);
@@ -165,6 +220,14 @@ void Kernel::WakeNow(ThreadId tid, SimTime when) {
   thread.runnable = true;
   ++runnable_count_;
   m_wakes_->Inc();
+  if (etrace::On(options_.trace, etrace::kCatSched)) {
+    etrace::Event e;
+    e.t_ns = when.nanos();
+    e.a = tid;
+    e.type = static_cast<uint16_t>(etrace::EventType::kWake);
+    options_.trace->Append(e);
+  }
+  etrace::SetNow(options_.trace, when.nanos());
   scheduler_->OnReady(tid, when);
 }
 
@@ -303,6 +366,7 @@ void Kernel::RunUntil(SimTime end) {
     events_.RunUntil(now_);
     DeliverTicks();
 
+    etrace::SetNow(options_.trace, now_.nanos());
     const ThreadId tid = scheduler_->PickNext(now_);
     if (tid == kInvalidThreadId) {
       // This CPU idles to the next event (or the horizon). Slice-end
@@ -377,6 +441,20 @@ void Kernel::RunUntil(SimTime end) {
       // dies holding its service state — exit observers roll it back.
       disposition = Disposition::kExit;
     }
+    if (etrace::On(options_.trace, etrace::kCatSched)) {
+      // Stamped at slice *start* so exporters can render it as a duration
+      // slice; v1 carries the length, flags the final disposition (after
+      // any injected-crash override).
+      etrace::Event e;
+      e.t_ns = now_.nanos();
+      e.v1 = static_cast<uint64_t>(ctx.used().nanos());
+      e.a = tid;
+      e.b = static_cast<uint32_t>(cpu);
+      e.flags = SliceFlagOf(disposition);
+      e.type = static_cast<uint16_t>(etrace::EventType::kSlice);
+      options_.trace->Append(e);
+    }
+    etrace::SetNow(options_.trace, slice_end.nanos());
     scheduler_->OnQuantumEnd(tid, ctx.used(), options_.quantum, slice_end);
     if (options_.num_cpus == 1) {
       // Single CPU: apply the outcome immediately (the next dispatch is at

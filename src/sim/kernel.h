@@ -121,6 +121,12 @@ class Kernel {
     // services pick it up via faults(). nullptr (the default) disables
     // injection entirely — no hooks run, no randomness is drawn.
     FaultInjector* faults = nullptr;
+    // Structured-event trace (optional). The kernel records thread names,
+    // CPU slices (with dispositions) and wakes, advances the buffer's
+    // sim-time cursor, and hands the buffer to its services via etrace().
+    // Pass the same buffer to LotteryScheduler::Options::trace so decisions
+    // and slices interleave in one stream. Null disables all hooks.
+    etrace::TraceBuffer* trace = nullptr;
   };
 
   // `scheduler` must outlive the kernel. `tracer` may be null.
@@ -169,6 +175,17 @@ class Kernel {
   // services (RPC, mutexes) use this for ticket transfers.
   LotteryScheduler* lottery() { return lottery_; }
   Tracer* tracer() { return tracer_; }
+  // Structured-event trace shared by the kernel and its services (mutexes,
+  // RPC ports pick it up from here); may be null.
+  etrace::TraceBuffer* etrace() const { return options_.trace; }
+
+  // Attaches (or detaches, with nullptr) the structured-event trace at
+  // runtime. On attach, kThreadName events are re-emitted for all threads
+  // (in tid order) so a late-attached trace is still self-describing.
+  // Services that interned names at construction (ports, mutexes, disk)
+  // keep their ids only when the attached buffer is the one they interned
+  // into. Pair with LotteryScheduler::SetTrace for a single shared stream.
+  void SetTrace(etrace::TraceBuffer* trace);
   // Fault injector shared by the kernel and its services; may be null.
   FaultInjector* faults() { return options_.faults; }
   const Options& options() const { return options_; }

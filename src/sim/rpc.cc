@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "src/obs/etrace/trace_buffer.h"
 #include "src/sim/fault.h"
 
 namespace lottery {
@@ -17,6 +18,9 @@ RpcPort::RpcPort(Kernel* kernel, const std::string& name,
   LotteryScheduler* ls = kernel_->lottery();
   if (ls != nullptr) {
     currency_ = ls->table().CreateCurrency("port:" + name);
+  }
+  if (kernel_->etrace() != nullptr) {
+    trace_name_ = kernel_->etrace()->Intern("port:" + name);
   }
   kernel_->AddExitObserver(this);
 }
@@ -55,6 +59,21 @@ void RpcPort::Call(RunContext& ctx, int64_t payload) {
   message.client = ctx.self();
   message.payload = payload;
   message.sent_at = ctx.now();
+
+  etrace::TraceBuffer* trace = kernel_->etrace();
+  if (etrace::On(trace, etrace::kCatRpc)) {
+    // Span ids come off the trace buffer, not any simulation RNG, so the
+    // schedule is identical with tracing off (span stays 0 then).
+    message.span = trace->NextSpanId();
+    etrace::Event e;
+    e.t_ns = ctx.now().nanos();
+    e.v1 = message.span;
+    e.v2 = static_cast<uint64_t>(payload);
+    e.a = ctx.self();
+    e.name = trace_name_;
+    e.type = static_cast<uint16_t>(etrace::EventType::kRpcSend);
+    trace->Append(e);
+  }
 
   LotteryScheduler* ls = kernel_->lottery();
   if (ls != nullptr) {
@@ -138,6 +157,16 @@ bool RpcPort::TryReceive(RunContext& ctx, RpcMessage* out) {
   }
   RpcMessage message = std::move(pending_.front());
   pending_.pop_front();
+  etrace::TraceBuffer* trace = kernel_->etrace();
+  if (message.span != 0 && etrace::On(trace, etrace::kCatRpc)) {
+    etrace::Event e;
+    e.t_ns = ctx.now().nanos();
+    e.v1 = message.span;
+    e.a = ctx.self();
+    e.name = trace_name_;
+    e.type = static_cast<uint16_t>(etrace::EventType::kRpcRecv);
+    trace->Append(e);
+  }
   LotteryScheduler* ls = kernel_->lottery();
   if (ls != nullptr && message.transfer != nullptr) {
     // Hand the client's funding to the worker that will process it.
@@ -168,6 +197,18 @@ void RpcPort::Reply(RunContext& ctx, RpcMessage message) {
   }
   const SimDuration latency = ctx.now() - message.sent_at;
   m_latency_us_->Record(static_cast<uint64_t>(latency.nanos()) / 1000u);
+  etrace::TraceBuffer* trace = kernel_->etrace();
+  if (message.span != 0 && etrace::On(trace, etrace::kCatRpc)) {
+    etrace::Event e;
+    e.t_ns = ctx.now().nanos();
+    e.v1 = message.span;
+    e.v2 = static_cast<uint64_t>(latency.nanos());
+    e.a = ctx.self();
+    e.b = message.client;
+    e.name = trace_name_;
+    e.type = static_cast<uint16_t>(etrace::EventType::kRpcReply);
+    trace->Append(e);
+  }
   if (kernel_->tracer() != nullptr) {
     kernel_->tracer()->RecordSample(
         "rpc_latency:" + kernel_->ThreadName(message.client), ctx.now(),

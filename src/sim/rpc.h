@@ -36,6 +36,9 @@ struct RpcMessage {
   ThreadId client = kInvalidThreadId;
   int64_t payload = 0;
   SimTime sent_at;
+  // Trace span id tying send → receive → reply into one causal flow
+  // (etrace kCatRpc); 0 when tracing was off at send time.
+  uint64_t span = 0;
   // Lottery mode only: the client's funding, parked or funding a server.
   std::unique_ptr<TicketTransfer> transfer;
   // Injected duplicate delivery: carries no transfer, and its reply is
@@ -107,6 +110,8 @@ class RpcPort : public ThreadExitObserver {
   // tickets issued in it.
   Currency* currency_ = nullptr;
   std::map<ThreadId, Ticket*> server_tickets_;
+  // Interned port name for trace events (0 when tracing is off).
+  uint32_t trace_name_ = 0;
 
   // Obs hooks (from the kernel's registry).
   obs::Counter* m_calls_;

@@ -2,7 +2,28 @@
 
 #include <stdexcept>
 
+#include "src/obs/etrace/trace_buffer.h"
+
 namespace lottery {
+
+namespace {
+
+// a=tid, name=mutex; kMutexGrant additionally carries the wait in v1.
+void TraceMutex(etrace::TraceBuffer* trace, etrace::EventType type,
+                int64_t t_ns, ThreadId tid, uint32_t name_id,
+                uint64_t waited_ns = 0) {
+  if (etrace::On(trace, etrace::kCatMutex)) {
+    etrace::Event e;
+    e.t_ns = t_ns;
+    e.v1 = waited_ns;
+    e.a = tid;
+    e.name = name_id;
+    e.type = static_cast<uint16_t>(type);
+    trace->Append(e);
+  }
+}
+
+}  // namespace
 
 SimMutex::SimMutex(Kernel* kernel, const std::string& name,
                    int64_t transfer_amount)
@@ -17,6 +38,9 @@ SimMutex::SimMutex(Kernel* kernel, const std::string& name,
     currency_ = ls->table().CreateCurrency("mutex:" + name);
     inheritance_ticket_ =
         ls->table().CreateTicket(currency_, transfer_amount_);
+  }
+  if (kernel_->etrace() != nullptr) {
+    trace_name_ = kernel_->etrace()->Intern("mutex:" + name);
   }
   kernel_->AddExitObserver(this);
 }
@@ -42,12 +66,16 @@ bool SimMutex::Acquire(RunContext& ctx) {
   }
   if (owner_ == kInvalidThreadId) {
     GrantTo(tid);
+    TraceMutex(kernel_->etrace(), etrace::EventType::kMutexAcquire,
+               ctx.now().nanos(), tid, trace_name_);
     return true;
   }
   Waiter waiter;
   waiter.tid = tid;
   waiter.since = ctx.now();
   m_contended_->Inc();
+  TraceMutex(kernel_->etrace(), etrace::EventType::kMutexContend,
+             ctx.now().nanos(), tid, trace_name_);
   LotteryScheduler* ls = kernel_->lottery();
   if (ls != nullptr) {
     // Figure 10: the waiter backs the lock currency with a ticket issued in
@@ -87,6 +115,8 @@ void SimMutex::OnThreadExit(ThreadId tid, SimTime when) {
 
 void SimMutex::ReleaseAndGrant(SimTime now) {
   LotteryScheduler* ls = kernel_->lottery();
+  TraceMutex(kernel_->etrace(), etrace::EventType::kMutexRelease,
+             now.nanos(), owner_, trace_name_);
 
   if (waiters_.empty()) {
     owner_ = kInvalidThreadId;
@@ -127,6 +157,9 @@ void SimMutex::ReleaseAndGrant(SimTime now) {
 
   const SimDuration waited = now - winner.since;
   m_wait_us_->Record(static_cast<uint64_t>(waited.nanos()) / 1000u);
+  TraceMutex(kernel_->etrace(), etrace::EventType::kMutexGrant, now.nanos(),
+             winner.tid, trace_name_,
+             static_cast<uint64_t>(waited.nanos()));
   if (kernel_->tracer() != nullptr) {
     kernel_->tracer()->RecordSample(
         "mutex_wait:" + kernel_->ThreadName(winner.tid), now,

@@ -85,6 +85,8 @@ class SimMutex : public ThreadExitObserver {
   // Lottery-mode machinery (null when the policy scheduler is not lottery).
   Currency* currency_ = nullptr;
   Ticket* inheritance_ticket_ = nullptr;
+  // Interned mutex name for trace events (0 when tracing is off).
+  uint32_t trace_name_ = 0;
 
   // Obs hooks (from the kernel's registry): grants, contended acquires, and
   // the Figure 11 waiting-time histogram in microseconds of simulated time.

@@ -81,7 +81,11 @@ void Tracer::EnableDispatchLog(size_t cap) {
 
 void Tracer::RecordDispatch(ThreadId tid, int cpu, SimTime start,
                             SimDuration used) {
-  if (!dispatch_log_enabled_ || dispatches_.size() >= dispatch_cap_) {
+  if (!dispatch_log_enabled_) {
+    return;
+  }
+  if (dispatches_.size() >= dispatch_cap_) {
+    ++dispatch_dropped_;
     return;
   }
   dispatches_.push_back(
@@ -90,6 +94,10 @@ void Tracer::RecordDispatch(ThreadId tid, int cpu, SimTime start,
 
 std::string Tracer::DispatchesCsv() const {
   std::ostringstream out;
+  if (dispatch_dropped_ > 0) {
+    out << "# dropped=" << dispatch_dropped_
+        << " dispatches past the log cap of " << dispatch_cap_ << "\n";
+  }
   out << "tid,cpu,start_sec,duration_sec\n";
   for (const Dispatch& d : dispatches_) {
     out << d.tid << "," << d.cpu << "," << d.start_sec << ","

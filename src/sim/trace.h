@@ -55,12 +55,17 @@ class Tracer {
   };
 
   // Enables per-dispatch recording (off by default; a long run generates
-  // millions of slices). Recording stops silently at `cap` entries.
+  // millions of slices). Recording stops at `cap` entries; every dispatch
+  // past the cap is counted in dropped() — never silently discarded.
   void EnableDispatchLog(size_t cap = 1000000);
   bool dispatch_log_enabled() const { return dispatch_log_enabled_; }
   void RecordDispatch(ThreadId tid, int cpu, SimTime start, SimDuration used);
   const std::vector<Dispatch>& dispatches() const { return dispatches_; }
-  // Gantt-style CSV: tid,cpu,start_sec,duration_sec.
+  // Dispatches that arrived after the log hit its cap. Benches print this
+  // to stderr so a truncated Gantt chart is never mistaken for a full one.
+  uint64_t dropped() const { return dispatch_dropped_; }
+  // Gantt-style CSV: tid,cpu,start_sec,duration_sec. When the cap was hit,
+  // the first line is a `# dropped=N ...` comment.
   std::string DispatchesCsv() const;
 
   // --- Export ----------------------------------------------------------------
@@ -80,6 +85,7 @@ class Tracer {
   std::map<std::string, std::vector<Sample>> samples_;
   bool dispatch_log_enabled_ = false;
   size_t dispatch_cap_ = 0;
+  uint64_t dispatch_dropped_ = 0;
   std::vector<Dispatch> dispatches_;
 };
 

@@ -88,11 +88,23 @@ TEST(Tracer, DispatchLogRecordsAndCaps) {
   ASSERT_EQ(tracer.dispatches().size(), 2u);
   EXPECT_EQ(tracer.dispatches()[1].tid, 2u);
   EXPECT_EQ(tracer.dispatches()[1].cpu, 1);
+  EXPECT_EQ(tracer.dropped(), 1u);
   const std::string csv = tracer.DispatchesCsv();
   EXPECT_EQ(csv,
+            "# dropped=1 dispatches past the log cap of 2\n"
             "tid,cpu,start_sec,duration_sec\n"
             "1,0,0,0.1\n"
             "2,1,0.1,0.05\n");
+}
+
+TEST(Tracer, DispatchLogNoDropComment) {
+  Tracer tracer(SimDuration::Seconds(1));
+  tracer.EnableDispatchLog(/*cap=*/2);
+  tracer.RecordDispatch(1, 0, At(0), SimDuration::Millis(100));
+  EXPECT_EQ(tracer.dropped(), 0u);
+  EXPECT_EQ(tracer.DispatchesCsv(),
+            "tid,cpu,start_sec,duration_sec\n"
+            "1,0,0,0.1\n");
 }
 
 }  // namespace

@@ -1,0 +1,248 @@
+// Tests for tracectl's analysis library (tools/tracectl/): the decision
+// audit (ground-truth replay + chi-square), the drift table, event-by-event
+// diff with first-divergence localization, and the record/convert pipeline
+// driven through the same entry points the binary dispatches to.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/obs/etrace/event.h"
+#include "src/obs/etrace/export.h"
+#include "src/obs/etrace/trace_buffer.h"
+#include "src/obs/registry.h"
+#include "src/util/flags.h"
+#include "tools/tracectl/tracectl.h"
+
+namespace lottery {
+namespace tracectl {
+namespace {
+
+using etrace::Event;
+using etrace::EventType;
+using etrace::TraceFile;
+
+// Runs a tracectl subcommand exactly as the binary would: argv[0] is the
+// program name (skipped by Flags), argv[1] the subcommand.
+int RunArgs(std::vector<std::string> args) {
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>("tracectl"));
+  for (std::string& a : args) argv.push_back(a.data());
+  return Run(static_cast<int>(argv.size()), argv.data());
+}
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+Event Candidate(uint32_t tid, uint32_t index, uint64_t value) {
+  Event e;
+  e.type = static_cast<uint16_t>(EventType::kCandidate);
+  e.a = tid;
+  e.b = index;
+  e.v1 = value;
+  return e;
+}
+
+Event Decision(uint32_t winner, uint64_t drawn, uint64_t total,
+               uint64_t winner_value, uint16_t flags = 0) {
+  Event e;
+  e.type = static_cast<uint16_t>(EventType::kDecision);
+  e.a = winner;
+  e.v1 = drawn;
+  e.v2 = total;
+  e.v3 = winner_value;
+  e.flags = flags;
+  return e;
+}
+
+// Synthetic traces let the audit logic be tested without a scheduler and
+// regardless of whether obs hooks are compiled in.
+TEST(AuditDecisions, ReplaysWinnersFromSnapshots) {
+  TraceFile trace;
+  // Candidates 3:2:1 (tids 1..3); drawn value 3 lands in tid 2's
+  // [3, 5) range (first prefix sum strictly greater than 3).
+  trace.events = {Candidate(1, 0, 3), Candidate(2, 1, 2), Candidate(3, 2, 1),
+                  Decision(2, 3, 6, 2)};
+  const DecisionAudit audit = AuditDecisions(trace);
+  EXPECT_EQ(audit.decisions, 1u);
+  EXPECT_EQ(audit.replay_checked, 1u);
+  EXPECT_EQ(audit.replay_mismatches, 0u);
+  EXPECT_EQ(audit.fallbacks, 0u);
+}
+
+TEST(AuditDecisions, FlagsWrongWinner) {
+  TraceFile trace;
+  trace.events = {Candidate(1, 0, 3), Candidate(2, 1, 2), Candidate(3, 2, 1),
+                  Decision(/*winner=*/3, /*drawn=*/3, 6, 2)};
+  const DecisionAudit audit = AuditDecisions(trace);
+  EXPECT_EQ(audit.replay_checked, 1u);
+  EXPECT_EQ(audit.replay_mismatches, 1u);
+}
+
+TEST(AuditDecisions, FallbackWinnerIsIndexedByV1) {
+  TraceFile trace;
+  trace.events = {
+      Candidate(8, 0, 0), Candidate(9, 1, 0),
+      Decision(/*winner=*/9, /*drawn=*/1, 0, 0, etrace::kDecisionFallback)};
+  const DecisionAudit audit = AuditDecisions(trace);
+  EXPECT_EQ(audit.fallbacks, 1u);
+  EXPECT_EQ(audit.replay_mismatches, 0u);
+}
+
+TEST(AuditDecisions, ChiSquareUsesStationaryPhaseOnly) {
+  // 60 decisions at total 6 (shares 3:2:1) in exact proportion, plus two
+  // startup decisions at a different total that must be excluded.
+  TraceFile trace;
+  trace.events.push_back(Decision(1, 0, 3, 3));
+  trace.events.push_back(Decision(1, 1, 3, 3));
+  for (int i = 0; i < 30; ++i) trace.events.push_back(Decision(1, 0, 6, 3));
+  for (int i = 0; i < 20; ++i) trace.events.push_back(Decision(2, 3, 6, 2));
+  for (int i = 0; i < 10; ++i) trace.events.push_back(Decision(3, 5, 6, 1));
+  const DecisionAudit audit = AuditDecisions(trace);
+  EXPECT_EQ(audit.stationary_decisions, 60u);
+  EXPECT_EQ(audit.stationary_total, 6u);
+  EXPECT_EQ(audit.df, 2);
+  EXPECT_NEAR(audit.chi_square, 0.0, 1e-9);  // perfectly proportional
+  EXPECT_TRUE(audit.chi_ok);
+}
+
+TEST(DiffTraces, LocalizesFirstDivergence) {
+  TraceFile a;
+  a.version = 1;
+  a.mask = etrace::kDefaultCategories;
+  a.seed = 42;
+  a.strings = {"", "t0"};
+  a.events = {Candidate(1, 0, 3), Decision(1, 0, 3, 3)};
+  TraceFile b = a;
+  EXPECT_TRUE(DiffTraces(a, b).identical);
+
+  b.events[1].v1 = 99;
+  const DiffResult diff = DiffTraces(a, b);
+  EXPECT_FALSE(diff.identical);
+  EXPECT_EQ(diff.field, "events");
+  EXPECT_EQ(diff.index, 1u);
+  EXPECT_NE(diff.lhs, diff.rhs);
+
+  TraceFile c = a;
+  c.seed = 43;
+  EXPECT_EQ(DiffTraces(a, c).field, "seed");
+
+  TraceFile d = a;
+  d.strings[1] = "t1";
+  EXPECT_EQ(DiffTraces(a, d).field, "strings");
+  EXPECT_EQ(DiffTraces(a, d).index, 1u);
+}
+
+TEST(RenderEvent, NamesTheTypeAndResolvesStrings) {
+  TraceFile trace;
+  trace.strings = {"", "worker"};
+  Event e = Candidate(5, 0, 7);
+  e.name = 1;
+  const std::string line = RenderEvent(trace, e);
+  EXPECT_NE(line.find("candidate"), std::string::npos);
+  EXPECT_NE(line.find("worker"), std::string::npos);
+}
+
+// --- End-to-end through the CLI entry points -------------------------------
+
+TEST(Cli, RecordIsDeterministicAndAuditsClean) {
+  if (!obs::kObsEnabled) GTEST_SKIP() << "no events with obs off";
+  const std::string path_a = TempPath("tracectl_a.bin");
+  const std::string path_b = TempPath("tracectl_b.bin");
+  for (const std::string& path : {path_a, path_b}) {
+    ASSERT_EQ(RunArgs({"record", "--out=" + path, "--seed=42",
+                       "--tickets=3:2:1", "--seconds=60", "--snapshots"}),
+              0);
+  }
+  // Same seed, same configuration: byte-identical files.
+  const std::string bytes_a = Slurp(path_a);
+  ASSERT_FALSE(bytes_a.empty());
+  EXPECT_EQ(bytes_a, Slurp(path_b));
+  EXPECT_EQ(RunArgs({"diff", path_a, path_b}), 0);
+
+  const TraceFile trace = TraceFile::Load(path_a);
+  const DecisionAudit audit = AuditDecisions(trace);
+  EXPECT_GT(audit.decisions, 100u);
+  EXPECT_EQ(audit.replay_checked, audit.decisions);
+  EXPECT_EQ(audit.replay_mismatches, 0u);
+  // 3:2:1 shares at alpha = 0.01 over the stationary phase.
+  EXPECT_GE(audit.df, 2);
+  EXPECT_TRUE(audit.chi_ok)
+      << "chi^2 " << audit.chi_square << " >= " << audit.chi_critical;
+
+  // Drift table: shares sum to ~1 and no thread drifts past 5 points.
+  const std::vector<DriftRow> drift = ComputeDrift(trace);
+  ASSERT_EQ(drift.size(), 3u);
+  double cpu_total = 0.0;
+  for (const DriftRow& row : drift) {
+    cpu_total += row.cpu_share;
+    EXPECT_LT(std::abs(row.drift), 0.05) << row.name;
+  }
+  EXPECT_NEAR(cpu_total, 1.0, 1e-6);
+
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
+TEST(Cli, ListAndTreeBackendsDivergeInTheEventStream) {
+  if (!obs::kObsEnabled) GTEST_SKIP() << "no events with obs off";
+  const std::string path_list = TempPath("tracectl_list.bin");
+  const std::string path_tree = TempPath("tracectl_tree.bin");
+  ASSERT_EQ(RunArgs({"record", "--out=" + path_list, "--seed=42",
+                     "--backend=list", "--seconds=30"}),
+            0);
+  ASSERT_EQ(RunArgs({"record", "--out=" + path_tree, "--seed=42",
+                     "--backend=tree", "--seconds=30"}),
+            0);
+  const DiffResult diff =
+      DiffTraces(TraceFile::Load(path_list), TraceFile::Load(path_tree));
+  EXPECT_FALSE(diff.identical);
+  // Header fields match (same seed/mask); the divergence is an event.
+  EXPECT_EQ(diff.field, "events");
+  // And the binary exit code mirrors it.
+  EXPECT_EQ(RunArgs({"diff", path_list, path_tree}), 1);
+  std::remove(path_list.c_str());
+  std::remove(path_tree.c_str());
+}
+
+TEST(Cli, ConvertWritesChromeTraceJson) {
+  if (!obs::kObsEnabled) GTEST_SKIP() << "no events with obs off";
+  const std::string bin = TempPath("tracectl_conv.bin");
+  const std::string json_path = TempPath("tracectl_conv.json");
+  ASSERT_EQ(RunArgs({"record", "--out=" + bin, "--seed=7", "--seconds=10"}),
+            0);
+  ASSERT_EQ(RunArgs({"convert", bin, "--out=" + json_path}), 0);
+  const std::string json = Slurp(json_path);
+  ASSERT_FALSE(json.empty());
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  // Conversion is a pure function of the bytes (WriteFile adds a newline).
+  EXPECT_EQ(json, ToChromeTraceJson(TraceFile::Load(bin)) + "\n");
+  std::remove(bin.c_str());
+  std::remove(json_path.c_str());
+}
+
+TEST(Cli, UsageAndUnknownCommandsExitTwo) {
+  EXPECT_EQ(RunArgs({}), 2);
+  EXPECT_EQ(RunArgs({"--help"}), 0);
+  EXPECT_EQ(RunArgs({"no-such-command"}), 2);
+  EXPECT_EQ(RunArgs({"record"}), 2);  // --out is required
+}
+
+}  // namespace
+}  // namespace tracectl
+}  // namespace lottery

@@ -11,8 +11,10 @@
 
 #include <cstdio>
 #include <exception>
+#include <memory>
 #include <string>
 
+#include "src/obs/etrace/trace_buffer.h"
 #include "src/sim/chaos.h"
 #include "src/sim/fault.h"
 #include "src/util/flags.h"
@@ -27,7 +29,9 @@ int Run(int argc, char** argv) {
         "usage: faultctl [--seed=N] [--backend=list|tree|stride] [--cpus=N]\n"
         "                [--threads=N] [--horizon-us=N] [--quantum-us=N]\n"
         "                [--measured=A,B] [--plan='crash:p=0.01;...']\n"
-        "                [--verbose]\n");
+        "                [--trace=PATH] [--verbose]\n"
+        "--trace writes a structured etrace binary of the run (inspect with\n"
+        "tracectl summarize / convert).\n");
     return 0;
   }
 
@@ -53,7 +57,24 @@ int Run(int argc, char** argv) {
   // Parse eagerly so a bad plan reports before the run starts.
   FaultPlan::Parse(scenario.plan);
 
-  const chaos::ScenarioResult result = chaos::RunScenario(scenario);
+  const std::string trace_path = flags.GetString("trace", "");
+  std::unique_ptr<etrace::TraceBuffer> trace;
+  if (!trace_path.empty()) {
+    trace = std::make_unique<etrace::TraceBuffer>();
+  }
+
+  const chaos::ScenarioResult result =
+      chaos::RunScenario(scenario, trace.get());
+  if (result.dispatch_log_dropped > 0) {
+    std::fprintf(stderr,
+                 "faultctl: dispatch log dropped %llu entries past its cap\n",
+                 static_cast<unsigned long long>(result.dispatch_log_dropped));
+  }
+  if (trace != nullptr) {
+    trace->WriteToFile(trace_path);
+    std::printf("trace:            %s (%zu events)\n", trace_path.c_str(),
+                trace->size());
+  }
 
   std::printf("repro:            %s\n", scenario.ReproCommand().c_str());
   std::printf("trace_hash:       %016llx\n",

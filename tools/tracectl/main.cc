@@ -1,0 +1,13 @@
+#include <cstdio>
+#include <exception>
+
+#include "tools/tracectl/tracectl.h"
+
+int main(int argc, char** argv) {
+  try {
+    return lottery::tracectl::Run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tracectl: %s\n", e.what());
+    return 2;
+  }
+}

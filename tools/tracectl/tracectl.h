@@ -1,0 +1,90 @@
+// tracectl: audit CLI for structured etrace binaries (src/obs/etrace/).
+//
+// Subcommands:
+//   record     run a seeded N-way compute workload and write a trace
+//   convert    binary trace -> Chrome trace-event / Perfetto JSON
+//   summarize  header + event counts, CPU-share vs ticket-share drift
+//              table, and a chi-square decision audit (alpha = 0.01)
+//   diff       event-by-event comparison; localizes the first divergence
+//
+// Everything here is a pure function of the trace file contents, so the
+// analysis pieces are exposed for tests (tests/tracectl_test.cc) and the
+// binary is a thin dispatcher over them.
+
+#ifndef TOOLS_TRACECTL_TRACECTL_H_
+#define TOOLS_TRACECTL_TRACECTL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/etrace/trace_buffer.h"
+#include "src/util/flags.h"
+
+namespace lottery {
+namespace tracectl {
+
+// Outcome of replaying and statistically auditing the decision stream.
+struct DecisionAudit {
+  uint64_t decisions = 0;  // kDecision events seen
+  uint64_t fallbacks = 0;  // decided by the zero-funding round-robin
+  // Ground-truth replay (needs kCatLotterySnapshot candidate events): each
+  // winner re-derived from (drawn value, per-client ticket snapshot).
+  uint64_t replay_checked = 0;
+  uint64_t replay_mismatches = 0;
+  // Chi-square of wins vs ticket shares over the stationary phase (the
+  // decisions whose total-ticket count equals the modal total, so churn at
+  // startup/shutdown does not distort expectations).
+  uint64_t stationary_decisions = 0;
+  uint64_t stationary_total = 0;  // the modal total (base units)
+  int df = 0;
+  double chi_square = 0.0;
+  double chi_critical = 0.0;  // upper tail, alpha = 0.01
+  bool chi_ok = true;         // vacuously true when df < 1
+};
+
+DecisionAudit AuditDecisions(const etrace::TraceFile& trace);
+
+// One row of the CPU-share vs ticket-share drift table. Ticket shares come
+// from the stationary decision phase (see DecisionAudit); CPU shares from
+// kSlice events over the same thread set.
+struct DriftRow {
+  uint32_t tid = 0;
+  std::string name;
+  uint64_t wins = 0;
+  int64_t cpu_ns = 0;
+  double cpu_share = 0.0;
+  double ticket_share = 0.0;
+  double drift = 0.0;  // cpu_share - ticket_share
+};
+
+std::vector<DriftRow> ComputeDrift(const etrace::TraceFile& trace);
+
+// First divergence between two traces, if any.
+struct DiffResult {
+  bool identical = true;
+  std::string field;  // "events[i]", "strings[i]", or a header field
+  size_t index = 0;
+  std::string lhs;
+  std::string rhs;
+};
+
+DiffResult DiffTraces(const etrace::TraceFile& a, const etrace::TraceFile& b);
+
+// Human-readable one-line rendering of an event.
+std::string RenderEvent(const etrace::TraceFile& trace,
+                        const etrace::Event& e);
+
+// Subcommand entry points (exit codes: 0 ok, 1 audit/diff failure, 2 usage).
+int Record(const Flags& flags);
+int Convert(const Flags& flags);
+int Summarize(const Flags& flags);
+int Diff(const Flags& flags);
+
+// Dispatches on positional()[0].
+int Run(int argc, char** argv);
+
+}  // namespace tracectl
+}  // namespace lottery
+
+#endif  // TOOLS_TRACECTL_TRACECTL_H_
