@@ -61,9 +61,8 @@ CurrencyTable::CurrencyTable(obs::Registry* metrics,
       currency_reprices_(metrics_->counter("currency.reprices")),
       client_dirty_marks_(metrics_->counter("client.dirty_marks")),
       client_reprices_(metrics_->counter("client.reprices")) {
-  currencies_.push_back(
-      std::unique_ptr<Currency>(new Currency("base", /*is_base=*/true, "")));
-  base_ = currencies_.back().get();
+  base_ = currency_pool_.New("base", /*is_base=*/true, std::string());
+  LinkCurrency(base_);
   if (trace_ != nullptr) {
     base_->trace_name_ = trace_->Intern(base_->name());
   }
@@ -71,15 +70,63 @@ CurrencyTable::CurrencyTable(obs::Registry* metrics,
                 base_->trace_name_);
 }
 
-CurrencyTable::~CurrencyTable() = default;
+CurrencyTable::~CurrencyTable() {
+  // Pool storage outlives the objects; run the destructors explicitly.
+  for (Ticket* t = tickets_head_; t != nullptr;) {
+    Ticket* next = t->list_next_;
+    ticket_pool_.Delete(t);
+    t = next;
+  }
+  for (Currency* c = currencies_head_; c != nullptr;) {
+    Currency* next = c->list_next_;
+    currency_pool_.Delete(c);
+    c = next;
+  }
+}
+
+void CurrencyTable::LinkCurrency(Currency* currency) {
+  currency->list_prev_ = currencies_tail_;
+  currency->list_next_ = nullptr;
+  (currencies_tail_ != nullptr ? currencies_tail_->list_next_
+                               : currencies_head_) = currency;
+  currencies_tail_ = currency;
+  ++num_currencies_;
+  currency_by_name_.emplace(currency->name(), currency);
+}
+
+void CurrencyTable::UnlinkCurrency(Currency* currency) {
+  (currency->list_prev_ != nullptr ? currency->list_prev_->list_next_
+                                   : currencies_head_) = currency->list_next_;
+  (currency->list_next_ != nullptr ? currency->list_next_->list_prev_
+                                   : currencies_tail_) = currency->list_prev_;
+  --num_currencies_;
+  currency_by_name_.erase(currency->name());
+}
+
+void CurrencyTable::LinkTicket(Ticket* ticket) {
+  ticket->list_prev_ = tickets_tail_;
+  ticket->list_next_ = nullptr;
+  (tickets_tail_ != nullptr ? tickets_tail_->list_next_ : tickets_head_) =
+      ticket;
+  tickets_tail_ = ticket;
+  ++num_tickets_;
+}
+
+void CurrencyTable::UnlinkTicket(Ticket* ticket) {
+  (ticket->list_prev_ != nullptr ? ticket->list_prev_->list_next_
+                                 : tickets_head_) = ticket->list_next_;
+  (ticket->list_next_ != nullptr ? ticket->list_next_->list_prev_
+                                 : tickets_tail_) = ticket->list_prev_;
+  --num_tickets_;
+}
 
 void CurrencyTable::SetTrace(etrace::TraceBuffer* trace) {
   trace_ = trace;
   if (trace_ == nullptr) {
     return;
   }
-  for (const auto& currency : currencies_) {
-    currency->trace_name_ = trace_->Intern(currency->name());
+  for (Currency* c = currencies_head_; c != nullptr; c = c->list_next_) {
+    c->trace_name_ = trace_->Intern(c->name());
   }
 }
 
@@ -153,9 +200,8 @@ Currency* CurrencyTable::CreateCurrency(const std::string& name,
   if (FindCurrency(name) != nullptr) {
     throw std::invalid_argument("CreateCurrency: duplicate name " + name);
   }
-  currencies_.push_back(
-      std::unique_ptr<Currency>(new Currency(name, /*is_base=*/false, owner)));
-  Currency* currency = currencies_.back().get();
+  Currency* currency = currency_pool_.New(name, /*is_base=*/false, owner);
+  LinkCurrency(currency);
   if (trace_ != nullptr) {
     currency->trace_name_ = trace_->Intern(currency->name());
   }
@@ -167,12 +213,8 @@ Currency* CurrencyTable::CreateCurrency(const std::string& name,
 }
 
 Currency* CurrencyTable::FindCurrency(const std::string& name) const {
-  for (const auto& c : currencies_) {
-    if (c->name() == name) {
-      return c.get();
-    }
-  }
-  return nullptr;
+  const auto it = currency_by_name_.find(name);
+  return it != currency_by_name_.end() ? it->second : nullptr;
 }
 
 void CurrencyTable::DestroyCurrency(Currency* currency) {
@@ -187,17 +229,13 @@ void CurrencyTable::DestroyCurrency(Currency* currency) {
   while (!currency->backing_.empty()) {
     DestroyTicket(currency->backing_.back());
   }
-  const auto it = std::find_if(
-      currencies_.begin(), currencies_.end(),
-      [currency](const std::unique_ptr<Currency>& c) {
-        return c.get() == currency;
-      });
-  if (it == currencies_.end()) {
+  if (FindCurrency(currency->name()) != currency) {
     throw std::logic_error("DestroyCurrency: unknown currency");
   }
   TraceCurrency(trace_, etrace::EventType::kCurrencyDestroy,
                 currency->trace_name_);
-  currencies_.erase(it);
+  UnlinkCurrency(currency);
+  currency_pool_.Delete(currency);
   BumpEpoch();
   LOT_DCHECK_TABLE(*this);
 }
@@ -239,9 +277,8 @@ Ticket* CurrencyTable::CreateTicket(Currency* denomination, int64_t amount,
                                 "' may not issue tickets in " +
                                 denomination->name());
   }
-  tickets_.push_back(std::unique_ptr<Ticket>(
-      new Ticket(next_ticket_id_++, denomination, amount)));
-  Ticket* ticket = tickets_.back().get();
+  Ticket* ticket = ticket_pool_.New(next_ticket_id_++, denomination, amount);
+  LinkTicket(ticket);
   denomination->issued_.push_back(ticket);
   denomination->issued_amount_ += amount;
   BumpEpoch();
@@ -263,13 +300,8 @@ void CurrencyTable::DestroyTicket(Ticket* ticket) {
   Currency* denom = ticket->denomination_;
   EraseOne(denom->issued_, ticket);
   denom->issued_amount_ -= ticket->amount_;
-  const auto it = std::find_if(
-      tickets_.begin(), tickets_.end(),
-      [ticket](const std::unique_ptr<Ticket>& t) { return t.get() == ticket; });
-  if (it == tickets_.end()) {
-    throw std::logic_error("DestroyTicket: unknown ticket");
-  }
-  tickets_.erase(it);
+  UnlinkTicket(ticket);
+  ticket_pool_.Delete(ticket);
   if (denom->retired_ && denom->issued_.empty()) {
     // Last issued ticket of a retired currency: reclaim it (backing is
     // already empty, so this is a plain erase).
@@ -495,9 +527,9 @@ bool CurrencyTable::Reaches(const Currency* from, const Currency* to) const {
 }
 
 Ticket* CurrencyTable::FindTicket(uint64_t id) const {
-  for (const auto& t : tickets_) {
+  for (Ticket* t = tickets_head_; t != nullptr; t = t->list_next_) {
     if (t->id() == id) {
-      return t.get();
+      return t;
     }
   }
   return nullptr;
@@ -505,26 +537,27 @@ Ticket* CurrencyTable::FindTicket(uint64_t id) const {
 
 std::vector<Currency*> CurrencyTable::Currencies() const {
   std::vector<Currency*> out;
-  out.reserve(currencies_.size());
-  for (const auto& c : currencies_) {
-    out.push_back(c.get());
+  out.reserve(num_currencies_);
+  for (Currency* c = currencies_head_; c != nullptr; c = c->list_next_) {
+    out.push_back(c);
   }
   return out;
 }
 
 std::vector<Ticket*> CurrencyTable::Tickets() const {
   std::vector<Ticket*> out;
-  out.reserve(tickets_.size());
-  for (const auto& t : tickets_) {
-    out.push_back(t.get());
+  out.reserve(num_tickets_);
+  for (Ticket* t = tickets_head_; t != nullptr; t = t->list_next_) {
+    out.push_back(t);
   }
   return out;
 }
 
 std::string CurrencyTable::DebugString() const {
   std::ostringstream out;
-  for (const auto& c : currencies_) {
-    out << c->name() << ": value=" << CurrencyValue(c.get()).ToBaseF()
+  for (const Currency* c = currencies_head_; c != nullptr;
+       c = c->list_next_) {
+    out << c->name() << ": value=" << CurrencyValue(c).ToBaseF()
         << " active=" << c->active_amount() << "/" << c->issued_amount()
         << " backing=[";
     for (size_t i = 0; i < c->backing().size(); ++i) {
@@ -540,15 +573,16 @@ std::string CurrencyTable::DebugString() const {
 std::string CurrencyTable::ToDot() const {
   std::ostringstream out;
   out << "digraph currencies {\n  rankdir=BT;\n";
-  for (const auto& c : currencies_) {
+  for (const Currency* c = currencies_head_; c != nullptr;
+       c = c->list_next_) {
     out << "  \"" << c->name() << "\" [shape=box,label=\"" << c->name();
     if (!c->is_base()) {
-      out << "\\nvalue=" << CurrencyValue(c.get()).ToBaseF();
+      out << "\\nvalue=" << CurrencyValue(c).ToBaseF();
     }
     out << "\\nactive " << c->active_amount() << "/" << c->issued_amount()
         << "\"];\n";
   }
-  for (const auto& t : tickets_) {
+  for (const Ticket* t = tickets_head_; t != nullptr; t = t->list_next_) {
     // Edge from the entity the ticket funds toward its denomination (the
     // direction value flows from).
     std::string from;

@@ -30,10 +30,12 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/core/funding.h"
 #include "src/core/ticket.h"
+#include "src/util/arena.h"
 
 namespace lottery {
 
@@ -90,6 +92,9 @@ class Currency {
 
  private:
   friend class CurrencyTable;
+  // The table's allocator must reach the private constructor/destructor.
+  template <typename T, size_t kSlabObjects>
+  friend class util::SlabPool;
   // Corrupts private state to prove the invariant checks catch it
   // (tests/invariant_test.cc); never used outside death tests.
   friend class InvariantTestPeer;
@@ -117,6 +122,11 @@ class Currency {
   // Interned name id in the table's TraceBuffer (0 when not tracing), so
   // reprice events on the draw path never touch the intern map.
   uint32_t trace_name_ = 0;
+
+  // Intrusive creation-order list maintained by CurrencyTable (slab-pool
+  // allocation; O(1) unlink on destroy; base stays at the head).
+  Currency* list_prev_ = nullptr;
+  Currency* list_next_ = nullptr;
 };
 
 class CurrencyTable {
@@ -220,8 +230,8 @@ class CurrencyTable {
   void AddObserver(ValueObserver* observer);
   void RemoveObserver(ValueObserver* observer);
 
-  size_t num_currencies() const { return currencies_.size(); }
-  size_t num_tickets() const { return tickets_.size(); }
+  size_t num_currencies() const { return num_currencies_; }
+  size_t num_tickets() const { return num_tickets_; }
 
   // Structured-event trace attached at construction (may be null). Exposed
   // so ticket-transfer RAII (transfer.cc) can record into the same buffer.
@@ -287,8 +297,26 @@ class CurrencyTable {
 
   Funding CurrencyValueUncached(const Currency* currency) const;
 
-  std::vector<std::unique_ptr<Currency>> currencies_;
-  std::vector<std::unique_ptr<Ticket>> tickets_;
+  // Appends to / unlinks from the intrusive creation-order lists.
+  void LinkCurrency(Currency* currency);
+  void UnlinkCurrency(Currency* currency);
+  void LinkTicket(Ticket* ticket);
+  void UnlinkTicket(Ticket* ticket);
+
+  // Currencies and tickets are slab-pool allocated (a million threads mean
+  // a million currencies and two million tickets — per-object new/delete
+  // and O(n) registry scans would dominate) and threaded on intrusive
+  // creation-order lists, with a name index for O(1) currency lookup. The
+  // index is lookup-only: every iteration walks the deterministic lists.
+  util::SlabPool<Currency> currency_pool_;
+  util::SlabPool<Ticket> ticket_pool_;
+  Currency* currencies_head_ = nullptr;
+  Currency* currencies_tail_ = nullptr;
+  Ticket* tickets_head_ = nullptr;
+  Ticket* tickets_tail_ = nullptr;
+  size_t num_currencies_ = 0;
+  size_t num_tickets_ = 0;
+  std::unordered_map<std::string, Currency*> currency_by_name_;
   Currency* base_;
   std::string superuser_ = "root";
   uint64_t epoch_ = 1;

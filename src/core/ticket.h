@@ -19,6 +19,8 @@
 
 #include <cstdint>
 
+#include "src/util/arena.h"
+
 namespace lottery {
 
 class Client;
@@ -43,6 +45,9 @@ class Ticket {
  private:
   friend class CurrencyTable;
   friend class Client;
+  // The table's allocator must reach the private constructor/destructor.
+  template <typename T, size_t kSlabObjects>
+  friend class util::SlabPool;
   // Corrupts private state in death tests (tests/invariant_test.cc).
   friend class InvariantTestPeer;
 
@@ -55,6 +60,12 @@ class Ticket {
   Currency* funds_ = nullptr;
   Client* holder_ = nullptr;
   bool active_ = false;
+
+  // Intrusive creation-order list maintained by CurrencyTable, which
+  // allocates tickets from a slab pool (no per-ticket heap allocation) and
+  // needs O(1) unlink on destroy.
+  Ticket* list_prev_ = nullptr;
+  Ticket* list_next_ = nullptr;
 };
 
 }  // namespace lottery

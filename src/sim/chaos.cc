@@ -113,7 +113,9 @@ void ChaosController::TryRevoke(SimTime now) {
   Ticket* ticket =
       eligible[faults_->rng().NextBelow(static_cast<uint32_t>(eligible.size()))];
   const uint64_t ticket_id = ticket->id();
-  const std::string currency_name = ticket->funds()->name();
+  // Not const: a const capture would make the closure copy-only, and event
+  // handlers must be nothrow-movable to live inline in the queue's arena.
+  std::string currency_name = ticket->funds()->name();
   table.Unfund(ticket);
   ++revocations_;
   // Restore the funding later. By then the thread may have crashed (its

@@ -115,12 +115,11 @@ Kernel::Kernel(Scheduler* scheduler, Options options, Tracer* tracer)
 Kernel::~Kernel() = default;
 
 Kernel::Thread& Kernel::ThreadOf(ThreadId tid) {
-  const auto it = threads_.find(tid);
-  if (it == threads_.end()) {
+  if (tid == 0 || tid >= next_tid_) {
     throw std::invalid_argument("Kernel: unknown thread " +
                                 std::to_string(tid));
   }
-  return it->second;
+  return threads_[tid - 1];
 }
 
 const Kernel::Thread& Kernel::ThreadOf(ThreadId tid) const {
@@ -132,20 +131,14 @@ void Kernel::SetTrace(etrace::TraceBuffer* trace) {
   if (!etrace::On(options_.trace, etrace::kCatSched)) {
     return;
   }
-  // Late attach: re-emit thread names (tid order for determinism) so the
-  // trace is self-describing even when recording starts mid-run.
-  std::vector<ThreadId> tids;
-  tids.reserve(threads_.size());
-  // lotlint: ordered-ok (keys only; sorted before any event is emitted)
-  for (const auto& entry : threads_) {
-    tids.push_back(entry.first);
-  }
-  std::sort(tids.begin(), tids.end());
-  for (const ThreadId tid : tids) {
+  // Late attach: re-emit thread names (tid order for determinism; records
+  // are tid-indexed) so the trace is self-describing even when recording
+  // starts mid-run.
+  for (ThreadId tid = 1; tid < next_tid_; ++tid) {
     etrace::Event e;
     e.t_ns = now_.nanos();
     e.a = tid;
-    e.name = options_.trace->Intern(ThreadOf(tid).name);
+    e.name = options_.trace->Intern(threads_[tid - 1].name);
     e.type = static_cast<uint16_t>(etrace::EventType::kThreadName);
     options_.trace->Append(e);
   }
@@ -154,10 +147,9 @@ void Kernel::SetTrace(etrace::TraceBuffer* trace) {
 ThreadId Kernel::Spawn(const std::string& name,
                        std::unique_ptr<ThreadBody> body, bool start_ready) {
   const ThreadId tid = next_tid_++;
-  Thread thread;
+  Thread& thread = threads_.EmplaceBack();
   thread.name = name;
   thread.body = std::move(body);
-  threads_.emplace(tid, std::move(thread));
   ++live_threads_;
   if (etrace::On(options_.trace, etrace::kCatSched)) {
     etrace::Event e;
@@ -244,8 +236,8 @@ void Kernel::RemoveExitObserver(ThreadExitObserver* observer) {
 std::vector<ThreadId> Kernel::SleepingThreads() const {
   std::vector<ThreadId> sleeping;
   for (ThreadId tid = 1; tid < next_tid_; ++tid) {
-    const auto it = threads_.find(tid);
-    if (it != threads_.end() && it->second.alive && it->second.sleeping) {
+    const Thread& thread = threads_[tid - 1];
+    if (thread.alive && thread.sleeping) {
       sleeping.push_back(tid);
     }
   }
@@ -265,8 +257,7 @@ bool Kernel::IsQuiescent() const {
 }
 
 bool Kernel::Alive(ThreadId tid) const {
-  const auto it = threads_.find(tid);
-  return it != threads_.end() && it->second.alive;
+  return tid >= 1 && tid < next_tid_ && threads_[tid - 1].alive;
 }
 
 const std::string& Kernel::ThreadName(ThreadId tid) const {

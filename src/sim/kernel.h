@@ -15,7 +15,6 @@
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "src/core/lottery_scheduler.h"
@@ -23,6 +22,7 @@
 #include "src/sched/scheduler.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/trace.h"
+#include "src/util/arena.h"
 #include "src/util/sim_time.h"
 
 namespace lottery {
@@ -241,7 +241,10 @@ class Kernel {
   Options options_;
   Tracer* tracer_;
   EventQueue events_;
-  std::unordered_map<ThreadId, Thread> threads_;
+  // Thread records, indexed by tid - 1 (tids are dense, assigned from 1).
+  // Chunked so records never move or copy on growth — a million spawns cost
+  // a few hundred chunk allocations instead of hash-table churn.
+  util::ChunkedVector<Thread> threads_;
   SimTime now_;
   SimTime last_tick_;
   ThreadId next_tid_ = 1;

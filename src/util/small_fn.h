@@ -1,0 +1,109 @@
+// SmallFn: a fixed-capacity, allocation-free std::function replacement.
+//
+// The event queue stores one callable per pending event. std::function
+// heap-allocates any capture larger than its tiny internal buffer (16
+// bytes in libstdc++), which at a million pending timers means a million
+// extra allocations plus pointer-chasing on every dispatch. SmallFn stores
+// the callable inline — always — and refuses at compile time anything that
+// does not fit, so event records stay flat and pool-allocated.
+//
+// Move-only (event handlers run once and are never copied), invocable
+// exactly like std::function, empty-testable via operator bool. Invoking
+// an empty SmallFn is undefined (the queue never does).
+
+#ifndef SRC_UTIL_SMALL_FN_H_
+#define SRC_UTIL_SMALL_FN_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace lottery {
+namespace util {
+
+template <typename Signature, size_t kInlineBytes = 56>
+class SmallFn;  // primary template intentionally undefined
+
+template <typename R, typename... Args, size_t kInlineBytes>
+class SmallFn<R(Args...), kInlineBytes> {
+ public:
+  SmallFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<
+                std::decay_t<F>, SmallFn>>>
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor): mirrors std::function
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= kInlineBytes,
+                  "callable too large for SmallFn's inline buffer; shrink "
+                  "the capture or raise kInlineBytes");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "over-aligned callables are not supported");
+    static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                  "SmallFn requires nothrow-movable callables");
+    ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+    invoke_ = [](void* self, Args&&... args) -> R {
+      return (*std::launder(reinterpret_cast<Fn*>(self)))(
+          std::forward<Args>(args)...);
+    };
+    manage_ = [](void* self, void* other, Op op) {
+      Fn* fn = std::launder(reinterpret_cast<Fn*>(self));
+      if (op == Op::kMoveTo) {
+        ::new (other) Fn(std::move(*fn));
+      }
+      fn->~Fn();
+    };
+  }
+
+  SmallFn(SmallFn&& other) noexcept { MoveFrom(other); }
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  ~SmallFn() { Reset(); }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  R operator()(Args... args) {
+    return invoke_(buf_, std::forward<Args>(args)...);
+  }
+
+ private:
+  enum class Op { kMoveTo, kDestroy };
+  using Invoke = R (*)(void*, Args&&...);
+  using Manage = void (*)(void* self, void* other, Op);
+
+  void MoveFrom(SmallFn& other) {
+    if (other.invoke_ != nullptr) {
+      other.manage_(other.buf_, buf_, Op::kMoveTo);
+      invoke_ = other.invoke_;
+      manage_ = other.manage_;
+      other.invoke_ = nullptr;
+      other.manage_ = nullptr;
+    }
+  }
+
+  void Reset() {
+    if (manage_ != nullptr) {
+      manage_(buf_, nullptr, Op::kDestroy);
+      invoke_ = nullptr;
+      manage_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  Invoke invoke_ = nullptr;
+  Manage manage_ = nullptr;
+};
+
+}  // namespace util
+}  // namespace lottery
+
+#endif  // SRC_UTIL_SMALL_FN_H_

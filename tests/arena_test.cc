@@ -1,0 +1,166 @@
+// Tests for the allocation substrate behind the million-thread scale work:
+// SlabPool (typed slab allocator with intrusive free list), ChunkedVector
+// (stable-address chunked array), and SmallFn (inline-storage callable used
+// for event handlers).
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/arena.h"
+#include "src/util/small_fn.h"
+
+namespace lottery {
+namespace {
+
+struct Probe {
+  static int live;
+  int value;
+  explicit Probe(int v) : value(v) { ++live; }
+  ~Probe() { --live; }
+};
+int Probe::live = 0;
+
+TEST(SlabPool, NewRunsConstructorDeleteRunsDestructor) {
+  Probe::live = 0;
+  util::SlabPool<Probe, 4> pool;
+  Probe* a = pool.New(7);
+  EXPECT_EQ(a->value, 7);
+  EXPECT_EQ(Probe::live, 1);
+  EXPECT_EQ(pool.live(), 1u);
+  pool.Delete(a);
+  EXPECT_EQ(Probe::live, 0);
+  EXPECT_EQ(pool.live(), 0u);
+}
+
+TEST(SlabPool, ReusesFreedSlotsWithoutGrowing) {
+  Probe::live = 0;
+  util::SlabPool<Probe, 4> pool;
+  Probe* a = pool.New(1);
+  EXPECT_EQ(pool.slabs(), 1u);
+  pool.Delete(a);
+  Probe* b = pool.New(2);
+  EXPECT_EQ(b, a) << "freed slot should be reused before the pool grows";
+  EXPECT_EQ(b->value, 2);
+  pool.Delete(b);
+  EXPECT_EQ(pool.slabs(), 1u);
+}
+
+TEST(SlabPool, GrowsByWholeSlabsWithStableAddresses) {
+  Probe::live = 0;
+  util::SlabPool<Probe, 4> pool;
+  std::vector<Probe*> objs;
+  for (int i = 0; i < 9; ++i) {
+    objs.push_back(pool.New(i));
+  }
+  EXPECT_EQ(pool.slabs(), 3u);
+  EXPECT_EQ(pool.capacity(), 12u);
+  EXPECT_EQ(pool.live(), 9u);
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_EQ(objs[static_cast<size_t>(i)]->value, i);
+  }
+  for (Probe* p : objs) {
+    pool.Delete(p);
+  }
+  EXPECT_EQ(Probe::live, 0);
+}
+
+TEST(SlabPool, WorksWithNonTrivialTypes) {
+  util::SlabPool<std::string, 2> pool;
+  std::string* s = pool.New(size_t{1000}, 'x');
+  EXPECT_EQ(s->size(), 1000u);
+  pool.Delete(s);
+}
+
+TEST(ChunkedVector, ElementsKeepTheirAddressesAcrossGrowth) {
+  util::ChunkedVector<int, 4> v;
+  int* first = &v.EmplaceBack(42);
+  for (int i = 0; i < 100; ++i) {
+    v.EmplaceBack(i);
+  }
+  EXPECT_EQ(v.size(), 101u);
+  EXPECT_EQ(first, &v[0]) << "chunked storage must never relocate";
+  EXPECT_EQ(v[0], 42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(v[static_cast<size_t>(i) + 1], i);
+  }
+}
+
+TEST(ChunkedVector, ClearDestroysEverythingAndIsReusable) {
+  Probe::live = 0;
+  util::ChunkedVector<Probe, 4> v;
+  for (int i = 0; i < 10; ++i) {
+    v.EmplaceBack(i);
+  }
+  EXPECT_EQ(Probe::live, 10);
+  v.clear();
+  EXPECT_EQ(Probe::live, 0);
+  EXPECT_EQ(v.size(), 0u);
+  v.EmplaceBack(5);
+  EXPECT_EQ(v[0].value, 5);
+}
+
+TEST(ChunkedVector, DestructorReleasesElements) {
+  Probe::live = 0;
+  {
+    util::ChunkedVector<Probe, 4> v;
+    for (int i = 0; i < 6; ++i) {
+      v.EmplaceBack(i);
+    }
+    EXPECT_EQ(Probe::live, 6);
+  }
+  EXPECT_EQ(Probe::live, 0);
+}
+
+TEST(SmallFn, InvokesInlineCallableWithArgsAndResult) {
+  util::SmallFn<int(int, int)> fn = [](int a, int b) { return a * 10 + b; };
+  ASSERT_TRUE(static_cast<bool>(fn));
+  EXPECT_EQ(fn(3, 4), 34);
+}
+
+TEST(SmallFn, DefaultConstructedIsEmpty) {
+  util::SmallFn<void()> fn;
+  EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+TEST(SmallFn, MoveTransfersOwnershipAndEmptiesSource) {
+  int hits = 0;
+  util::SmallFn<void()> a = [&hits] { ++hits; };
+  util::SmallFn<void()> b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+
+  util::SmallFn<void()> c;
+  c = std::move(b);
+  EXPECT_FALSE(static_cast<bool>(b));
+  c();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(SmallFn, DestroysCaptureExactlyOnce) {
+  // The shared_ptr use-count tracks how many copies of the capture exist.
+  auto token = std::make_shared<int>(1);
+  {
+    util::SmallFn<void()> fn = [token] {};
+    EXPECT_EQ(token.use_count(), 2);
+    util::SmallFn<void()> moved = std::move(fn);
+    EXPECT_EQ(token.use_count(), 2) << "move must not copy the capture";
+    moved();
+  }
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(SmallFn, MoveOnlyCapturesWork) {
+  auto owned = std::make_unique<int>(99);
+  util::SmallFn<int()> fn = [p = std::move(owned)] { return *p; };
+  EXPECT_EQ(fn(), 99);
+}
+
+}  // namespace
+}  // namespace lottery

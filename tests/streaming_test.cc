@@ -1,0 +1,117 @@
+// Tests for the O(1)-memory streaming moment accumulator used by the scale
+// bench to summarise per-thread share error without per-thread storage.
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/obs/streaming.h"
+#include "src/util/fastrand.h"
+
+namespace lottery {
+namespace {
+
+TEST(StreamingStats, EmptyIsAllZeros) {
+  obs::StreamingStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(StreamingStats, SingleValue) {
+  obs::StreamingStats s;
+  s.Add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(StreamingStats, MatchesClosedFormMoments) {
+  // 1..100: mean 50.5, population variance (n^2 - 1)/12 = 833.25.
+  obs::StreamingStats s;
+  for (int i = 1; i <= 100; ++i) {
+    s.Add(static_cast<double>(i));
+  }
+  EXPECT_EQ(s.count(), 100u);
+  EXPECT_NEAR(s.mean(), 50.5, 1e-9);
+  EXPECT_NEAR(s.variance(), 833.25, 1e-6);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+}
+
+TEST(StreamingStats, MergeEqualsSingleAccumulator) {
+  FastRand rng(12345);
+  std::vector<double> values;
+  for (int i = 0; i < 10000; ++i) {
+    values.push_back(rng.NextUnit() * 2000.0 - 1000.0);
+  }
+
+  obs::StreamingStats whole;
+  for (double v : values) {
+    whole.Add(v);
+  }
+
+  // Shard into uneven pieces (including an empty shard) and merge.
+  obs::StreamingStats merged;
+  obs::StreamingStats shard;
+  size_t i = 0;
+  for (size_t shard_size : {size_t{1}, size_t{0}, size_t{9}, size_t{4990},
+                            size_t{5000}}) {
+    shard.Reset();
+    for (size_t k = 0; k < shard_size; ++k) {
+      shard.Add(values[i++]);
+    }
+    merged.Merge(shard);
+  }
+  ASSERT_EQ(i, values.size());
+
+  EXPECT_EQ(merged.count(), whole.count());
+  EXPECT_NEAR(merged.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(merged.variance(), whole.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(merged.min(), whole.min());
+  EXPECT_DOUBLE_EQ(merged.max(), whole.max());
+}
+
+TEST(StreamingStats, MergeIntoEmptyCopiesOther) {
+  obs::StreamingStats a;
+  a.Add(1.0);
+  a.Add(2.0);
+  obs::StreamingStats b;
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+  // Merging an empty accumulator is a no-op.
+  obs::StreamingStats empty;
+  b.Merge(empty);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(StreamingStats, VarianceIsNumericallyStableForLargeOffsets) {
+  // Naive sum-of-squares accumulation loses all precision here; Welford
+  // keeps the exact answer. Values: 1e9 + {1, 2, 3}.
+  obs::StreamingStats s;
+  s.Add(1e9 + 1.0);
+  s.Add(1e9 + 2.0);
+  s.Add(1e9 + 3.0);
+  EXPECT_NEAR(s.mean(), 1e9 + 2.0, 1e-3);
+  EXPECT_NEAR(s.variance(), 2.0 / 3.0, 1e-6);
+}
+
+TEST(StreamingStats, ResetClears) {
+  obs::StreamingStats s;
+  s.Add(10.0);
+  s.Reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace lottery
