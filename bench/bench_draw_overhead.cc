@@ -18,6 +18,9 @@
 #include <utility>
 #include <vector>
 
+#include <algorithm>
+
+#include "src/core/alias_lottery.h"
 #include "src/core/client.h"
 #include "src/core/currency.h"
 #include "src/core/inverse_lottery.h"
@@ -119,6 +122,27 @@ void BM_TreeLotteryUpdate(benchmark::State& state) {
 }
 BENCHMARK(BM_TreeLotteryUpdate)->Range(4, 4096)->Complexity(benchmark::oLogN);
 
+// Alias-table draws on a stable weight set: one PRNG draw, one division,
+// one column load — flat in n. The rig forces an immediate rebuild
+// (threshold 1) so the measured loop is entirely table-served.
+void BM_AliasLotteryDraw(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  AliasLottery::Options aopts;
+  aopts.min_stable_draws = 1;
+  aopts.rebuild_cost_divisor = 1000000000;  // threshold collapses to 1
+  AliasLottery alias(aopts, n);
+  for (size_t i = 0; i < n; ++i) {
+    alias.Add(i == 0 ? n * 10 : 10);
+  }
+  FastRand rng(7);
+  alias.Draw(rng);  // ripens the stability counter and builds the table
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(alias.Draw(rng));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_AliasLotteryDraw)->Range(4, 4096)->Complexity(benchmark::o1);
+
 // Currency conversion cost: value a client whose funding crosses a
 // user -> task -> thread currency chain (Figure 3's depth).
 void BM_CurrencyConversionDepth3(benchmark::State& state) {
@@ -210,6 +234,9 @@ struct ChurnRig {
     sopts.seed = seed;
     sopts.backend = backend;
     sopts.metrics = &registry;
+    // The 10k-client list legs exist precisely to chart the O(n) wall the
+    // demotion guard protects production users from; lift the cap here.
+    sopts.list_max_threads = 0;
     scheduler = std::make_unique<LotteryScheduler>(sopts);
     for (size_t i = 0; i < n; ++i) {
       const ThreadId tid = static_cast<ThreadId>(i + 1);
@@ -334,6 +361,182 @@ void AppendChurnMetrics(
   }
 }
 
+// Steady-state dispatch rig: full quanta (no compensation ticket, no
+// reprice), the regime where the draw itself dominates dispatch cost and
+// where speculative batching and the alias table are allowed to engage.
+// This is the rig behind the draw-path perf-gate leg: counter-derived keys
+// are deterministic for a fixed seed; wall-clock keys end in "_ns" and are
+// skipped by the gate.
+struct SteadyRig {
+  SteadyRig(size_t n, RunQueueBackend backend, uint32_t batch_window,
+            uint32_t seed) {
+    LotteryScheduler::Options sopts;
+    sopts.seed = seed;
+    sopts.backend = backend;
+    sopts.batch_window = batch_window;
+    sopts.metrics = &registry;
+    scheduler = std::make_unique<LotteryScheduler>(sopts);
+    for (size_t i = 0; i < n; ++i) {
+      const ThreadId tid = static_cast<ThreadId>(i + 1);
+      scheduler->AddThread(tid, SimTime::Zero());
+      scheduler->FundThread(tid, scheduler->table().base(),
+                            50 + static_cast<int64_t>(i % 32) * 10);
+      scheduler->OnReady(tid, SimTime::Zero());
+    }
+  }
+
+  // One dispatch: the winner runs its full 100 ms quantum, so no
+  // compensation mutation lands and the ticket set holds still.
+  ThreadId Step() {
+    const ThreadId winner = scheduler->PickNext(SimTime::Zero());
+    scheduler->OnQuantumEnd(winner, SimDuration::Millis(100),
+                            SimDuration::Millis(100), SimTime::Zero());
+    scheduler->OnReady(winner, SimTime::Zero());
+    return winner;
+  }
+
+  obs::Registry registry;
+  std::unique_ptr<LotteryScheduler> scheduler;
+};
+
+void AppendSteadyMetrics(
+    uint32_t seed, std::vector<std::pair<std::string, double>>* out) {
+  constexpr int kMeasured = 8192;
+  struct Leg {
+    const char* key;
+    RunQueueBackend backend;
+    uint32_t batch_window;
+  };
+  // tree_nobatch isolates the branchless-descent win from the batching win:
+  // the acceptance ratio for the draw path is steady_tree vs
+  // steady_tree_nobatch at the same n.
+  const Leg legs[] = {
+      {"steady_tree", RunQueueBackend::kTree, 8},
+      {"steady_tree_nobatch", RunQueueBackend::kTree, 0},
+      {"steady_alias", RunQueueBackend::kAlias, 0},
+  };
+  for (const Leg& leg : legs) {
+    for (const size_t n : {size_t{100}, size_t{1000}, size_t{10000}}) {
+      SteadyRig rig(n, leg.backend, leg.batch_window, seed);
+      const int warmup = static_cast<int>(n < 512 ? 512 : n);
+      for (int i = 0; i < warmup; ++i) {
+        rig.Step();
+      }
+      rig.registry.Reset();
+      constexpr int kBlocks = 8;
+      constexpr int kBlockSteps = kMeasured / kBlocks;
+      double best_block_ns = 0.0;
+      for (int block = 0; block < kBlocks; ++block) {
+        const auto t0 = std::chrono::steady_clock::now();
+        for (int i = 0; i < kBlockSteps; ++i) {
+          rig.Step();
+        }
+        const auto t1 = std::chrono::steady_clock::now();
+        const double block_ns = static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count());
+        if (block == 0 || block_ns < best_block_ns) {
+          best_block_ns = block_ns;
+        }
+      }
+      const double wall_ns = best_block_ns * kBlocks;
+      const auto counter = [&rig](const char* name) {
+        const obs::Counter* c = rig.registry.FindCounter(name);
+        return c == nullptr ? 0.0 : static_cast<double>(c->value());
+      };
+      const std::string key =
+          std::string(leg.key) + "_" + std::to_string(n);
+      out->emplace_back(key + "_ns_per_dispatch", wall_ns / kMeasured);
+      out->emplace_back(key + "_full_syncs", counter("tree.full_syncs"));
+      if (leg.backend == RunQueueBackend::kTree) {
+        out->emplace_back(key + "_batch_draws_per_dispatch",
+                          counter("lottery.batch_draws") / kMeasured);
+      } else {
+        out->emplace_back(key + "_table_draws_per_dispatch",
+                          counter("alias.table_draws") / kMeasured);
+        // The table was built during warmup; a steady measured phase must
+        // not rebuild at all.
+        out->emplace_back(key + "_rebuilds", counter("alias.rebuilds"));
+      }
+      const obs::LatencyHistogram* cost =
+          rig.registry.FindHistogram("lottery.draw_cost");
+      if (cost != nullptr) {
+        out->emplace_back(key + "_draw_cost_p50", cost->Percentile(0.50));
+        out->emplace_back(key + "_draw_cost_p99", cost->Percentile(0.99));
+      }
+    }
+  }
+}
+
+// Raw per-backend draw-latency matrix: p50/p99 of a single Draw() against
+// the bare structures (no scheduler around them) at n up to 100k. Each
+// sample times a group of draws to amortize clock overhead; percentiles are
+// taken over the per-draw group means. All keys end "_ns": wall-clock,
+// reported for the README/DESIGN scaling story, never gated. The list
+// backend is capped at 1k clients — the same population past which the
+// scheduler demotes it.
+void AppendDrawLatencyMatrix(
+    uint32_t seed, std::vector<std::pair<std::string, double>>* out) {
+  constexpr size_t kGroup = 32;
+  constexpr size_t kSamples = 256;
+  const auto percentiles = [&](auto&& draw_once, const std::string& key) {
+    std::vector<double> per_draw_ns(kSamples);
+    for (size_t s = 0; s < kSamples; ++s) {
+      const auto t0 = std::chrono::steady_clock::now();
+      for (size_t i = 0; i < kGroup; ++i) {
+        draw_once();
+      }
+      const auto t1 = std::chrono::steady_clock::now();
+      per_draw_ns[s] =
+          static_cast<double>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                  .count()) /
+          kGroup;
+    }
+    std::sort(per_draw_ns.begin(), per_draw_ns.end());
+    out->emplace_back(key + "_p50_ns", per_draw_ns[kSamples / 2]);
+    out->emplace_back(key + "_p99_ns",
+                      per_draw_ns[(kSamples * 99) / 100]);
+  };
+  for (const size_t n :
+       {size_t{100}, size_t{1000}, size_t{10000}, size_t{100000}}) {
+    const std::string suffix = "_" + std::to_string(n);
+    if (n <= 1000) {
+      ListRig rig(n, /*move_to_front=*/false);
+      FastRand rng(seed);
+      percentiles([&] { benchmark::DoNotOptimize(rig.lottery.Draw(rng)); },
+                  "draw_list" + suffix);
+    }
+    {
+      TreeLottery tree(n);
+      for (size_t i = 0; i < n; ++i) {
+        tree.Add(i == 0 ? n * 10 : 10);
+      }
+      FastRand rng(seed);
+      for (size_t i = 0; i < 4096; ++i) {
+        tree.Draw(rng);  // warm the descent paths
+      }
+      percentiles([&] { benchmark::DoNotOptimize(tree.Draw(rng)); },
+                  "draw_tree" + suffix);
+    }
+    {
+      AliasLottery::Options aopts;
+      aopts.min_stable_draws = 1;
+      aopts.rebuild_cost_divisor = 1000000000;
+      AliasLottery alias(aopts, n);
+      for (size_t i = 0; i < n; ++i) {
+        alias.Add(i == 0 ? n * 10 : 10);
+      }
+      FastRand rng(seed);
+      for (size_t i = 0; i < 4096; ++i) {
+        alias.Draw(rng);  // builds the table on the first draw, then warms
+      }
+      percentiles([&] { benchmark::DoNotOptimize(alias.Draw(rng)); },
+                  "draw_alias" + suffix);
+    }
+  }
+}
+
 // Console reporter that additionally captures per-benchmark real time so a
 // --json report in the shared BENCH_<name>.json schema can be emitted next
 // to google-benchmark's own output. Complexity fits (BigO/RMS rows) are
@@ -407,6 +610,8 @@ int main(int argc, char** argv) {
     // metrics live here, alongside the wall-clock numbers above.
     std::vector<std::pair<std::string, double>> churn;
     lottery::AppendChurnMetrics(static_cast<uint32_t>(seed), &churn);
+    lottery::AppendSteadyMetrics(static_cast<uint32_t>(seed), &churn);
+    lottery::AppendDrawLatencyMatrix(static_cast<uint32_t>(seed), &churn);
     for (const auto& [name, value] : churn) {
       w.Key(name).Double(value);
     }

@@ -1,0 +1,169 @@
+#include "src/core/alias_lottery.h"
+
+#include <algorithm>
+
+namespace lottery {
+
+AliasLottery::AliasLottery() : AliasLottery(Options()) {}
+
+AliasLottery::AliasLottery(Options options, size_t initial_capacity)
+    : options_(options), tree_(initial_capacity) {}
+
+size_t AliasLottery::Add(uint64_t weight) {
+  const size_t slot = tree_.Add(weight);
+  if (cycle_open_ && slot == cycle_slot_ && weight == cycle_weight_) {
+    cycle_open_ = false;  // balanced dispatch cycle: weight set unchanged
+  } else {
+    Invalidate();
+  }
+  return slot;
+}
+
+void AliasLottery::Remove(size_t slot) {
+  if (cycle_open_) {
+    Invalidate();  // second removal before the restore: real churn
+  } else {
+    cycle_open_ = true;
+    cycle_slot_ = slot;
+    cycle_weight_ = tree_.Weight(slot);
+  }
+  tree_.Remove(slot);
+}
+
+void AliasLottery::SetWeight(size_t slot, uint64_t weight) {
+  if (tree_.Weight(slot) == weight) {
+    return;  // no-op writes (repriced to the same value) keep the table
+  }
+  Invalidate();
+  tree_.SetWeight(slot, weight);
+}
+
+uint64_t AliasLottery::RebuildThreshold() const {
+  const uint64_t scaled = tree_.size() / options_.rebuild_cost_divisor;
+  return std::max(options_.min_stable_draws, scaled);
+}
+
+bool AliasLottery::Rebuild() {
+  const uint64_t total = tree_.total();
+  // Count positive-weight entries; zero-weight slots must never win
+  // (TreeLottery guarantees the same), so they get no column.
+  const size_t capacity = tree_.capacity();
+  size_t n = 0;
+  for (size_t slot = 0; slot < capacity; ++slot) {
+    n += static_cast<size_t>(tree_.Weight(slot) > 0);
+  }
+  if (n == 0) {
+    return false;
+  }
+  // The draw below is NextBelow64(n * total); its range tops out at
+  // (2^31-2)^2. Overflow or out-of-range scaled totals keep the tree
+  // serving — correctness never depends on the table existing.
+  constexpr uint64_t kDrawRange =
+      static_cast<uint64_t>(FastRand::kModulus - 1u) *
+      (FastRand::kModulus - 1u);
+  if (total > kDrawRange / n) {
+    return false;
+  }
+
+  // Integer Vose: residual r_i = w_i * n against column capacity `total`.
+  // Residual sums are conserved: sum r_i == n * total == n columns exactly
+  // filled, so the final leftovers (whichever stack they sit on) hold
+  // r == total and become self-aliased columns. Stacks are seeded in slot
+  // order and processed LIFO — fully deterministic for a given weight set.
+  struct Entry {
+    uint32_t slot;
+    uint64_t residual;
+  };
+  std::vector<Entry> small;
+  std::vector<Entry> large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t slot = 0; slot < capacity; ++slot) {
+    const uint64_t w = tree_.Weight(slot);
+    if (w == 0) {
+      continue;
+    }
+    const Entry e{static_cast<uint32_t>(slot), w * n};
+    if (e.residual < total) {
+      small.push_back(e);
+    } else {
+      large.push_back(e);
+    }
+  }
+  columns_.clear();
+  columns_.reserve(n);
+  while (!small.empty() && !large.empty()) {
+    const Entry s = small.back();
+    small.pop_back();
+    Entry& l = large.back();
+    Column col;
+    col.cut = s.residual;
+    col.primary = s.slot;
+    col.alias = l.slot;
+    columns_.push_back(col);
+    l.residual -= total - s.residual;
+    if (l.residual < total) {
+      small.push_back(l);
+      large.pop_back();
+    }
+  }
+  for (const auto& stack : {small, large}) {
+    for (const Entry& e : stack) {
+      Column col;
+      col.cut = e.residual;  // == total: the alias arm is unreachable
+      col.primary = e.slot;
+      col.alias = e.slot;
+      columns_.push_back(col);
+    }
+  }
+  column_capacity_ = total;
+  scaled_total_ = static_cast<uint64_t>(n) * total;
+  table_valid_ = true;
+  ++rebuilds_;
+  return true;
+}
+
+std::optional<size_t> AliasLottery::Draw(FastRand& rng, uint64_t* drawn_value,
+                                         bool* used_table) {
+  if (used_table != nullptr) {
+    *used_table = false;
+  }
+  if (tree_.total() == 0) {
+    return std::nullopt;
+  }
+  if (cycle_open_) {
+    // Drawing while a removal awaits its restore: the competitor set really
+    // is smaller right now (a blocked thread, not a dispatch cycle), so any
+    // table is stale and the stretch does not count as stable.
+    Invalidate();
+  }
+  if (!table_valid_) {
+    ++stable_draws_;
+    if (stable_draws_ >= RebuildThreshold()) {
+      Rebuild();
+      // On failure the counter keeps running; the overflow guard is O(1)
+      // per retry while the O(n) scan only happens at the threshold edge,
+      // so push the next attempt out by another threshold's worth.
+      if (!table_valid_) {
+        stable_draws_ = 0;
+      }
+    }
+  }
+  if (table_valid_) {
+    ++table_draws_;
+    const uint64_t r = rng.NextBelow64(scaled_total_);
+    if (drawn_value != nullptr) {
+      *drawn_value = r;
+    }
+    if (used_table != nullptr) {
+      *used_table = true;
+    }
+    const Column& col = columns_[r / column_capacity_];
+    const uint64_t offset = r % column_capacity_;
+    return static_cast<size_t>(offset < col.cut ? col.primary : col.alias);
+  }
+  ++tree_draws_;
+  return tree_.Draw(rng, drawn_value);
+}
+
+}  // namespace lottery

@@ -1,0 +1,134 @@
+// Alias-method lottery: O(1) winner selection for near-static ticket
+// distributions (Walker 1977 / Vose 1991).
+//
+// The tree backend pays lg n per draw forever. When ticket values hold
+// still for a stretch of quanta — the common steady state for server
+// fleets between funding changes — a Walker alias table answers each draw
+// with one random number, one division, and one 16-byte column load,
+// independent of n. The trade is an O(n) table rebuild whenever any weight
+// changes, so this backend is a hybrid:
+//
+//  * Every mutation (Add/Remove/SetWeight) invalidates the table and is
+//    mirrored into an internal TreeLottery, which stays authoritative.
+//  * Draws with no valid table come from the tree (correct immediately,
+//    lg n cost) while a stability counter runs.
+//  * Once draws_since_last_mutation reaches the rebuild threshold —
+//    max(min_stable_draws, live/rebuild_cost_divisor), so the rebuild is
+//    amortized against at least ~divisor draws of benefit — the table is
+//    built and serves O(1) draws until the next mutation.
+//
+// Under churn (a mutation every draw) the counter never ripens and the
+// backend degenerates to exactly the tree, which is the hysteresis the
+// scheduler relies on: no rebuild storms, no worse than kTree.
+//
+// Construction is integer-exact (lotlint rule D3: no floats in ticket
+// math). With n positive-weight entries and total T, entry i gets residual
+// r_i = w_i * n and each of the n columns has capacity T, so the table
+// partitions [0, n*T) and a draw r = NextBelow64(n*T) maps to column r/T,
+// offset r%T, winner = offset < cut ? primary : alias. Every weight unit
+// is represented exactly; P(win i) = w_i/T with zero rounding.
+
+#ifndef SRC_CORE_ALIAS_LOTTERY_H_
+#define SRC_CORE_ALIAS_LOTTERY_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/core/tree_lottery.h"
+#include "src/util/fastrand.h"
+
+namespace lottery {
+
+class AliasLottery {
+ public:
+  struct Options {
+    // Mutation-free draws required before a rebuild (floor).
+    uint64_t min_stable_draws = 8;
+    // Scales the threshold with population: rebuild only after at least
+    // live/rebuild_cost_divisor stable draws, so the O(n) build is repaid.
+    uint64_t rebuild_cost_divisor = 8;
+  };
+
+  AliasLottery();
+  explicit AliasLottery(Options options, size_t initial_capacity = 16);
+
+  // Same slot-handle contract as TreeLottery (the scheduler treats the two
+  // interchangeably): Add returns a dense recycled slot, Remove frees it.
+  size_t Add(uint64_t weight);
+  void Remove(size_t slot);
+  void SetWeight(size_t slot, uint64_t weight);
+  uint64_t Weight(size_t slot) const { return tree_.Weight(slot); }
+
+  uint64_t total() const { return tree_.total(); }
+  size_t size() const { return tree_.size(); }
+  bool empty() const { return tree_.empty(); }
+
+  // Picks a slot with probability weight/total; std::nullopt when the total
+  // is zero. `drawn_value` receives the alias draw in [0, n*total) when the
+  // table served it (`used_table` set true) or the tree's prefix-sum value
+  // in [0, total) on fallback — callers tagging trace events need the
+  // distinction because only the latter replays against a snapshot.
+  std::optional<size_t> Draw(FastRand& rng, uint64_t* drawn_value = nullptr,
+                             bool* used_table = nullptr);
+
+  // Deterministic prefix-sum resolution against the authoritative tree.
+  size_t SlotForValue(uint64_t value) const {
+    return tree_.SlotForValue(value);
+  }
+
+  // Cost proxy for the lottery.draw_cost histogram: 1 while the table is
+  // live (O(1) draw), else the tree descent depth.
+  size_t draw_depth() const {
+    return table_valid_ ? 1 : tree_.draw_depth();
+  }
+
+  bool table_valid() const { return table_valid_; }
+  uint64_t rebuilds() const { return rebuilds_; }
+  uint64_t table_draws() const { return table_draws_; }
+  uint64_t tree_draws() const { return tree_draws_; }
+
+ private:
+  struct Column {
+    uint64_t cut = 0;      // offsets < cut win primary, rest win alias
+    uint32_t primary = 0;  // slot handles (tree slots are dense and small)
+    uint32_t alias = 0;
+  };
+
+  void Invalidate() {
+    table_valid_ = false;
+    stable_draws_ = 0;
+    cycle_open_ = false;
+  }
+  uint64_t RebuildThreshold() const;
+  // Builds the alias table from the tree's current weights. Returns false
+  // (leaving the table invalid) when n*total would overflow the RNG's
+  // 62-bit draw range — the tree then keeps serving.
+  bool Rebuild();
+
+  Options options_;
+  TreeLottery tree_;  // authoritative weights; fallback draw path
+  // The scheduler's dispatch cycle removes each winner and re-adds it (at
+  // the same recycled slot, with the same weight) before the next draw.
+  // That balanced Remove -> Add pair leaves the weight set untouched, so it
+  // must be invisible to both the stability counter and a built table —
+  // otherwise the table could never outlive a single dispatch. A removal
+  // opens the cycle; the matching re-add closes it; anything else while a
+  // cycle is open (or a draw taken mid-cycle) is real churn and
+  // invalidates.
+  bool cycle_open_ = false;
+  size_t cycle_slot_ = 0;
+  uint64_t cycle_weight_ = 0;
+  std::vector<Column> columns_;
+  uint64_t column_capacity_ = 0;  // == total at build time
+  uint64_t scaled_total_ = 0;     // == n * total at build time
+  bool table_valid_ = false;
+  uint64_t stable_draws_ = 0;
+  uint64_t rebuilds_ = 0;
+  uint64_t table_draws_ = 0;
+  uint64_t tree_draws_ = 0;
+};
+
+}  // namespace lottery
+
+#endif  // SRC_CORE_ALIAS_LOTTERY_H_

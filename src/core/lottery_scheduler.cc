@@ -1,6 +1,7 @@
 #include "src/core/lottery_scheduler.h"
 
 #include <chrono>
+#include <cstdio>
 #include <stdexcept>
 
 #include "src/core/invariants.h"
@@ -14,6 +15,7 @@ LotteryScheduler::LotteryScheduler(Options options)
       table_(options.metrics, options.trace),
       compensation_(options.compensation),
       run_queue_(options.move_to_front),
+      alias_queue_(options.alias),
       metrics_(options.metrics != nullptr ? options.metrics
                                           : &obs::Registry::Default()),
       draws_(metrics_->counter("lottery.draws")),
@@ -22,10 +24,17 @@ LotteryScheduler::LotteryScheduler(Options options)
       transfers_(metrics_->counter("lottery.transfers")),
       leaf_updates_(metrics_->counter("tree.leaf_updates")),
       full_syncs_(metrics_->counter("tree.full_syncs")),
+      batch_formed_(metrics_->counter("lottery.batch_formed")),
+      batch_draws_(metrics_->counter("lottery.batch_draws")),
+      batch_flushes_(metrics_->counter("lottery.batch_flushes")),
+      alias_rebuilds_(metrics_->counter("alias.rebuilds")),
+      alias_table_draws_(metrics_->counter("alias.table_draws")),
+      alias_tree_draws_(metrics_->counter("alias.tree_draws")),
+      list_upgrades_(metrics_->counter("lottery.list_upgrades")),
       draw_cost_(metrics_->histogram("lottery.draw_cost")),
       sync_ns_(metrics_->histogram("lottery.sync_ns")),
       tree_draw_ns_(metrics_->histogram("lottery.tree_draw_ns")) {
-  if (options_.backend == RunQueueBackend::kTree) {
+  if (options_.backend != RunQueueBackend::kList) {
     // The list backend needs no scheduler-side tracking: run_queue_ itself
     // observes the table for its cached total.
     table_.AddObserver(this);
@@ -38,6 +47,93 @@ LotteryScheduler::~LotteryScheduler() {
 
 void LotteryScheduler::OnClientValueDirty(Client* client) {
   dirty_clients_.insert(client);
+  NoteDisturbance();
+}
+
+// --- Tree/alias queue dispatch ---------------------------------------------
+
+bool LotteryScheduler::QueueEmpty() const {
+  return options_.backend == RunQueueBackend::kAlias ? alias_queue_.empty()
+                                                     : tree_queue_.empty();
+}
+
+size_t LotteryScheduler::QueueSize() const {
+  return options_.backend == RunQueueBackend::kAlias ? alias_queue_.size()
+                                                     : tree_queue_.size();
+}
+
+uint64_t LotteryScheduler::QueueTotal() const {
+  return options_.backend == RunQueueBackend::kAlias ? alias_queue_.total()
+                                                     : tree_queue_.total();
+}
+
+uint64_t LotteryScheduler::QueueWeight(size_t slot) const {
+  return options_.backend == RunQueueBackend::kAlias
+             ? alias_queue_.Weight(slot)
+             : tree_queue_.Weight(slot);
+}
+
+size_t LotteryScheduler::QueueAdd(uint64_t weight) {
+  return options_.backend == RunQueueBackend::kAlias ? alias_queue_.Add(weight)
+                                                     : tree_queue_.Add(weight);
+}
+
+void LotteryScheduler::QueueRemove(size_t slot) {
+  if (options_.backend == RunQueueBackend::kAlias) {
+    alias_queue_.Remove(slot);
+  } else {
+    tree_queue_.Remove(slot);
+  }
+}
+
+void LotteryScheduler::QueueSetWeight(size_t slot, uint64_t weight) {
+  if (options_.backend == RunQueueBackend::kAlias) {
+    alias_queue_.SetWeight(slot, weight);
+  } else {
+    tree_queue_.SetWeight(slot, weight);
+  }
+}
+
+// --- Speculative batching ---------------------------------------------------
+
+void LotteryScheduler::FlushBatch() {
+  if (HasLiveBatch()) {
+    batch_flushes_->Inc();
+  }
+  batch_.clear();
+  batch_next_ = 0;
+  restore_pending_ = false;
+}
+
+void LotteryScheduler::NoteDisturbance() {
+  pick_clean_ = false;
+  clean_streak_ = 0;
+  if (HasLiveBatch()) {
+    FlushBatch();
+  }
+}
+
+void LotteryScheduler::FormBatch(uint64_t total) {
+  const size_t k = options_.batch_window - 1;
+  batch_values_.resize(k);
+  batch_slots_.resize(k);
+  batch_.resize(k);
+  // Draw the next k randoms from a copy of the generator: rng_ itself stays
+  // untouched until each entry is actually served, so a flushed batch
+  // leaves no trace in the stream.
+  FastRand spec = rng_;
+  for (size_t i = 0; i < k; ++i) {
+    batch_[i].pre_state = spec.state();
+    batch_values_[i] = spec.NextBelow64(total);
+    batch_[i].post_state = spec.state();
+  }
+  tree_queue_.ResolveValues(k, batch_values_.data(), batch_slots_.data());
+  for (size_t i = 0; i < k; ++i) {
+    batch_[i].value = batch_values_[i];
+    batch_[i].slot = batch_slots_[i];
+  }
+  batch_next_ = 0;
+  batch_formed_->Inc();
 }
 
 LotteryScheduler::ThreadState& LotteryScheduler::StateOf(ThreadId id) {
@@ -49,9 +145,55 @@ LotteryScheduler::ThreadState& LotteryScheduler::StateOf(ThreadId id) {
   return it->second;
 }
 
+void LotteryScheduler::UpgradeListToTree() {
+  table_.AddObserver(this);
+  // Migrate every queued client, then switch; QueueAdd below must already
+  // see the tree backend so OnReady/PickNext stay consistent.
+  std::vector<Client*> queued(run_queue_.raw_order().begin(),
+                              run_queue_.raw_order().end());
+  options_.backend = RunQueueBackend::kTree;
+  for (Client* client : queued) {
+    if (client == nullptr) {
+      continue;
+    }
+    run_queue_.Remove(client);
+    const auto it = by_client_.find(client);
+    if (it == by_client_.end()) {
+      continue;
+    }
+    ThreadState& state = *it->second;
+    state.tree_slot = tree_queue_.Add(client->Value().raw_unsigned());
+    if (state.tree_slot >= tree_slot_owner_.size()) {
+      tree_slot_owner_.resize(state.tree_slot + 1, nullptr);
+    }
+    tree_slot_owner_[state.tree_slot] = &state;
+    dirty_clients_.erase(client);
+  }
+  list_upgrades_->Inc();
+}
+
 void LotteryScheduler::AddThread(ThreadId id, SimTime /*now*/) {
   if (threads_.count(id) > 0) {
     throw std::invalid_argument("LotteryScheduler::AddThread: duplicate id");
+  }
+  if (options_.backend == RunQueueBackend::kList &&
+      options_.list_max_threads != 0 &&
+      threads_.size() >= options_.list_max_threads) {
+    // The list's O(n) draw is ~280x the tree's at 10k clients
+    // (bench_draw_overhead baselines); past the threshold it is a
+    // misconfiguration, not a trade-off.
+    if (!options_.list_upgrade_to_tree) {
+      throw std::length_error(
+          "LotteryScheduler: list backend past list_max_threads=" +
+          std::to_string(options_.list_max_threads) +
+          " clients; use RunQueueBackend::kTree (or set "
+          "list_upgrade_to_tree / list_max_threads=0)");
+    }
+    std::fprintf(stderr,
+                 "LotteryScheduler: list backend exceeded %zu threads; "
+                 "upgrading to tree backend\n",
+                 options_.list_max_threads);
+    UpgradeListToTree();
   }
   ThreadState state;
   state.id = id;
@@ -72,8 +214,9 @@ void LotteryScheduler::RemoveThread(ThreadId id, SimTime /*now*/) {
     if (options_.backend == RunQueueBackend::kList) {
       run_queue_.Remove(state.client.get());
     } else {
-      tree_queue_.Remove(state.tree_slot);
+      QueueRemove(state.tree_slot);
       tree_slot_owner_[state.tree_slot] = nullptr;
+      NoteDisturbance();
     }
   }
   state.client->SetActive(false);
@@ -101,8 +244,8 @@ void LotteryScheduler::OnReady(ThreadId id, SimTime /*now*/) {
     if (options_.backend == RunQueueBackend::kList) {
       run_queue_.Add(state.client.get());
     } else {
-      state.tree_slot =
-          tree_queue_.Add(state.client->Value().raw_unsigned());
+      const uint64_t weight = state.client->Value().raw_unsigned();
+      state.tree_slot = QueueAdd(weight);
       if (state.tree_slot >= tree_slot_owner_.size()) {
         tree_slot_owner_.resize(state.tree_slot + 1, nullptr);
       }
@@ -110,6 +253,15 @@ void LotteryScheduler::OnReady(ThreadId id, SimTime /*now*/) {
       // The slot was seeded with the current value; any pending dirty mark
       // (e.g. from the unblock activation above) is already folded in.
       dirty_clients_.erase(state.client.get());
+      if (restore_pending_ && state.tree_slot == restore_slot_ &&
+          weight == restore_weight_) {
+        // The previous winner re-entered at its old slot with its old
+        // weight: the queue is back to the state any live batch was formed
+        // against, and the steady-state cycle stays "clean".
+        restore_pending_ = false;
+      } else {
+        NoteDisturbance();
+      }
     }
     state.in_queue = true;
   }
@@ -123,8 +275,9 @@ void LotteryScheduler::OnBlocked(ThreadId id, SimTime /*now*/) {
     if (options_.backend == RunQueueBackend::kList) {
       run_queue_.Remove(state.client.get());
     } else {
-      tree_queue_.Remove(state.tree_slot);
+      QueueRemove(state.tree_slot);
       tree_slot_owner_[state.tree_slot] = nullptr;
+      NoteDisturbance();
     }
     state.in_queue = false;
   }
@@ -137,7 +290,7 @@ void LotteryScheduler::SyncTreeWeights() {
   if (dirty_clients_.empty()) {
     return;
   }
-  if (dirty_clients_.size() > tree_queue_.size()) {
+  if (dirty_clients_.size() > QueueSize()) {
     // More dirty clients than queued slots: one bulk pass is cheaper than
     // per-client lookups (and covers the first sync after mass arrivals).
     full_syncs_->Inc();
@@ -145,8 +298,8 @@ void LotteryScheduler::SyncTreeWeights() {
       if (state == nullptr) {
         continue;
       }
-      tree_queue_.SetWeight(state->tree_slot,
-                            state->client->Value().raw_unsigned());
+      QueueSetWeight(state->tree_slot,
+                     state->client->Value().raw_unsigned());
     }
   } else {
     // lotlint: ordered-ok (order-independent fold: one SetWeight per client)
@@ -159,7 +312,7 @@ void LotteryScheduler::SyncTreeWeights() {
       if (!state.in_queue) {
         continue;  // not competing; OnReady seeds a fresh weight later
       }
-      tree_queue_.SetWeight(state.tree_slot, client->Value().raw_unsigned());
+      QueueSetWeight(state.tree_slot, client->Value().raw_unsigned());
       leaf_updates_->Inc();
     }
   }
@@ -167,12 +320,20 @@ void LotteryScheduler::SyncTreeWeights() {
 }
 
 ThreadId LotteryScheduler::PickNextFromTree() {
-  if (tree_queue_.empty()) {
+  if (QueueEmpty()) {
     return kInvalidThreadId;
   }
+  const bool alias_backend = options_.backend == RunQueueBackend::kAlias;
   ++num_lotteries_;
   draws_->Inc();
-  draw_cost_->RecordSampled(tree_queue_.draw_depth());
+  // Advance the clean-streak gate: a pick with no disturbance since the
+  // previous one extends the streak that arms speculative batching.
+  if (pick_clean_) {
+    ++clean_streak_;
+  } else {
+    clean_streak_ = 0;
+    pick_clean_ = true;
+  }
   // Sample the wall-clock sync/draw split on the histogram cadence; the
   // clock reads would otherwise dominate a tree dispatch.
   const bool timed = obs::kObsEnabled && (timing_tick_++ % 16 == 0);
@@ -182,16 +343,16 @@ ThreadId LotteryScheduler::PickNextFromTree() {
   }
   SyncTreeWeights();
 #if LOT_INVARIANTS_ENABLED
-  // Sampled O(n) sweep: the Fenwick total must equal the sum of the live
-  // slots' weights, or incremental SetWeight updates have drifted.
+  // Sampled O(n) sweep: the partial-sum total must equal the sum of the
+  // live slots' weights, or incremental SetWeight updates have drifted.
   if (timing_tick_ % 64 == 1) {
     uint64_t weight_sum = 0;
     for (ThreadState* s : tree_slot_owner_) {
       if (s != nullptr) {
-        weight_sum += tree_queue_.Weight(s->tree_slot);
+        weight_sum += QueueWeight(s->tree_slot);
       }
     }
-    LOT_ASSERT(weight_sum == tree_queue_.total(),
+    LOT_ASSERT(weight_sum == QueueTotal(),
                "tree lottery: partial sums out of sync with slot weights");
   }
 #endif
@@ -203,8 +364,10 @@ ThreadId LotteryScheduler::PickNextFromTree() {
             .count()));
   }
   // Candidate snapshot (verbose, opt-in): weights as the draw below sees
-  // them, in Fenwick slot order — the prefix order SlotForValue resolves
-  // against, so each winner is re-derivable from (snapshot, random value).
+  // them, in slot order — the prefix order SlotForValue resolves against,
+  // so each winner is re-derivable from (snapshot, random value). Alias
+  // table draws are the exception; their decision events carry
+  // kDecisionAlias so auditors skip the replay.
   if (etrace::On(options_.trace, etrace::kCatLotterySnapshot)) {
     uint32_t index = 0;
     for (size_t slot = 0; slot < tree_slot_owner_.size(); ++slot) {
@@ -216,21 +379,61 @@ ThreadId LotteryScheduler::PickNextFromTree() {
       e.t_ns = options_.trace->now();
       e.a = state->id;
       e.b = index++;
-      e.v1 = tree_queue_.Weight(slot);
+      e.v1 = QueueWeight(slot);
       e.type = static_cast<uint16_t>(etrace::EventType::kCandidate);
       options_.trace->Append(e);
     }
   }
   ThreadState* winner = nullptr;
   uint64_t drawn_value = 0;
-  const auto drawn = tree_queue_.Draw(rng_, &drawn_value);
+  std::optional<size_t> drawn;
+  bool batched = false;
+  bool alias_table_draw = false;
+  if (alias_backend) {
+    drawn = alias_queue_.Draw(rng_, &drawn_value, &alias_table_draw);
+    // Mirror the AliasLottery's internal stats into counters by delta.
+    alias_rebuilds_->Inc(alias_queue_.rebuilds() - alias_rebuilds_seen_);
+    alias_rebuilds_seen_ = alias_queue_.rebuilds();
+    alias_table_draws_->Inc(alias_queue_.table_draws() -
+                            alias_table_draws_seen_);
+    alias_table_draws_seen_ = alias_queue_.table_draws();
+    alias_tree_draws_->Inc(alias_queue_.tree_draws() -
+                           alias_tree_draws_seen_);
+    alias_tree_draws_seen_ = alias_queue_.tree_draws();
+  } else {
+    if (HasLiveBatch()) {
+      const BatchEntry& entry = batch_[batch_next_];
+      if (!restore_pending_ && rng_.state() == entry.pre_state) {
+        // Serve the pre-resolved winner: identical value, winner and RNG
+        // stream to the descent this replaces.
+        drawn_value = entry.value;
+        drawn = entry.slot;
+        rng_.SetState(entry.post_state);
+        batched = true;
+        ++batch_next_;
+        batch_draws_->Inc();
+      } else {
+        // The queue never returned to the formation state (winner came
+        // back changed) or someone else drew from rng_ in between.
+        FlushBatch();
+      }
+    }
+    if (!batched) {
+      drawn = tree_queue_.Draw(rng_, &drawn_value);
+    }
+  }
+  const size_t cost = batched || alias_table_draw
+                          ? 1
+                          : (alias_backend ? alias_queue_.draw_depth()
+                                           : tree_queue_.draw_depth());
+  draw_cost_->RecordSampled(cost);
   if (drawn.has_value()) {
     winner = tree_slot_owner_[*drawn];
   } else {
     // All ready clients have zero funding; pick arbitrarily so no one
     // starves (uniform over the zero-funded set across draws).
-    size_t index = static_cast<size_t>(rng_.NextBelow(
-        static_cast<uint32_t>(tree_queue_.size())));
+    size_t index = static_cast<size_t>(
+        rng_.NextBelow(static_cast<uint32_t>(QueueSize())));
     drawn_value = index;  // decision event: index into live slots
     for (ThreadState* state : tree_slot_owner_) {
       if (state == nullptr) {
@@ -250,17 +453,38 @@ ThreadId LotteryScheduler::PickNextFromTree() {
     e.t_ns = options_.trace->now();
     e.a = winner->id;
     e.v1 = drawn_value;
-    e.v2 = tree_queue_.total();
-    e.v3 = tree_queue_.Weight(winner->tree_slot);
-    e.flags = static_cast<uint16_t>(
-        etrace::kDecisionTree |
-        (drawn.has_value() ? 0 : etrace::kDecisionFallback));
+    e.v2 = QueueTotal();
+    e.v3 = QueueWeight(winner->tree_slot);
+    uint16_t flags = alias_table_draw ? etrace::kDecisionAlias
+                                      : etrace::kDecisionTree;
+    if (!drawn.has_value()) {
+      flags |= etrace::kDecisionFallback;
+    }
+    if (batched) {
+      flags |= etrace::kDecisionBatched;
+    }
+    e.flags = flags;
     e.type = static_cast<uint16_t>(etrace::EventType::kDecision);
     options_.trace->Append(e);
   }
-  tree_queue_.Remove(winner->tree_slot);
+  // Speculative batch formation happens before the winner's removal: this
+  // exact queue state is what future draws see once the winner re-enters
+  // unchanged, and any deviation (tracked via restore_pending_ / dirty
+  // marks) flushes the entries unserved.
+  if (!alias_backend && options_.batch_window >= 2 && !HasLiveBatch() &&
+      clean_streak_ >= kBatchStreakMin && drawn.has_value()) {
+    FormBatch(tree_queue_.total());
+  }
+  const uint64_t removed_weight = QueueWeight(winner->tree_slot);
+  QueueRemove(winner->tree_slot);
   tree_slot_owner_[winner->tree_slot] = nullptr;
   winner->in_queue = false;
+  // Track the winner's expected re-entry whether or not a batch is live:
+  // the matching OnReady is the one queue change that keeps the
+  // steady-state cycle "clean" (and a live batch valid).
+  restore_pending_ = true;
+  restore_slot_ = winner->tree_slot;
+  restore_weight_ = removed_weight;
   compensation_.OnQuantumStart(winner->client.get());
   if (timed) {
     const auto t2 = std::chrono::steady_clock::now();  // lotlint: wallclock-ok
@@ -275,7 +499,7 @@ ThreadId LotteryScheduler::PickNext(SimTime now) {
   // Advance the trace's sim-time cursor: everything recorded from here to
   // the dispatch (decisions, reprices, transfer churn) stamps this instant.
   etrace::SetNow(options_.trace, now.nanos());
-  if (options_.backend == RunQueueBackend::kTree) {
+  if (options_.backend != RunQueueBackend::kList) {
     return PickNextFromTree();
   }
   if (run_queue_.empty()) {

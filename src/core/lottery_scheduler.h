@@ -20,6 +20,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "src/core/alias_lottery.h"
 #include "src/core/client.h"
 #include "src/core/compensation.h"
 #include "src/core/currency.h"
@@ -33,8 +34,11 @@ namespace lottery {
 
 // How the run queue picks winners. kList is the prototype's list with
 // move-to-front (Section 4.2, Figure 1); kTree is the same section's "tree
-// of partial ticket sums", O(lg n) per draw once client values are synced.
-enum class RunQueueBackend { kList, kTree };
+// of partial ticket sums", O(lg n) per draw once client values are synced;
+// kAlias layers a Walker alias table over the tree for O(1) draws while
+// ticket values hold still, falling back to the tree under churn (see
+// alias_lottery.h for the rebuild hysteresis).
+enum class RunQueueBackend { kList, kTree, kAlias };
 
 class LotteryScheduler : public Scheduler, private ValueObserver {
  public:
@@ -46,6 +50,23 @@ class LotteryScheduler : public Scheduler, private ValueObserver {
     // Face amount of each thread's self ticket (its claim on its own
     // currency). Any positive value works — shares are relative.
     int64_t thread_ticket_amount = 1000;
+    // Tree backend: when >= 2 and the run queue has seen no ticket
+    // mutations for a stretch of quanta, the scheduler speculatively draws
+    // the next (batch_window - 1) winners in one value-sorted sweep and
+    // serves them without a descent, flushing the batch the moment any
+    // dirty bit or structural change lands. Winner sequence and RNG stream
+    // are bit-identical to unbatched draws (draw_identity_test proves it);
+    // 0 or 1 disables batching.
+    uint32_t batch_window = 8;
+    // List backend demotion: the list's O(n) draw is ~280x the tree's at
+    // 10k clients, so past this many threads AddThread either throws or —
+    // with list_upgrade_to_tree — migrates the scheduler to the tree
+    // backend and counts lottery.list_upgrades. 0 disables the limit
+    // (benches that measure the list's scaling curve opt out).
+    size_t list_max_threads = 1024;
+    bool list_upgrade_to_tree = false;
+    // Alias backend tuning (rebuild hysteresis); ignored otherwise.
+    AliasLottery::Options alias;
     // Metric sink; nullptr selects obs::Registry::Default(). Tests pass
     // their own registry for isolated counter assertions.
     obs::Registry* metrics = nullptr;
@@ -105,6 +126,9 @@ class LotteryScheduler : public Scheduler, private ValueObserver {
   // Draws decided by the zero-funding round-robin fallback.
   uint64_t num_zero_fallbacks() const { return num_zero_fallbacks_; }
   const ListLottery& run_queue() const { return run_queue_; }
+  // Effective backend right now (list_upgrade_to_tree can change it).
+  RunQueueBackend backend() const { return options_.backend; }
+  const AliasLottery& alias_queue() const { return alias_queue_; }
   // The registry this scheduler's obs hooks write into.
   obs::Registry& metrics() { return *metrics_; }
   // Counts one ticket transfer against this scheduler (lottery.transfers).
@@ -119,19 +143,57 @@ class LotteryScheduler : public Scheduler, private ValueObserver {
     Currency* currency = nullptr;
     Ticket* self_ticket = nullptr;
     bool in_queue = false;
-    size_t tree_slot = 0;  // valid while in_queue under the tree backend
+    size_t tree_slot = 0;  // valid while in_queue under tree/alias backends
   };
 
+  // One speculatively pre-drawn winner. pre_state/post_state bracket the
+  // RNG stream the equivalent unbatched draw would have consumed: an entry
+  // is served only when rng_ sits exactly at pre_state, and serving it
+  // advances rng_ to post_state — so external rng() consumers (the kernel
+  // services draw jitter from the same stream) simply invalidate the batch
+  // instead of observing a perturbed generator.
+  struct BatchEntry {
+    uint64_t value = 0;  // drawn random in [0, total)
+    size_t slot = 0;     // pre-resolved winner slot
+    uint32_t pre_state = 0;
+    uint32_t post_state = 0;
+  };
+
+  // Consecutive mutation-free picks required before forming a batch, so
+  // churn-heavy phases never pay speculative descents they'd just flush.
+  static constexpr uint32_t kBatchStreakMin = 4;
+
   ThreadState& StateOf(ThreadId id);
-  // Tree backend: re-push into the Fenwick weights the values of exactly
-  // the clients the currency table reported dirty since the last sync —
-  // O(dirty · lg n) instead of O(n · lg n) per dispatch. Falls back to one
-  // full resync (tree.full_syncs) when more clients are dirty than queued.
+  // Tree/alias backends: re-push into the partial-sum weights the values of
+  // exactly the clients the currency table reported dirty since the last
+  // sync — O(dirty · lg n) instead of O(n · lg n) per dispatch. Falls back
+  // to one full resync (tree.full_syncs) when more clients are dirty than
+  // queued.
   void SyncTreeWeights();
   ThreadId PickNextFromTree();
 
-  // ValueObserver (registered with table_ under the tree backend only; the
-  // list backend's run_queue_ observes the table itself).
+  // Thin dispatch over the tree/alias queue (kList never reaches these).
+  bool QueueEmpty() const;
+  size_t QueueSize() const;
+  uint64_t QueueTotal() const;
+  uint64_t QueueWeight(size_t slot) const;
+  size_t QueueAdd(uint64_t weight);
+  void QueueRemove(size_t slot);
+  void QueueSetWeight(size_t slot, uint64_t weight);
+
+  // Speculative batching (tree backend only).
+  bool HasLiveBatch() const { return batch_next_ < batch_.size(); }
+  void FlushBatch();
+  // Any run-queue perturbation: flush the batch and break the clean streak.
+  void NoteDisturbance();
+  void FormBatch(uint64_t total);
+
+  // List demotion: migrate every queued client into the tree and switch
+  // options_.backend to kTree (one-way; counts lottery.list_upgrades).
+  void UpgradeListToTree();
+
+  // ValueObserver (registered with table_ under the tree/alias backends
+  // only; the list backend's run_queue_ observes the table itself).
   void OnClientValueDirty(Client* client) override;
 
   Options options_;
@@ -140,6 +202,7 @@ class LotteryScheduler : public Scheduler, private ValueObserver {
   CompensationPolicy compensation_;
   ListLottery run_queue_;
   TreeLottery tree_queue_;
+  AliasLottery alias_queue_;
   // Slot -> owning thread state, nullptr for free slots. Slots are small
   // dense indices recycled by TreeLottery, and unordered_map nodes give
   // ThreadState a stable address, so a flat vector of pointers makes winner
@@ -153,6 +216,27 @@ class LotteryScheduler : public Scheduler, private ValueObserver {
   uint64_t num_zero_fallbacks_ = 0;
   uint64_t timing_tick_ = 0;
 
+  // Batching state. The steady-state dispatch cycle is pick (winner leaves
+  // the queue) -> quantum -> OnReady (winner re-enters at the same recycled
+  // slot with the same weight); restore_* tracks whether the queue has
+  // returned to the exact state a live batch was formed against, and
+  // pick_clean_ whether anything else moved between picks.
+  std::vector<BatchEntry> batch_;
+  size_t batch_next_ = 0;
+  uint32_t clean_streak_ = 0;
+  bool pick_clean_ = true;
+  bool restore_pending_ = false;
+  size_t restore_slot_ = 0;
+  uint64_t restore_weight_ = 0;
+  // Scratch for FormBatch (avoids per-batch allocations).
+  std::vector<uint64_t> batch_values_;
+  std::vector<size_t> batch_slots_;
+  // Alias stats are kept by AliasLottery; deltas are mirrored into
+  // counters after each draw.
+  uint64_t alias_rebuilds_seen_ = 0;
+  uint64_t alias_table_draws_seen_ = 0;
+  uint64_t alias_tree_draws_seen_ = 0;
+
   // Obs hooks (resolved once; raw pointers into metrics_).
   obs::Registry* metrics_;
   obs::Counter* draws_;
@@ -161,6 +245,13 @@ class LotteryScheduler : public Scheduler, private ValueObserver {
   obs::Counter* transfers_;
   obs::Counter* leaf_updates_;
   obs::Counter* full_syncs_;
+  obs::Counter* batch_formed_;
+  obs::Counter* batch_draws_;
+  obs::Counter* batch_flushes_;
+  obs::Counter* alias_rebuilds_;
+  obs::Counter* alias_table_draws_;
+  obs::Counter* alias_tree_draws_;
+  obs::Counter* list_upgrades_;
   obs::LatencyHistogram* draw_cost_;
   // Wall-clock split of a tree dispatch: weight sync vs the draw itself
   // (sampled 1-in-16 dispatches; see bench_smp / bench_draw_overhead).

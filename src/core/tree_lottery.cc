@@ -1,9 +1,27 @@
 #include "src/core/tree_lottery.h"
 
+#include <algorithm>
 #include <bit>
+#include <cstdint>
 #include <stdexcept>
 
 namespace lottery {
+
+namespace {
+
+// Both grandchildren pairs of `node` live at nodes_[4*node .. 4*node+3];
+// pulling their line while the current level's compare resolves hides most
+// of the descent's memory latency.
+inline void PrefetchGrandchildren(const uint64_t* nodes, size_t node) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(nodes + 4 * node, /*rw=*/0, /*locality=*/1);
+#else
+  (void)nodes;
+  (void)node;
+#endif
+}
+
+}  // namespace
 
 TreeLottery::TreeLottery(size_t initial_capacity) {
   Grow(initial_capacity == 0 ? 1 : initial_capacity);
@@ -11,21 +29,21 @@ TreeLottery::TreeLottery(size_t initial_capacity) {
 
 void TreeLottery::Grow(size_t min_capacity) {
   size_t capacity = std::bit_ceil(min_capacity);
-  if (capacity <= weights_.size()) {
+  if (capacity <= weights_.size() && nodes_ != nullptr) {
     return;
   }
-  // Rebuild: Fenwick trees do not grow in place cheaply; amortized O(1).
-  std::vector<uint64_t> old_weights = std::move(weights_);
-  weights_.assign(capacity, 0);
-  tree_.assign(capacity + 1, 0);
-  total_ = 0;
-  for (size_t i = 0; i < old_weights.size(); ++i) {
-    if (old_weights[i] > 0) {
-      weights_[i] = 0;  // re-add below
-      AddDelta(i, static_cast<int64_t>(old_weights[i]));
-      weights_[i] = old_weights[i];
-      total_ += old_weights[i];
-    }
+  weights_.resize(capacity, 0);
+  levels_ = static_cast<int>(std::countr_zero(capacity));
+  // 2*capacity nodes (index 0 unused), plus slack to 64-byte-align nodes_[0]
+  // so the seven nodes of the first three levels share one cache line.
+  nodes_storage_.assign(2 * capacity + 7, 0);
+  auto addr = reinterpret_cast<uintptr_t>(nodes_storage_.data());
+  nodes_ = nodes_storage_.data() + ((64 - addr % 64) % 64) / sizeof(uint64_t);
+  for (size_t i = 0; i < capacity; ++i) {
+    nodes_[capacity + i] = weights_[i];
+  }
+  for (size_t i = capacity - 1; i >= 1; --i) {
+    nodes_[i] = nodes_[2 * i] + nodes_[2 * i + 1];
   }
 }
 
@@ -55,13 +73,14 @@ void TreeLottery::SetWeight(size_t slot, uint64_t weight) {
   if (slot >= weights_.size()) {
     throw std::out_of_range("TreeLottery::SetWeight: bad slot");
   }
-  const int64_t delta =
-      static_cast<int64_t>(weight) - static_cast<int64_t>(weights_[slot]);
+  const uint64_t delta = weight - weights_[slot];  // wraps; additions re-wrap
   if (delta == 0) {
     return;
   }
-  AddDelta(slot, delta);
-  total_ = static_cast<uint64_t>(static_cast<int64_t>(total_) + delta);
+  for (size_t i = weights_.size() + slot; i >= 1; i >>= 1) {
+    nodes_[i] += delta;
+  }
+  total_ += delta;
   weights_[slot] = weight;
 }
 
@@ -70,12 +89,6 @@ uint64_t TreeLottery::Weight(size_t slot) const {
     throw std::out_of_range("TreeLottery::Weight: bad slot");
   }
   return weights_[slot];
-}
-
-void TreeLottery::AddDelta(size_t slot, int64_t delta) {
-  for (size_t i = slot + 1; i <= weights_.size(); i += i & (~i + 1)) {
-    tree_[i] = static_cast<uint64_t>(static_cast<int64_t>(tree_[i]) + delta);
-  }
 }
 
 std::optional<size_t> TreeLottery::Draw(FastRand& rng,
@@ -94,18 +107,59 @@ size_t TreeLottery::SlotForValue(uint64_t value) const {
   if (value >= total_) {
     throw std::out_of_range("TreeLottery::SlotForValue: value >= total");
   }
-  // Standard Fenwick descend: find smallest index with prefix sum > value.
-  size_t pos = 0;
-  size_t mask = std::bit_floor(weights_.size());
-  while (mask != 0) {
-    const size_t next = pos + mask;
-    if (next <= weights_.size() && tree_[next] <= value) {
-      value -= tree_[next];
-      pos = next;
-    }
-    mask >>= 1;
+  // Branchless descent: at each level step right iff the left subtree's
+  // weight is <= the remaining value, folding the compare into an arithmetic
+  // mask so the loop has no data-dependent branch. Fixed trip count: exactly
+  // levels_ iterations from root to leaf.
+  size_t node = 1;
+  uint64_t v = value;
+  for (int level = 0; level < levels_; ++level) {
+    PrefetchGrandchildren(nodes_, node);
+    const uint64_t left = nodes_[2 * node];
+    const uint64_t take_right = static_cast<uint64_t>(left <= v);
+    v -= left & (0 - take_right);
+    node = 2 * node + static_cast<size_t>(take_right);
   }
-  return pos;  // 0-indexed slot
+  return node - weights_.size();  // leaf index -> 0-indexed slot
+}
+
+size_t TreeLottery::DrawBatch(FastRand& rng, size_t k, uint64_t* values,
+                              size_t* slots) const {
+  if (total_ == 0 || k == 0) {
+    return 0;
+  }
+  // Identical RNG consumption to k successive Draw() calls against an
+  // unchanged tree: total_ is constant, so the bound of every NextBelow64
+  // matches what the unbatched sequence would have used.
+  for (size_t i = 0; i < k; ++i) {
+    values[i] = rng.NextBelow64(total_);
+  }
+  ResolveValues(k, values, slots);
+  return k;
+}
+
+void TreeLottery::ResolveValues(size_t k, const uint64_t* values,
+                                size_t* slots) const {
+  // Descend in ascending value order so consecutive descents walk adjacent
+  // root-to-leaf paths and share upper-level cache lines. The emitted
+  // slots[i] still pairs with values[i] (argsort, not a sort of the output).
+  constexpr size_t kStack = 32;
+  uint32_t stack_order[kStack];
+  std::vector<uint32_t> heap_order;
+  uint32_t* order = stack_order;
+  if (k > kStack) {
+    heap_order.resize(k);
+    order = heap_order.data();
+  }
+  for (size_t i = 0; i < k; ++i) {
+    order[i] = static_cast<uint32_t>(i);
+  }
+  std::sort(order, order + k, [values](uint32_t a, uint32_t b) {
+    return values[a] < values[b];
+  });
+  for (size_t i = 0; i < k; ++i) {
+    slots[order[i]] = SlotForValue(values[order[i]]);
+  }
 }
 
 }  // namespace lottery

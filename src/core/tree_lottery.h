@@ -2,8 +2,18 @@
 //
 // Section 4.2: "for large n, a more efficient implementation is to use a
 // tree of partial ticket sums, with clients at the leaves... requiring only
-// lg n operations." This is a Fenwick (binary indexed) tree over fixed
-// weights; the descend-by-prefix-sum search visits one node per level.
+// lg n operations." The tree is stored as an implicit complete binary tree
+// in breadth-first (Eytzinger) order over a power-of-two leaf count: node 1
+// is the root (== total), node i has children 2i and 2i+1, and slot s lives
+// at leaf capacity + s. Two properties make a draw cheap on real hardware:
+//
+//  * The descent is a fixed-trip, branchless loop — lg(capacity)
+//    iterations, each a compare turned into an arithmetic mask (no
+//    data-dependent branch for the predictor to miss on random values).
+//  * The layout is cache-compact for descents: the first three levels
+//    (seven nodes) share one 64-byte line — the array is 64-byte aligned —
+//    and both grandchildren pairs of any node are contiguous, so each
+//    level's candidates are prefetched one line at a time.
 //
 // Unlike ListLottery, which prices clients through the currency graph on
 // every draw (as the Mach prototype did), TreeLottery manages flat weights
@@ -37,6 +47,8 @@ class TreeLottery {
   uint64_t total() const { return total_; }
   size_t size() const { return live_count_; }
   bool empty() const { return live_count_ == 0; }
+  // Leaf count (power of two). Slots are always < capacity().
+  size_t capacity() const { return weights_.size(); }
 
   // Picks a slot with probability weight/total in O(lg capacity);
   // std::nullopt if the total weight is zero. A non-null `drawn_value`
@@ -48,6 +60,18 @@ class TreeLottery {
   // `value`-th weight unit, value in [0, total).
   size_t SlotForValue(uint64_t value) const;
 
+  // Batched multi-winner draw: exactly equivalent to k successive Draw()
+  // calls — same RNG consumption, same winners in the same order — but the
+  // k descents are resolved over one value-sorted sweep so they share the
+  // upper tree levels in cache. Returns the number of winners written
+  // (k, or 0 when the total weight is zero). `values` and `slots` must
+  // each have room for k entries; `values` receives the drawn randoms.
+  size_t DrawBatch(FastRand& rng, size_t k, uint64_t* values,
+                   size_t* slots) const;
+  // Resolves values[i] in [0, total) to slots[i] for i < k, descending in
+  // ascending value order (one near-sequential sweep over the tree).
+  void ResolveValues(size_t k, const uint64_t* values, size_t* slots) const;
+
   // Fenwick levels visited by one Draw descent: the tree analogue of the
   // list lottery's scan length (both feed the lottery.draw_cost histogram).
   size_t draw_depth() const {
@@ -56,9 +80,12 @@ class TreeLottery {
 
  private:
   void Grow(size_t min_capacity);
-  void AddDelta(size_t slot, int64_t delta);
 
-  std::vector<uint64_t> tree_;     // Fenwick partial sums, 1-indexed
+  // Implicit binary tree, 64-byte aligned inside nodes_storage_:
+  // nodes_[1] is the root, leaves at nodes_[capacity + slot].
+  std::vector<uint64_t> nodes_storage_;
+  uint64_t* nodes_ = nullptr;
+  int levels_ = 0;                 // log2(capacity)
   std::vector<uint64_t> weights_;  // current weight per slot
   std::vector<size_t> free_slots_;
   size_t next_fresh_ = 0;

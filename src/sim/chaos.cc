@@ -537,7 +537,7 @@ std::string Scenario::ReproCommand() const {
 ScenarioResult RunScenario(const Scenario& scenario,
                            etrace::TraceBuffer* trace) {
   if (scenario.backend != "list" && scenario.backend != "tree" &&
-      scenario.backend != "stride") {
+      scenario.backend != "alias" && scenario.backend != "stride") {
     throw std::invalid_argument("RunScenario: unknown backend '" +
                                 scenario.backend + "'");
   }
@@ -569,8 +569,10 @@ ScenarioResult RunScenario(const Scenario& scenario,
   } else {
     LotteryScheduler::Options opts;
     opts.seed = sched_seed;
-    opts.backend = scenario.backend == "tree" ? RunQueueBackend::kTree
-                                              : RunQueueBackend::kList;
+    opts.backend = scenario.backend == "tree"
+                       ? RunQueueBackend::kTree
+                       : (scenario.backend == "alias" ? RunQueueBackend::kAlias
+                                                      : RunQueueBackend::kList);
     opts.metrics = &registry;
     opts.trace = trace;
     lottery = std::make_unique<LotteryScheduler>(opts);
@@ -812,8 +814,8 @@ FaultPlan RandomFaultPlan(FastRand& rng) {
 Scenario RandomScenario(FastRand& rng, uint64_t seed) {
   Scenario scenario;
   scenario.seed = seed;
-  const char* backends[3] = {"list", "tree", "stride"};
-  scenario.backend = backends[rng.NextBelow(3)];
+  const char* backends[4] = {"list", "tree", "alias", "stride"};
+  scenario.backend = backends[rng.NextBelow(4)];
   scenario.num_cpus = 1 + static_cast<int>(rng.NextBelow(2));
   scenario.num_threads = 4 + static_cast<int>(rng.NextBelow(9));
   scenario.horizon = SimDuration::Millis(

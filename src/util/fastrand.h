@@ -105,6 +105,14 @@ class FastRand {
   // Current internal state (useful for checkpointing simulations).
   uint32_t state() const { return state_; }
 
+  // Restores a state previously captured with state(). Unlike Seed(), this
+  // is an exact inverse: SetState(s.state()) makes this generator continue
+  // the captured stream bit-for-bit (speculative draw batches rely on it).
+  void SetState(uint32_t state) {
+    state %= kModulus;
+    state_ = (state == 0) ? 1u : state;
+  }
+
   // Convenience: splits off an independent-ish child generator. The child's
   // seed is derived from this stream through a 64-bit mix (seeding the child
   // directly with Next() would leave parent and child in identical states);

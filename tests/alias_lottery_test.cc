@@ -1,0 +1,223 @@
+// AliasLottery: Walker alias-table backend — table lifecycle (stability
+// threshold, invalidation, hysteresis under churn), draw exactness vs
+// weights, the integer construction's edge cases, and the overflow guard
+// that keeps the tree serving when n*total would exceed the RNG range.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "src/core/alias_lottery.h"
+#include "src/util/fastrand.h"
+#include "src/util/stats.h"
+
+namespace lottery {
+namespace {
+
+AliasLottery::Options FastRebuild() {
+  AliasLottery::Options opts;
+  opts.min_stable_draws = 1;
+  opts.rebuild_cost_divisor = 1000000;  // threshold stays at the floor
+  return opts;
+}
+
+TEST(AliasLottery, EmptyDrawsNothing) {
+  AliasLottery alias;
+  FastRand rng(1);
+  EXPECT_FALSE(alias.Draw(rng).has_value());
+  EXPECT_TRUE(alias.empty());
+  EXPECT_EQ(alias.total(), 0u);
+}
+
+TEST(AliasLottery, TableFormsAfterStableDraws) {
+  AliasLottery::Options opts;
+  opts.min_stable_draws = 8;
+  opts.rebuild_cost_divisor = 8;
+  AliasLottery alias(opts);
+  alias.Add(10);
+  alias.Add(20);
+  FastRand rng(7);
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_TRUE(alias.Draw(rng).has_value());
+    EXPECT_FALSE(alias.table_valid()) << "draw " << i;
+  }
+  // The 8th mutation-free draw crosses the threshold and is served O(1).
+  bool used_table = false;
+  EXPECT_TRUE(alias.Draw(rng, nullptr, &used_table).has_value());
+  EXPECT_TRUE(used_table);
+  EXPECT_TRUE(alias.table_valid());
+  EXPECT_EQ(alias.rebuilds(), 1u);
+  EXPECT_EQ(alias.tree_draws(), 7u);
+  EXPECT_EQ(alias.table_draws(), 1u);
+  EXPECT_EQ(alias.draw_depth(), 1u);
+}
+
+TEST(AliasLottery, MutationInvalidatesTable) {
+  AliasLottery alias(FastRebuild());
+  const size_t a = alias.Add(10);
+  alias.Add(20);
+  FastRand rng(7);
+  alias.Draw(rng);
+  ASSERT_TRUE(alias.table_valid());
+  alias.SetWeight(a, 11);
+  EXPECT_FALSE(alias.table_valid());
+  // A same-value write is a no-op and must keep the table.
+  alias.Draw(rng);
+  ASSERT_TRUE(alias.table_valid());
+  alias.SetWeight(a, 11);
+  EXPECT_TRUE(alias.table_valid());
+}
+
+TEST(AliasLottery, ChurnNeverRebuilds) {
+  // Hysteresis: a mutation per draw keeps the stability counter at zero,
+  // so the backend degenerates to the tree with no rebuild storms.
+  AliasLottery::Options opts;
+  opts.min_stable_draws = 2;
+  AliasLottery alias(opts);
+  const size_t a = alias.Add(10);
+  alias.Add(20);
+  FastRand rng(13);
+  for (int i = 0; i < 200; ++i) {
+    alias.SetWeight(a, static_cast<uint64_t>(10 + (i % 5)));
+    ASSERT_TRUE(alias.Draw(rng).has_value());
+  }
+  EXPECT_EQ(alias.rebuilds(), 0u);
+  EXPECT_EQ(alias.table_draws(), 0u);
+  EXPECT_EQ(alias.tree_draws(), 200u);
+}
+
+TEST(AliasLottery, RebuildThresholdScalesWithPopulation) {
+  AliasLottery::Options opts;
+  opts.min_stable_draws = 8;
+  opts.rebuild_cost_divisor = 8;
+  AliasLottery alias(opts);
+  for (int i = 0; i < 1000; ++i) {
+    alias.Add(static_cast<uint64_t>(1 + i % 7));
+  }
+  FastRand rng(99);
+  // Threshold is max(8, 1000/8) = 125 stable draws.
+  for (int i = 0; i < 124; ++i) {
+    alias.Draw(rng);
+  }
+  EXPECT_FALSE(alias.table_valid());
+  alias.Draw(rng);
+  EXPECT_TRUE(alias.table_valid());
+  EXPECT_EQ(alias.rebuilds(), 1u);
+}
+
+TEST(AliasLottery, TableDistributionMatchesWeights) {
+  AliasLottery alias(FastRebuild());
+  const size_t a = alias.Add(10);
+  const size_t b = alias.Add(2);
+  const size_t c = alias.Add(5);
+  const size_t d = alias.Add(1);
+  const size_t e = alias.Add(2);
+  FastRand rng(31337);
+  std::map<size_t, int64_t> wins;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++wins[alias.Draw(rng).value()];
+  }
+  // All but the first draw came from the table.
+  EXPECT_GE(alias.table_draws(), static_cast<uint64_t>(kDraws - 1));
+  const std::vector<int64_t> observed = {wins[a], wins[b], wins[c], wins[d],
+                                         wins[e]};
+  const std::vector<double> expected = {kDraws * 10 / 20.0, kDraws * 2 / 20.0,
+                                        kDraws * 5 / 20.0, kDraws * 1 / 20.0,
+                                        kDraws * 2 / 20.0};
+  EXPECT_LT(ChiSquareStatistic(observed, expected),
+            ChiSquareCritical(4, 0.001));
+}
+
+TEST(AliasLottery, ZeroWeightSlotNeverWinsFromTable) {
+  AliasLottery alias(FastRebuild());
+  alias.Add(0);
+  const size_t b = alias.Add(5);
+  alias.Add(0);
+  FastRand rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_EQ(alias.Draw(rng).value(), b);
+  }
+  EXPECT_TRUE(alias.table_valid());
+}
+
+TEST(AliasLottery, SingleEntryAndUniformEntriesBuildExactTables) {
+  // Degenerate Vose inputs: one entry (everything self-aliased) and all
+  // residuals exactly equal to the column capacity.
+  AliasLottery one(FastRebuild());
+  const size_t only = one.Add(42);
+  FastRand rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(one.Draw(rng).value(), only);
+  }
+  EXPECT_TRUE(one.table_valid());
+
+  AliasLottery uniform(FastRebuild());
+  std::vector<size_t> slots;
+  for (int i = 0; i < 8; ++i) {
+    slots.push_back(uniform.Add(3));
+  }
+  std::map<size_t, int> wins;
+  for (int i = 0; i < 80000; ++i) {
+    ++wins[uniform.Draw(rng).value()];
+  }
+  for (size_t slot : slots) {
+    EXPECT_NEAR(wins[slot] / 80000.0, 1.0 / 8.0, 0.01);
+  }
+}
+
+TEST(AliasLottery, RemoveRecyclesSlotsLikeTree) {
+  AliasLottery alias(FastRebuild());
+  const size_t a = alias.Add(1);
+  const size_t b = alias.Add(2);
+  alias.Remove(a);
+  const size_t c = alias.Add(3);
+  EXPECT_EQ(c, a);  // LIFO recycle, same contract as TreeLottery
+  EXPECT_EQ(alias.Weight(b), 2u);
+  EXPECT_EQ(alias.total(), 5u);
+  EXPECT_EQ(alias.size(), 2u);
+}
+
+TEST(AliasLottery, OverflowGuardKeepsTreeServing) {
+  // n * total would exceed the RNG's 62-bit draw range: the rebuild must
+  // refuse and every draw keeps coming from the tree, still correctly
+  // weighted.
+  AliasLottery alias(FastRebuild());
+  // total = 4*big = 2^61 is fine for the tree's NextBelow64, but
+  // n*total = 2^62 exceeds the (2^31-2)^2 draw range.
+  const uint64_t big = uint64_t{1} << 59;
+  const size_t a = alias.Add(big);
+  const size_t b = alias.Add(big * 3);
+  FastRand rng(11);
+  int64_t b_wins = 0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (alias.Draw(rng).value() == b) {
+      ++b_wins;
+    }
+  }
+  EXPECT_FALSE(alias.table_valid());
+  EXPECT_EQ(alias.rebuilds(), 0u);
+  EXPECT_EQ(alias.table_draws(), 0u);
+  EXPECT_NEAR(static_cast<double>(b_wins) / kDraws, 0.75, 0.02);
+  (void)a;
+}
+
+TEST(AliasLottery, StatsSurviveRepeatedRebuildCycles) {
+  AliasLottery alias(FastRebuild());
+  const size_t a = alias.Add(7);
+  alias.Add(9);
+  FastRand rng(21);
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    alias.SetWeight(a, static_cast<uint64_t>(7 + cycle));
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(alias.Draw(rng).has_value());
+    }
+    EXPECT_TRUE(alias.table_valid());
+  }
+  EXPECT_EQ(alias.rebuilds(), 10u);
+}
+
+}  // namespace
+}  // namespace lottery

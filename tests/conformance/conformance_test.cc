@@ -139,6 +139,7 @@ void RunSweep(const std::string& backend) {
 
 TEST(Conformance, ListBackend) { RunSweep("list"); }
 TEST(Conformance, TreeBackend) { RunSweep("tree"); }
+TEST(Conformance, AliasBackend) { RunSweep("alias"); }
 TEST(Conformance, StrideBackend) { RunSweep("stride"); }
 
 }  // namespace
