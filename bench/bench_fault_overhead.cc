@@ -10,7 +10,7 @@
 // when unused); the bench reports wall-clock per simulated second and the
 // dispatch counts so a CI eye can spot the machinery getting expensive.
 
-#include <chrono>  // lotlint: wallclock-ok (host-side cost measurement only)
+#include <chrono>  // host-side cost measurement only; legal in bench scope
 #include <cstdio>
 
 #include "bench/bench_util.h"
@@ -38,9 +38,9 @@ Cell RunCell(const std::string& backend, uint64_t seed,
   scenario.num_threads = 12;
   scenario.horizon = SimDuration::Seconds(2);
   Cell cell;
-  const auto t0 = std::chrono::steady_clock::now();  // lotlint: wallclock-ok
+  const auto t0 = std::chrono::steady_clock::now();
   cell.result = chaos::RunScenario(scenario);
-  const auto t1 = std::chrono::steady_clock::now();  // lotlint: wallclock-ok
+  const auto t1 = std::chrono::steady_clock::now();
   cell.wall_ms =
       std::chrono::duration<double, std::milli>(t1 - t0).count();
   return cell;

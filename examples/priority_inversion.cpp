@@ -24,10 +24,14 @@ using namespace lottery;
 class HoldOnce : public ThreadBody {
  public:
   HoldOnce(SimMutex* mutex, SimDuration hold) : mutex_(mutex), left_(hold) {}
-  void Run(RunContext& ctx) override {
+  // Cross-slice state machine: ownership spans Run calls, so the lock
+  // session is runtime-checked (AssertHeld/NoteHeldAcrossSlice) instead of
+  // statically analyzed.
+  NO_THREAD_SAFETY_ANALYSIS void Run(RunContext& ctx) override {
     if (!acquired_) {
       if (waiting_) {
         // Woken by SimMutex::Release: we own the lock now.
+        mutex_->AssertHeld(ctx.self());
         waiting_ = false;
         acquired_ = true;
       } else if (mutex_->Acquire(ctx)) {
@@ -37,9 +41,12 @@ class HoldOnce : public ThreadBody {
         ctx.Block();
         return;
       }
+    } else {
+      mutex_->AssertHeld(ctx.self());
     }
     left_ -= ctx.Consume(left_ < ctx.remaining() ? left_ : ctx.remaining());
     if (left_.nanos() > 0) {
+      mutex_->NoteHeldAcrossSlice(ctx.self());
       return;
     }
     mutex_->Release(ctx);

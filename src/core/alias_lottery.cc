@@ -123,7 +123,8 @@ bool AliasLottery::Rebuild() {
   return true;
 }
 
-std::optional<size_t> AliasLottery::Draw(FastRand& rng, uint64_t* drawn_value,
+std::optional<size_t> AliasLottery::Draw(  // lotlint: stream(scheduler)
+    FastRand& rng, uint64_t* drawn_value,
                                          bool* used_table) {
   if (used_table != nullptr) {
     *used_table = false;

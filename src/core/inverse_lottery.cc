@@ -9,7 +9,7 @@
 namespace lottery {
 
 std::optional<size_t> DrawInverse(const std::vector<uint64_t>& weights,
-                                  FastRand& rng) {
+                                  FastRand& rng) {  // lotlint: stream(scheduler)
   const size_t n = weights.size();
   if (n == 0) {
     return std::nullopt;

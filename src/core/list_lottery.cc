@@ -88,7 +88,8 @@ void ListLottery::OnClientValueDirty(Client* client) {
   dirty_members_.push_back(client);
 }
 
-Client* ListLottery::Draw(FastRand& rng, uint64_t* drawn_value) {
+Client* ListLottery::Draw(FastRand& rng,  // lotlint: stream(scheduler)
+                          uint64_t* drawn_value) {
   if (members_.empty()) {
     return nullptr;
   }

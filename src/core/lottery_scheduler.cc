@@ -121,7 +121,7 @@ void LotteryScheduler::FormBatch(uint64_t total) {
   // Draw the next k randoms from a copy of the generator: rng_ itself stays
   // untouched until each entry is actually served, so a flushed batch
   // leaves no trace in the stream.
-  FastRand spec = rng_;
+  FastRand spec = rng_;  // lotlint: stream(scheduler)
   for (size_t i = 0; i < k; ++i) {
     batch_[i].pre_state = spec.state();
     batch_values_[i] = spec.NextBelow64(total);
@@ -193,6 +193,7 @@ void LotteryScheduler::AddThread(ThreadId id, SimTime /*now*/) {
                  "LotteryScheduler: list backend exceeded %zu threads; "
                  "upgrading to tree backend\n",
                  options_.list_max_threads);
+    util::SeqGuard guard(queue_seq_);
     UpgradeListToTree();
   }
   ThreadState state;
@@ -214,6 +215,7 @@ void LotteryScheduler::RemoveThread(ThreadId id, SimTime /*now*/) {
     if (options_.backend == RunQueueBackend::kList) {
       run_queue_.Remove(state.client.get());
     } else {
+      util::SeqGuard guard(queue_seq_);
       QueueRemove(state.tree_slot);
       tree_slot_owner_[state.tree_slot] = nullptr;
       NoteDisturbance();
@@ -244,6 +246,7 @@ void LotteryScheduler::OnReady(ThreadId id, SimTime /*now*/) {
     if (options_.backend == RunQueueBackend::kList) {
       run_queue_.Add(state.client.get());
     } else {
+      util::SeqGuard guard(queue_seq_);
       const uint64_t weight = state.client->Value().raw_unsigned();
       state.tree_slot = QueueAdd(weight);
       if (state.tree_slot >= tree_slot_owner_.size()) {
@@ -275,6 +278,7 @@ void LotteryScheduler::OnBlocked(ThreadId id, SimTime /*now*/) {
     if (options_.backend == RunQueueBackend::kList) {
       run_queue_.Remove(state.client.get());
     } else {
+      util::SeqGuard guard(queue_seq_);
       QueueRemove(state.tree_slot);
       tree_slot_owner_[state.tree_slot] = nullptr;
       NoteDisturbance();
@@ -320,6 +324,7 @@ void LotteryScheduler::SyncTreeWeights() {
 }
 
 ThreadId LotteryScheduler::PickNextFromTree() {
+  util::SeqGuard guard(queue_seq_);
   if (QueueEmpty()) {
     return kInvalidThreadId;
   }

@@ -29,6 +29,7 @@
 #include "src/obs/registry.h"
 #include "src/sched/scheduler.h"
 #include "src/util/fastrand.h"
+#include "src/util/thread_safety.h"
 
 namespace lottery {
 
@@ -111,7 +112,7 @@ class LotteryScheduler : public Scheduler, private ValueObserver {
   // Current value of the thread in base units (0 if blocked).
   Funding ThreadValue(ThreadId id);
 
-  FastRand& rng() { return rng_; }
+  FastRand& rng() { return rng_; }  // lotlint: stream(scheduler)
   const CompensationPolicy& compensation() const { return compensation_; }
 
   // Attaches (or detaches, with nullptr) the structured-event trace at
@@ -128,7 +129,11 @@ class LotteryScheduler : public Scheduler, private ValueObserver {
   const ListLottery& run_queue() const { return run_queue_; }
   // Effective backend right now (list_upgrade_to_tree can change it).
   RunQueueBackend backend() const { return options_.backend; }
-  const AliasLottery& alias_queue() const { return alias_queue_; }
+  // Escapes the queue_seq_ domain: hands out a reference tests/benches
+  // inspect between dispatches, when no pick is in flight.
+  const AliasLottery& alias_queue() const NO_THREAD_SAFETY_ANALYSIS {
+    return alias_queue_;
+  }
   // The registry this scheduler's obs hooks write into.
   obs::Registry& metrics() { return *metrics_; }
   // Counts one ticket transfer against this scheduler (lottery.transfers).
@@ -169,46 +174,53 @@ class LotteryScheduler : public Scheduler, private ValueObserver {
   // sync — O(dirty · lg n) instead of O(n · lg n) per dispatch. Falls back
   // to one full resync (tree.full_syncs) when more clients are dirty than
   // queued.
-  void SyncTreeWeights();
+  void SyncTreeWeights() REQUIRES(queue_seq_);
   ThreadId PickNextFromTree();
 
   // Thin dispatch over the tree/alias queue (kList never reaches these).
-  bool QueueEmpty() const;
-  size_t QueueSize() const;
-  uint64_t QueueTotal() const;
-  uint64_t QueueWeight(size_t slot) const;
-  size_t QueueAdd(uint64_t weight);
-  void QueueRemove(size_t slot);
-  void QueueSetWeight(size_t slot, uint64_t weight);
+  bool QueueEmpty() const REQUIRES(queue_seq_);
+  size_t QueueSize() const REQUIRES(queue_seq_);
+  uint64_t QueueTotal() const REQUIRES(queue_seq_);
+  uint64_t QueueWeight(size_t slot) const REQUIRES(queue_seq_);
+  size_t QueueAdd(uint64_t weight) REQUIRES(queue_seq_);
+  void QueueRemove(size_t slot) REQUIRES(queue_seq_);
+  void QueueSetWeight(size_t slot, uint64_t weight) REQUIRES(queue_seq_);
 
   // Speculative batching (tree backend only).
   bool HasLiveBatch() const { return batch_next_ < batch_.size(); }
   void FlushBatch();
   // Any run-queue perturbation: flush the batch and break the clean streak.
+  // Fires reentrantly (via OnClientValueDirty) from inside guarded scopes,
+  // so the batch/streak state is deliberately outside queue_seq_.
   void NoteDisturbance();
-  void FormBatch(uint64_t total);
+  void FormBatch(uint64_t total) REQUIRES(queue_seq_);
 
   // List demotion: migrate every queued client into the tree and switch
   // options_.backend to kTree (one-way; counts lottery.list_upgrades).
-  void UpgradeListToTree();
+  void UpgradeListToTree() REQUIRES(queue_seq_);
 
   // ValueObserver (registered with table_ under the tree/alias backends
   // only; the list backend's run_queue_ observes the table itself).
   void OnClientValueDirty(Client* client) override;
 
   Options options_;
-  FastRand rng_;
+  FastRand rng_;  // lotlint: stream(scheduler)
   CurrencyTable table_;
   CompensationPolicy compensation_;
   ListLottery run_queue_;
-  TreeLottery tree_queue_;
-  AliasLottery alias_queue_;
+  // Serialization domain for the tree/alias run queue and its slot-to-owner
+  // map: the state the SMP per-CPU partitioning must put behind a per-queue
+  // lock. PickNextFromTree holds it for the whole pick; OnReady/OnBlocked/
+  // RemoveThread enter it around their queue mutations.
+  mutable util::Seq queue_seq_;
+  TreeLottery tree_queue_ GUARDED_BY(queue_seq_);
+  AliasLottery alias_queue_ GUARDED_BY(queue_seq_);
   // Slot -> owning thread state, nullptr for free slots. Slots are small
   // dense indices recycled by TreeLottery, and unordered_map nodes give
   // ThreadState a stable address, so a flat vector of pointers makes winner
   // resolution a single indexed load (a hash map here shows up at 10k
   // clients in bench_draw_overhead's churn rig).
-  std::vector<ThreadState*> tree_slot_owner_;
+  std::vector<ThreadState*> tree_slot_owner_ GUARDED_BY(queue_seq_);
   std::unordered_set<Client*> dirty_clients_;
   std::unordered_map<ThreadId, ThreadState> threads_;
   std::unordered_map<const Client*, ThreadState*> by_client_;

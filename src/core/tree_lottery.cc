@@ -91,7 +91,7 @@ uint64_t TreeLottery::Weight(size_t slot) const {
   return weights_[slot];
 }
 
-std::optional<size_t> TreeLottery::Draw(FastRand& rng,
+std::optional<size_t> TreeLottery::Draw(FastRand& rng,  // lotlint: stream(scheduler)
                                         uint64_t* drawn_value) const {
   if (total_ == 0) {
     return std::nullopt;
@@ -123,7 +123,8 @@ size_t TreeLottery::SlotForValue(uint64_t value) const {
   return node - weights_.size();  // leaf index -> 0-indexed slot
 }
 
-size_t TreeLottery::DrawBatch(FastRand& rng, size_t k, uint64_t* values,
+size_t TreeLottery::DrawBatch(FastRand& rng, size_t k,  // lotlint: stream(scheduler)
+                              uint64_t* values,
                               size_t* slots) const {
   if (total_ == 0 || k == 0) {
     return 0;

@@ -5,12 +5,14 @@
 namespace lottery {
 
 void StrideScheduler::AddThread(ThreadId id, SimTime /*now*/) {
+  util::SeqGuard guard(queue_seq_);
   if (!threads_.emplace(id, ThreadState{}).second) {
     throw std::invalid_argument("Stride::AddThread: duplicate id");
   }
 }
 
 void StrideScheduler::RemoveThread(ThreadId id, SimTime /*now*/) {
+  util::SeqGuard guard(queue_seq_);
   auto& state = threads_.at(id);
   if (state.ready) {
     global_tickets_ -= state.tickets;
@@ -22,6 +24,7 @@ void StrideScheduler::RemoveThread(ThreadId id, SimTime /*now*/) {
 }
 
 void StrideScheduler::OnReady(ThreadId id, SimTime /*now*/) {
+  util::SeqGuard guard(queue_seq_);
   auto& state = threads_.at(id);
   if (state.ready) {
     return;
@@ -36,6 +39,7 @@ void StrideScheduler::OnReady(ThreadId id, SimTime /*now*/) {
 }
 
 void StrideScheduler::OnBlocked(ThreadId id, SimTime /*now*/) {
+  util::SeqGuard guard(queue_seq_);
   auto& state = threads_.at(id);
   if (!state.ready) {
     if (running_ == id) {
@@ -57,6 +61,7 @@ void StrideScheduler::OnBlocked(ThreadId id, SimTime /*now*/) {
 }
 
 ThreadId StrideScheduler::PickNext(SimTime /*now*/) {
+  util::SeqGuard guard(queue_seq_);
   ThreadId best = kInvalidThreadId;
   int64_t best_pass = 0;
   uint64_t best_seq = 0;
@@ -84,6 +89,7 @@ ThreadId StrideScheduler::PickNext(SimTime /*now*/) {
 
 void StrideScheduler::OnQuantumEnd(ThreadId id, SimDuration used,
                                    SimDuration quantum, SimTime /*now*/) {
+  util::SeqGuard guard(queue_seq_);
   auto& state = threads_.at(id);
   // Advance pass in proportion to the CPU actually consumed; a thread that
   // yields early is charged less — stride's counterpart of compensation.
@@ -103,6 +109,7 @@ void StrideScheduler::OnQuantumEnd(ThreadId id, SimDuration used,
 }
 
 void StrideScheduler::SetTickets(ThreadId id, int64_t tickets) {
+  util::SeqGuard guard(queue_seq_);
   if (tickets <= 0) {
     throw std::invalid_argument("Stride::SetTickets: tickets must be > 0");
   }
@@ -134,6 +141,7 @@ void StrideScheduler::SetTickets(ThreadId id, int64_t tickets) {
 }
 
 int64_t StrideScheduler::GetTickets(ThreadId id) const {
+  util::SeqGuard guard(queue_seq_);
   return threads_.at(id).tickets;
 }
 

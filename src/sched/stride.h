@@ -17,6 +17,7 @@
 
 #include "src/obs/registry.h"
 #include "src/sched/scheduler.h"
+#include "src/util/thread_safety.h"
 
 namespace lottery {
 
@@ -52,17 +53,20 @@ class StrideScheduler : public Scheduler {
     uint64_t enqueue_seq = 0;
   };
 
-  void UpdateGlobalPass();
+  void UpdateGlobalPass() REQUIRES(queue_seq_);
 
+  // Serialization domain for the pass/ticket bookkeeping — per-CPU stride
+  // queues under the SMP partitioning will guard exactly this state.
+  mutable util::Seq queue_seq_;
   // Ordered by ThreadId: PickNext scans this to choose the minimum-pass
   // thread, and an unordered map would make the scan order (and thus any
   // latent tie-break) depend on the standard library's hashing. (lotlint
   // rule D2 flags unordered iteration in scheduling paths.)
-  std::map<ThreadId, ThreadState> threads_;
-  int64_t global_pass_ = 0;
-  int64_t global_tickets_ = 0;  // tickets of ready threads
-  ThreadId running_ = kInvalidThreadId;
-  uint64_t next_seq_ = 0;
+  std::map<ThreadId, ThreadState> threads_ GUARDED_BY(queue_seq_);
+  int64_t global_pass_ GUARDED_BY(queue_seq_) = 0;
+  int64_t global_tickets_ GUARDED_BY(queue_seq_) = 0;  // ready tickets
+  ThreadId running_ GUARDED_BY(queue_seq_) = kInvalidThreadId;
+  uint64_t next_seq_ GUARDED_BY(queue_seq_) = 0;
   obs::Counter* picks_;
 };
 

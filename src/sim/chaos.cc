@@ -198,17 +198,23 @@ class MutexUserBody : public ThreadBody {
   MutexUserBody(SimMutex* mutex, SimDuration think, SimDuration hold)
       : mutex_(mutex), think_(think), hold_(hold) {}
 
-  void Run(RunContext& ctx) override {
+  // Cross-slice state machine (ownership spans Run calls); checked at
+  // runtime via AssertHeld/NoteHeldAcrossSlice instead of statically.
+  NO_THREAD_SAFETY_ANALYSIS void Run(RunContext& ctx) override {
     if (waiting_) {
       // Woken from Acquire's block: the release lottery made us owner.
+      mutex_->AssertHeld(ctx.self());
       waiting_ = false;
       holding_ = true;
       hold_left_ = hold_;
     }
     if (holding_) {
+      mutex_->AssertHeld(ctx.self());
       hold_left_ -= ConsumeUpTo(ctx, hold_left_);
       if (hold_left_.nanos() > 0) {
-        return;  // preempted mid-critical-section, still owner
+        // Preempted mid-critical-section, still owner.
+        mutex_->NoteHeldAcrossSlice(ctx.self());
+        return;
       }
       mutex_->Release(ctx);
       holding_ = false;
@@ -219,6 +225,7 @@ class MutexUserBody : public ThreadBody {
     if (mutex_->Acquire(ctx)) {
       holding_ = true;
       hold_left_ = hold_;
+      mutex_->NoteHeldAcrossSlice(ctx.self());
       return;
     }
     waiting_ = true;
@@ -550,8 +557,8 @@ ScenarioResult RunScenario(const Scenario& scenario,
   // decorrelated through SplitMix64.
   SplitMix64 mix(scenario.seed);
   const uint32_t sched_seed = mix.NextFastRandSeed();
-  FastRand shape_rng(mix.NextFastRandSeed());
-  FastRand disk_rng(mix.NextFastRandSeed());
+  FastRand shape_rng(mix.NextFastRandSeed());  // lotlint: stream(workload)
+  FastRand disk_rng(mix.NextFastRandSeed());   // lotlint: stream(device)
 
   obs::Registry registry;
   FaultInjector injector(FaultPlan::Parse(scenario.plan), scenario.seed);
@@ -774,7 +781,7 @@ ScenarioResult RunScenario(const Scenario& scenario,
 // ---------------------------------------------------------------------------
 // Fuzz generators
 
-FaultPlan RandomFaultPlan(FastRand& rng) {
+FaultPlan RandomFaultPlan(FastRand& rng) {  // lotlint: stream(workload)
   FaultPlan plan;
   for (size_t i = 0; i < kNumFaultClasses; ++i) {
     if (rng.NextBelow(100) >= 45) {
@@ -811,7 +818,7 @@ FaultPlan RandomFaultPlan(FastRand& rng) {
   return plan;
 }
 
-Scenario RandomScenario(FastRand& rng, uint64_t seed) {
+Scenario RandomScenario(FastRand& rng, uint64_t seed) {  // lotlint: stream(workload)
   Scenario scenario;
   scenario.seed = seed;
   const char* backends[4] = {"list", "tree", "alias", "stride"};

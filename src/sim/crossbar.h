@@ -83,7 +83,7 @@ class CrossbarSwitch {
   void RunSlot();
 
   Options options_;
-  FastRand* rng_;
+  FastRand* rng_;  // lotlint: stream(device)
   std::vector<Circuit> circuits_;
   SimTime now_;
   uint64_t total_sent_ = 0;

@@ -111,7 +111,7 @@ class DiskScheduler {
   };
 
   Options options_;
-  FastRand* rng_;
+  FastRand* rng_;  // lotlint: stream(device)
   FaultInjector* faults_ = nullptr;
   etrace::TraceBuffer* trace_ = nullptr;
   uint32_t trace_name_ = 0;  // interned "disk"

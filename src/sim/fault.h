@@ -125,7 +125,7 @@ class FaultInjector {
   const FaultPlan& plan() const { return plan_; }
   // The injector's private stream; chaos machinery uses it to pick fault
   // *targets* (which sleeper, which ticket) deterministically.
-  FastRand& rng() { return rng_; }
+  FastRand& rng() { return rng_; }  // lotlint: stream(fault)
 
   // Records a kCatFault event into `trace` for every firing (nullptr
   // disables). Class names are interned up front, so Fire stays
@@ -150,7 +150,7 @@ class FaultInjector {
   }
 
   FaultPlan plan_;
-  FastRand rng_;
+  FastRand rng_;  // lotlint: stream(fault)
   std::array<PerClass, kNumFaultClasses> classes_{};
   std::set<ThreadId> protected_;
   etrace::TraceBuffer* trace_ = nullptr;

@@ -245,6 +245,7 @@ std::vector<ThreadId> Kernel::SleepingThreads() const {
 }
 
 bool Kernel::IsQuiescent() const {
+  util::SeqGuard guard(dispatch_seq_);
   if (runnable_count_ > 0 || !events_.empty()) {
     return false;
   }
@@ -334,6 +335,7 @@ void Kernel::FinishSlice(ThreadId tid, Disposition disposition,
 }
 
 void Kernel::RunUntil(SimTime end) {
+  util::SeqGuard guard(dispatch_seq_);
   for (;;) {
     // Dispatch on the CPU that frees up first.
     size_t cpu = 0;
@@ -491,6 +493,7 @@ uint64_t Kernel::Dispatches(ThreadId tid) const {
 }
 
 SimDuration Kernel::CpuBusy(int cpu) const {
+  util::SeqGuard guard(dispatch_seq_);
   if (cpu < 0 || static_cast<size_t>(cpu) >= cpu_busy_.size()) {
     throw std::out_of_range("Kernel::CpuBusy: bad cpu index");
   }

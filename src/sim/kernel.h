@@ -24,6 +24,7 @@
 #include "src/sim/trace.h"
 #include "src/util/arena.h"
 #include "src/util/sim_time.h"
+#include "src/util/thread_safety.h"
 
 namespace lottery {
 
@@ -253,11 +254,17 @@ class Kernel {
   size_t live_threads_ = 0;
   size_t runnable_count_ = 0;
   uint64_t zero_use_streak_ = 0;
+  // Serialization domain for the per-CPU dispatch frontier: RunUntil is the
+  // only writer today; when the SMP rebalancer gives each CPU its own
+  // dispatch loop, this becomes the per-domain dispatch lock. Readers
+  // (IsQuiescent, CpuBusy) enter the same domain — they must never overlap
+  // an in-flight dispatch step, which Debug builds assert.
+  mutable util::Seq dispatch_seq_;
   // Per-CPU state: when each CPU is next free, what it last ran (for
   // context-switch counting), and its cumulative busy time.
-  std::vector<SimTime> cpu_free_;
-  std::vector<ThreadId> cpu_last_;
-  std::vector<SimDuration> cpu_busy_;
+  std::vector<SimTime> cpu_free_ GUARDED_BY(dispatch_seq_);
+  std::vector<ThreadId> cpu_last_ GUARDED_BY(dispatch_seq_);
+  std::vector<SimDuration> cpu_busy_ GUARDED_BY(dispatch_seq_);
   std::vector<ThreadExitObserver*> exit_observers_;
 
   // Obs hooks (resolved once; raw pointers into metrics_).

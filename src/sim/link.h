@@ -67,7 +67,7 @@ class LinkScheduler {
   std::optional<CircuitId> PickCircuit();
 
   Options options_;
-  FastRand* rng_;
+  FastRand* rng_;  // lotlint: stream(device)
   std::map<CircuitId, CircuitState> circuits_;
   SimTime now_;
 };

@@ -65,7 +65,7 @@ class PageCache {
 
   size_t frames_;
   size_t frames_in_use_ = 0;
-  FastRand* rng_;
+  FastRand* rng_;  // lotlint: stream(device)
   std::map<ClientId, ClientState> clients_;
 };
 

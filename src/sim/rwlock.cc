@@ -66,7 +66,59 @@ void SimRwLock::AdmitWriter(ThreadId tid) {
   }
 }
 
+size_t SimRwLock::num_readers() const {
+  util::SeqGuard guard(seq_);
+  return reader_inherit_.size();
+}
+
+bool SimRwLock::write_held() const {
+  util::SeqGuard guard(seq_);
+  return writer_ != kInvalidThreadId;
+}
+
+size_t SimRwLock::num_waiters() const {
+  util::SeqGuard guard(seq_);
+  return waiters_.size();
+}
+
+uint64_t SimRwLock::read_admissions() const {
+  util::SeqGuard guard(seq_);
+  return read_admissions_;
+}
+
+uint64_t SimRwLock::write_admissions() const {
+  util::SeqGuard guard(seq_);
+  return write_admissions_;
+}
+
+void SimRwLock::AssertReadHeld(ThreadId tid) const {
+  util::SeqGuard guard(seq_);
+  if (reader_inherit_.count(tid) == 0) {
+    throw std::logic_error("SimRwLock: AssertReadHeld(" +
+                           std::to_string(tid) + ") but " + name_ +
+                           " has no such reader");
+  }
+}
+
+void SimRwLock::AssertWriteHeld(ThreadId tid) const {
+  util::SeqGuard guard(seq_);
+  if (writer_ != tid) {
+    throw std::logic_error("SimRwLock: AssertWriteHeld(" +
+                           std::to_string(tid) + ") but " + name_ +
+                           " is written by " + std::to_string(writer_));
+  }
+}
+
+void SimRwLock::NoteReadHeldAcrossSlice(ThreadId tid) const {
+  AssertReadHeld(tid);  // same runtime check; static session ends here
+}
+
+void SimRwLock::NoteWriteHeldAcrossSlice(ThreadId tid) const {
+  AssertWriteHeld(tid);
+}
+
 bool SimRwLock::AcquireRead(RunContext& ctx) {
+  util::SeqGuard guard(seq_);
   const ThreadId tid = ctx.self();
   if (reader_inherit_.count(tid) > 0 || writer_ == tid) {
     throw std::logic_error("SimRwLock: recursive acquire of " + name_);
@@ -93,6 +145,7 @@ bool SimRwLock::AcquireRead(RunContext& ctx) {
 }
 
 bool SimRwLock::AcquireWrite(RunContext& ctx) {
+  util::SeqGuard guard(seq_);
   const ThreadId tid = ctx.self();
   if (reader_inherit_.count(tid) > 0 || writer_ == tid) {
     throw std::logic_error("SimRwLock: recursive acquire of " + name_);
@@ -116,6 +169,7 @@ bool SimRwLock::AcquireWrite(RunContext& ctx) {
 }
 
 void SimRwLock::ReleaseRead(RunContext& ctx) {
+  util::SeqGuard guard(seq_);
   const auto it = reader_inherit_.find(ctx.self());
   if (it == reader_inherit_.end()) {
     throw std::logic_error("SimRwLock: ReleaseRead by non-reader of " +
@@ -135,6 +189,7 @@ void SimRwLock::ReleaseRead(RunContext& ctx) {
 }
 
 void SimRwLock::ReleaseWrite(RunContext& ctx) {
+  util::SeqGuard guard(seq_);
   if (writer_ != ctx.self()) {
     throw std::logic_error("SimRwLock: ReleaseWrite by non-writer of " +
                            name_);

@@ -32,10 +32,16 @@
 #include "src/core/transfer.h"
 #include "src/obs/registry.h"
 #include "src/sim/kernel.h"
+#include "src/util/thread_safety.h"
 
 namespace lottery {
 
-class SimRwLock {
+// A clang thread-safety capability: AcquireWrite/ReleaseWrite bracket the
+// exclusive capability, AcquireRead/ReleaseRead the shared one. Bodies
+// holding the lock across scheduling slices use the cross-slice protocol
+// (NoteHeldAcrossSlice / AssertHeld, both runtime-checked) — see
+// thread_safety.h.
+class CAPABILITY("rwlock") SimRwLock {
  public:
   SimRwLock(Kernel* kernel, const std::string& name,
             int64_t transfer_amount = 1000);
@@ -47,18 +53,24 @@ class SimRwLock {
   // caller is queued (must ctx.Block()) and is woken holding the lock.
   // A new reader is admitted immediately only when no writer holds the
   // lock and no writer is waiting (writers would otherwise starve).
-  bool AcquireRead(RunContext& ctx);
+  bool AcquireRead(RunContext& ctx) TRY_ACQUIRE_SHARED(true);
   // Exclusive acquisition; same contract.
-  bool AcquireWrite(RunContext& ctx);
+  bool AcquireWrite(RunContext& ctx) TRY_ACQUIRE(true);
 
-  void ReleaseRead(RunContext& ctx);
-  void ReleaseWrite(RunContext& ctx);
+  void ReleaseRead(RunContext& ctx) RELEASE_SHARED();
+  void ReleaseWrite(RunContext& ctx) RELEASE();
 
-  size_t num_readers() const { return reader_inherit_.size(); }
-  bool write_held() const { return writer_ != kInvalidThreadId; }
-  size_t num_waiters() const { return waiters_.size(); }
-  uint64_t read_admissions() const { return read_admissions_; }
-  uint64_t write_admissions() const { return write_admissions_; }
+  // Cross-slice protocol (runtime-checked; see thread_safety.h).
+  void AssertReadHeld(ThreadId tid) const ASSERT_SHARED_CAPABILITY(this);
+  void AssertWriteHeld(ThreadId tid) const ASSERT_CAPABILITY(this);
+  void NoteReadHeldAcrossSlice(ThreadId tid) const RELEASE_SHARED();
+  void NoteWriteHeldAcrossSlice(ThreadId tid) const RELEASE();
+
+  size_t num_readers() const;
+  bool write_held() const;
+  size_t num_waiters() const;
+  uint64_t read_admissions() const;
+  uint64_t write_admissions() const;
 
  private:
   struct Waiter {
@@ -69,22 +81,26 @@ class SimRwLock {
   };
 
   uint64_t WaiterWeight(const Waiter& waiter) const;
-  void AdmitReader(ThreadId tid);
-  void AdmitWriter(ThreadId tid);
+  void AdmitReader(ThreadId tid) REQUIRES(seq_);
+  void AdmitWriter(ThreadId tid) REQUIRES(seq_);
   // Runs the admission lottery after the lock empties.
-  void AdmitNext(RunContext& ctx);
+  void AdmitNext(RunContext& ctx) REQUIRES(seq_);
 
   Kernel* kernel_;
   std::string name_;
   int64_t transfer_amount_;
-  ThreadId writer_ = kInvalidThreadId;
-  std::vector<Waiter> waiters_;
-  uint64_t read_admissions_ = 0;
-  uint64_t write_admissions_ = 0;
+  // Serialization domain for admission state — the lock word, waiter list
+  // and inheritance tickets an SMP kernel would protect with a spinlock.
+  mutable util::Seq seq_;
+  ThreadId writer_ GUARDED_BY(seq_) = kInvalidThreadId;
+  std::vector<Waiter> waiters_ GUARDED_BY(seq_);
+  uint64_t read_admissions_ GUARDED_BY(seq_) = 0;
+  uint64_t write_admissions_ GUARDED_BY(seq_) = 0;
 
   Currency* currency_ = nullptr;
   Ticket* writer_inherit_ = nullptr;  // funds the writer while write-held
-  std::map<ThreadId, Ticket*> reader_inherit_;  // one per active reader
+  std::map<ThreadId, Ticket*> reader_inherit_
+      GUARDED_BY(seq_);  // one per active reader
 
   // Obs hooks (from the kernel's registry).
   obs::Counter* m_read_admissions_;

@@ -46,7 +46,23 @@ void SimSemaphore::SetBeneficiary(ThreadId tid) {
   }
 }
 
+int64_t SimSemaphore::permits() const {
+  util::SeqGuard guard(seq_);
+  return permits_;
+}
+
+size_t SimSemaphore::num_waiters() const {
+  util::SeqGuard guard(seq_);
+  return waiters_.size();
+}
+
+uint64_t SimSemaphore::total_waits() const {
+  util::SeqGuard guard(seq_);
+  return total_waits_;
+}
+
 bool SimSemaphore::Wait(RunContext& ctx) {
+  util::SeqGuard guard(seq_);
   ++total_waits_;
   m_waits_->Inc();
   if (permits_ > 0) {
@@ -68,6 +84,7 @@ bool SimSemaphore::Wait(RunContext& ctx) {
 }
 
 void SimSemaphore::Signal(RunContext& ctx) {
+  util::SeqGuard guard(seq_);
   if (waiters_.empty()) {
     ++permits_;
     return;

@@ -29,9 +29,14 @@
 #include "src/core/transfer.h"
 #include "src/obs/registry.h"
 #include "src/sim/kernel.h"
+#include "src/util/thread_safety.h"
 
 namespace lottery {
 
+// Unlike SimMutex/SimRwLock, a semaphore is not a caller-facing capability
+// (Signal is legal from producers that never Wait), so only its internal
+// permit/waiter state is annotated — a serialization domain the SMP kernel
+// will replace with a real lock.
 class SimSemaphore {
  public:
   SimSemaphore(Kernel* kernel, const std::string& name,
@@ -53,9 +58,9 @@ class SimSemaphore {
   // transferred funding (FIFO when no funding is visible) and woken.
   void Signal(RunContext& ctx);
 
-  int64_t permits() const { return permits_; }
-  size_t num_waiters() const { return waiters_.size(); }
-  uint64_t total_waits() const { return total_waits_; }
+  int64_t permits() const;
+  size_t num_waiters() const;
+  uint64_t total_waits() const;
 
  private:
   struct Waiter {
@@ -67,9 +72,11 @@ class SimSemaphore {
   Kernel* kernel_;
   std::string name_;
   int64_t transfer_amount_;
-  int64_t permits_;
-  std::vector<Waiter> waiters_;
-  uint64_t total_waits_ = 0;
+  // Serialization domain for the permit count and waiter list.
+  mutable util::Seq seq_;
+  int64_t permits_ GUARDED_BY(seq_);
+  std::vector<Waiter> waiters_ GUARDED_BY(seq_);
+  uint64_t total_waits_ GUARDED_BY(seq_) = 0;
 
   Currency* currency_ = nullptr;
   Ticket* inheritance_ticket_ = nullptr;

@@ -59,7 +59,43 @@ SimMutex::~SimMutex() {
   }
 }
 
+ThreadId SimMutex::owner() const {
+  util::SeqGuard guard(seq_);
+  return owner_;
+}
+
+size_t SimMutex::num_waiters() const {
+  util::SeqGuard guard(seq_);
+  return waiters_.size();
+}
+
+uint64_t SimMutex::acquisitions() const {
+  util::SeqGuard guard(seq_);
+  return acquisitions_;
+}
+
+void SimMutex::AssertHeld(ThreadId tid) const {
+  util::SeqGuard guard(seq_);
+  if (owner_ != tid) {
+    throw std::logic_error("SimMutex: AssertHeld(" + std::to_string(tid) +
+                           ") but " + name_ + " is owned by " +
+                           std::to_string(owner_));
+  }
+}
+
+void SimMutex::NoteHeldAcrossSlice(ThreadId tid) const {
+  // Statically this "releases" the capability (the slice's session ends);
+  // at runtime ownership must actually persist into the next slice.
+  util::SeqGuard guard(seq_);
+  if (owner_ != tid) {
+    throw std::logic_error("SimMutex: NoteHeldAcrossSlice(" +
+                           std::to_string(tid) + ") but " + name_ +
+                           " is owned by " + std::to_string(owner_));
+  }
+}
+
 bool SimMutex::Acquire(RunContext& ctx) {
+  util::SeqGuard guard(seq_);
   const ThreadId tid = ctx.self();
   if (owner_ == tid) {
     throw std::logic_error("SimMutex: recursive acquire of " + name_);
@@ -90,6 +126,7 @@ bool SimMutex::Acquire(RunContext& ctx) {
 }
 
 void SimMutex::Release(RunContext& ctx) {
+  util::SeqGuard guard(seq_);
   if (owner_ != ctx.self()) {
     throw std::logic_error("SimMutex: release by non-owner of " + name_);
   }
@@ -97,6 +134,7 @@ void SimMutex::Release(RunContext& ctx) {
 }
 
 void SimMutex::OnThreadExit(ThreadId tid, SimTime when) {
+  util::SeqGuard guard(seq_);
   // A dead waiter's transfer rolls back to (what remains of) its thread
   // currency; the erase destroys the TicketTransfer.
   for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {

@@ -22,6 +22,7 @@
 #include "src/core/transfer.h"
 #include "src/obs/registry.h"
 #include "src/sim/kernel.h"
+#include "src/util/thread_safety.h"
 
 namespace lottery {
 
@@ -29,7 +30,14 @@ namespace lottery {
 // voluntarily or through an injected crash — releases the inheritance
 // ticket and passes ownership on instead of stranding the waiters' funding
 // in a currency about to be destroyed.
-class SimMutex : public ThreadExitObserver {
+//
+// The class is a clang thread-safety *capability*: Acquire/Release carry
+// TRY_ACQUIRE/RELEASE attributes, so straight-line critical sections are
+// checked statically. Bodies that hold the mutex across scheduling slices
+// (the normal cooperative pattern) end each slice's static session with
+// NoteHeldAcrossSlice and re-establish it with AssertHeld on resume — both
+// runtime-check real ownership. See thread_safety.h for the protocol.
+class CAPABILITY("mutex") SimMutex : public ThreadExitObserver {
  public:
   // `kernel` must outlive the mutex. Transfer amounts are the face value of
   // waiter transfer tickets; any positive constant works (shares are
@@ -44,19 +52,26 @@ class SimMutex : public ThreadExitObserver {
   // (caller now owns it). Otherwise registers the caller as a waiter with a
   // ticket transfer and returns false; the body must then ctx.Block().
   // When the thread is next woken it owns the mutex.
-  bool Acquire(RunContext& ctx);
+  bool Acquire(RunContext& ctx) TRY_ACQUIRE(true);
 
   // Releases the mutex; if waiters exist, holds a lottery among them,
   // hands ownership (and the inheritance ticket) to the winner, and wakes
   // it at ctx.now().
-  void Release(RunContext& ctx);
+  void Release(RunContext& ctx) RELEASE();
 
-  ThreadId owner() const { return owner_; }
-  size_t num_waiters() const { return waiters_.size(); }
+  // Cross-slice protocol (see the class comment). AssertHeld tells the
+  // static analysis the capability is held and runtime-checks that `tid`
+  // really owns the mutex; NoteHeldAcrossSlice ends the static session at a
+  // slice boundary (no runtime state changes — the mutex stays owned).
+  void AssertHeld(ThreadId tid) const ASSERT_CAPABILITY(this);
+  void NoteHeldAcrossSlice(ThreadId tid) const RELEASE();
+
+  ThreadId owner() const;
+  size_t num_waiters() const;
   const std::string& name() const { return name_; }
 
   // Total acquisitions granted so far (for the Figure 11 counts).
-  uint64_t acquisitions() const { return acquisitions_; }
+  uint64_t acquisitions() const;
 
   // ThreadExitObserver: purges the dead thread from the waiter list (its
   // transfer rolls back) and, if it owned the mutex, releases and re-grants
@@ -70,17 +85,21 @@ class SimMutex : public ThreadExitObserver {
     SimTime since;
   };
 
-  void GrantTo(ThreadId tid);
+  void GrantTo(ThreadId tid) REQUIRES(seq_);
   // The release path shared by Release and OnThreadExit: drops or re-grants
   // the inheritance ticket and wakes the lottery-picked next owner.
-  void ReleaseAndGrant(SimTime now);
+  void ReleaseAndGrant(SimTime now) REQUIRES(seq_);
 
   Kernel* kernel_;
   std::string name_;
   int64_t transfer_amount_;
-  ThreadId owner_ = kInvalidThreadId;
-  std::vector<Waiter> waiters_;
-  uint64_t acquisitions_ = 0;
+  // Serialization domain for the waiter list and ownership word: the state
+  // an SMP kernel would protect with a spinlock. Every public entry point
+  // enters it; Debug builds assert the domain is never re-entered.
+  mutable util::Seq seq_;
+  ThreadId owner_ GUARDED_BY(seq_) = kInvalidThreadId;
+  std::vector<Waiter> waiters_ GUARDED_BY(seq_);
+  uint64_t acquisitions_ GUARDED_BY(seq_) = 0;
 
   // Lottery-mode machinery (null when the policy scheduler is not lottery).
   Currency* currency_ = nullptr;

@@ -12,12 +12,20 @@ SimDuration MutexTask::Jittered(SimDuration base) {
       static_cast<int64_t>(static_cast<double>(base.nanos()) * factor));
 }
 
-void MutexTask::Run(RunContext& ctx) {
+// Cross-slice state machine: the mutex is held across Run invocations
+// (acquire in one slice, release several later), which the intraprocedural
+// thread-safety analysis cannot follow — ownership is instead checked at
+// runtime via AssertHeld/NoteHeldAcrossSlice (see thread_safety.h).
+NO_THREAD_SAFETY_ANALYSIS void MutexTask::Run(RunContext& ctx) {
   if (waiting_) {
     // Woken by SimMutex::Release: we now own the mutex.
+    mutex_->AssertHeld(ctx.self());
     waiting_ = false;
     phase_ = Phase::kHold;
     left_ = Jittered(options_.hold);
+  } else if (phase_ == Phase::kHold) {
+    // Preempted mid-hold last slice; we must still own the mutex.
+    mutex_->AssertHeld(ctx.self());
   }
   for (;;) {
     switch (phase_) {
@@ -34,7 +42,9 @@ void MutexTask::Run(RunContext& ctx) {
         left_ -= ctx.Consume(left_ < ctx.remaining() ? left_
                                                      : ctx.remaining());
         if (left_.nanos() > 0) {
-          return;  // preempted while holding (lock held across quanta)
+          // Preempted while holding (lock held across quanta).
+          mutex_->NoteHeldAcrossSlice(ctx.self());
+          return;
         }
         mutex_->Release(ctx);
         phase_ = Phase::kCompute;

@@ -181,7 +181,175 @@ TEST(LotlintJson, SchemaStableOutput) {
   // Empty report: stable empty shape.
   const std::string empty = lotlint::ReportToJson(lotlint::Report{});
   EXPECT_EQ(empty,
-            "{\n  \"findings\": [],\n  \"count\": 0,\n  \"suppressed\": 0\n}\n");
+            "{\n  \"findings\": [],\n  \"count\": 0,\n  \"suppressed\": 0,\n"
+            "  \"baselined\": 0,\n  \"stale\": []\n}\n");
+}
+
+TEST(LotlintUnordered, IncludeGraphReachesSubdirHeaders) {
+  // The decl lives in src/core/detail/ptr_map.h; the iterating file is
+  // src/core/user.cc — different stems, matched only through the quoted
+  // include. stranger.cc iterates the same name without the include and
+  // must stay clean.
+  const lotlint::Report report = lotlint::Analyze(
+      {{"src/core/detail/ptr_map.h", ReadFixture("detail_ptr_map.h.txt")},
+       {"src/core/user.cc", ReadFixture("detail_user.cc.txt")},
+       {"src/core/stranger.cc", ReadFixture("detail_stranger.cc.txt")}});
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].rule, "D2-unordered-iter");
+  EXPECT_EQ(report.findings[0].file, "src/core/user.cc");
+  EXPECT_EQ(report.findings[0].line, 10);
+}
+
+TEST(LotlintCallGraph, TransitiveRulesReachHelpersAcrossTus) {
+  const lotlint::Report report = lotlint::Analyze(
+      {{"src/sched/cg1_entry.cc", ReadFixture("cg1_entry.cc.txt")},
+       {"src/obs/cg1_helper.cc", ReadFixture("cg1_helper.cc.txt")}});
+  // ObserveLatency (reached from PickNext) uses a wall clock and iterates
+  // an unordered_map; MixWeights (reached from Draw, a ticket-math root)
+  // uses double. NotReached uses steady_clock but is never called — the
+  // rules must stay quiet about it.
+  const std::multiset<std::pair<std::string, int>> expected = {
+      {"CG1-wallclock", 13},
+      {"CG1-unordered-iter", 14},
+      {"CG1-float", 21},
+  };
+  EXPECT_EQ(RuleLines(report), expected);
+  for (const lotlint::Finding& f : report.findings) {
+    EXPECT_EQ(f.file, "src/obs/cg1_helper.cc");
+  }
+}
+
+TEST(LotlintCallGraph, ExportsFunctionsAndEdges) {
+  const lotlint::Report report = lotlint::Analyze(
+      {{"src/sched/cg1_entry.cc", ReadFixture("cg1_entry.cc.txt")},
+       {"src/obs/cg1_helper.cc", ReadFixture("cg1_helper.cc.txt")}});
+  bool saw_observe = false, saw_not_reached = false;
+  for (const lotlint::FunctionNode& f : report.functions) {
+    if (f.name == "ObserveLatency") {
+      saw_observe = true;
+      EXPECT_TRUE(f.reachable);
+      EXPECT_EQ(f.root, "PickNext");
+    }
+    if (f.name == "NotReached") {
+      saw_not_reached = true;
+      EXPECT_FALSE(f.reachable);
+      EXPECT_EQ(f.root, "");
+    }
+  }
+  EXPECT_TRUE(saw_observe);
+  EXPECT_TRUE(saw_not_reached);
+  bool saw_edge = false;
+  for (const lotlint::CallEdge& e : report.edges) {
+    if (e.caller == "PickNext" && e.callee == "ObserveLatency") {
+      saw_edge = true;
+      EXPECT_EQ(e.file, "src/sched/cg1_entry.cc");
+      EXPECT_EQ(e.line, 10);
+    }
+  }
+  EXPECT_TRUE(saw_edge);
+  const std::string json = lotlint::CallGraphToJson(report);
+  EXPECT_EQ(json.find("{\n  \"functions\": ["), 0u);
+  EXPECT_NE(json.find("\"edges\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"root\": \"PickNext\""), std::string::npos);
+}
+
+TEST(LotlintRng, SeedAndStreamDiscipline) {
+  const lotlint::Report report = lotlint::AnalyzeFile(
+      "src/core/rngstream.cc", ReadFixture("rngstream.cc.txt"));
+  const std::multiset<std::pair<std::string, int>> expected = {
+      {"R2-rng-stream", 18},  // bad_ draws without a stream annotation
+      {"R1-rng-seed", 21},    // default-constructed temporary
+      {"R2-rng-stream", 21},  // ...and its draw is unattributable
+      {"R1-rng-seed", 24},    // FastRand local; never seeded
+      {"R2-rng-stream", 25},
+  };
+  EXPECT_EQ(RuleLines(report), expected);
+  // legacy_'s rng-seed-ok + DrawWaived's stream-ok; the stream(lottery)
+  // annotation is a declaration, not a waiver, and counts for neither.
+  EXPECT_EQ(report.suppressed, 2);
+  EXPECT_TRUE(report.stale.empty());
+}
+
+TEST(LotlintLockOrder, FlagsDirectAndInterproceduralCycles) {
+  const lotlint::Report report = lotlint::AnalyzeFile(
+      "src/sim/lockorder.cc", ReadFixture("lockorder.cc.txt"));
+  // mu_a_/mu_b_ inverted directly (TakeAB vs TakeBA); mu_c_/mu_d_ inverted
+  // through HelperTakesD while TakeCThenHelper holds mu_c_.
+  const std::multiset<std::pair<std::string, int>> expected = {
+      {"L1-lock-order", 14},
+      {"L1-lock-order", 28},
+  };
+  EXPECT_EQ(RuleLines(report), expected);
+}
+
+TEST(LotlintTsa, FullyAnnotatedHeaderIsClean) {
+  const lotlint::Report report =
+      lotlint::AnalyzeFile("src/sim/tsa_good.h", ReadFixture("tsa_good.h.txt"));
+  EXPECT_TRUE(report.findings.empty())
+      << report.findings.front().rule << "@" << report.findings.front().line;
+}
+
+TEST(LotlintTsa, CatchesStrippedAnnotations) {
+  const lotlint::Report report =
+      lotlint::AnalyzeFile("src/sim/tsa_bad.h", ReadFixture("tsa_bad.h.txt"));
+  const std::multiset<std::pair<std::string, int>> expected = {
+      {"L2-tsa", 8},   // CAPABILITY class without RELEASE-family methods
+      {"L2-tsa", 14},  // Seq member with no GUARDED_BY(seq_)
+  };
+  EXPECT_EQ(RuleLines(report), expected);
+}
+
+TEST(LotlintFingerprint, StableAcrossLineChurn) {
+  const std::string content = ReadFixture("floatmath.cc.txt");
+  const lotlint::Report before =
+      lotlint::AnalyzeFile("src/core/floatmath.cc", content);
+  ASSERT_EQ(before.findings.size(), 4u);
+  std::multiset<std::string> fps_before;
+  for (const lotlint::Finding& f : before.findings) {
+    ASSERT_EQ(f.fingerprint.size(), 16u);
+    EXPECT_EQ(f.fingerprint.find_first_not_of("0123456789abcdef"),
+              std::string::npos);
+    fps_before.insert(f.fingerprint);
+  }
+  // Shift every finding down three lines: fingerprints hash the rule, the
+  // enclosing function and the normalized snippet, not the line number.
+  const lotlint::Report after = lotlint::AnalyzeFile(
+      "src/core/floatmath.cc", "//\n//\n//\n" + content);
+  std::multiset<std::string> fps_after;
+  for (const lotlint::Finding& f : after.findings) {
+    fps_after.insert(f.fingerprint);
+  }
+  EXPECT_EQ(fps_before, fps_after);
+}
+
+TEST(LotlintBaseline, RoundTripSuppressesKnownFindings) {
+  const std::vector<std::pair<std::string, std::string>> files = {
+      {"src/core/floatmath.cc", ReadFixture("floatmath.cc.txt")}};
+  const lotlint::Report first = lotlint::Analyze(files);
+  ASSERT_EQ(first.findings.size(), 4u);
+  lotlint::Options options;
+  options.baseline = lotlint::ParseBaseline(lotlint::BaselineToJson(first));
+  const lotlint::Report second = lotlint::Analyze(files, options);
+  EXPECT_TRUE(second.findings.empty());
+  EXPECT_EQ(second.baselined, 4);
+  const std::string json = lotlint::ReportToJson(second);
+  EXPECT_NE(json.find("\"baselined\": 4"), std::string::npos);
+}
+
+TEST(LotlintStale, ReportsWaiversThatSuppressNothing) {
+  const lotlint::Report report = lotlint::AnalyzeFile(
+      "src/core/stale.cc", "int x = 1;  // lotlint: nondet-ok\n");
+  EXPECT_TRUE(report.findings.empty());
+  ASSERT_EQ(report.stale.size(), 1u);
+  EXPECT_EQ(report.stale[0].file, "src/core/stale.cc");
+  EXPECT_EQ(report.stale[0].line, 1);
+  EXPECT_EQ(report.stale[0].keyword, "nondet-ok");
+  // A waiver that fires is not stale.
+  const lotlint::Report used = lotlint::AnalyzeFile(
+      "src/core/used.cc", "double a;  // lotlint: float-ok audited\n");
+  EXPECT_TRUE(used.findings.empty());
+  EXPECT_EQ(used.suppressed, 1);
+  EXPECT_TRUE(used.stale.empty());
 }
 
 }  // namespace

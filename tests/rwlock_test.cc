@@ -25,11 +25,17 @@ class RwTask : public ThreadBody {
   RwTask(SimRwLock* lock, bool writer, SimDuration hold, SimDuration gap)
       : lock_(lock), writer_(writer), hold_(hold), gap_(gap) {}
 
-  void Run(RunContext& ctx) override {
+  // Cross-slice state machine: the lock is held across Run invocations;
+  // ownership is runtime-checked (AssertHeld/NoteHeldAcrossSlice) instead
+  // of statically analyzed.
+  NO_THREAD_SAFETY_ANALYSIS void Run(RunContext& ctx) override {
     if (waiting_) {
       waiting_ = false;
       phase_ = Phase::kHold;
       left_ = hold_;
+      AssertMine(ctx);
+    } else if (phase_ == Phase::kHold) {
+      AssertMine(ctx);  // preempted mid-hold last slice
     }
     for (;;) {
       switch (phase_) {
@@ -49,6 +55,7 @@ class RwTask : public ThreadBody {
           left_ -= ctx.Consume(left_ < ctx.remaining() ? left_
                                                        : ctx.remaining());
           if (left_.nanos() > 0) {
+            NoteMineAcrossSlice(ctx);
             return;
           }
           if (writer_) {
@@ -79,6 +86,21 @@ class RwTask : public ThreadBody {
   int64_t sections() const { return sections_; }
 
  private:
+  void AssertMine(RunContext& ctx) NO_THREAD_SAFETY_ANALYSIS {
+    if (writer_) {
+      lock_->AssertWriteHeld(ctx.self());
+    } else {
+      lock_->AssertReadHeld(ctx.self());
+    }
+  }
+  void NoteMineAcrossSlice(RunContext& ctx) NO_THREAD_SAFETY_ANALYSIS {
+    if (writer_) {
+      lock_->NoteWriteHeldAcrossSlice(ctx.self());
+    } else {
+      lock_->NoteReadHeldAcrossSlice(ctx.self());
+    }
+  }
+
   enum class Phase { kAcquire, kHold, kGap };
   SimRwLock* lock_;
   bool writer_;
@@ -97,14 +119,19 @@ TEST(SimRwLock, ReadersShareWritersExclude) {
   class Checker : public ThreadBody {
    public:
     explicit Checker(SimRwLock* lock) : lock_(lock) {}
-    void Run(RunContext& ctx) override {
+    // Deliberately misuses the lock (the throws are the assertions), so the
+    // static analysis — which would reject exactly that — is off here;
+    // AssertReadHeld/AssertWriteHeld keep the runtime checks.
+    NO_THREAD_SAFETY_ANALYSIS void Run(RunContext& ctx) override {
       EXPECT_TRUE(lock_->AcquireRead(ctx));
+      lock_->AssertReadHeld(ctx.self());
       EXPECT_EQ(lock_->num_readers(), 1u);
       // A second reader by another thread would also be admitted; a writer
       // must not be (simulated here by direct state checks).
       EXPECT_FALSE(lock_->write_held());
       lock_->ReleaseRead(ctx);
       EXPECT_TRUE(lock_->AcquireWrite(ctx));
+      lock_->AssertWriteHeld(ctx.self());
       EXPECT_TRUE(lock_->write_held());
       EXPECT_THROW(lock_->AcquireWrite(ctx), std::logic_error);
       lock_->ReleaseWrite(ctx);

@@ -190,7 +190,8 @@ TEST(Teardown, MutexDestructionWithWaiters) {
   class Grabby : public ThreadBody {
    public:
     explicit Grabby(SimMutex* m) : m_(m) {}
-    void Run(RunContext& ctx) override {
+    // Acquires and never releases, across slices — runtime territory.
+    NO_THREAD_SAFETY_ANALYSIS void Run(RunContext& ctx) override {
       if (!held_) {
         ctx.Consume(SimDuration::Millis(1));
         if (!m_->Acquire(ctx)) {

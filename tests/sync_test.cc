@@ -28,6 +28,9 @@ TEST(SimMutexFifo, UncontendedAcquireRelease) {
     explicit Once(SimMutex* m) : m_(m) {}
     void Run(RunContext& ctx) override {
       EXPECT_TRUE(m_->Acquire(ctx));
+      // Re-establishes the static lock session the EXPECT_TRUE wrapper
+      // hides from the analysis; runtime-checks ownership too.
+      m_->AssertHeld(ctx.self());
       EXPECT_EQ(m_->owner(), ctx.self());
       ctx.Consume(SimDuration::Millis(5));
       m_->Release(ctx);
@@ -109,7 +112,9 @@ TEST_F(LotteryMutexTest, OwnerInheritsWaiterFunding) {
         EXPECT_TRUE(m_->Acquire(ctx));
         held_ = true;
       }
+      m_->AssertHeld(ctx.self());
       ctx.Consume(ctx.remaining());
+      m_->NoteHeldAcrossSlice(ctx.self());  // held into the next slice
     }
     SimMutex* m_;
     bool held_ = false;
@@ -198,6 +203,7 @@ TEST_F(LotteryMutexTest, RecursiveAcquireThrows) {
     explicit Recursive(SimMutex* m) : m_(m) {}
     void Run(RunContext& ctx) override {
       EXPECT_TRUE(m_->Acquire(ctx));
+      m_->AssertHeld(ctx.self());
       EXPECT_THROW(m_->Acquire(ctx), std::logic_error);
       m_->Release(ctx);
       ctx.ExitThread();
@@ -213,7 +219,9 @@ TEST_F(LotteryMutexTest, ReleaseByNonOwnerThrows) {
   class BadRelease : public ThreadBody {
    public:
     explicit BadRelease(SimMutex* m) : m_(m) {}
-    void Run(RunContext& ctx) override {
+    // Deliberately releases without holding (the throw is the assertion);
+    // opt out of the static analysis that would reject exactly this.
+    NO_THREAD_SAFETY_ANALYSIS void Run(RunContext& ctx) override {
       EXPECT_THROW(m_->Release(ctx), std::logic_error);
       ctx.ExitThread();
     }

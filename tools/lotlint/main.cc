@@ -1,6 +1,7 @@
 // lotlint CLI.
 //
-//   lotlint [--root=DIR] [--json=PATH] [path...]
+//   lotlint [--root=DIR] [--json=PATH] [--baseline=PATH]
+//           [--write-baseline=PATH] [--callgraph=PATH] [--strict] [path...]
 //
 // Walks the given paths (default: src bench tests) under --root (default:
 // the current directory), analyzes every .h/.cc/.cpp/.hpp file, prints
@@ -8,6 +9,16 @@
 // exist. --json=PATH additionally writes the schema-stable findings report
 // (same shape every run, findings sorted) so CI and future PRs can diff
 // finding counts the way check_bench_regression.py diffs perf numbers.
+//
+//   --baseline=PATH        read known-finding fingerprints; matching
+//                          findings are reported as "baselined" and do not
+//                          fail the run (only new fingerprints do)
+//   --write-baseline=PATH  write the current findings' fingerprints as a
+//                          new baseline and exit 0
+//   --callgraph=PATH       write the cross-TU call graph (functions +
+//                          edges, reachability roots) as JSON for audits
+//   --strict               also fail (exit 1) on stale lotlint: waivers —
+//                          annotations that no longer suppress anything
 
 #include <algorithm>
 #include <filesystem>
@@ -45,6 +56,10 @@ std::string VirtualPath(const fs::path& root, const fs::path& file) {
 int main(int argc, char** argv) {
   std::string root = ".";
   std::string json_path;
+  std::string baseline_path;
+  std::string write_baseline_path;
+  std::string callgraph_path;
+  bool strict = false;
   std::vector<std::string> targets;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -52,8 +67,18 @@ int main(int argc, char** argv) {
       root = arg.substr(7);
     } else if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(7);
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_path = arg.substr(11);
+    } else if (arg.rfind("--write-baseline=", 0) == 0) {
+      write_baseline_path = arg.substr(17);
+    } else if (arg.rfind("--callgraph=", 0) == 0) {
+      callgraph_path = arg.substr(12);
+    } else if (arg == "--strict") {
+      strict = true;
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: lotlint [--root=DIR] [--json=PATH] [path...]\n";
+      std::cout << "usage: lotlint [--root=DIR] [--json=PATH] "
+                   "[--baseline=PATH] [--write-baseline=PATH] "
+                   "[--callgraph=PATH] [--strict] [path...]\n";
       return 0;
     } else {
       targets.push_back(arg);
@@ -89,11 +114,42 @@ int main(int argc, char** argv) {
     inputs.emplace_back(VirtualPath(fs::path(root), f), ReadFile(f));
   }
 
-  const lotlint::Report report = lotlint::Analyze(inputs);
+  lotlint::Options options;
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path, std::ios::binary);
+    if (!in) {
+      std::cerr << "lotlint: cannot read baseline " << baseline_path << "\n";
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    options.baseline = lotlint::ParseBaseline(buf.str());
+  }
+
+  const lotlint::Report report = lotlint::Analyze(inputs, options);
+
+  if (!write_baseline_path.empty()) {
+    std::ofstream out(write_baseline_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "lotlint: cannot write " << write_baseline_path << "\n";
+      return 2;
+    }
+    out << lotlint::BaselineToJson(report);
+    std::cout << "lotlint: wrote baseline with " << report.findings.size()
+              << " finding(s) to " << write_baseline_path << "\n";
+    return 0;
+  }
 
   for (const lotlint::Finding& f : report.findings) {
     std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
               << f.message << "\n    " << f.snippet << "\n";
+  }
+  if (strict) {
+    for (const lotlint::StaleWaiver& w : report.stale) {
+      std::cout << w.file << ":" << w.line << ": [stale-waiver] 'lotlint: "
+                << w.keyword
+                << "' no longer suppresses anything — remove it\n";
+    }
   }
   if (!json_path.empty()) {
     std::ofstream out(json_path, std::ios::binary);
@@ -103,8 +159,19 @@ int main(int argc, char** argv) {
     }
     out << lotlint::ReportToJson(report);
   }
+  if (!callgraph_path.empty()) {
+    std::ofstream out(callgraph_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "lotlint: cannot write " << callgraph_path << "\n";
+      return 2;
+    }
+    out << lotlint::CallGraphToJson(report);
+  }
   std::cout << "lotlint: scanned " << inputs.size() << " files, "
             << report.findings.size() << " finding(s), " << report.suppressed
-            << " suppressed by annotation\n";
-  return report.findings.empty() ? 0 : 1;
+            << " suppressed by annotation, " << report.baselined
+            << " baselined, " << report.stale.size() << " stale waiver(s)\n";
+  const bool fail =
+      !report.findings.empty() || (strict && !report.stale.empty());
+  return fail ? 1 : 0;
 }

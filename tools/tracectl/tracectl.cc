@@ -261,7 +261,7 @@ DiffResult DiffTraces(const TraceFile& a, const TraceFile& b) {
   return result;
 }
 
-int Record(const Flags& flags) {
+int CmdRecord(const Flags& flags) {
   const std::string out_path = flags.GetString("out", "");
   if (out_path.empty()) {
     std::fprintf(stderr, "tracectl record: --out=PATH is required\n");
@@ -513,7 +513,7 @@ int Run(int argc, char** argv) {
     return flags.GetBool("help", false) ? 0 : 2;
   }
   if (command == "record") {
-    return Record(flags);
+    return CmdRecord(flags);
   }
   if (command == "convert") {
     return Convert(flags);

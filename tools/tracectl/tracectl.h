@@ -76,7 +76,7 @@ std::string RenderEvent(const etrace::TraceFile& trace,
                         const etrace::Event& e);
 
 // Subcommand entry points (exit codes: 0 ok, 1 audit/diff failure, 2 usage).
-int Record(const Flags& flags);
+int CmdRecord(const Flags& flags);
 int Convert(const Flags& flags);
 int Summarize(const Flags& flags);
 int Diff(const Flags& flags);
