@@ -1,16 +1,27 @@
 // Extension bench: lottery scheduling across multiple CPUs.
 //
 // Section 4.2 notes the tree of partial ticket sums "can also be used as
-// the basis of a distributed lottery scheduler". This harness measures, for
-// 1..8 CPUs sharing one lottery run queue: (a) aggregate delivered CPU
-// (work conservation), (b) fidelity of proportional shares of the
-// aggregate capacity, and (c) the host-side decision cost per dispatch for
-// the list- vs tree-backed run queue as the dispatch rate scales with CPUs.
+// the basis of a distributed lottery scheduler". This harness measures both
+// halves of that story:
+//
+// Part A — one shared lottery run queue feeding 1..8 CPUs: (a) aggregate
+// delivered CPU (work conservation), (b) fidelity of proportional shares of
+// the aggregate capacity, and (c) the host-side decision cost per dispatch
+// for the list- vs tree-backed run queue as the dispatch rate scales.
+//
+// Part B — the partitioned smp::SmpScheduler at {4, 16, 64} CPUs: per-CPU
+// private lotteries with ticket-weighted stealing must recover *global*
+// proportional share. Reported under schema-stable keys share_err_c{4,16,64}
+// (mean per-thread share error over the post-warmup window, in percent)
+// plus the machine-wide steals / migrations counts. `--check` turns the
+// bench into a gate: it exits nonzero if any partitioned cell's mean share
+// error exceeds 5%, which CI runs as the smp-gate leg.
 
 #include <chrono>
 #include <memory>
 
 #include "bench/bench_util.h"
+#include "src/sched/smp/smp_scheduler.h"
 
 namespace lottery {
 namespace {
@@ -133,7 +144,119 @@ int Main(int argc, char** argv) {
   std::cout << "\n(delivered CPU == cpus x " << seconds
             << " s in every row: the shared lottery queue is work-"
                "conserving; per-thread shares track funding within noise)\n";
+
+  // --- Part B: partitioned per-CPU lotteries with ticket-weighted stealing.
+  //
+  // Four compute-bound threads per CPU on the same cyclic 50..280 funding
+  // ladder as Part A, so adjacent round-robin spawns land different weights
+  // and the per-CPU ticket totals start skewed. Shares are measured over
+  // the post-warmup window only: global proportionality is a property of
+  // the balanced partition, not of the convergence transient.
+  std::cout << "\nPart B: partitioned per-CPU lotteries (smp::SmpScheduler, "
+               "tree backend, 5 ms quantum)\n";
+  TextTable smp_table({"cpus", "threads", "mean share err %", "steals",
+                       "migrations", "cost vetoes", "host ns/dispatch"});
+  const SimDuration warmup =
+      SimDuration::Seconds(seconds >= 4 ? 1 : 0);
+  const SimDuration window = SimDuration::Seconds(seconds) - warmup;
+  bool check_ok = true;
+  uint64_t total_steals = 0;
+  uint64_t total_migrations = 0;
+  for (const int cpus : {4, 16, 64}) {
+    // Private registry: Part B must not disturb the process-wide counters
+    // that Part A's cells left in the default registry (and the JSON dump).
+    obs::Registry reg;
+    smp::SmpScheduler::Options so;
+    so.num_cpus = cpus;
+    so.seed = seed;
+    so.cpu.backend = RunQueueBackend::kTree;
+    so.balance_period = 4;
+    so.metrics = &reg;
+    smp::SmpScheduler sched(so);
+    Kernel::Options kopts;
+    kopts.quantum = SimDuration::Millis(5);
+    kopts.num_cpus = cpus;
+    kopts.metrics = &reg;
+    Kernel kernel(&sched, kopts);
+
+    std::vector<ThreadId> tids;
+    std::vector<int64_t> amounts;
+    int64_t total_funding = 0;
+    for (int i = 0; i < 4 * cpus; ++i) {
+      const int64_t amount = 50 + 10 * (i % 24);
+      const ThreadId tid = kernel.Spawn("p" + std::to_string(i),
+                                        std::make_unique<ComputeTask>());
+      sched.FundThread(tid, amount);
+      tids.push_back(tid);
+      amounts.push_back(amount);
+      total_funding += amount;
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    kernel.RunFor(warmup);
+    std::vector<SimDuration> at_warmup;
+    for (const ThreadId tid : tids) {
+      at_warmup.push_back(kernel.CpuTime(tid));
+    }
+    kernel.RunFor(window);
+    const auto stop = std::chrono::steady_clock::now();
+    sched.CheckIntegrity();
+
+    // Error against the realized aggregate, so a stray idle tick cannot
+    // masquerade as share error: each thread's expectation is its ticket
+    // fraction of the CPU time actually delivered in the window.
+    SimDuration delivered{};
+    uint64_t dispatches = 0;
+    for (size_t i = 0; i < tids.size(); ++i) {
+      delivered += kernel.CpuTime(tids[i]) - at_warmup[i];
+      dispatches += kernel.Dispatches(tids[i]);
+    }
+    double err_sum = 0.0;
+    for (size_t i = 0; i < tids.size(); ++i) {
+      const double expect = delivered.ToSecondsF() *
+                            static_cast<double>(amounts[i]) /
+                            static_cast<double>(total_funding);
+      const double got = (kernel.CpuTime(tids[i]) - at_warmup[i]).ToSecondsF();
+      err_sum += std::abs(got - expect) / expect;
+    }
+    const double mean_err_pct =
+        100.0 * err_sum / static_cast<double>(tids.size());
+    const double wall_ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start)
+            .count());
+
+    smp_table.AddRow({std::to_string(cpus), std::to_string(4 * cpus),
+                      FormatDouble(mean_err_pct, 2),
+                      std::to_string(sched.steals()),
+                      std::to_string(sched.migrations()),
+                      std::to_string(sched.cost_vetoes()),
+                      FormatDouble(wall_ns / static_cast<double>(dispatches),
+                                   0)});
+    report.Metric("share_err_c" + std::to_string(cpus), mean_err_pct);
+    total_steals += sched.steals();
+    total_migrations += sched.migrations();
+    if (mean_err_pct > 5.0) {
+      check_ok = false;
+      std::cout << "SMP-GATE FAIL: " << cpus << " cpus mean share err "
+                << FormatDouble(mean_err_pct, 2) << "% > 5%\n";
+    }
+  }
+  smp_table.Print(std::cout);
+  std::cout << "\n(partitioned shares are global: per-CPU lotteries plus "
+               "ticket-weighted stealing keep every thread within a few "
+               "percent of its machine-wide entitlement)\n";
+  report.Metric("steals", total_steals);
+  report.Metric("migrations", total_migrations);
+
   report.Write();
+  if (flags.GetBool("check", false) && !check_ok) {
+    std::cout << "smp-gate: FAILED\n";
+    return 1;
+  }
+  if (flags.GetBool("check", false)) {
+    std::cout << "smp-gate: ok (all partitioned cells <= 5% mean share "
+                 "error)\n";
+  }
   return 0;
 }
 

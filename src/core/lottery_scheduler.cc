@@ -1,8 +1,10 @@
 #include "src/core/lottery_scheduler.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <stdexcept>
+#include <vector>
 
 #include "src/core/invariants.h"
 #include "src/obs/etrace/trace_buffer.h"
@@ -306,17 +308,30 @@ void LotteryScheduler::SyncTreeWeights() {
                      state->client->Value().raw_unsigned());
     }
   } else {
-    // lotlint: ordered-ok (order-independent fold: one SetWeight per client)
+    // The weights are an order-independent fold, but client->Value() emits
+    // kReprice trace events on cache fills — flushing straight out of the
+    // pointer-hashed set would bake heap layout into the trace. Collect the
+    // queued survivors and flush in thread-id order so traces stay
+    // byte-identical run to run.
+    std::vector<ThreadState*> dirty;
+    dirty.reserve(dirty_clients_.size());
+    // lotlint: ordered-ok (collect only; applied in sorted order below)
     for (Client* client : dirty_clients_) {
       const auto it = by_client_.find(client);
       if (it == by_client_.end()) {
         continue;
       }
-      ThreadState& state = *it->second;
-      if (!state.in_queue) {
+      if (!it->second->in_queue) {
         continue;  // not competing; OnReady seeds a fresh weight later
       }
-      QueueSetWeight(state.tree_slot, client->Value().raw_unsigned());
+      dirty.push_back(it->second);
+    }
+    std::sort(dirty.begin(), dirty.end(),
+              [](const ThreadState* a, const ThreadState* b) {
+                return a->id < b->id;
+              });
+    for (ThreadState* state : dirty) {
+      QueueSetWeight(state->tree_slot, state->client->Value().raw_unsigned());
       leaf_updates_->Inc();
     }
   }
@@ -609,6 +624,57 @@ Ticket* LotteryScheduler::FundThread(ThreadId id, Currency* denomination,
 
 Funding LotteryScheduler::ThreadValue(ThreadId id) {
   return StateOf(id).client->Value();
+}
+
+bool LotteryScheduler::HasThread(ThreadId id) const {
+  return threads_.find(id) != threads_.end();
+}
+
+bool LotteryScheduler::IsQueued(ThreadId id) const {
+  const auto it = threads_.find(id);
+  return it != threads_.end() && it->second.in_queue;
+}
+
+size_t LotteryScheduler::QueuedCount() const {
+  if (options_.backend == RunQueueBackend::kList) {
+    return run_queue_.size();
+  }
+  util::SeqGuard guard(queue_seq_);
+  return QueueSize();
+}
+
+uint64_t LotteryScheduler::RunnableTickets() {
+  if (options_.backend == RunQueueBackend::kList) {
+    return run_queue_.Total().raw_unsigned();
+  }
+  util::SeqGuard guard(queue_seq_);
+  SyncTreeWeights();
+  return QueueTotal();
+}
+
+std::vector<std::pair<ThreadId, uint64_t>> LotteryScheduler::QueuedSnapshot() {
+  std::vector<std::pair<ThreadId, uint64_t>> out;
+  if (options_.backend == RunQueueBackend::kList) {
+    for (Client* client : run_queue_.ClientsInOrder()) {
+      const auto it = by_client_.find(client);
+      if (it == by_client_.end()) {
+        continue;
+      }
+      out.emplace_back(it->second->id, client->Value().raw_unsigned());
+    }
+    return out;
+  }
+  util::SeqGuard guard(queue_seq_);
+  SyncTreeWeights();
+  out.reserve(QueueSize());
+  // Slot order: small dense indices, stable between structural changes.
+  for (ThreadState* state : tree_slot_owner_) {
+    if (state == nullptr) {
+      continue;
+    }
+    out.emplace_back(state->id, QueueWeight(state->tree_slot));
+  }
+  return out;
 }
 
 }  // namespace lottery

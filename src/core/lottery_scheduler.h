@@ -18,6 +18,7 @@
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "src/core/alias_lottery.h"
@@ -111,6 +112,24 @@ class LotteryScheduler : public Scheduler, private ValueObserver {
 
   // Current value of the thread in base units (0 if blocked).
   Funding ThreadValue(ThreadId id);
+
+  // --- SMP partitioning support (src/sched/smp/) ---------------------------
+  // Read-only views the SmpScheduler's balancer consults between dispatches.
+
+  // True iff `id` has been AddThread'ed here and not removed.
+  bool HasThread(ThreadId id) const;
+  // True iff the thread is sitting in the run queue (ready, not dispatched).
+  bool IsQueued(ThreadId id) const;
+  // Number of queued (ready, undispatched) threads.
+  size_t QueuedCount() const;
+  // Total runnable ticket value across the run queue, in raw Funding units.
+  // Incremental: the list backend returns its cached Total(); the tree/alias
+  // backends flush only the clients the currency table marked dirty since
+  // the last sync (the same dirty-propagation pass a dispatch would run).
+  uint64_t RunnableTickets();
+  // (thread, raw value) of every queued thread, in deterministic queue
+  // order — the candidate set for the balancer's steal lottery.
+  std::vector<std::pair<ThreadId, uint64_t>> QueuedSnapshot();
 
   FastRand& rng() { return rng_; }  // lotlint: stream(scheduler)
   const CompensationPolicy& compensation() const { return compensation_; }

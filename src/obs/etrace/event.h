@@ -91,9 +91,15 @@ enum class EventType : uint16_t {
   kDiskComplete = 23,
   // a=fault class (FaultClass enumerator), name=class name.
   kFault = 24,
+  // SMP work stealing (src/sched/smp/). a=tid, b=destination cpu,
+  // v1=source cpu, v2=stolen ticket value (raw Funding units).
+  // kSteal: idle CPU pulled work; kMigrate: periodic rebalance moved it
+  // (v3=ticket imbalance that triggered the move).
+  kSteal = 25,
+  kMigrate = 26,
 };
 
-inline constexpr uint16_t kNumEventTypes = 25;
+inline constexpr uint16_t kNumEventTypes = 27;
 
 // kSlice disposition values (flags field).
 inline constexpr uint16_t kSlicePreempt = 0;
@@ -130,6 +136,8 @@ constexpr uint32_t CategoryOf(EventType type) {
     case EventType::kThreadName:
     case EventType::kSlice:
     case EventType::kWake:
+    case EventType::kSteal:
+    case EventType::kMigrate:
       return kCatSched;
     case EventType::kDecision:
       return kCatLottery;
@@ -193,6 +201,8 @@ constexpr const char* EventTypeName(uint16_t type) {
     case EventType::kDiskSubmit: return "disk_submit";
     case EventType::kDiskComplete: return "disk_complete";
     case EventType::kFault: return "fault";
+    case EventType::kSteal: return "steal";
+    case EventType::kMigrate: return "migrate";
   }
   return "unknown";
 }

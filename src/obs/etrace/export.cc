@@ -201,6 +201,16 @@ std::string ToChromeTraceJson(const TraceFile& trace) {
             .EndObject()
             .EndObject();
         break;
+      case EventType::kSteal:
+      case EventType::kMigrate:
+        BeginInstant(w, EventTypeName(e.type), e.a, e.t_ns)
+            .Key("args").BeginObject()
+            .Key("from_cpu").Uint(e.v1)
+            .Key("to_cpu").Uint(e.b)
+            .Key("value").Uint(e.v2)
+            .EndObject()
+            .EndObject();
+        break;
       case EventType::kNone:
         break;
     }

@@ -47,6 +47,19 @@ class Scheduler {
   // next OnQuantumEnd for it.
   virtual ThreadId PickNext(SimTime now) = 0;
 
+  // SMP dispatch hook: pick the next thread to run on `cpu`. Single-queue
+  // schedulers ignore the CPU index; partitioned schedulers (SmpScheduler)
+  // route the pick to that CPU's local run queue. The kernel always
+  // dispatches through this entry point.
+  virtual ThreadId PickNextOnCpu(int /*cpu*/, SimTime now) {
+    return PickNext(now);
+  }
+
+  // Number of CPUs this scheduler is partitioned for, or 0 when any kernel
+  // num_cpus works (single-queue schedulers). The kernel rejects a mismatch
+  // at construction, before any dispatch can target a nonexistent queue.
+  virtual int partitioned_cpus() const { return 0; }
+
   // The dispatched thread ran for `used` out of an allotted `quantum`.
   virtual void OnQuantumEnd(ThreadId id, SimDuration used, SimDuration quantum,
                             SimTime now) = 0;

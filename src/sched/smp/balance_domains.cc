@@ -1,0 +1,46 @@
+#include "src/sched/smp/balance_domains.h"
+
+#include <stdexcept>
+
+namespace lottery {
+namespace smp {
+
+DomainMap::DomainMap(int num_cpus, int pair_size, int package_size)
+    : num_cpus_(num_cpus) {
+  if (num_cpus < 1) {
+    throw std::invalid_argument("DomainMap: need at least one CPU");
+  }
+  if (pair_size < 2 || package_size < pair_size) {
+    throw std::invalid_argument("DomainMap: need 2 <= pair_size <= package_size");
+  }
+  for (const int size : {pair_size, package_size}) {
+    if (size >= num_cpus) {
+      break;  // the system-wide level already covers it
+    }
+    if (!sizes_.empty() && size <= sizes_.back()) {
+      continue;  // would not widen the previous level
+    }
+    sizes_.push_back(size);
+  }
+  if (num_cpus >= 2) {
+    sizes_.push_back(num_cpus);
+  }
+}
+
+Domain DomainMap::At(int cpu, int level) const {
+  if (cpu < 0 || cpu >= num_cpus_) {
+    throw std::out_of_range("DomainMap::At: cpu out of range");
+  }
+  if (level < 0 || level >= num_levels()) {
+    throw std::out_of_range("DomainMap::At: level out of range");
+  }
+  const int size = sizes_[static_cast<size_t>(level)];
+  Domain d;
+  d.first = (cpu / size) * size;
+  // The trailing domain of an uneven topology is simply smaller.
+  d.count = (d.first + size <= num_cpus_) ? size : num_cpus_ - d.first;
+  return d;
+}
+
+}  // namespace smp
+}  // namespace lottery

@@ -1,0 +1,500 @@
+#include "src/sched/smp/smp_scheduler.h"
+
+#include <stdexcept>
+#include <string>
+
+#include "src/core/client.h"
+#include "src/obs/etrace/trace_buffer.h"
+#include "src/util/invariant.h"
+
+namespace lottery {
+namespace smp {
+
+namespace {
+
+// Independent child seed: salt the user seed through SplitMix64 so the
+// facade's derived streams (balance lottery, crossbar matching, per-CPU
+// dispatch for CPUs > 0) never collide with each other or with CPU 0,
+// which runs on the user seed verbatim (the 1-CPU identity contract).
+uint32_t DeriveSeed(uint32_t seed, uint32_t salt) {
+  SplitMix64 mixer((static_cast<uint64_t>(salt) << 32) | seed);
+  return mixer.NextFastRandSeed();
+}
+
+CrossbarSwitch::Options XbarOptions(const SmpScheduler::Options& options) {
+  CrossbarSwitch::Options x = options.xbar;
+  x.num_ports = options.num_cpus;
+  return x;
+}
+
+}  // namespace
+
+SmpScheduler::SmpScheduler(Options options)
+    : options_(options),
+      domains_(options.num_cpus),
+      balance_rng_(DeriveSeed(options.seed, 0xba1a6ceu)),
+      xbar_rng_(DeriveSeed(options.seed, 0xc6055bau)),
+      xbar_(XbarOptions(options), &xbar_rng_),
+      metrics_(options.metrics != nullptr ? options.metrics
+                                          : &obs::Registry::Default()),
+      m_steals_(metrics_->counter("smp.steals")),
+      m_migrations_(metrics_->counter("smp.migrations")),
+      m_balance_checks_(metrics_->counter("smp.balance_checks")),
+      m_cost_vetoes_(metrics_->counter("smp.cost_vetoes")),
+      m_xbar_cells_(metrics_->counter("smp.xbar_cells")) {
+  if (options_.num_cpus < 1) {
+    throw std::invalid_argument("SmpScheduler: need at least one CPU");
+  }
+  if (options_.balance_period < 1) {
+    throw std::invalid_argument("SmpScheduler: balance_period must be >= 1");
+  }
+  cpus_.reserve(static_cast<size_t>(options_.num_cpus));
+  m_cpu_dispatches_.reserve(static_cast<size_t>(options_.num_cpus));
+  for (int i = 0; i < options_.num_cpus; ++i) {
+    LotteryScheduler::Options o = options_.cpu;
+    o.seed = (i == 0) ? options_.seed
+                      : DeriveSeed(options_.seed,
+                                   0x09000000u + static_cast<uint32_t>(i));
+    o.metrics = metrics_;
+    o.trace = options_.trace;
+    cpus_.push_back(std::make_unique<LotteryScheduler>(o));
+    const std::string prefix = "smp.cpu" + std::to_string(i) + ".";
+    m_cpu_dispatches_.push_back(metrics_->counter(prefix + "dispatches"));
+    m_cpu_steals_in_.push_back(metrics_->counter(prefix + "steals_in"));
+    m_cpu_steals_out_.push_back(metrics_->counter(prefix + "steals_out"));
+  }
+  running_tid_.assign(static_cast<size_t>(options_.num_cpus),
+                      kInvalidThreadId);
+  since_balance_.assign(static_cast<size_t>(options_.num_cpus), 0);
+}
+
+SmpScheduler::~SmpScheduler() = default;
+
+SmpScheduler::ThreadRec& SmpScheduler::RecOf(ThreadId id) {
+  const auto it = recs_.find(id);
+  if (it == recs_.end()) {
+    throw std::invalid_argument("SmpScheduler: unknown thread " +
+                                std::to_string(id));
+  }
+  return it->second;
+}
+
+const SmpScheduler::ThreadRec& SmpScheduler::RecOf(ThreadId id) const {
+  const auto it = recs_.find(id);
+  if (it == recs_.end()) {
+    throw std::invalid_argument("SmpScheduler: unknown thread " +
+                                std::to_string(id));
+  }
+  return it->second;
+}
+
+void SmpScheduler::AddThread(ThreadId id, SimTime now) {
+  if (recs_.count(id) > 0) {
+    throw std::invalid_argument("SmpScheduler::AddThread: duplicate id");
+  }
+  // Round-robin spawn placement: deterministic and already value-balanced
+  // for homogeneous spawns; the balancer corrects everything else.
+  const int home = next_home_;
+  next_home_ = (next_home_ + 1) % options_.num_cpus;
+  cpus_[static_cast<size_t>(home)]->AddThread(id, now);
+  ThreadRec rec;
+  rec.home = home;
+  recs_.emplace(id, std::move(rec));
+}
+
+void SmpScheduler::ClearRunning(ThreadRec& rec) {
+  if (rec.running && rec.running_cpu >= 0) {
+    running_tid_[static_cast<size_t>(rec.running_cpu)] = kInvalidThreadId;
+  }
+  rec.running = false;
+  rec.running_cpu = -1;
+}
+
+void SmpScheduler::RemoveThread(ThreadId id, SimTime now) {
+  ThreadRec& rec = RecOf(id);
+  cpus_[static_cast<size_t>(rec.home)]->RemoveThread(id, now);
+  ClearRunning(rec);
+  recs_.erase(id);
+}
+
+void SmpScheduler::OnReady(ThreadId id, SimTime now) {
+  ThreadRec& rec = RecOf(id);
+  ClearRunning(rec);
+  cpus_[static_cast<size_t>(rec.home)]->OnReady(id, now);
+}
+
+void SmpScheduler::OnBlocked(ThreadId id, SimTime now) {
+  ThreadRec& rec = RecOf(id);
+  ClearRunning(rec);
+  cpus_[static_cast<size_t>(rec.home)]->OnBlocked(id, now);
+}
+
+ThreadId SmpScheduler::PickNextOnCpu(int cpu, SimTime now) {
+  if (cpu < 0 || cpu >= options_.num_cpus) {
+    throw std::out_of_range("SmpScheduler::PickNextOnCpu: bad cpu");
+  }
+  const size_t c = static_cast<size_t>(cpu);
+  if (options_.steal_enabled && options_.num_cpus > 1) {
+    if (cpus_[c]->QueuedCount() == 0) {
+      TryIdleSteal(cpu, now);
+    } else if (++since_balance_[c] >= options_.balance_period) {
+      since_balance_[c] = 0;
+      TryBalanceSteal(cpu, now);
+    }
+  }
+  const ThreadId tid = cpus_[c]->PickNext(now);
+  if (tid != kInvalidThreadId) {
+    ThreadRec& rec = RecOf(tid);
+    rec.running = true;
+    rec.running_cpu = cpu;
+    running_tid_[c] = tid;
+    m_cpu_dispatches_[c]->Inc();
+  }
+  return tid;
+}
+
+void SmpScheduler::OnQuantumEnd(ThreadId id, SimDuration used,
+                                SimDuration quantum, SimTime now) {
+  last_quantum_ = quantum;
+  // The thread stays "running" (its value assigned to its CPU) until the
+  // requeue/block that follows: on a multi-CPU kernel the slice is still in
+  // flight when OnQuantumEnd arrives, and the balancer should keep seeing
+  // the CPU as loaded for that window.
+  cpus_[static_cast<size_t>(RecOf(id).home)]->OnQuantumEnd(id, used, quantum,
+                                                           now);
+}
+
+void SmpScheduler::Tick(SimTime now) {
+  for (const auto& cpu : cpus_) {
+    cpu->Tick(now);
+  }
+}
+
+void SmpScheduler::FundThread(ThreadId id, int64_t amount) {
+  ThreadRec& rec = RecOf(id);
+  LotteryScheduler& home = *cpus_[static_cast<size_t>(rec.home)];
+  home.FundThread(id, home.table().base(), amount);
+  rec.funding.push_back(amount);
+}
+
+int64_t SmpScheduler::FundedAmount(ThreadId id) const {
+  int64_t total = 0;
+  for (const int64_t amount : RecOf(id).funding) {
+    total += amount;
+  }
+  return total;
+}
+
+int SmpScheduler::HomeCpu(ThreadId id) const { return RecOf(id).home; }
+
+uint64_t SmpScheduler::ThreadMigrations(ThreadId id) const {
+  return RecOf(id).migrations;
+}
+
+uint64_t SmpScheduler::AssignedValue(int c) {
+  const size_t i = static_cast<size_t>(c);
+  uint64_t total = cpus_[i]->RunnableTickets();
+  const ThreadId running = running_tid_[i];
+  if (running != kInvalidThreadId) {
+    total += cpus_[i]->ThreadValue(running).raw_unsigned();
+  }
+  return total;
+}
+
+void SmpScheduler::TryIdleSteal(int cpu, SimTime now) {
+  // Inside-out: the nearest domain with queued work wins, so affinity is
+  // encoded in the search order even though an idle CPU never refuses work.
+  for (int level = 0; level < domains_.num_levels(); ++level) {
+    const Domain d = domains_.At(cpu, level);
+    int victim = -1;
+    uint64_t best_value = 0;
+    size_t best_queued = 0;
+    for (int c = d.first; c < d.first + d.count; ++c) {
+      if (c == cpu) {
+        continue;
+      }
+      const size_t queued = cpus_[static_cast<size_t>(c)]->QueuedCount();
+      if (queued == 0) {
+        continue;
+      }
+      const uint64_t value =
+          cpus_[static_cast<size_t>(c)]->RunnableTickets();
+      // Busiest by ticket value; more queued threads break ties, then the
+      // lowest index (the ascending scan with strict > keeps the first).
+      if (victim < 0 || value > best_value ||
+          (value == best_value && queued > best_queued)) {
+        victim = c;
+        best_value = value;
+        best_queued = queued;
+      }
+    }
+    if (victim < 0) {
+      continue;
+    }
+    const ThreadId migrant = PickMigrant(
+        cpus_[static_cast<size_t>(victim)]->QueuedSnapshot(), 0);
+    if (migrant == kInvalidThreadId) {
+      return;
+    }
+    DoMigrate(migrant, victim, cpu, now, level,
+              static_cast<uint16_t>(etrace::EventType::kSteal), best_value);
+    return;
+  }
+}
+
+void SmpScheduler::TryBalanceSteal(int cpu, SimTime now) {
+  m_balance_checks_->Inc();
+  const uint64_t mine = AssignedValue(cpu);
+  for (int level = 0; level < domains_.num_levels(); ++level) {
+    const Domain d = domains_.At(cpu, level);
+    int victim = -1;
+    uint64_t best = 0;
+    for (int c = d.first; c < d.first + d.count; ++c) {
+      if (c == cpu || cpus_[static_cast<size_t>(c)]->QueuedCount() == 0) {
+        continue;
+      }
+      const uint64_t value = AssignedValue(c);
+      if (victim < 0 || value > best) {
+        victim = c;
+        best = value;
+      }
+    }
+    if (victim < 0 || best <= mine) {
+      continue;  // balanced (or empty) here; try the wider domain
+    }
+    const uint64_t imbalance = best - mine;
+    const uint64_t sum = best + mine;
+    // The imbalance floor doubles per level: crossing the package boundary
+    // must be worth more than shuffling within a core pair. Returning
+    // before this point never touches the RNG, so a balanced system is a
+    // draw-free no-op (smp_identity_test pins that down).
+    const uint64_t floor_permille =
+        static_cast<uint64_t>(options_.imbalance_min_permille) << level;
+    if (imbalance * 1000 <= sum * floor_permille) {
+      continue;
+    }
+    // Lottery-weighted stealing: steal with probability imbalance / sum,
+    // one draw per level per periodic check, on the dedicated balance
+    // stream. A failed draw only forfeits this level — the wider domain
+    // may hold a larger imbalance with better odds.
+    if (balance_rng_.NextBelow64(sum) >= imbalance) {
+      continue;
+    }
+    // Cap the migrant strictly below the gap: moving value w changes the
+    // pairwise difference by 2w, so |diff - 2w| < diff exactly when
+    // 0 < w < diff — any qualifying migrant converges, worst case halving
+    // the gap's magnitude, and ping-pong is impossible.
+    if (imbalance < 2) {
+      continue;  // no migrant below a gap of 1 can exist
+    }
+    const ThreadId migrant = PickMigrant(
+        cpus_[static_cast<size_t>(victim)]->QueuedSnapshot(), imbalance - 1);
+    if (migrant == kInvalidThreadId) {
+      continue;  // granularity floor here; a wider victim may divide finer
+    }
+    // Affinity veto: predicted transfer time vs the imbalance's worth of
+    // CPU time until the next balance check (the window the imbalance
+    // would otherwise persist for). Backlog from recent migrations raises
+    // the prediction, so storms throttle themselves.
+    const int64_t cost_ns = PredictCostNs(victim, cpu, level);
+    const uint64_t ratio = imbalance * 1024 / sum;  // <= 1024
+    const int64_t gain_ns = static_cast<int64_t>(
+        ratio * static_cast<uint64_t>(last_quantum_.nanos()) *
+        options_.balance_period / 1024);
+    if (cost_ns > gain_ns) {
+      ++cost_vetoes_;
+      m_cost_vetoes_->Inc();
+      return;
+    }
+    DoMigrate(migrant, victim, cpu, now, level,
+              static_cast<uint16_t>(etrace::EventType::kMigrate), imbalance);
+    return;
+  }
+}
+
+ThreadId SmpScheduler::PickMigrant(
+    const std::vector<std::pair<ThreadId, uint64_t>>& snap,
+    uint64_t max_value) {
+  uint64_t total = 0;
+  uint32_t eligible = 0;
+  for (const auto& [tid, value] : snap) {
+    if (max_value != 0 && value > max_value) {
+      continue;
+    }
+    ++eligible;
+    total += value;
+  }
+  if (eligible == 0) {
+    return kInvalidThreadId;
+  }
+  if (total == 0) {
+    // Every eligible thread is worth zero right now (funding revoked or
+    // inactive): fall back to a uniform pick, mirroring the scheduler's
+    // own zero-funding round-robin spirit.
+    uint32_t index = balance_rng_.NextBelow(eligible);
+    for (const auto& [tid, value] : snap) {
+      if (max_value != 0 && value > max_value) {
+        continue;
+      }
+      if (index == 0) {
+        return tid;
+      }
+      --index;
+    }
+    return kInvalidThreadId;
+  }
+  uint64_t draw = balance_rng_.NextBelow64(total);
+  for (const auto& [tid, value] : snap) {
+    if (max_value != 0 && value > max_value) {
+      continue;
+    }
+    if (draw < value) {
+      return tid;
+    }
+    draw -= value;
+  }
+  return kInvalidThreadId;
+}
+
+CrossbarSwitch::CircuitId SmpScheduler::CircuitFor(int src, int dst) {
+  const auto key = std::make_pair(src, dst);
+  const auto it = circuits_.find(key);
+  if (it != circuits_.end()) {
+    return it->second;
+  }
+  const CrossbarSwitch::CircuitId id = xbar_.AddCircuit(src, dst, 1);
+  circuits_.emplace(key, id);
+  return id;
+}
+
+int64_t SmpScheduler::PredictCostNs(int src, int dst, int level) {
+  const CrossbarSwitch::CircuitId circuit = CircuitFor(src, dst);
+  const uint64_t cells = static_cast<uint64_t>(xbar_.Backlog(circuit)) +
+                         options_.footprint_cells;
+  return static_cast<int64_t>(cells) * options_.xbar.cell_time.nanos() *
+         (level + 1);
+}
+
+void SmpScheduler::DoMigrate(ThreadId id, int src, int dst, SimTime now,
+                             int level, uint16_t type, uint64_t imbalance) {
+  (void)level;
+  ThreadRec& rec = RecOf(id);
+  LOT_ASSERT(rec.home == src, "SmpScheduler: migrant not homed on source");
+  LotteryScheduler& from = *cpus_[static_cast<size_t>(src)];
+  LotteryScheduler& to = *cpus_[static_cast<size_t>(dst)];
+  if (!from.IsQueued(id)) {
+    throw std::logic_error(
+        "SmpScheduler: migrating a thread not in the source queue");
+  }
+  const uint64_t value = from.ThreadValue(id).raw_unsigned();
+  // Compensation must survive the move (the paper's guarantee is about the
+  // thread, not the queue it happens to sit in): capture the ratio before
+  // the source client is destroyed, re-apply on the destination client.
+  const Client* old_client = from.client(id);
+  const int64_t comp_num = old_client->compensation_num();
+  const int64_t comp_den = old_client->compensation_den();
+  // RemoveThread retires the source-side currency and every ticket funding
+  // it, so each table stays conserved; the facade's funding record is the
+  // cross-table invariant (FundedAmount never changes here).
+  from.RemoveThread(id, now);
+  rec.home = dst;
+  ++rec.migrations;
+  to.AddThread(id, now);
+  for (const int64_t amount : rec.funding) {
+    to.FundThread(id, to.table().base(), amount);
+  }
+  if (comp_num != comp_den) {
+    to.client(id)->SetCompensation(comp_num, comp_den);
+  }
+  to.OnReady(id, now);
+
+  // Price the cache-footprint transfer on the victim->thief circuit. The
+  // cells drain as simulated time advances past future migrations.
+  xbar_.AdvanceTo(now);
+  const CrossbarSwitch::CircuitId circuit = CircuitFor(src, dst);
+  xbar_.SetTickets(circuit, imbalance == 0 ? 1 : imbalance);
+  for (uint32_t i = 0; i < options_.footprint_cells; ++i) {
+    xbar_.Enqueue(circuit, now);
+  }
+  m_xbar_cells_->Inc(options_.footprint_cells);
+
+  if (type == static_cast<uint16_t>(etrace::EventType::kSteal)) {
+    ++steals_;
+    m_steals_->Inc();
+  } else {
+    ++migrations_;
+    m_migrations_->Inc();
+  }
+  m_cpu_steals_in_[static_cast<size_t>(dst)]->Inc();
+  m_cpu_steals_out_[static_cast<size_t>(src)]->Inc();
+  if (etrace::On(options_.trace, etrace::kCatSched)) {
+    etrace::Event e;
+    e.t_ns = now.nanos();
+    e.a = id;
+    e.b = static_cast<uint32_t>(dst);
+    e.v1 = static_cast<uint64_t>(src);
+    e.v2 = value;
+    e.v3 = imbalance;
+    e.type = type;
+    options_.trace->Append(e);
+  }
+}
+
+void SmpScheduler::Migrate(ThreadId id, int dst, SimTime now) {
+  if (dst < 0 || dst >= options_.num_cpus) {
+    throw std::out_of_range("SmpScheduler::Migrate: bad cpu");
+  }
+  ThreadRec& rec = RecOf(id);
+  if (rec.home == dst) {
+    throw std::invalid_argument("SmpScheduler::Migrate: already on cpu");
+  }
+  if (rec.running) {
+    throw std::invalid_argument("SmpScheduler::Migrate: thread is running");
+  }
+  if (!cpus_[static_cast<size_t>(rec.home)]->IsQueued(id)) {
+    throw std::invalid_argument("SmpScheduler::Migrate: thread not queued");
+  }
+  DoMigrate(id, rec.home, dst, now, 0,
+            static_cast<uint16_t>(etrace::EventType::kMigrate), 0);
+}
+
+void SmpScheduler::CheckIntegrity() const {
+  for (const auto& [tid, rec] : recs_) {
+    if (rec.home < 0 || rec.home >= options_.num_cpus) {
+      throw std::logic_error("SmpScheduler: thread homed out of range");
+    }
+    int present = 0;
+    for (int c = 0; c < options_.num_cpus; ++c) {
+      if (cpus_[static_cast<size_t>(c)]->HasThread(tid)) {
+        ++present;
+        if (c != rec.home) {
+          throw std::logic_error(
+              "SmpScheduler: thread present on a non-home CPU");
+        }
+      }
+    }
+    if (present != 1) {
+      throw std::logic_error(
+          "SmpScheduler: thread present on " + std::to_string(present) +
+          " CPU tables (lost or duplicated)");
+    }
+    if (rec.running &&
+        cpus_[static_cast<size_t>(rec.home)]->IsQueued(tid)) {
+      throw std::logic_error("SmpScheduler: thread both queued and running");
+    }
+  }
+  for (int c = 0; c < options_.num_cpus; ++c) {
+    const ThreadId tid = running_tid_[static_cast<size_t>(c)];
+    if (tid == kInvalidThreadId) {
+      continue;
+    }
+    const auto it = recs_.find(tid);
+    if (it == recs_.end() || !it->second.running ||
+        it->second.running_cpu != c) {
+      throw std::logic_error("SmpScheduler: running-thread map out of sync");
+    }
+  }
+}
+
+}  // namespace smp
+}  // namespace lottery

@@ -1,0 +1,205 @@
+// Partitioned SMP lottery scheduling: one LotteryScheduler per CPU behind
+// the generic Scheduler interface, with deterministic ticket-weighted work
+// stealing across hierarchical balancing domains.
+//
+// Section 4.2 of the paper sketches "a distributed lottery scheduler" for
+// multiprocessors; this module builds it. Each CPU owns a private currency
+// table and run queue, so dispatch is entirely local — the global lottery's
+// proportional-share guarantee is recovered by keeping the per-CPU runnable
+// ticket totals equal: if every CPU holds T/P of the ticket value, a thread
+// with t tickets wins t/(T/P) of one CPU, i.e. exactly t/T of the machine.
+// The balancer therefore migrates ticket *value*, never thread counts.
+//
+// Balancing walks the DomainMap inside-out (core pair -> package -> system):
+// an idle CPU pulls work from the nearest domain that has any, and every
+// `balance_period` local dispatches a CPU compares itself against the
+// busiest CPU of each widening domain, stealing with probability
+// proportional to the ticket imbalance and selecting the migrant by a
+// value-weighted lottery over the victim's queue. All balance draws come
+// from a dedicated RNG stream (`stream(balance)`), so the per-CPU dispatch
+// streams stay bit-identical under rebalance churn — lotlint R2 enforces
+// the separation, and tests/smp_identity_test.cc proves the 1-CPU facade
+// is bit-identical to a plain LotteryScheduler.
+//
+// Migration is not free: the affinity cost model prices each candidate move
+// through a sim::CrossbarSwitch (one port per CPU). A migration enqueues
+// `footprint_cells` cells on the victim->thief virtual circuit — the cache
+// footprint being re-fetched — and a balance steal is vetoed when the
+// predicted transfer time (backlog + footprint, scaled by domain distance)
+// exceeds the imbalance's worth of CPU time per quantum. Migration storms
+// thus throttle themselves: backlog raises the predicted cost until the
+// crossbar drains.
+
+#ifndef SRC_SCHED_SMP_SMP_SCHEDULER_H_
+#define SRC_SCHED_SMP_SMP_SCHEDULER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/lottery_scheduler.h"
+#include "src/obs/registry.h"
+#include "src/sched/scheduler.h"
+#include "src/sched/smp/balance_domains.h"
+#include "src/sim/crossbar.h"
+#include "src/util/fastrand.h"
+
+namespace lottery {
+namespace smp {
+
+class SmpScheduler : public Scheduler {
+ public:
+  struct Options {
+    int num_cpus = 1;
+    uint32_t seed = 12345;
+    // Per-CPU scheduler template. seed/metrics/trace are managed by the
+    // facade: CPU 0 runs on exactly `seed` (the 1-CPU identity contract),
+    // CPU i > 0 on an independent SplitMix64-derived stream.
+    LotteryScheduler::Options cpu;
+    // Master switch for cross-CPU stealing (identity tests turn it off).
+    bool steal_enabled = true;
+    // Local dispatches between periodic balance checks on a CPU.
+    uint32_t balance_period = 16;
+    // Innermost-level imbalance floor, in per-mille of the victim+thief
+    // ticket sum; doubles per domain level, so long-haul moves need a
+    // proportionally bigger gap. The steady-state pairwise imbalance stays
+    // within max(floor at the widest level, smallest migratable thread),
+    // which bounds the global share error the partition can accumulate.
+    uint32_t imbalance_min_permille = 10;
+    // Affinity cost model: cells re-fetched per migration.
+    uint32_t footprint_cells = 32;
+    CrossbarSwitch::Options xbar;
+    obs::Registry* metrics = nullptr;
+    etrace::TraceBuffer* trace = nullptr;
+  };
+
+  explicit SmpScheduler(Options options);
+  ~SmpScheduler() override;
+
+  // --- Scheduler interface -------------------------------------------------
+  void AddThread(ThreadId id, SimTime now) override;
+  void RemoveThread(ThreadId id, SimTime now) override;
+  void OnReady(ThreadId id, SimTime now) override;
+  void OnBlocked(ThreadId id, SimTime now) override;
+  ThreadId PickNext(SimTime now) override { return PickNextOnCpu(0, now); }
+  ThreadId PickNextOnCpu(int cpu, SimTime now) override;
+  void OnQuantumEnd(ThreadId id, SimDuration used, SimDuration quantum,
+                    SimTime now) override;
+  void Tick(SimTime now) override;
+  int partitioned_cpus() const override { return options_.num_cpus; }
+  std::string name() const override { return "smp-lottery"; }
+
+  // --- Funding -------------------------------------------------------------
+  // Issues `amount` base-currency tickets to the thread on its home CPU and
+  // records the grant, so migration can re-issue it on the destination's
+  // table. (Cross-CPU tables are disjoint; base-denominated funding is the
+  // shape every SMP workload here uses.)
+  void FundThread(ThreadId id, int64_t amount);
+  // Sum of this thread's recorded base funding (migration-invariant).
+  int64_t FundedAmount(ThreadId id) const;
+
+  // --- Introspection (tests, benches) --------------------------------------
+  int num_cpus() const { return options_.num_cpus; }
+  LotteryScheduler& cpu(int i) { return *cpus_[static_cast<size_t>(i)]; }
+  int HomeCpu(ThreadId id) const;
+  const DomainMap& domains() const { return domains_; }
+  CrossbarSwitch& crossbar() { return xbar_; }
+  FastRand& balance_rng() { return balance_rng_; }  // lotlint: stream(balance)
+  uint64_t steals() const { return steals_; }
+  uint64_t migrations() const { return migrations_; }
+  // Times a balance steal was vetoed by the crossbar cost model.
+  uint64_t cost_vetoes() const { return cost_vetoes_; }
+  // Migrations a single thread has survived (property tests).
+  uint64_t ThreadMigrations(ThreadId id) const;
+  // Structural invariants: every thread homed on exactly one CPU, queued on
+  // at most its home, never queued while running. Throws on violation.
+  void CheckIntegrity() const;
+
+  // Forcible migration hook for tests: moves a queued thread to `dst`,
+  // preserving funding and compensation. Throws if the thread is running,
+  // blocked-out of the queue, or already on `dst`.
+  void Migrate(ThreadId id, int dst, SimTime now);
+
+ private:
+  struct ThreadRec {
+    int home = 0;
+    bool running = false;
+    int running_cpu = -1;
+    // Base-currency grants recorded by FundThread, re-issued on migration.
+    std::vector<int64_t> funding;
+    uint64_t migrations = 0;
+  };
+
+  ThreadRec& RecOf(ThreadId id);
+  const ThreadRec& RecOf(ThreadId id) const;
+  // Drops a thread's running claim on its CPU (requeue/block/removal).
+  void ClearRunning(ThreadRec& rec);
+
+  // Runnable ticket value assigned to a CPU: its queue total plus the value
+  // of the thread it is currently running. Both terms are maintained
+  // incrementally by the per-CPU currency table's dirty propagation.
+  uint64_t AssignedValue(int c);
+
+  // Idle pull: nearest-domain victim with queued work, migrant chosen by a
+  // value-weighted lottery on stream(balance). Always steals if anyone has
+  // work (work conservation beats affinity for an idle CPU).
+  void TryIdleSteal(int cpu, SimTime now);
+  // Periodic rebalance: busiest-CPU-of-domain selection, probabilistic
+  // steal proportional to ticket imbalance, crossbar cost veto.
+  void TryBalanceSteal(int cpu, SimTime now);
+
+  // Weighted pick over a victim queue snapshot; uniform when all zero.
+  // `max_value` (0 = unbounded) filters out migrants bigger than the gap
+  // they are meant to close. Returns kInvalidThreadId if nothing qualifies.
+  ThreadId PickMigrant(const std::vector<std::pair<ThreadId, uint64_t>>& snap,
+                       uint64_t max_value);
+
+  // Crossbar bookkeeping: the victim->thief circuit, created on first use.
+  CrossbarSwitch::CircuitId CircuitFor(int src, int dst);
+  // Predicted transfer time for one migration over `level` domain hops.
+  int64_t PredictCostNs(int src, int dst, int level);
+
+  // Moves `id` (queued on `src`) to `dst`, re-issuing funding and carrying
+  // compensation; emits etrace/counters with `type` (kSteal or kMigrate).
+  void DoMigrate(ThreadId id, int src, int dst, SimTime now, int level,
+                 uint16_t type, uint64_t imbalance);
+
+  Options options_;
+  std::vector<std::unique_ptr<LotteryScheduler>> cpus_;
+  DomainMap domains_;
+  // Balance draws live on their own stream so per-CPU dispatch sequences
+  // are invariant under steal_enabled and rebalance churn.
+  FastRand balance_rng_;  // lotlint: stream(balance)
+  FastRand xbar_rng_;     // lotlint: stream(device)
+  CrossbarSwitch xbar_;
+  std::map<std::pair<int, int>, CrossbarSwitch::CircuitId> circuits_;
+  // ThreadId -> record. std::map: scheduler-path iteration must be ordered
+  // (lotlint D2) and CheckIntegrity walks it.
+  std::map<ThreadId, ThreadRec> recs_;
+  std::vector<ThreadId> running_tid_;        // per CPU, kInvalid when none
+  std::vector<uint32_t> since_balance_;      // dispatches since last check
+  int next_home_ = 0;                        // round-robin spawn placement
+  SimDuration last_quantum_ = SimDuration::Millis(100);
+  uint64_t steals_ = 0;
+  uint64_t migrations_ = 0;
+  uint64_t cost_vetoes_ = 0;
+
+  // Obs hooks (resolved once; raw pointers into metrics_).
+  obs::Registry* metrics_;
+  obs::Counter* m_steals_;
+  obs::Counter* m_migrations_;
+  obs::Counter* m_balance_checks_;
+  obs::Counter* m_cost_vetoes_;
+  obs::Counter* m_xbar_cells_;
+  std::vector<obs::Counter*> m_cpu_dispatches_;
+  std::vector<obs::Counter*> m_cpu_steals_in_;
+  std::vector<obs::Counter*> m_cpu_steals_out_;
+};
+
+}  // namespace smp
+}  // namespace lottery
+
+#endif  // SRC_SCHED_SMP_SMP_SCHEDULER_H_

@@ -106,6 +106,12 @@ Kernel::Kernel(Scheduler* scheduler, Options options, Tracer* tracer)
   if (options_.num_cpus < 1) {
     throw std::invalid_argument("Kernel: need at least one CPU");
   }
+  const int partitioned = scheduler_->partitioned_cpus();
+  if (partitioned != 0 && partitioned != options_.num_cpus) {
+    throw std::invalid_argument(
+        "Kernel: scheduler is partitioned for " + std::to_string(partitioned) +
+        " CPUs but num_cpus = " + std::to_string(options_.num_cpus));
+  }
   cpu_free_.assign(static_cast<size_t>(options_.num_cpus), SimTime::Zero());
   cpu_last_.assign(static_cast<size_t>(options_.num_cpus),
                    kInvalidThreadId);
@@ -360,7 +366,7 @@ void Kernel::RunUntil(SimTime end) {
     DeliverTicks();
 
     etrace::SetNow(options_.trace, now_.nanos());
-    const ThreadId tid = scheduler_->PickNext(now_);
+    const ThreadId tid = scheduler_->PickNextOnCpu(static_cast<int>(cpu), now_);
     if (tid == kInvalidThreadId) {
       // This CPU idles to the next event (or the horizon). Slice-end
       // events keep the queue non-empty while any slice is in flight.

@@ -270,6 +270,26 @@ TEST(LotlintRng, SeedAndStreamDiscipline) {
   EXPECT_TRUE(report.stale.empty());
 }
 
+TEST(LotlintRng, SmpBalanceStreamDiscipline) {
+  // The SMP balancer's contract: every steal/price draw must ride a named
+  // stream (balance for steal decisions, device for crossbar jitter) so
+  // per-CPU dispatch sequences stay bit-identical under rebalance churn.
+  // The fixture models the smp_scheduler idiom — annotated balance_rng_ /
+  // xbar_rng_ draws pass; a migrant pick from an unannotated scratch RNG
+  // and an unseeded temporary are the leaks R1/R2 must flag.
+  const lotlint::Report report = lotlint::AnalyzeFile(
+      "src/sched/smp/smp_steal.cc", ReadFixture("smp_balance_stream.cc.txt"));
+  const std::multiset<std::pair<std::string, int>> expected = {
+      {"R2-rng-stream", 29},  // scratch_rng_ draw has no stream annotation
+      {"R1-rng-seed", 31},    // default-constructed FastRand temporary
+      {"R2-rng-stream", 31},  // ...whose draw is unattributable
+  };
+  EXPECT_EQ(RuleLines(report), expected);
+  // stream(balance)/stream(device) are declarations, not waivers.
+  EXPECT_EQ(report.suppressed, 0);
+  EXPECT_TRUE(report.stale.empty());
+}
+
 TEST(LotlintLockOrder, FlagsDirectAndInterproceduralCycles) {
   const lotlint::Report report = lotlint::AnalyzeFile(
       "src/sim/lockorder.cc", ReadFixture("lockorder.cc.txt"));

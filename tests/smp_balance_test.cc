@@ -1,0 +1,242 @@
+// Unit tests for the SMP balancing machinery in src/sched/smp/: the domain
+// topology, forced migration (funding, value, and compensation carried
+// across per-CPU currency tables), idle-pull stealing, and the periodic
+// ticket-weighted balance steal converging toward equal per-CPU totals.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "src/obs/registry.h"
+#include "src/sched/smp/balance_domains.h"
+#include "src/sched/smp/smp_scheduler.h"
+
+namespace lottery {
+namespace {
+
+using smp::Domain;
+using smp::DomainMap;
+using smp::SmpScheduler;
+
+TEST(DomainMap, UniprocessorHasNoLevels) {
+  const DomainMap map(1);
+  EXPECT_EQ(map.num_levels(), 0);
+}
+
+TEST(DomainMap, TwoCpusCollapseToOneLevel) {
+  const DomainMap map(2);
+  ASSERT_EQ(map.num_levels(), 1);
+  const Domain d = map.At(1, 0);
+  EXPECT_EQ(d.first, 0);
+  EXPECT_EQ(d.count, 2);
+}
+
+TEST(DomainMap, FourCpusPairThenSystem) {
+  const DomainMap map(4);
+  ASSERT_EQ(map.num_levels(), 2);
+  EXPECT_EQ(map.At(3, 0).first, 2);
+  EXPECT_EQ(map.At(3, 0).count, 2);
+  EXPECT_EQ(map.At(3, 1).first, 0);
+  EXPECT_EQ(map.At(3, 1).count, 4);
+}
+
+TEST(DomainMap, SixteenCpusPairPackageSystem) {
+  const DomainMap map(16);
+  ASSERT_EQ(map.num_levels(), 3);
+  EXPECT_EQ(map.At(5, 0).first, 4);
+  EXPECT_EQ(map.At(5, 0).count, 2);
+  EXPECT_EQ(map.At(5, 1).first, 0);
+  EXPECT_EQ(map.At(5, 1).count, 8);
+  EXPECT_EQ(map.At(13, 1).first, 8);
+  EXPECT_EQ(map.At(13, 1).count, 8);
+  EXPECT_EQ(map.At(13, 2).first, 0);
+  EXPECT_EQ(map.At(13, 2).count, 16);
+}
+
+TEST(DomainMap, UnevenTrailingPackageIsSmaller) {
+  const DomainMap map(12);
+  ASSERT_EQ(map.num_levels(), 3);  // 2, 8, 12
+  EXPECT_EQ(map.At(9, 1).first, 8);
+  EXPECT_EQ(map.At(9, 1).count, 4);
+}
+
+TEST(DomainMap, RejectsBadArguments) {
+  EXPECT_THROW(DomainMap(0), std::invalid_argument);
+  const DomainMap map(4);
+  EXPECT_THROW(map.At(4, 0), std::out_of_range);
+  EXPECT_THROW(map.At(0, 2), std::out_of_range);
+}
+
+SmpScheduler::Options BalanceOpts(int cpus, obs::Registry* reg) {
+  SmpScheduler::Options o;
+  o.num_cpus = cpus;
+  o.seed = 7001;
+  o.metrics = reg;
+  return o;
+}
+
+// Spawns `n` threads (round-robin homes), funds thread i with fund(i), and
+// readies everything.
+std::vector<ThreadId> Populate(SmpScheduler& sched, int n,
+                               const std::vector<int64_t>& amounts) {
+  std::vector<ThreadId> tids;
+  for (int i = 0; i < n; ++i) {
+    const ThreadId tid = static_cast<ThreadId>(i + 1);
+    sched.AddThread(tid, SimTime::Zero());
+    sched.FundThread(tid, amounts[static_cast<size_t>(i)]);
+    sched.OnReady(tid, SimTime::Zero());
+    tids.push_back(tid);
+  }
+  return tids;
+}
+
+TEST(SmpMigrate, CarriesFundingValueAndCompensation) {
+  obs::Registry reg;
+  SmpScheduler sched(BalanceOpts(2, &reg));
+  const auto tids = Populate(sched, 2, {100, 100});
+  const ThreadId mover = tids[0];  // homed on CPU 0
+  ASSERT_EQ(sched.HomeCpu(mover), 0);
+  // Grant a compensation boost as an under-consuming quantum would.
+  sched.cpu(0).client(mover)->SetCompensation(5, 1);
+  const uint64_t value_before = sched.cpu(0).ThreadValue(mover).raw_unsigned();
+  const int64_t funded_before = sched.FundedAmount(mover);
+
+  sched.Migrate(mover, 1, SimTime::Zero());
+
+  EXPECT_EQ(sched.HomeCpu(mover), 1);
+  EXPECT_EQ(sched.ThreadMigrations(mover), 1u);
+  EXPECT_EQ(sched.FundedAmount(mover), funded_before);
+  EXPECT_EQ(sched.cpu(1).ThreadValue(mover).raw_unsigned(), value_before);
+  EXPECT_EQ(sched.cpu(1).client(mover)->compensation_num(), 5);
+  EXPECT_EQ(sched.cpu(1).client(mover)->compensation_den(), 1);
+  EXPECT_FALSE(sched.cpu(0).HasThread(mover));
+  EXPECT_TRUE(sched.cpu(1).IsQueued(mover));
+  sched.CheckIntegrity();
+}
+
+TEST(SmpMigrate, RejectsRunningBlockedAndResidentThreads) {
+  obs::Registry reg;
+  SmpScheduler sched(BalanceOpts(2, &reg));
+  const auto tids = Populate(sched, 4, {100, 100, 100, 100});
+  // Already on the destination.
+  EXPECT_THROW(sched.Migrate(tids[1], 1, SimTime::Zero()),
+               std::invalid_argument);
+  // Running threads are pinned until their slice resolves.
+  const ThreadId running = sched.PickNextOnCpu(0, SimTime::Zero());
+  ASSERT_NE(running, kInvalidThreadId);
+  EXPECT_THROW(sched.Migrate(running, 1, SimTime::Zero()),
+               std::invalid_argument);
+  // Blocked threads left the queue; they migrate by re-homing on wake, not
+  // by stealing.
+  sched.OnBlocked(tids[3], SimTime::Zero());
+  EXPECT_THROW(sched.Migrate(tids[3], 0, SimTime::Zero()),
+               std::invalid_argument);
+  // Unknown thread.
+  EXPECT_THROW(sched.Migrate(999, 1, SimTime::Zero()), std::invalid_argument);
+}
+
+TEST(SmpSteal, IdleCpuPullsFromNearestBusyDomain) {
+  obs::Registry reg;
+  SmpScheduler::Options o = BalanceOpts(4, &reg);
+  SmpScheduler sched(o);
+  // Two threads, both homed on CPU 0 (then 1): CPUs 2/3 start empty.
+  sched.AddThread(1, SimTime::Zero());
+  sched.FundThread(1, 300);
+  sched.OnReady(1, SimTime::Zero());
+  sched.AddThread(2, SimTime::Zero());  // home 1, stays blocked
+  // CPU 3 is idle; its pair sibling (CPU 2) is empty too, so the pull
+  // widens to the system level and takes CPU 0's queued thread.
+  const ThreadId got = sched.PickNextOnCpu(3, SimTime::Zero());
+  EXPECT_EQ(got, 1u);
+  EXPECT_EQ(sched.steals(), 1u);
+  EXPECT_EQ(sched.HomeCpu(1), 3);
+  EXPECT_EQ(sched.FundedAmount(1), 300);
+  sched.CheckIntegrity();
+}
+
+TEST(SmpSteal, NothingToStealIsQuietlyIdle) {
+  obs::Registry reg;
+  SmpScheduler sched(BalanceOpts(4, &reg));
+  const uint32_t balance_state = sched.balance_rng().state();
+  EXPECT_EQ(sched.PickNextOnCpu(2, SimTime::Zero()), kInvalidThreadId);
+  EXPECT_EQ(sched.steals(), 0u);
+  EXPECT_EQ(sched.balance_rng().state(), balance_state);
+}
+
+TEST(SmpBalance, PeriodicStealsEqualizeTicketValue) {
+  obs::Registry reg;
+  SmpScheduler::Options o = BalanceOpts(2, &reg);
+  o.balance_period = 1;  // check on every dispatch
+  SmpScheduler sched(o);
+  // Round-robin homing puts the rich threads (even spawn order) on CPU 0
+  // and the poor ones on CPU 1: totals start 4000 vs 40.
+  const auto tids = Populate(sched, 8, {1000, 10, 1000, 10,
+                                        1000, 10, 1000, 10});
+  const SimDuration quantum = SimDuration::Millis(10);
+  SimTime now = SimTime::Zero();
+  for (int round = 0; round < 300; ++round) {
+    for (int cpu = 0; cpu < 2; ++cpu) {
+      const ThreadId tid = sched.PickNextOnCpu(cpu, now);
+      if (tid != kInvalidThreadId) {
+        sched.OnQuantumEnd(tid, quantum, quantum, now + quantum);
+        sched.OnReady(tid, now + quantum);
+      }
+    }
+    now = now + quantum;
+  }
+  sched.CheckIntegrity();
+  EXPECT_GT(sched.migrations(), 0u);
+  // Every thread is queued again; per-CPU runnable totals must be near
+  // equal — the balancer chased ticket value, not thread counts.
+  const uint64_t a = sched.cpu(0).RunnableTickets();
+  const uint64_t b = sched.cpu(1).RunnableTickets();
+  const uint64_t diff = a > b ? a - b : b - a;
+  EXPECT_LT(diff * 4, a + b)
+      << "per-CPU totals " << a << " vs " << b << " still skewed";
+  // Global funding is conserved across however many migrations happened.
+  int64_t funded = 0;
+  for (const ThreadId tid : tids) {
+    funded += sched.FundedAmount(tid);
+  }
+  EXPECT_EQ(funded, 4 * 1000 + 4 * 10);
+}
+
+TEST(SmpBalance, DeterministicAcrossIdenticalRuns) {
+  auto run = [] {
+    obs::Registry reg;
+    SmpScheduler::Options o;
+    o.num_cpus = 4;
+    o.seed = 4242;
+    o.balance_period = 2;
+    o.metrics = &reg;
+    SmpScheduler sched(o);
+    std::vector<int64_t> amounts;
+    for (int i = 0; i < 12; ++i) {
+      amounts.push_back(50 + 125 * (i % 4));
+    }
+    Populate(sched, 12, amounts);
+    const SimDuration quantum = SimDuration::Millis(10);
+    SimTime now = SimTime::Zero();
+    std::vector<ThreadId> winners;
+    for (int round = 0; round < 200; ++round) {
+      for (int cpu = 0; cpu < 4; ++cpu) {
+        const ThreadId tid = sched.PickNextOnCpu(cpu, now);
+        winners.push_back(tid);
+        if (tid != kInvalidThreadId) {
+          sched.OnQuantumEnd(tid, quantum, quantum, now + quantum);
+          sched.OnReady(tid, now + quantum);
+        }
+      }
+      now = now + quantum;
+    }
+    winners.push_back(static_cast<ThreadId>(sched.migrations()));
+    winners.push_back(static_cast<ThreadId>(sched.steals()));
+    return winners;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace lottery

@@ -10,6 +10,8 @@
 #include "src/core/lottery_scheduler.h"
 #include "src/sched/hybrid.h"
 #include "src/sched/round_robin.h"
+#include "src/sched/smp/smp_scheduler.h"
+#include "src/sim/fault.h"
 #include "src/sim/kernel.h"
 #include "src/sim/sync.h"
 #include "src/workloads/compute.h"
@@ -227,6 +229,139 @@ TEST(Smp, SingleCpuMatchesLegacyBehaviourExactly) {
     return kernel.CpuTime(a).nanos();
   };
   EXPECT_EQ(run(1), run(1));  // deterministic
+}
+
+// --- Partitioned (SmpScheduler) property tests ------------------------------
+//
+// These drive the per-CPU partitioned facade through the real kernel and
+// assert the invariants that must hold no matter what the balancer does:
+// funding is conserved across migrations, no thread is ever lost or
+// double-enqueued (even under injected faults), and compensation ratios
+// ride along with a migrating thread.
+
+smp::SmpScheduler::Options PartOpts(int cpus, uint32_t seed,
+                                    obs::Registry* reg) {
+  smp::SmpScheduler::Options o;
+  o.num_cpus = cpus;
+  o.seed = seed;
+  o.metrics = reg;
+  return o;
+}
+
+TEST(SmpPartitioned, FundingConservedUnderStealAndMigrationChurn) {
+  obs::Registry reg;
+  smp::SmpScheduler sched(PartOpts(4, 90210, &reg));
+  Kernel::Options ko = SmpOpts(4);
+  ko.quantum = SimDuration::Millis(10);
+  ko.metrics = &reg;
+  Kernel kernel(&sched, ko);
+  // Mixed load: compute hogs plus interactive sleepers whose think time
+  // empties queues (idle pulls) and whose uneven funding skews per-CPU
+  // totals (periodic balance steals).
+  std::vector<ThreadId> tids;
+  int64_t granted = 0;
+  for (int i = 0; i < 10; ++i) {
+    const bool interactive = (i % 3 == 2);
+    std::unique_ptr<ThreadBody> body;
+    if (interactive) {
+      body = std::make_unique<InteractiveTask>(SimDuration::Millis(5),
+                                               SimDuration::Millis(40));
+    } else {
+      body = std::make_unique<ComputeTask>();
+    }
+    const ThreadId tid =
+        kernel.Spawn("churn" + std::to_string(i), std::move(body));
+    const int64_t amount = interactive ? 100 : 400 + 100 * (i % 4);
+    sched.FundThread(tid, amount);
+    granted += amount;
+    tids.push_back(tid);
+  }
+  // Step the run and re-check the invariants at every step boundary: the
+  // facade's books must balance at all times, not just at the end.
+  for (int step = 0; step < 10; ++step) {
+    kernel.RunFor(SimDuration::Seconds(3));
+    sched.CheckIntegrity();
+    int64_t funded = 0;
+    for (const ThreadId tid : tids) {
+      funded += sched.FundedAmount(tid);
+    }
+    EXPECT_EQ(funded, granted) << "funding leaked by step " << step;
+  }
+  // The mix must actually have exercised cross-CPU movement.
+  EXPECT_GT(sched.steals() + sched.migrations(), 0u);
+  for (const ThreadId tid : tids) {
+    EXPECT_TRUE(kernel.Alive(tid));
+  }
+}
+
+TEST(SmpPartitioned, NoThreadLostOrDuplicatedUnderFaultInjection) {
+  const FaultPlan plan = FaultPlan::Parse(
+      "crash:p=0.001;spurious-wake:p=0.3;delayed-unblock:p=0.5,delay_ms=5");
+  FaultInjector faults(plan, 777);
+  obs::Registry reg;
+  smp::SmpScheduler sched(PartOpts(4, 31337, &reg));
+  Kernel::Options ko = SmpOpts(4);
+  ko.quantum = SimDuration::Millis(10);
+  ko.metrics = &reg;
+  ko.faults = &faults;
+  Kernel kernel(&sched, ko);
+  std::vector<ThreadId> tids;
+  for (int i = 0; i < 12; ++i) {
+    std::unique_ptr<ThreadBody> body;
+    if (i % 2 == 0) {
+      body = std::make_unique<ComputeTask>();
+    } else {
+      body = std::make_unique<InteractiveTask>(SimDuration::Millis(5),
+                                               SimDuration::Millis(30));
+    }
+    const ThreadId tid =
+        kernel.Spawn("faulty" + std::to_string(i), std::move(body));
+    sched.FundThread(tid, 100 + 50 * (i % 5));
+    tids.push_back(tid);
+  }
+  // Crashes retire threads (the kernel calls RemoveThread); wake faults
+  // shake the ready/blocked transitions the balancer races against. The
+  // structural invariant — every live thread on exactly one CPU table,
+  // never queued while running — must survive all of it.
+  for (int step = 0; step < 15; ++step) {
+    kernel.RunFor(SimDuration::Seconds(2));
+    sched.CheckIntegrity();
+    for (const ThreadId tid : tids) {
+      if (kernel.Alive(tid)) {
+        EXPECT_GE(sched.HomeCpu(tid), 0);
+        EXPECT_LT(sched.HomeCpu(tid), 4);
+      } else {
+        // Crashed threads must be fully forgotten by every per-CPU table.
+        EXPECT_THROW(sched.HomeCpu(tid), std::invalid_argument);
+      }
+    }
+  }
+  EXPECT_GT(faults.injections(FaultClass::kThreadCrash) +
+                faults.injections(FaultClass::kSpuriousWakeup) +
+                faults.injections(FaultClass::kDelayedUnblock),
+            0u);
+}
+
+TEST(SmpPartitioned, CompensationSurvivesAMigrationChain) {
+  obs::Registry reg;
+  smp::SmpScheduler sched(PartOpts(4, 4711, &reg));
+  sched.AddThread(1, SimTime::Zero());
+  sched.FundThread(1, 360);
+  sched.OnReady(1, SimTime::Zero());
+  // An interactive thread that consumed 1/7 of its quantum holds a 7:1
+  // compensation boost; chain it across every CPU and the ratio (and the
+  // thread's ticket value) must arrive intact each hop.
+  sched.cpu(0).client(1)->SetCompensation(7, 1);
+  const uint64_t value = sched.cpu(0).ThreadValue(1).raw_unsigned();
+  for (int dst = 1; dst < 4; ++dst) {
+    sched.Migrate(1, dst, SimTime::Zero());
+    EXPECT_EQ(sched.cpu(dst).client(1)->compensation_num(), 7);
+    EXPECT_EQ(sched.cpu(dst).client(1)->compensation_den(), 1);
+    EXPECT_EQ(sched.cpu(dst).ThreadValue(1).raw_unsigned(), value);
+    sched.CheckIntegrity();
+  }
+  EXPECT_EQ(sched.ThreadMigrations(1), 3u);
+  EXPECT_EQ(sched.FundedAmount(1), 360);
 }
 
 }  // namespace
