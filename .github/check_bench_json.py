@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
-"""Schema check for BENCH_<name>.json reports emitted by bench/--json.
+"""Schema check for bench JSON artifacts (--json reports and --timeseries).
 
-Every report must carry the stable five-key envelope:
+Bench reports must carry the stable five-key envelope:
 
     {
       "schema_version": 1,
@@ -11,10 +11,22 @@ Every report must carry the stable five-key envelope:
       "percentiles": {"<hist>": {count, mean, p50, p90, p99, max}, ...}
     }
 
-Nulls are rejected everywhere: the JSON writer turns NaN/Inf into null, so
-a null metric means a bench computed garbage and that should fail CI, not
-upload quietly. Usage: check_bench_json.py FILE [FILE...]; exits nonzero
-and prints one line per violation if any file fails.
+Timeseries files (detected by '"kind": "timeseries"') instead carry:
+
+    {
+      "schema_version": 1, "kind": "timeseries", "source": "<bench>",
+      "metadata": {...}, "clients": [...], "anomalies": [...],
+      "anomalies_dropped": <int>,
+      "series": {"<name>": {stride, t_ns[], count[], mean[], min[], max[]}}
+    }
+
+with every t_ns axis strictly increasing integers, all five per-series
+arrays the same length, object keys emitted in sorted order (so same-seed
+runs are byte-comparable), and no NaN/Inf anywhere. Nulls are rejected
+everywhere: the JSON writer turns NaN/Inf into null, so a null value means
+the producer computed garbage and that should fail CI, not upload quietly.
+Usage: check_bench_json.py FILE [FILE...]; exits nonzero and prints one
+line per violation if any file fails.
 """
 
 import json
@@ -27,16 +39,137 @@ def is_number(value):
     return isinstance(value, (int, float)) and not isinstance(value, bool)
 
 
+def check_timeseries(path, doc, key_order_errors):
+    """Validate a '"kind": "timeseries"' document (Sampler::ToJson)."""
+    errors = list(key_order_errors)
+    for key in ("schema_version", "kind", "source", "metadata", "clients",
+                "anomalies", "anomalies_dropped", "series"):
+        if key not in doc:
+            errors.append(f"{path}: missing required key '{key}'")
+    if errors:
+        return errors
+
+    if doc["schema_version"] != 1:
+        errors.append(
+            f"{path}: schema_version is {doc['schema_version']!r}, expected 1")
+    if not isinstance(doc["source"], str) or not doc["source"]:
+        errors.append(f"{path}: 'source' must be a non-empty string")
+
+    metadata = doc["metadata"]
+    if not isinstance(metadata, dict):
+        errors.append(f"{path}: 'metadata' must be an object")
+    else:
+        for key in ("interval_ns", "quantum_ns", "samples", "seed"):
+            if not isinstance(metadata.get(key), int):
+                errors.append(
+                    f"{path}: metadata.{key} must be an integer, got "
+                    f"{metadata.get(key)!r}")
+
+    if not isinstance(doc["anomalies_dropped"], int):
+        errors.append(f"{path}: 'anomalies_dropped' must be an integer")
+
+    if not isinstance(doc["clients"], list):
+        errors.append(f"{path}: 'clients' must be an array")
+    else:
+        for i, client in enumerate(doc["clients"]):
+            if (not isinstance(client, dict)
+                    or not isinstance(client.get("label"), str)
+                    or not isinstance(client.get("tid"), int)):
+                errors.append(
+                    f"{path}: clients[{i}] must be {{label: str, tid: int}}")
+
+    if not isinstance(doc["anomalies"], list):
+        errors.append(f"{path}: 'anomalies' must be an array")
+    else:
+        for i, anomaly in enumerate(doc["anomalies"]):
+            if not isinstance(anomaly, dict):
+                errors.append(f"{path}: anomalies[{i}] is not an object")
+                continue
+            if not isinstance(anomaly.get("t_ns"), int):
+                errors.append(f"{path}: anomalies[{i}].t_ns must be int")
+            if anomaly.get("kind") not in ("lag", "starvation", "share_error"):
+                errors.append(
+                    f"{path}: anomalies[{i}].kind is "
+                    f"{anomaly.get('kind')!r}")
+            for key in ("value", "bound"):
+                if not is_number(anomaly.get(key)):
+                    errors.append(
+                        f"{path}: anomalies[{i}].{key} must be a finite "
+                        "number")
+
+    series = doc["series"]
+    if not isinstance(series, dict) or not series:
+        errors.append(f"{path}: 'series' must be a non-empty object")
+        return errors
+    for name, body in series.items():
+        if not isinstance(body, dict):
+            errors.append(f"{path}: series['{name}'] is not an object")
+            continue
+        if not isinstance(body.get("stride"), int) or body["stride"] < 1:
+            errors.append(
+                f"{path}: series['{name}'].stride must be a positive int")
+        axis = body.get("t_ns")
+        if not isinstance(axis, list) or not all(
+                isinstance(t, int) for t in axis):
+            errors.append(
+                f"{path}: series['{name}'].t_ns must be an integer array")
+            continue
+        for i in range(1, len(axis)):
+            if axis[i] <= axis[i - 1]:
+                errors.append(
+                    f"{path}: series['{name}'].t_ns not strictly increasing "
+                    f"at index {i} ({axis[i - 1]} -> {axis[i]})")
+                break
+        for key in ("count", "mean", "min", "max"):
+            values = body.get(key)
+            if not isinstance(values, list):
+                errors.append(f"{path}: series['{name}'].{key} missing")
+                continue
+            if len(values) != len(axis):
+                errors.append(
+                    f"{path}: series['{name}'].{key} has {len(values)} "
+                    f"entries, t_ns has {len(axis)}")
+            for i, value in enumerate(values):
+                if not is_number(value):
+                    errors.append(
+                        f"{path}: series['{name}'].{key}[{i}] is "
+                        f"{value!r}, not a finite number")
+                    break
+    return errors
+
+
 def check_file(path):
     errors = []
+    # Deterministic output contract: keys must be emitted in sorted order so
+    # that same-seed runs are byte-comparable. The pairs hook sees every
+    # object before it collapses to a dict.
+    key_order_errors = []
+
+    def pairs_hook(pairs):
+        keys = [k for k, _ in pairs]
+        if keys != sorted(keys) and len(key_order_errors) < 5:
+            key_order_errors.append(
+                f"{path}: object keys not in sorted order: {keys}")
+        return dict(pairs)
+
+    def reject_constant(token):
+        raise ValueError(f"non-finite constant {token}")
+
     try:
         with open(path, "r", encoding="utf-8") as f:
-            doc = json.load(f)
-    except (OSError, json.JSONDecodeError) as exc:
+            doc = json.load(f, object_pairs_hook=pairs_hook,
+                            parse_constant=reject_constant)
+    except (OSError, ValueError) as exc:
         return [f"{path}: unreadable or invalid JSON: {exc}"]
 
     if not isinstance(doc, dict):
         return [f"{path}: top level is not an object"]
+
+    if doc.get("kind") == "timeseries":
+        return check_timeseries(path, doc, key_order_errors)
+    # Bench reports write their envelope in fixed (not sorted) order; the
+    # sorted-keys contract applies to timeseries files only.
+    del key_order_errors[:]
 
     for key in ("schema_version", "bench", "metadata", "metrics",
                 "percentiles"):

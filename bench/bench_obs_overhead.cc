@@ -55,6 +55,7 @@
 #include "src/obs/etrace/trace_buffer.h"
 #include "src/obs/histogram.h"
 #include "src/obs/registry.h"
+#include "src/obs/timeseries/sampler.h"
 
 namespace lottery {
 namespace {
@@ -388,6 +389,97 @@ TraceAblation MeasureTraceAblation(uint32_t seed) {
   return out;
 }
 
+// Timeseries sampler ablation: the full dispatch path with the fairness
+// sampler attached vs detached, same ABBA pairing as the trace ablation.
+// Unlike the priced hooks, the sampler is not per-dispatch work — it fires
+// once per 500 ms interval and does a full audit pass over its tracked
+// clients — so the gated quantity is the masked per-dispatch cost: the
+// PollSampler branch every dispatch pays plus the audit amortized over the
+// dispatches in one interval. A 1 ms quantum gives the realistic cadence
+// (500 decisions per sample, the regime fig5/bench_scale record in); at
+// the default 100 ms quantum a ~600 ns audit amortizes over only 5
+// dispatches of ~200 ns each, which measures the sim's cheapness, not the
+// sampler's. SetSampler is a pointer swap on one world, so the two arms
+// share heap layout exactly like the trace A/B.
+struct SamplerAblation {
+  double off_ns = 0.0;       // sampler detached
+  double on_ns = 0.0;        // sampler attached, 8 tracked clients
+  double median_pct = 0.0;   // median paired delta (unbiased, noisier)
+  double overhead_pct = 0.0; // lower-quartile paired delta (gated)
+  uint64_t samples = 0;      // proof the on-arm actually sampled
+  uint64_t anomalies = 0;    // equal-share spin mix must audit clean
+};
+
+SamplerAblation MeasureSamplerAblation(uint32_t seed) {
+  constexpr int kThreads = 8;
+  LotteryScheduler::Options sopts;
+  sopts.seed = seed;
+  LotteryScheduler sched(sopts);
+  Kernel::Options kopts;
+  kopts.quantum = SimDuration::Millis(1);
+  Kernel kernel(&sched, kopts);
+  ts::Sampler::Options topts;
+  topts.interval = SimDuration::Millis(500);
+  ts::Sampler sampler(&kernel, topts);
+  sampler.AttachScheduler(&sched);
+  for (int i = 0; i < kThreads; ++i) {
+    const ThreadId tid = kernel.Spawn("spin" + std::to_string(i),
+                                      std::make_unique<SpinBody>());
+    sched.FundThread(tid, sched.table().base(), 100);
+    sampler.Track(tid, "spin" + std::to_string(i));
+  }
+  auto pass = [&](bool on) {
+    kernel.SetSampler(on ? &sampler : nullptr);
+    constexpr int64_t kSimSeconds = 200;  // 200k dispatches at 1 ms
+    const auto start = std::chrono::steady_clock::now();
+    kernel.RunFor(SimDuration::Seconds(kSimSeconds));
+    const auto stop = std::chrono::steady_clock::now();
+    return NsPerOp(static_cast<uint64_t>(kSimSeconds * 1000), stop - start);
+  };
+  SamplerAblation out;
+  pass(false);  // warm up both arms
+  pass(true);
+  constexpr int kBlocks = 48;
+  FastRand coin(seed ^ 0x5a3b1e47u);
+  std::vector<double> diffs;
+  diffs.reserve(kBlocks);
+  for (int block = 0; block < kBlocks; ++block) {
+    const bool on_leads = (coin.Next() & 1u) != 0;
+    double off_ns = 0.0;
+    double on_ns = 0.0;
+    if (on_leads) {
+      on_ns += pass(true);
+      off_ns += pass(false);
+      off_ns += pass(false);
+      on_ns += pass(true);
+    } else {
+      off_ns += pass(false);
+      on_ns += pass(true);
+      on_ns += pass(true);
+      off_ns += pass(false);
+    }
+    off_ns /= 2;
+    on_ns /= 2;
+    diffs.push_back(on_ns - off_ns);
+    if (block == 0 || off_ns < out.off_ns) {
+      out.off_ns = off_ns;
+    }
+    if (block == 0 || on_ns < out.on_ns) {
+      out.on_ns = on_ns;
+    }
+  }
+  std::sort(diffs.begin(), diffs.end());
+  // Same estimator rationale as the trace ablation: the lower quartile
+  // discards the blocks background noise landed in; a real regression (an
+  // allocation in Sample(), an accidental per-dispatch walk) shifts every
+  // block and trips it regardless.
+  out.median_pct = 100.0 * diffs[diffs.size() / 2] / out.off_ns;
+  out.overhead_pct = 100.0 * diffs[diffs.size() / 4] / out.off_ns;
+  out.samples = sampler.samples();
+  out.anomalies = sampler.anomalies().size() + sampler.anomalies_dropped();
+  return out;
+}
+
 int Main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const auto seed = static_cast<uint32_t>(flags.GetInt("seed", 42));
@@ -400,10 +492,11 @@ int Main(int argc, char** argv) {
               "a couple of counter increments and one sampled histogram "
               "update per decision: a few ns, under 4% of the decision");
 
-  // The ablation runs first, on a near-fresh heap: its A/B arms only have
+  // The ablations run first, on a near-fresh heap: their A/B arms only have
   // congruent heap layouts (and thus comparable pointer-hash behavior in
   // the hot maps) when nothing has churned the allocator yet.
   const TraceAblation ablation = MeasureTraceAblation(seed);
+  const SamplerAblation sampler_ablation = MeasureSamplerAblation(seed);
 
   UnitCosts costs{};
   costs.inc_ns = MeasureCounterInc();
@@ -474,6 +567,24 @@ int Main(int argc, char** argv) {
   report.Metric("trace_masked_overhead_pct", ablation.overhead_pct);
   report.Metric("trace_masked_events", ablation.masked_events);
   report.Metric("trace_full_mask_events", ablation.full_mask_events);
+
+  std::cout << "\nSampler ablation (dispatch path, 8 tracked clients, "
+            << "1 ms quantum, 500 ms interval): detached "
+            << FormatDouble(sampler_ablation.off_ns, 1)
+            << " ns/op, attached " << FormatDouble(sampler_ablation.on_ns, 1)
+            << " ns/op; paired delta median "
+            << FormatDouble(sampler_ablation.median_pct, 2)
+            << "%, lower quartile "
+            << FormatDouble(sampler_ablation.overhead_pct, 2)
+            << "% (gate: quartile < 2%)\n"
+            << "Samples taken: " << sampler_ablation.samples
+            << ", anomalies: " << sampler_ablation.anomalies
+            << " (equal-share spin mix must audit clean)\n";
+  report.Metric("sampler_off_ns", sampler_ablation.off_ns);
+  report.Metric("sampler_on_ns", sampler_ablation.on_ns);
+  report.Metric("sampler_overhead_pct", sampler_ablation.overhead_pct);
+  report.Metric("sampler_samples", sampler_ablation.samples);
+  report.Metric("sampler_anomalies", sampler_ablation.anomalies);
   report.Write();
   if (check && worst_draw >= 4.0) {
     std::cerr << "FAIL: obs hook draw-latency overhead "
@@ -494,6 +605,28 @@ int Main(int argc, char** argv) {
     if (!obs::kObsEnabled && ablation.full_mask_events != 0) {
       std::cerr << "FAIL: trace recorded " << ablation.full_mask_events
                 << " events with LOTTERY_OBS off (expected exact zero)\n";
+      return 1;
+    }
+    if (obs::kObsEnabled) {
+      if (sampler_ablation.samples == 0) {
+        std::cerr << "FAIL: sampler ablation on-arm took no samples\n";
+        return 1;
+      }
+      if (sampler_ablation.anomalies != 0) {
+        std::cerr << "FAIL: sampler flagged " << sampler_ablation.anomalies
+                  << " anomalies on an equal-share spin mix (expected 0)\n";
+        return 1;
+      }
+      if (sampler_ablation.overhead_pct >= 2.0) {
+        std::cerr << "FAIL: sampler dispatch-path overhead "
+                  << FormatDouble(sampler_ablation.overhead_pct, 2)
+                  << "% >= 2%\n";
+        return 1;
+      }
+    } else if (sampler_ablation.samples != 0) {
+      std::cerr << "FAIL: sampler took " << sampler_ablation.samples
+                << " samples with LOTTERY_OBS off (PollSampler must fold "
+                   "away)\n";
       return 1;
     }
   }

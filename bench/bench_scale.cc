@@ -156,7 +156,8 @@ ChurnResult RunChurn(int64_t n, const std::vector<uint32_t>& period_ns) {
 constexpr int kFundingClasses = 8;
 
 void RunKernelScale(int64_t n, uint32_t seed, int64_t sim_seconds,
-                    BenchReport& report, TextTable& table) {
+                    const Flags& flags, bool record_ts, BenchReport& report,
+                    TextTable& table) {
   const std::string key = SizeKey(n);
   obs::Registry reg;
 
@@ -193,6 +194,21 @@ void RunKernelScale(int64_t n, uint32_t seed, int64_t sim_seconds,
     class_funding[cls] += amount;
   }
   const double spawn_wall_ns = WallNsSince(spawn_start);
+
+  // --timeseries=PATH records the first (smallest) size only: one funding-
+  // class representative per lag audit, 100 ms cadence against the 1 ms
+  // quantum. Later sizes would overwrite the document, so they skip it.
+  TimeseriesRecorder ts(flags, "bench_scale", &kernel,
+                        SimDuration::Millis(100));
+  if (record_ts && ts.enabled()) {
+    ts.AttachScheduler(&sched);
+    for (int64_t i = 0; i < kFundingClasses && i < n; ++i) {
+      ts.Track(static_cast<ThreadId>(i + 1),
+               "cls" + std::to_string(i % kFundingClasses));
+    }
+  } else {
+    kernel.SetSampler(nullptr);
+  }
 
   const auto run_start = std::chrono::steady_clock::now();
   kernel.RunFor(SimDuration::Seconds(sim_seconds));
@@ -265,6 +281,9 @@ void RunKernelScale(int64_t n, uint32_t seed, int64_t sim_seconds,
   report.Metric(key + "_run_wall_ns", run_wall_ns);
   report.Metric(key + "_sim_s_per_wall_s", sim_per_wall);
   report.Metric(key + "_peak_rss_mb", rss_mb);
+  if (record_ts) {
+    ts.Write();
+  }
 }
 
 int Main(int argc, char** argv) {
@@ -288,7 +307,8 @@ int Main(int argc, char** argv) {
     // Part B first at each size: peak RSS is a process-wide high-water
     // mark, and the reference heap's (deliberately large) footprint in
     // Part A would otherwise mask the kernel's own number.
-    RunKernelScale(n, seed, sim_seconds, report, ktable);
+    RunKernelScale(n, seed, sim_seconds, flags, /*record_ts=*/n == sizes.front(),
+                   report, ktable);
 
     // Part A: identical timer populations through both queue backends.
     FastRand rng(seed);

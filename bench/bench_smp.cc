@@ -192,6 +192,19 @@ int Main(int argc, char** argv) {
       total_funding += amount;
     }
 
+    // --timeseries=PATH records the 4-CPU partitioned cell: per-CPU
+    // utilization/queue depth/steal activity plus a fairness-lag audit of
+    // the first eight threads (one light and one heavy per CPU).
+    TimeseriesRecorder ts(flags, "bench_smp", &kernel);
+    if (cpus == 4 && ts.enabled()) {
+      ts.sampler()->AttachSmp(&sched);
+      for (size_t i = 0; i < 8 && i < tids.size(); ++i) {
+        ts.Track(tids[i], "p" + std::to_string(i));
+      }
+    } else {
+      kernel.SetSampler(nullptr);
+    }
+
     const auto start = std::chrono::steady_clock::now();
     kernel.RunFor(warmup);
     std::vector<SimDuration> at_warmup;
@@ -233,6 +246,9 @@ int Main(int argc, char** argv) {
                       FormatDouble(wall_ns / static_cast<double>(dispatches),
                                    0)});
     report.Metric("share_err_c" + std::to_string(cpus), mean_err_pct);
+    if (cpus == 4) {
+      ts.Write();
+    }
     total_steals += sched.steals();
     total_migrations += sched.migrations();
     if (mean_err_pct > 5.0) {

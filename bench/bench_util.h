@@ -20,6 +20,7 @@
 #include "src/obs/etrace/trace_buffer.h"
 #include "src/obs/json_writer.h"
 #include "src/obs/registry.h"
+#include "src/obs/timeseries/sampler.h"
 #include "src/sim/kernel.h"
 #include "src/sim/trace.h"
 #include "src/util/flags.h"
@@ -198,6 +199,59 @@ inline void WriteTrace(const Flags& flags, const etrace::TraceBuffer* trace) {
     std::cout << ")\n";
   }
 }
+
+// Shared --timeseries=PATH support: when the flag is set, installs a
+// ts::Sampler on the kernel and writes the schema-stable timeseries JSON
+// (kind "timeseries") on Write(). Like --trace, the flag is RNG-neutral —
+// the sampler only reads sim state between dispatch steps, so every printed
+// number is identical with or without it. Callers attach the entitlement
+// source and Track the threads they want audited, then RunFor as usual.
+class TimeseriesRecorder {
+ public:
+  TimeseriesRecorder(const Flags& flags, std::string source, Kernel* kernel,
+                     SimDuration interval = SimDuration::Millis(500))
+      : path_(flags.GetString("timeseries", "")),
+        source_(std::move(source)),
+        seed_(static_cast<uint64_t>(flags.GetInt("seed", 42))) {
+    if (path_.empty()) {
+      return;
+    }
+    ts::Sampler::Options opts;
+    opts.interval = interval;
+    sampler_ = std::make_unique<ts::Sampler>(kernel, opts);
+    kernel->SetSampler(sampler_.get());
+  }
+
+  bool enabled() const { return sampler_ != nullptr; }
+  ts::Sampler* sampler() { return sampler_.get(); }
+
+  void AttachScheduler(LotteryScheduler* sched) {
+    if (sampler_ != nullptr) {
+      sampler_->AttachScheduler(sched);
+    }
+  }
+  void Track(ThreadId tid, const std::string& label) {
+    if (sampler_ != nullptr) {
+      sampler_->Track(tid, label);
+    }
+  }
+
+  void Write() const {
+    if (sampler_ == nullptr) {
+      return;
+    }
+    sampler_->WriteJson(path_, source_, seed_);
+    std::cout << "(timeseries written to " << path_ << ", "
+              << sampler_->samples() << " samples, "
+              << sampler_->anomalies().size() << " anomalies)\n";
+  }
+
+ private:
+  std::string path_;
+  std::string source_;
+  uint64_t seed_;
+  std::unique_ptr<ts::Sampler> sampler_;
+};
 
 // A kernel + lottery scheduler + tracer bundle with the paper's platform
 // parameters (100 ms quantum by default).

@@ -29,6 +29,10 @@ int Main(int argc, char** argv) {
                  trace.get());
   const ThreadId a = rig.SpawnCompute("a", rig.scheduler->table().base(), 200);
   const ThreadId b = rig.SpawnCompute("b", rig.scheduler->table().base(), 100);
+  TimeseriesRecorder ts(flags, "fig5_fairness_over_time", rig.kernel.get());
+  ts.AttachScheduler(rig.scheduler.get());
+  ts.Track(a, "a");
+  ts.Track(b, "b");
   rig.kernel->RunFor(SimDuration::Seconds(seconds));
 
   TextTable table({"window (s)", "task A iter/s", "task B iter/s", "ratio"});
@@ -71,6 +75,7 @@ int Main(int argc, char** argv) {
   report.Metric("window_ratio_stddev", ratio_stat.stddev());
   report.Write();
   WriteTrace(flags, trace.get());
+  ts.Write();
   return 0;
 }
 

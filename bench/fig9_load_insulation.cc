@@ -36,6 +36,13 @@ int Main(int argc, char** argv) {
   const ThreadId b2 = rig.SpawnCompute("B2", b_cur, 200);
   ThreadId b3 = kInvalidThreadId;
 
+  TimeseriesRecorder ts(flags, "fig9_load_insulation", rig.kernel.get());
+  ts.AttachScheduler(rig.scheduler.get());
+  ts.Track(a1, "a1");
+  ts.Track(a2, "a2");
+  ts.Track(b1, "b1");
+  ts.Track(b2, "b2");
+
   const int64_t switch_at = seconds / 2;
   TextTable out({"t (s)", "A1", "A2", "B1", "B2", "B3", "A:B ratio"});
   std::vector<int64_t> mid(5, 0);
@@ -43,6 +50,7 @@ int Main(int argc, char** argv) {
     rig.kernel->RunFor(SimDuration::Seconds(10));
     if (t == switch_at) {
       b3 = rig.SpawnCompute("B3", b_cur, 300);
+      ts.Track(b3, "b3");  // late-tracked: entitlement accrues from here on
       mid = {rig.tracer.TotalProgress(a1), rig.tracer.TotalProgress(a2),
              rig.tracer.TotalProgress(b1), rig.tracer.TotalProgress(b2), 0};
     }
@@ -82,6 +90,7 @@ int Main(int argc, char** argv) {
   report.Metric("b1_rate_change", second_half_rate(b1, 2) / first_half_rate(2));
   report.Metric("b2_rate_change", second_half_rate(b2, 3) / first_half_rate(3));
   report.Write();
+  ts.Write();
   return 0;
 }
 

@@ -626,6 +626,20 @@ Funding LotteryScheduler::ThreadValue(ThreadId id) {
   return StateOf(id).client->Value();
 }
 
+Funding LotteryScheduler::ThreadBaseValue(ThreadId id) {
+  const auto it = threads_.find(id);
+  if (it == threads_.end()) {
+    return Funding::Zero();
+  }
+  const Client& client = *it->second.client;
+  Funding value = client.Value();
+  if (client.has_compensation()) {
+    // Value() carries the compensation boost num/den; divide it back out.
+    value = value.ScaleBy(client.compensation_den(), client.compensation_num());
+  }
+  return value;
+}
+
 bool LotteryScheduler::HasThread(ThreadId id) const {
   return threads_.find(id) != threads_.end();
 }

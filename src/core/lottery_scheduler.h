@@ -113,6 +113,16 @@ class LotteryScheduler : public Scheduler, private ValueObserver {
   // Current value of the thread in base units (0 if blocked).
   Funding ThreadValue(ThreadId id);
 
+  // --- Timeseries sampling support (src/obs/timeseries/) -------------------
+
+  // The thread's value with any compensation multiplier divided back out —
+  // the base entitlement the fairness-lag auditor accrues against. Defined
+  // whether or not the thread is queued (the sampler decides inclusion from
+  // the kernel's runnable bit, which also covers the currently-running
+  // thread the queue no longer holds). Zero for threads not in this table.
+  // Read-only: exact integer rescale, never touches the RNG or the queue.
+  Funding ThreadBaseValue(ThreadId id);
+
   // --- SMP partitioning support (src/sched/smp/) ---------------------------
   // Read-only views the SmpScheduler's balancer consults between dispatches.
 

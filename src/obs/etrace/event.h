@@ -31,9 +31,10 @@ enum Category : uint32_t {
   kCatMutex = 1u << 6,            // acquire/contend/grant/release
   kCatDisk = 1u << 7,             // request submit/complete
   kCatFault = 1u << 8,            // fault-injector firings
+  kCatTimeseries = 1u << 9,       // fairness-lag auditor anomalies
 };
 
-inline constexpr uint32_t kAllCategories = (1u << 9) - 1u;
+inline constexpr uint32_t kAllCategories = (1u << 10) - 1u;
 // kCatLotterySnapshot emits one event per runnable client per decision;
 // it is opt-in (tracectl record --snapshots) rather than default.
 inline constexpr uint32_t kDefaultCategories =
@@ -97,9 +98,16 @@ enum class EventType : uint16_t {
   // (v3=ticket imbalance that triggered the move).
   kSteal = 25,
   kMigrate = 26,
+  // Fairness-lag auditor (src/obs/timeseries/). a=tid, v1=|observed| value,
+  // v2=the bound it crossed (both in the unit the kind implies: ns for lag
+  // and starvation, share-error permille for kShareError). Emitted on the
+  // rising edge of each anomaly only; recovery is not an event.
+  kLagAnomaly = 27,
+  kStarvation = 28,
+  kShareError = 29,
 };
 
-inline constexpr uint16_t kNumEventTypes = 27;
+inline constexpr uint16_t kNumEventTypes = 30;
 
 // kSlice disposition values (flags field).
 inline constexpr uint16_t kSlicePreempt = 0;
@@ -168,6 +176,10 @@ constexpr uint32_t CategoryOf(EventType type) {
       return kCatDisk;
     case EventType::kFault:
       return kCatFault;
+    case EventType::kLagAnomaly:
+    case EventType::kStarvation:
+    case EventType::kShareError:
+      return kCatTimeseries;
     case EventType::kNone:
       return 0;
   }
@@ -203,6 +215,9 @@ constexpr const char* EventTypeName(uint16_t type) {
     case EventType::kFault: return "fault";
     case EventType::kSteal: return "steal";
     case EventType::kMigrate: return "migrate";
+    case EventType::kLagAnomaly: return "lag_anomaly";
+    case EventType::kStarvation: return "starvation";
+    case EventType::kShareError: return "share_error";
   }
   return "unknown";
 }

@@ -1,0 +1,354 @@
+#include "src/obs/json_reader.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace lottery {
+namespace obs {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  JsonValue Parse() {
+    JsonValue value = ParseValue();
+    SkipWs();
+    if (pos_ != text_.size()) {
+      Fail("trailing characters after document");
+    }
+    return value;
+  }
+
+ private:
+  [[noreturn]] void Fail(const std::string& what) const {
+    throw std::runtime_error("json: " + what + " at offset " +
+                             std::to_string(pos_));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') {
+        break;
+      }
+      ++pos_;
+    }
+  }
+
+  char Peek() {
+    if (pos_ >= text_.size()) {
+      Fail("unexpected end of input");
+    }
+    return text_[pos_];
+  }
+
+  void Expect(char c) {
+    if (Peek() != c) {
+      Fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool Literal(const char* word) {
+    size_t n = 0;
+    while (word[n] != '\0') {
+      ++n;
+    }
+    if (text_.compare(pos_, n, word) != 0) {
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  JsonValue ParseValue() {
+    SkipWs();
+    const char c = Peek();
+    switch (c) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"': {
+        JsonValue v;
+        v.kind = JsonValue::Kind::kString;
+        v.str = ParseString();
+        return v;
+      }
+      case 't': {
+        if (!Literal("true")) {
+          Fail("bad literal");
+        }
+        JsonValue v;
+        v.kind = JsonValue::Kind::kBool;
+        v.boolean = true;
+        return v;
+      }
+      case 'f': {
+        if (!Literal("false")) {
+          Fail("bad literal");
+        }
+        JsonValue v;
+        v.kind = JsonValue::Kind::kBool;
+        v.boolean = false;
+        return v;
+      }
+      case 'n': {
+        if (!Literal("null")) {
+          Fail("bad literal");
+        }
+        return JsonValue{};
+      }
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) {
+          return ParseNumber();
+        }
+        // Explicitly reject the common non-finite spellings with a clear
+        // message; they are the schema violation the CI check hunts for.
+        if (c == 'N' || c == 'I') {
+          Fail("NaN/Infinity are not valid JSON");
+        }
+        Fail("unexpected character");
+    }
+  }
+
+  JsonValue ParseObject() {
+    Expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      SkipWs();
+      std::string key = ParseString();
+      for (const auto& member : v.members) {
+        if (member.first == key) {
+          Fail("duplicate object key \"" + key + "\"");
+        }
+      }
+      SkipWs();
+      Expect(':');
+      v.members.emplace_back(std::move(key), ParseValue());
+      SkipWs();
+      const char c = Peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return v;
+      }
+      Fail("expected ',' or '}'");
+    }
+  }
+
+  JsonValue ParseArray() {
+    Expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.items.push_back(ParseValue());
+      SkipWs();
+      const char c = Peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        return v;
+      }
+      Fail("expected ',' or ']'");
+    }
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) {
+        Fail("unterminated string");
+      }
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        Fail("raw control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        Fail("unterminated escape");
+      }
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            Fail("truncated \\u escape");
+          }
+          uint32_t code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<uint32_t>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<uint32_t>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<uint32_t>(h - 'A' + 10);
+            } else {
+              Fail("bad hex digit in \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are not used
+          // by our writer; reject them rather than mis-encode).
+          if (code >= 0xD800 && code <= 0xDFFF) {
+            Fail("surrogate \\u escapes unsupported");
+          }
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          Fail("bad escape character");
+      }
+    }
+  }
+
+  JsonValue ParseNumber() {
+    const size_t start = pos_;
+    if (Peek() == '-') {
+      ++pos_;
+    }
+    bool integral = true;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    if (token.empty() || token == "-") {
+      Fail("bad number");
+    }
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    errno = 0;
+    char* end = nullptr;
+    v.number = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0' || errno == ERANGE) {
+      Fail("unparseable number \"" + token + "\"");
+    }
+    if (integral) {
+      errno = 0;
+      const long long ll = std::strtoll(token.c_str(), &end, 10);
+      if (end != nullptr && *end == '\0' && errno != ERANGE) {
+        v.integer = static_cast<int64_t>(ll);
+        v.is_int = true;
+      }
+    }
+    return v;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  for (const auto& member : members) {
+    if (member.first == key) {
+      return &member.second;
+    }
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::At(const std::string& key) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr) {
+    throw std::runtime_error("json: missing key \"" + key + "\"");
+  }
+  return *v;
+}
+
+int64_t JsonValue::IntAt(const std::string& key) const {
+  const JsonValue& v = At(key);
+  if (!v.IsNumber() || !v.is_int) {
+    throw std::runtime_error("json: key \"" + key + "\" is not an integer");
+  }
+  return v.integer;
+}
+
+double JsonValue::NumberAt(const std::string& key) const {
+  const JsonValue& v = At(key);
+  if (!v.IsNumber()) {
+    throw std::runtime_error("json: key \"" + key + "\" is not a number");
+  }
+  return v.number;
+}
+
+const std::string& JsonValue::StringAt(const std::string& key) const {
+  const JsonValue& v = At(key);
+  if (!v.IsString()) {
+    throw std::runtime_error("json: key \"" + key + "\" is not a string");
+  }
+  return v.str;
+}
+
+JsonValue ParseJson(const std::string& text) { return Parser(text).Parse(); }
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in.good() && !in.eof()) {
+    throw std::runtime_error("read failed: " + path);
+  }
+  return buffer.str();
+}
+
+}  // namespace obs
+}  // namespace lottery

@@ -1,0 +1,69 @@
+// Minimal strict JSON reader — the read-side twin of json_writer.h.
+//
+// lottop replays recorded timeseries documents and tests round-trip the
+// bench JSON; neither wants a third-party dependency. This is a recursive-
+// descent RFC 8259 parser into a small tree value. It is strict on purpose:
+// NaN/Infinity literals, trailing commas, comments, and duplicate-key
+// objects are errors, because the documents we read are schema-checked CI
+// artifacts where leniency only hides producer bugs. Integers that fit
+// int64 keep exact integer identity (is_int) so nanosecond time axes
+// round-trip without double rounding. Object member order is preserved as
+// written, letting consumers verify the writer's sorted-key contract.
+
+#ifndef SRC_OBS_JSON_READER_H_
+#define SRC_OBS_JSON_READER_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lottery {
+namespace obs {
+
+struct JsonValue {
+  enum class Kind : uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  int64_t integer = 0;  // exact when is_int
+  bool is_int = false;
+  std::string str;
+  std::vector<JsonValue> items;                            // kArray
+  std::vector<std::pair<std::string, JsonValue>> members;  // kObject, ordered
+
+  bool IsNull() const { return kind == Kind::kNull; }
+  bool IsNumber() const { return kind == Kind::kNumber; }
+  bool IsString() const { return kind == Kind::kString; }
+  bool IsArray() const { return kind == Kind::kArray; }
+  bool IsObject() const { return kind == Kind::kObject; }
+
+  // First member with this key, nullptr when absent (or not an object).
+  const JsonValue* Find(const std::string& key) const;
+  // Find + type/shape accessors that throw std::runtime_error with the key
+  // name on absence or kind mismatch — loaders stay one-liners.
+  const JsonValue& At(const std::string& key) const;
+  int64_t IntAt(const std::string& key) const;
+  double NumberAt(const std::string& key) const;
+  const std::string& StringAt(const std::string& key) const;
+};
+
+// Parses exactly one JSON document (trailing non-whitespace is an error).
+// Throws std::runtime_error with a byte offset on malformed input.
+JsonValue ParseJson(const std::string& text);
+
+// Reads a whole file; throws std::runtime_error on I/O failure.
+std::string ReadFile(const std::string& path);
+
+}  // namespace obs
+}  // namespace lottery
+
+#endif  // SRC_OBS_JSON_READER_H_

@@ -1,3 +1,5 @@
+// lotlint: file float-ok (streaming moment accumulation is float by design;
+// results feed telemetry downsampling, never ticket or pass state)
 #include "src/obs/streaming.h"
 
 #include <algorithm>

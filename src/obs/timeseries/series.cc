@@ -1,0 +1,90 @@
+#include "src/obs/timeseries/series.h"
+
+#include <stdexcept>
+
+namespace lottery {
+namespace ts {
+
+Series::Series(size_t capacity) : capacity_(capacity) {
+  if (capacity < 2) {
+    throw std::invalid_argument("Series: capacity must be at least 2");
+  }
+  buckets_.reserve(capacity);
+}
+
+void Series::Record(int64_t t_ns, double value) {
+  ++total_points_;
+  if (buckets_.empty() || buckets_.back().stats.count() >= stride_) {
+    if (buckets_.size() == capacity_) {
+      Compact();
+    }
+    // After a compaction the trailing bucket may still be below the doubled
+    // stride; keep filling it instead of opening a new one.
+    if (buckets_.empty() || buckets_.back().stats.count() >= stride_) {
+      buckets_.emplace_back();
+      buckets_.back().t_first_ns = t_ns;
+    }
+  }
+  Bucket& bucket = buckets_.back();
+  if (bucket.stats.count() == 0) {
+    bucket.t_first_ns = t_ns;
+  }
+  bucket.t_last_ns = t_ns;
+  bucket.stats.Add(value);
+}
+
+void Series::Compact() {
+  const size_t n = buckets_.size();
+  const size_t pairs = n / 2;
+  for (size_t i = 0; i < pairs; ++i) {
+    Bucket& dst = buckets_[i];
+    dst = buckets_[2 * i];
+    const Bucket& right = buckets_[2 * i + 1];
+    dst.stats.Merge(right.stats);
+    dst.t_last_ns = right.t_last_ns;
+  }
+  if (n % 2 != 0) {
+    buckets_[pairs] = buckets_[n - 1];
+  }
+  buckets_.resize(pairs + n % 2);
+  stride_ *= 2;
+  ++compactions_;
+}
+
+double Series::last_value() const {
+  return buckets_.empty() ? 0.0 : buckets_.back().stats.mean();
+}
+
+void Series::AppendJson(obs::JsonWriter& w) const {
+  w.BeginObject();
+  w.Key("count").BeginArray();
+  for (const Bucket& b : buckets_) {
+    w.Uint(b.stats.count());
+  }
+  w.EndArray();
+  w.Key("max").BeginArray();
+  for (const Bucket& b : buckets_) {
+    w.Double(b.stats.max());
+  }
+  w.EndArray();
+  w.Key("mean").BeginArray();
+  for (const Bucket& b : buckets_) {
+    w.Double(b.stats.mean());
+  }
+  w.EndArray();
+  w.Key("min").BeginArray();
+  for (const Bucket& b : buckets_) {
+    w.Double(b.stats.min());
+  }
+  w.EndArray();
+  w.Key("stride").Uint(stride_);
+  w.Key("t_ns").BeginArray();
+  for (const Bucket& b : buckets_) {
+    w.Int(b.t_last_ns);
+  }
+  w.EndArray();
+  w.EndObject();
+}
+
+}  // namespace ts
+}  // namespace lottery

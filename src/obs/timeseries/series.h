@@ -1,0 +1,80 @@
+// Fixed-footprint time series with deterministic full-history downsampling.
+//
+// A Series is a bounded vector of buckets, each summarising `stride`
+// consecutive samples with an obs::StreamingStats (count/mean/min/max) plus
+// the sim-time span they cover. When the vector fills, adjacent buckets are
+// pairwise-merged in place (Chan's formula, via StreamingStats::Merge) and
+// the stride doubles — so a series never forgets its beginning, never
+// exceeds its construction-time capacity, and never allocates after
+// construction. Resolution degrades geometrically instead of the window
+// sliding: a 200 s run recorded at 0.5 s lands in the same few hundred
+// buckets as a 20 s run, just coarser.
+//
+// Everything is a pure fold over the Record() call sequence: same samples
+// in, same buckets out, byte-identical JSON across same-seed runs.
+
+#ifndef SRC_OBS_TIMESERIES_SERIES_H_
+#define SRC_OBS_TIMESERIES_SERIES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/obs/json_writer.h"
+#include "src/obs/streaming.h"
+
+namespace lottery {
+namespace ts {
+
+class Series {
+ public:
+  struct Bucket {
+    int64_t t_first_ns = 0;
+    int64_t t_last_ns = 0;
+    obs::StreamingStats stats;
+  };
+
+  // `capacity` is the maximum bucket count (>= 2); memory is reserved here
+  // and never grows. Throws std::invalid_argument on a degenerate capacity.
+  explicit Series(size_t capacity);
+
+  // Folds one (t, value) sample into the current bucket, opening a new
+  // bucket — compacting first if at capacity — when the current one holds
+  // `stride` samples. Timestamps must be fed in non-decreasing order (the
+  // Sampler's dispatch-loop cadence guarantees strictly increasing).
+  void Record(int64_t t_ns, double value);
+
+  size_t size() const { return buckets_.size(); }
+  size_t capacity() const { return capacity_; }
+  const Bucket& bucket(size_t i) const { return buckets_[i]; }
+  // Samples per full bucket at the current resolution (doubles on compact).
+  uint64_t stride() const { return stride_; }
+  uint64_t total_points() const { return total_points_; }
+  // Times the series halved its resolution to stay within capacity.
+  uint32_t compactions() const { return compactions_; }
+
+  // Mean of the most recent bucket (0 when empty) — the dashboard's "now".
+  double last_value() const;
+
+  // Appends this series as a JSON object with lexicographically ordered
+  // keys: {"count": [...], "max": [...], "mean": [...], "min": [...],
+  // "stride": k, "t_ns": [...]}. The t axis is each bucket's last sample
+  // time, strictly increasing.
+  void AppendJson(obs::JsonWriter& w) const;
+
+ private:
+  // Pairwise in-place merge: [2i] absorbs [2i+1], an odd trailing bucket
+  // shifts down and keeps filling at the doubled stride.
+  void Compact();
+
+  std::vector<Bucket> buckets_;
+  size_t capacity_;
+  uint64_t stride_ = 1;
+  uint64_t total_points_ = 0;
+  uint32_t compactions_ = 0;
+};
+
+}  // namespace ts
+}  // namespace lottery
+
+#endif  // SRC_OBS_TIMESERIES_SERIES_H_

@@ -40,7 +40,7 @@ class DecayUsageScheduler : public Scheduler {
       : options_(options),
         picks_((options.metrics != nullptr ? options.metrics
                                            : &obs::Registry::Default())
-                   ->counter("sched.decay-usage.picks")) {}
+                   ->counter("sched.decay_usage.picks")) {}
 
   void AddThread(ThreadId id, SimTime now) override;
   void RemoveThread(ThreadId id, SimTime now) override;

@@ -23,7 +23,7 @@ class PriorityScheduler : public Scheduler {
 
   explicit PriorityScheduler(obs::Registry* metrics = nullptr)
       : picks_((metrics != nullptr ? metrics : &obs::Registry::Default())
-                   ->counter("sched.fixed-priority.picks")) {}
+                   ->counter("sched.fixed_priority.picks")) {}
 
   void AddThread(ThreadId id, SimTime now) override;
   void RemoveThread(ThreadId id, SimTime now) override;

@@ -17,7 +17,7 @@ class RoundRobinScheduler : public Scheduler {
  public:
   explicit RoundRobinScheduler(obs::Registry* metrics = nullptr)
       : picks_((metrics != nullptr ? metrics : &obs::Registry::Default())
-                   ->counter("sched.round-robin.picks")) {}
+                   ->counter("sched.round_robin.picks")) {}
 
   void AddThread(ThreadId id, SimTime now) override;
   void RemoveThread(ThreadId id, SimTime now) override;

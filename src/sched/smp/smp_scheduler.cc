@@ -187,6 +187,14 @@ int64_t SmpScheduler::FundedAmount(ThreadId id) const {
 
 int SmpScheduler::HomeCpu(ThreadId id) const { return RecOf(id).home; }
 
+Funding SmpScheduler::ThreadBaseValue(ThreadId id) {
+  const auto it = recs_.find(id);
+  if (it == recs_.end()) {
+    return Funding::Zero();
+  }
+  return cpus_[static_cast<size_t>(it->second.home)]->ThreadBaseValue(id);
+}
+
 uint64_t SmpScheduler::ThreadMigrations(ThreadId id) const {
   return RecOf(id).migrations;
 }

@@ -100,6 +100,11 @@ class SmpScheduler : public Scheduler {
   void FundThread(ThreadId id, int64_t amount);
   // Sum of this thread's recorded base funding (migration-invariant).
   int64_t FundedAmount(ThreadId id) const;
+  // Base entitlement on the thread's current home table, compensation
+  // divided out (the timeseries sampler's weight; see LotteryScheduler::
+  // ThreadBaseValue). Zero for unknown threads; survives migration because
+  // it reads whichever per-CPU table currently homes the thread.
+  Funding ThreadBaseValue(ThreadId id);
 
   // --- Introspection (tests, benches) --------------------------------------
   int num_cpus() const { return options_.num_cpus; }

@@ -357,6 +357,7 @@ void Kernel::RunUntil(SimTime end) {
       now_ = cpu_free_[cpu];
       events_.RunUntil(now_);
       DeliverTicks();
+      PollSampler();
       return;
     }
     if (cpu_free_[cpu] > now_) {
@@ -364,6 +365,7 @@ void Kernel::RunUntil(SimTime end) {
     }
     events_.RunUntil(now_);
     DeliverTicks();
+    PollSampler();
 
     etrace::SetNow(options_.trace, now_.nanos());
     const ThreadId tid = scheduler_->PickNextOnCpu(static_cast<int>(cpu), now_);
@@ -396,6 +398,8 @@ void Kernel::RunUntil(SimTime end) {
       cpu_last_[cpu] = tid;
     }
     ++thread.dispatches;
+    ++total_dispatches_;
+    thread.last_dispatched = now_;
     m_dispatches_->Inc();
     thread.running = true;
     thread.pending_wake = false;
@@ -504,6 +508,20 @@ SimDuration Kernel::CpuBusy(int cpu) const {
     throw std::out_of_range("Kernel::CpuBusy: bad cpu index");
   }
   return cpu_busy_[static_cast<size_t>(cpu)];
+}
+
+SimDuration Kernel::CpuBusySampled(int cpu) const {
+  if (cpu < 0 || static_cast<size_t>(cpu) >= cpu_busy_.size()) {
+    throw std::out_of_range("Kernel::CpuBusySampled: bad cpu index");
+  }
+  return cpu_busy_[static_cast<size_t>(cpu)];
+}
+
+void Kernel::SetSampler(SampleHook* hook) {
+  sampler_ = hook;
+  // Fire at the next loop step: a freshly attached sampler takes its
+  // baseline immediately instead of one interval late.
+  sampler_due_ns_ = now_.nanos();
 }
 
 }  // namespace lottery

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "src/core/lottery_scheduler.h"
+#include "src/obs/counter.h"
 #include "src/obs/registry.h"
 #include "src/sched/scheduler.h"
 #include "src/sim/event_queue.h"
@@ -41,6 +42,21 @@ class ThreadExitObserver {
  public:
   virtual ~ThreadExitObserver() = default;
   virtual void OnThreadExit(ThreadId tid, SimTime when) = 0;
+};
+
+// Periodic observation hook driven by the dispatch loop (implemented by
+// ts::Sampler in src/obs/timeseries/). Sample() fires from inside RunUntil
+// whenever the virtual clock reaches the hook's due time — i.e. with the
+// dispatch serialization domain already held, between dispatch steps — and
+// returns the next due time (nanos). Implementations must use the kernel's
+// loop-safe readers (ThreadRunnable, LastDispatched, CpuBusySampled,
+// idle_time, ...) and must never re-enter RunUntil, CpuBusy or IsQuiescent:
+// those take the dispatch domain again, which Debug builds assert against.
+// The polling compiles out entirely under LOTTERY_OBS=OFF.
+class SampleHook {
+ public:
+  virtual ~SampleHook() = default;
+  virtual int64_t Sample(SimTime now) = 0;
 };
 
 // A thread's behaviour. Bodies are small state machines: each Run call may span
@@ -187,6 +203,14 @@ class Kernel {
   // keep their ids only when the attached buffer is the one they interned
   // into. Pair with LotteryScheduler::SetTrace for a single shared stream.
   void SetTrace(etrace::TraceBuffer* trace);
+  // Attaches (or detaches, with nullptr) a periodic sampling hook. It first
+  // fires at the next dispatch-loop step, then at the cadence its Sample()
+  // requests (sample times are quantized to dispatch-loop steps, so they
+  // are a deterministic function of the seed and the RunUntil call
+  // pattern). Costs one compare per loop iteration when attached; the whole
+  // poll folds away under LOTTERY_OBS=OFF.
+  void SetSampler(SampleHook* hook);
+  SampleHook* sampler() const { return sampler_; }
   // Fault injector shared by the kernel and its services; may be null.
   FaultInjector* faults() { return options_.faults; }
   const Options& options() const { return options_; }
@@ -204,6 +228,24 @@ class Kernel {
   int num_cpus() const { return options_.num_cpus; }
   // Busy time accumulated by one CPU.
   SimDuration CpuBusy(int cpu) const;
+
+  // --- Loop-safe readers (SampleHook implementations; see SampleHook) -------
+
+  // Whether the thread is in the run queue or running.
+  bool ThreadRunnable(ThreadId tid) const { return ThreadOf(tid).runnable; }
+  // Virtual time of the thread's most recent dispatch (Zero if never run).
+  SimTime LastDispatched(ThreadId tid) const {
+    return ThreadOf(tid).last_dispatched;
+  }
+  size_t num_runnable() const { return runnable_count_; }
+  // Dispatches summed over all threads (monotone; avoids a per-thread sweep
+  // on the sample path).
+  uint64_t total_dispatches() const { return total_dispatches_; }
+  // Busy time of one CPU without entering the dispatch domain: sampling
+  // hooks run inside RunUntil, where the domain is already held and
+  // re-entry would assert. Serialized by construction — only the dispatch
+  // loop itself calls into hooks.
+  SimDuration CpuBusySampled(int cpu) const NO_THREAD_SAFETY_ANALYSIS;
 
  private:
   friend class RunContext;
@@ -223,6 +265,8 @@ class Kernel {
     bool sleeping = false;
     SimDuration cpu_time{};
     uint64_t dispatches = 0;
+    // When the thread last won a dispatch (starvation watermarks).
+    SimTime last_dispatched{};
   };
 
   Thread& ThreadOf(ThreadId tid);
@@ -236,6 +280,15 @@ class Kernel {
   // Applies a slice's outcome at its (virtual) completion time.
   void FinishSlice(ThreadId tid, Disposition disposition, SimDuration sleep,
                    SimTime when);
+  // One compare per dispatch-loop iteration; fires the attached SampleHook
+  // when the clock has reached its due time. Folds away with LOTTERY_OBS=OFF.
+  void PollSampler() {
+    if constexpr (obs::kObsEnabled) {
+      if (sampler_ != nullptr && now_.nanos() >= sampler_due_ns_) {
+        sampler_due_ns_ = sampler_->Sample(now_);
+      }
+    }
+  }
 
   Scheduler* scheduler_;
   LotteryScheduler* lottery_;
@@ -250,7 +303,10 @@ class Kernel {
   SimTime last_tick_;
   ThreadId next_tid_ = 1;
   uint64_t context_switches_ = 0;
+  uint64_t total_dispatches_ = 0;
   SimDuration idle_time_{};
+  SampleHook* sampler_ = nullptr;
+  int64_t sampler_due_ns_ = 0;
   size_t live_threads_ = 0;
   size_t runnable_count_ = 0;
   uint64_t zero_use_streak_ = 0;

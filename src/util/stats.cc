@@ -1,3 +1,5 @@
+// lotlint: file float-ok (descriptive statistics are float by design; results
+// feed reports and telemetry, never ticket or pass state)
 #include "src/util/stats.h"
 
 #include <algorithm>

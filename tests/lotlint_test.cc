@@ -372,4 +372,40 @@ TEST(LotlintStale, ReportsWaiversThatSuppressNothing) {
   EXPECT_TRUE(used.stale.empty());
 }
 
+// The timeseries sampler contract: Sample() runs inside RunUntil, so a wall
+// clock anywhere in the sample path is a CG1 finding even though
+// src/obs/timeseries/ is outside the D1-wallclock base scope — and the
+// clean, sim-time-only shape must stay rule-silent despite being reachable.
+TEST(LotlintSampler, WallClockInSamplePathIsCaught) {
+  const lotlint::Report report = lotlint::Analyze(
+      {{"src/sim/sampler_entry.cc", ReadFixture("sampler_entry.cc.txt")},
+       {"src/obs/timeseries/sampler_fix.cc",
+        ReadFixture("sampler_dirty.cc.txt")}});
+  const std::multiset<std::pair<std::string, int>> expected = {
+      {"CG1-wallclock", 15},  // steady_clock::now() inside Sample()
+  };
+  EXPECT_EQ(RuleLines(report), expected);
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].file, "src/obs/timeseries/sampler_fix.cc");
+}
+
+TEST(LotlintSampler, SimTimeOnlySamplePathIsClean) {
+  const lotlint::Report report = lotlint::Analyze(
+      {{"src/sim/sampler_entry.cc", ReadFixture("sampler_entry.cc.txt")},
+       {"src/obs/timeseries/sampler_fix.cc",
+        ReadFixture("sampler_clean.cc.txt")}});
+  EXPECT_TRUE(report.findings.empty()) << report.findings.size();
+  // Sample is genuinely on the RunUntil path — the clean result must come
+  // from the code being clean, not from the call graph missing the edge.
+  bool saw_sample = false;
+  for (const lotlint::FunctionNode& f : report.functions) {
+    if (f.name == "Sample") {
+      saw_sample = true;
+      EXPECT_TRUE(f.reachable);
+      EXPECT_EQ(f.root, "RunUntil");
+    }
+  }
+  EXPECT_TRUE(saw_sample);
+}
+
 }  // namespace

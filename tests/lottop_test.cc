@@ -1,0 +1,181 @@
+// Tests for the lottop library (tools/lottop): strict TsFile parsing, the
+// canned fairness scenarios against their acceptance bounds, check/diff
+// semantics, and deterministic frame rendering.
+
+#include "tools/lottop/lottop.h"
+
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace lottery {
+namespace lottop {
+namespace {
+
+// A minimal valid document for parser unit tests.
+std::string MinimalDoc() {
+  return R"({"anomalies":[{"bound":2.0,"kind":"lag","t_ns":1500,"tid":7,"value":3.5}],)"
+         R"("anomalies_dropped":0,)"
+         R"("clients":[{"label":"a","tid":7}],)"
+         R"("kind":"timeseries",)"
+         R"("metadata":{"interval_ns":500,"lag_sigma":6,"num_cpus":1,)"
+         R"("quantum_ns":100,"samples":2,"seed":42,"share_err_bound":0.35,)"
+         R"("share_window_samples":16,"starvation_bound_ns":10000},)"
+         R"("schema_version":1,)"
+         R"("series":{"client.a.lag_ms":{"count":[1,1],"max":[0.5,1.5],)"
+         R"("mean":[0.5,1.5],"min":[0.5,1.5],"stride":1,"t_ns":[500,1000]}},)"
+         R"("source":"unit"})";
+}
+
+TEST(TsFileParse, AcceptsMinimalDocument) {
+  const TsFile file = TsFile::Parse(MinimalDoc());
+  EXPECT_EQ(file.source, "unit");
+  EXPECT_EQ(file.seed, 42u);
+  EXPECT_EQ(file.interval_ns, 500);
+  EXPECT_EQ(file.samples, 2);
+  ASSERT_EQ(file.clients.size(), 1u);
+  EXPECT_EQ(file.clients[0].label, "a");
+  EXPECT_EQ(file.clients[0].tid, 7u);
+  ASSERT_EQ(file.anomalies.size(), 1u);
+  EXPECT_EQ(file.anomalies[0].kind, "lag");
+  EXPECT_EQ(file.anomalies[0].t_ns, 1500);
+  const SeriesData* lag = file.ClientSeries("a", "lag_ms");
+  ASSERT_NE(lag, nullptr);
+  EXPECT_EQ(lag->t_ns.size(), 2u);
+  EXPECT_DOUBLE_EQ(lag->LastMean(), 1.5);
+  EXPECT_DOUBLE_EQ(lag->GlobalMin(), 0.5);
+  EXPECT_DOUBLE_EQ(lag->GlobalMax(), 1.5);
+  EXPECT_EQ(file.Find("no.such.series"), nullptr);
+}
+
+TEST(TsFileParse, RejectsMalformedDocuments) {
+  // Wrong kind.
+  std::string doc = MinimalDoc();
+  size_t pos = doc.find("\"timeseries\"");
+  EXPECT_THROW(TsFile::Parse(doc.replace(pos, 12, "\"telemetry\" ")),
+               std::runtime_error);
+  // Wrong schema version.
+  doc = MinimalDoc();
+  pos = doc.find("\"schema_version\":1");
+  EXPECT_THROW(TsFile::Parse(doc.replace(pos, 18, "\"schema_version\":2")),
+               std::runtime_error);
+  // Non-monotone time axis.
+  doc = MinimalDoc();
+  pos = doc.find("\"t_ns\":[500,1000]");
+  EXPECT_THROW(TsFile::Parse(doc.replace(pos, 17, "\"t_ns\":[1000,500]")),
+               std::runtime_error);
+  // Mismatched array lengths.
+  doc = MinimalDoc();
+  pos = doc.find("\"count\":[1,1]");
+  EXPECT_THROW(TsFile::Parse(doc.replace(pos, 13, "\"count\":[1]  ")),
+               std::runtime_error);
+  // Non-finite values never parse (the writer would have emitted null).
+  doc = MinimalDoc();
+  pos = doc.find("\"mean\":[0.5,1.5]");
+  EXPECT_THROW(TsFile::Parse(doc.replace(pos, 16, "\"mean\":[0.5,null]")),
+               std::runtime_error);
+  // Truncated text.
+  EXPECT_THROW(TsFile::Parse(MinimalDoc().substr(0, 100)),
+               std::runtime_error);
+}
+
+TEST(Check, CountsAnomaliesByKind) {
+  const TsFile file = TsFile::Parse(MinimalDoc());
+  const CheckResult result = Check(file);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.lag, 1u);
+  EXPECT_EQ(result.starvation, 0u);
+  EXPECT_EQ(result.share_error, 0u);
+}
+
+// --- Scenarios (the PR's acceptance bounds) --------------------------------
+
+TEST(Scenario, FairMixAuditsClean) {
+  const ScenarioResult result = RunScenario("fair", 42, 60);
+  EXPECT_EQ(result.lag_anomalies, 0u);
+  EXPECT_EQ(result.starvation_anomalies, 0u);
+  EXPECT_EQ(result.share_anomalies, 0u);
+  EXPECT_EQ(result.first_anomaly_t_ns, -1);
+  EXPECT_TRUE(Check(TsFile::Parse(result.json)).ok());
+}
+
+TEST(Scenario, MonopolyTripsWithinOneWindow) {
+  // One window = share_window_samples x interval = 16 x 500 ms = 8 s.
+  const ScenarioResult result = RunScenario("monopoly", 42, 60);
+  EXPECT_GT(result.lag_anomalies + result.share_anomalies, 0u);
+  ASSERT_GE(result.first_anomaly_t_ns, 0);
+  EXPECT_LE(result.first_anomaly_t_ns, 8'000'000'000);
+  const TsFile file = TsFile::Parse(result.json);
+  EXPECT_FALSE(Check(file).ok());
+  // The monopolist's delivered share sits far under its 80% entitlement.
+  const SeriesData* share = file.ClientSeries("monopolist", "share");
+  ASSERT_NE(share, nullptr);
+  EXPECT_LT(share->LastMean(), 0.4);
+}
+
+TEST(Scenario, StarvationFiresAtTheBound) {
+  const ScenarioResult result = RunScenario("starvation", 42, 60);
+  EXPECT_GE(result.starvation_anomalies, 1u);
+  const TsFile file = TsFile::Parse(result.json);
+  bool saw_starvation = false;
+  for (const AnomalyRow& a : file.anomalies) {
+    if (a.kind == "starvation") {
+      saw_starvation = true;
+      // Not before the 10 s watermark.
+      EXPECT_GE(a.t_ns, 10'000'000'000);
+    }
+  }
+  EXPECT_TRUE(saw_starvation);
+}
+
+TEST(Scenario, SameSeedRecordingsAreIdentical) {
+  const ScenarioResult a = RunScenario("fair", 7, 30);
+  const ScenarioResult b = RunScenario("fair", 7, 30);
+  EXPECT_EQ(a.json, b.json);
+  const TsDiffResult diff = Diff(TsFile::Parse(a.json), TsFile::Parse(b.json));
+  EXPECT_TRUE(diff.identical) << diff.detail;
+}
+
+TEST(Scenario, UnknownNameThrows) {
+  EXPECT_THROW(RunScenario("coinflip", 1, 1), std::invalid_argument);
+}
+
+// --- Diff -------------------------------------------------------------------
+
+TEST(Diff, ReportsFirstDivergence) {
+  const ScenarioResult a = RunScenario("fair", 7, 30);
+  const ScenarioResult b = RunScenario("fair", 8, 30);
+  const TsDiffResult diff = Diff(TsFile::Parse(a.json), TsFile::Parse(b.json));
+  EXPECT_FALSE(diff.identical);
+  EXPECT_FALSE(diff.detail.empty());
+}
+
+// --- Rendering --------------------------------------------------------------
+
+TEST(Render, FrameIsDeterministicAndNamesClients) {
+  const ScenarioResult result = RunScenario("fair", 42, 60);
+  const TsFile file = TsFile::Parse(result.json);
+  const FrameData frame = BuildFrame(file);
+  EXPECT_EQ(frame.source, "lottop_fair");
+  ASSERT_EQ(frame.clients.size(), 3u);
+
+  RenderOptions opts;
+  opts.ascii = true;
+  const std::string text = RenderFrame(frame, opts);
+  EXPECT_EQ(text, RenderFrame(BuildFrame(file), opts));
+  for (const char* label : {"a", "b", "c"}) {
+    EXPECT_NE(text.find(label), std::string::npos);
+  }
+  // ASCII mode stays 7-bit for CI logs.
+  for (const char c : text) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x09);
+    EXPECT_LT(static_cast<unsigned char>(c), 0x80);
+  }
+  // Summary text is likewise a pure function of the document.
+  EXPECT_EQ(SummaryText(file), SummaryText(TsFile::Parse(result.json)));
+}
+
+}  // namespace
+}  // namespace lottop
+}  // namespace lottery

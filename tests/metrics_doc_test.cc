@@ -1,0 +1,95 @@
+// Metric-name hygiene and docs-drift gate.
+//
+// Runs the metricsdoc inventory over the real source tree: every metric name
+// must use the [a-z0-9_.]+ alphabet, be unique across kinds, every dynamic
+// creation site must be covered by the documented family table, and the
+// committed docs/METRICS.md must byte-match what the generator produces.
+
+#include "tools/metricsdoc/metricsdoc.h"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "gtest/gtest.h"
+
+namespace lottery {
+namespace metricsdoc {
+namespace {
+
+Inventory TheInventory() {
+  static const Inventory inventory = CollectInventory(METRICS_SRC_ROOT);
+  return inventory;
+}
+
+TEST(HygienicNameTest, Alphabet) {
+  EXPECT_TRUE(HygienicName("kernel.dispatches"));
+  EXPECT_TRUE(HygienicName("a_b.c_0"));
+  EXPECT_TRUE(HygienicName("cpu<i>.util"));
+  EXPECT_TRUE(HygienicName("client.<label>.lag_ms"));
+  EXPECT_FALSE(HygienicName(""));
+  EXPECT_FALSE(HygienicName("decay-usage.picks"));  // hyphens banned
+  EXPECT_FALSE(HygienicName("Kernel.dispatches"));  // uppercase banned
+  EXPECT_FALSE(HygienicName("kernel dispatches"));
+  EXPECT_FALSE(HygienicName("cpu<i.util"));  // unclosed placeholder
+}
+
+TEST(MetricsDocTest, InventoryClean) {
+  const Inventory inventory = TheInventory();
+  for (const std::string& error : inventory.errors) {
+    ADD_FAILURE() << error;
+  }
+  EXPECT_TRUE(inventory.ok());
+  // The scan actually saw the tree: the core scheduler counters alone put
+  // the floor well above this.
+  EXPECT_GE(inventory.metrics.size(), 40u);
+  EXPECT_GE(inventory.files_scanned, 50u);
+  EXPECT_GE(inventory.dynamic_sites, 14u);
+}
+
+TEST(MetricsDocTest, NamesUniqueAcrossKinds) {
+  const Inventory inventory = TheInventory();
+  std::set<std::string> seen;
+  for (const Metric& metric : inventory.metrics) {
+    EXPECT_TRUE(seen.insert(metric.name).second)
+        << "duplicate metric name: " << metric.name;
+  }
+  for (const Family& family : inventory.families) {
+    EXPECT_TRUE(seen.insert(family.name).second)
+        << "family name collides with a static metric: " << family.name;
+  }
+}
+
+TEST(MetricsDocTest, KnownSitesPresent) {
+  const Inventory inventory = TheInventory();
+  const auto has = [&](const char* kind, const char* name) {
+    for (const Metric& metric : inventory.metrics) {
+      if (metric.kind == kind && metric.name == name) {
+        return true;
+      }
+    }
+    return false;
+  };
+  EXPECT_TRUE(has("counter", "kernel.dispatches"));
+  EXPECT_TRUE(has("counter", "lottery.draws"));
+  EXPECT_TRUE(has("counter", "sched.decay_usage.picks"));
+  EXPECT_TRUE(has("histogram", "kernel.slice_us"));
+  EXPECT_TRUE(has("series", "kernel.util"));
+  EXPECT_TRUE(has("series", "sched.starve_max_ms"));
+}
+
+TEST(MetricsDocTest, CommittedDocIsCurrent) {
+  const Inventory inventory = TheInventory();
+  ASSERT_TRUE(inventory.ok());
+  std::ifstream in(METRICS_DOC_PATH, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing " << METRICS_DOC_PATH;
+  std::ostringstream committed;
+  committed << in.rdbuf();
+  EXPECT_EQ(committed.str(), GenerateMarkdown(inventory))
+      << "docs/METRICS.md is stale — regenerate with "
+         "`metricsdoc --root=. --out=docs/METRICS.md`";
+}
+
+}  // namespace
+}  // namespace metricsdoc
+}  // namespace lottery

@@ -113,5 +113,93 @@ TEST(StreamingStats, ResetClears) {
   EXPECT_EQ(s.mean(), 0.0);
 }
 
+TEST(StreamingStats, MergeEmptyIntoEmptyStaysEmpty) {
+  obs::StreamingStats a;
+  obs::StreamingStats b;
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.mean(), 0.0);
+  EXPECT_EQ(a.variance(), 0.0);
+  EXPECT_EQ(a.min(), 0.0);
+  EXPECT_EQ(a.max(), 0.0);
+  // Still usable as a fresh accumulator afterwards.
+  a.Add(7.0);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.mean(), 7.0);
+}
+
+TEST(StreamingStats, SingleSampleMergesBothDirections) {
+  // Chan's combination formula divides by the combined count; n=1 shards
+  // are the degenerate case the timeseries downsampler hits on every
+  // compaction boundary.
+  obs::StreamingStats one;
+  one.Add(5.0);
+  obs::StreamingStats many;
+  many.Add(1.0);
+  many.Add(3.0);
+
+  obs::StreamingStats a = many;
+  a.Merge(one);
+  obs::StreamingStats b = one;
+  b.Merge(many);
+
+  for (const obs::StreamingStats* s : {&a, &b}) {
+    EXPECT_EQ(s->count(), 3u);
+    EXPECT_DOUBLE_EQ(s->mean(), 3.0);
+    EXPECT_NEAR(s->variance(), 8.0 / 3.0, 1e-12);
+    EXPECT_EQ(s->min(), 1.0);
+    EXPECT_EQ(s->max(), 5.0);
+  }
+
+  obs::StreamingStats c;
+  c.Add(2.0);
+  obs::StreamingStats d;
+  d.Add(4.0);
+  c.Merge(d);  // single merged into single
+  EXPECT_EQ(c.count(), 2u);
+  EXPECT_DOUBLE_EQ(c.mean(), 3.0);
+  EXPECT_NEAR(c.variance(), 1.0, 1e-12);
+}
+
+TEST(StreamingStats, VarianceStableAtLargeCounts) {
+  // A million near-identical observations around a large offset: the M2
+  // update must not let rounding in the running mean swamp the tiny true
+  // variance. Values alternate 1e6 ± 0.5, so variance is exactly 0.25.
+  obs::StreamingStats s;
+  for (int i = 0; i < 1'000'000; ++i) {
+    s.Add(1e6 + ((i & 1) != 0 ? 0.5 : -0.5));
+  }
+  EXPECT_EQ(s.count(), 1'000'000u);
+  EXPECT_NEAR(s.mean(), 1e6, 1e-6);
+  EXPECT_NEAR(s.variance(), 0.25, 1e-9);
+  EXPECT_NEAR(s.stddev(), 0.5, 1e-9);
+}
+
+TEST(StreamingStats, MergeIsCommutativeUpToRounding) {
+  // Shards of very different sizes and magnitudes merged in both orders
+  // must agree to tight tolerance (Chan's formula is symmetric; only
+  // floating-point rounding differs).
+  FastRand rng(0xc0ffee42u);
+  obs::StreamingStats big;
+  for (int i = 0; i < 10'000; ++i) {
+    big.Add(static_cast<double>(rng.Next() % 1000u));
+  }
+  obs::StreamingStats small;
+  for (int i = 0; i < 3; ++i) {
+    small.Add(1e7 + static_cast<double>(i));
+  }
+
+  obs::StreamingStats ab = big;
+  ab.Merge(small);
+  obs::StreamingStats ba = small;
+  ba.Merge(big);
+
+  EXPECT_EQ(ab.count(), ba.count());
+  EXPECT_NEAR(ab.mean(), ba.mean(), 1e-9 * ab.mean());
+  EXPECT_NEAR(ab.variance(), ba.variance(), 1e-9 * ab.variance());
+  EXPECT_EQ(ab.min(), ba.min());
+  EXPECT_EQ(ab.max(), ba.max());
+}
+
 }  // namespace
 }  // namespace lottery

@@ -1,0 +1,207 @@
+// lottop: terminal dashboard and analysis CLI for the fairness-lag
+// timeseries documents recorded by src/obs/timeseries/ (the --timeseries
+// flag on benches, or lottop's own built-in scenarios).
+//
+// Subcommands:
+//   record     run a named scenario, write its timeseries JSON
+//   live       run a scenario, rendering dashboard frames as the sim runs
+//              (attached through ts::Sampler's snapshot hook)
+//   replay     render the final dashboard frame of a recorded document
+//   summarize  per-client fairness table, machine stats, anomaly log
+//   check      exit nonzero iff the auditor flagged any anomaly
+//   diff       structural comparison of two documents (same seed -> equal)
+//
+// Scenarios (deterministic; seed/seconds come from flags):
+//   fair        3:2:1 compute tasks — every audit stays inside its bound
+//   monopoly    Section 4.5's failure: a fractional-quantum consumer holding
+//               80% of the tickets with compensation DISABLED receives a
+//               tiny fraction of its entitlement; the lag envelope and the
+//               windowed share error both trip within one window
+//   starvation  a 1-ticket client against two 5000-ticket hogs; the
+//               starvation watermark fires at the bound while lag and share
+//               error (both tiny in absolute terms) stay quiet
+//
+// Everything analytical is a pure function of the document, exposed here so
+// tests (tests/lottop_test.cc) can link the library without shelling out;
+// the binary is a thin dispatcher (main.cc), mirroring tools/tracectl.
+
+#ifndef TOOLS_LOTTOP_LOTTOP_H_
+#define TOOLS_LOTTOP_LOTTOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/obs/timeseries/sampler.h"
+#include "src/util/flags.h"
+
+namespace lottery {
+namespace lottop {
+
+// --- Recorded-document model ------------------------------------------------
+
+// One named series as recorded: parallel bucket arrays (see Series::AppendJson).
+struct SeriesData {
+  std::string name;
+  int64_t stride = 1;
+  std::vector<int64_t> t_ns;
+  std::vector<int64_t> count;
+  std::vector<double> mean;
+  std::vector<double> min;
+  std::vector<double> max;
+
+  bool empty() const { return t_ns.empty(); }
+  double LastMean() const { return mean.empty() ? 0.0 : mean.back(); }
+  double GlobalMin() const;  // min over buckets (0 when empty)
+  double GlobalMax() const;
+};
+
+struct AnomalyRow {
+  int64_t t_ns = 0;
+  uint32_t tid = 0;
+  std::string kind;  // "lag" | "starvation" | "share_error"
+  double value = 0.0;
+  double bound = 0.0;
+};
+
+struct ClientRef {
+  std::string label;
+  uint32_t tid = 0;
+};
+
+// A parsed "kind": "timeseries" document. Load/Parse validate the schema
+// hard (schema_version, kind, monotone t axes, parallel array lengths) and
+// throw std::runtime_error on any violation.
+struct TsFile {
+  std::string source;
+  uint64_t seed = 0;
+  int64_t interval_ns = 0;
+  int64_t quantum_ns = 0;
+  int64_t starvation_bound_ns = 0;
+  int64_t share_window_samples = 0;
+  int64_t samples = 0;
+  int num_cpus = 1;
+  double lag_sigma = 0.0;
+  double share_err_bound = 0.0;
+  uint64_t anomalies_dropped = 0;
+  std::vector<ClientRef> clients;
+  std::vector<AnomalyRow> anomalies;
+  std::vector<SeriesData> series;  // in document (sorted-name) order
+
+  const SeriesData* Find(const std::string& name) const;
+  // Convenience: "client.<label>.<leaf>".
+  const SeriesData* ClientSeries(const std::string& label,
+                                 const std::string& leaf) const;
+
+  static TsFile Parse(const std::string& json_text);
+  static TsFile Load(const std::string& path);
+};
+
+// --- Dashboard frames -------------------------------------------------------
+
+struct RenderOptions {
+  int bar_width = 24;      // share-bar cells
+  int spark_width = 32;    // sparkline cells
+  bool ascii = false;      // --ascii: 7-bit output (CI logs, dumb terms)
+  size_t anomaly_tail = 5; // most recent anomalies shown
+};
+
+struct ClientRow {
+  std::string label;
+  uint32_t tid = 0;
+  double share = 0.0;           // of group service (most recent)
+  double entitled_share = 0.0;
+  double lag_ms = 0.0;
+  double since_dispatch_ms = 0.0;
+  std::vector<double> lag_history;  // bucket means, oldest first
+  bool anomalous = false;           // any anomaly recorded for this tid
+};
+
+struct CpuRow {
+  int index = 0;
+  double util = 0.0;
+  double queued = 0.0;     // SMP only (0 otherwise)
+  double steals_in = 0.0;  // SMP only
+  bool smp = false;
+};
+
+struct FrameData {
+  std::string source;
+  uint64_t seed = 0;
+  int64_t t_ns = 0;
+  uint64_t samples = 0;
+  double util = 0.0;
+  double runnable = 0.0;
+  std::vector<ClientRow> clients;
+  std::vector<CpuRow> cpus;
+  std::vector<AnomalyRow> anomalies;  // full log, chronological
+  uint64_t anomalies_dropped = 0;
+};
+
+// Frame sources: a recorded document's final state, or a live sampler
+// mid-run (the snapshot-hook path; instantaneous fields come from
+// ClientState, history from the recorded series).
+FrameData BuildFrame(const TsFile& file);
+FrameData BuildFrame(const ts::Sampler& sampler, SimTime now,
+                     const std::string& source, uint64_t seed);
+
+// Deterministic text rendering — a pure function of (frame, options).
+std::string RenderFrame(const FrameData& frame, const RenderOptions& opts);
+
+// --- Analysis ---------------------------------------------------------------
+
+struct CheckResult {
+  uint64_t lag = 0;
+  uint64_t starvation = 0;
+  uint64_t share_error = 0;
+  uint64_t dropped = 0;
+  bool ok() const { return lag + starvation + share_error + dropped == 0; }
+};
+
+CheckResult Check(const TsFile& file);
+
+// First structural difference between two documents, if any. Exact compare:
+// same-seed recordings must match bucket for bucket.
+struct TsDiffResult {
+  bool identical = true;
+  std::string detail;  // "series client.a.lag_ms mean[3]: 1.25 vs 1.5"
+};
+
+TsDiffResult Diff(const TsFile& a, const TsFile& b);
+
+std::string SummaryText(const TsFile& file);
+
+// --- Scenarios --------------------------------------------------------------
+
+struct ScenarioResult {
+  std::string json;  // the document the run recorded
+  uint64_t lag_anomalies = 0;
+  uint64_t starvation_anomalies = 0;
+  uint64_t share_anomalies = 0;
+  uint64_t dropped = 0;
+  int64_t first_anomaly_t_ns = -1;  // -1 when clean
+};
+
+// Runs scenario "fair" | "monopoly" | "starvation" for `seconds` of sim
+// time at `seed`; `snapshot` (may be empty) fires after every sample.
+// Throws std::invalid_argument on an unknown scenario name.
+ScenarioResult RunScenario(
+    const std::string& name, uint32_t seed, int64_t seconds,
+    const std::function<void(const ts::Sampler&, SimTime)>& snapshot = {});
+
+// Subcommand entry points (exit codes: 0 ok, 1 check/diff failure, 2 usage).
+int CmdRecord(const Flags& flags);
+int CmdLive(const Flags& flags);
+int CmdReplay(const Flags& flags);
+int CmdSummarize(const Flags& flags);
+int CmdCheck(const Flags& flags);
+int CmdDiff(const Flags& flags);
+
+// Dispatches on positional()[0].
+int Run(int argc, char** argv);
+
+}  // namespace lottop
+}  // namespace lottery
+
+#endif  // TOOLS_LOTTOP_LOTTOP_H_

@@ -1,0 +1,13 @@
+#include <cstdio>
+#include <exception>
+
+#include "tools/lottop/lottop.h"
+
+int main(int argc, char** argv) {
+  try {
+    return lottery::lottop::Run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "lottop: %s\n", e.what());
+    return 2;
+  }
+}

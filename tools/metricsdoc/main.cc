@@ -1,0 +1,13 @@
+#include <cstdio>
+#include <exception>
+
+#include "tools/metricsdoc/metricsdoc.h"
+
+int main(int argc, char** argv) {
+  try {
+    return lottery::metricsdoc::Run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "metricsdoc: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,69 @@
+// metricsdoc: metric-name inventory, hygiene gate, and docs generator.
+//
+// Scans the product sources (src/) for every registry metric creation site —
+// `->counter("...")` / `->histogram("...")` — and every timeseries
+// `AddSeries("...")`, producing docs/METRICS.md. Two classes of site:
+//
+//   static   a single string-literal argument: the name is inventoried
+//            directly and must match the hygiene alphabet [a-z0-9_.]+
+//   dynamic  a computed argument ("smp.cpu" + i + ".steals_in"): the name
+//            cannot be read from the source, so the site must be covered by
+//            the kFamilies table below (per-file expected counts); adding a
+//            dynamic site without documenting its family is an error.
+//
+// tests/metrics_doc_test.cc runs the same collection and fails on hygiene
+// violations, undocumented dynamic sites, or drift between the generated
+// markdown and the committed docs/METRICS.md — so CI forces the doc to stay
+// in lockstep with the code.
+
+#ifndef TOOLS_METRICSDOC_METRICSDOC_H_
+#define TOOLS_METRICSDOC_METRICSDOC_H_
+
+#include <string>
+#include <vector>
+
+namespace lottery {
+namespace metricsdoc {
+
+struct Metric {
+  std::string name;
+  std::string kind;  // "counter" | "histogram" | "series"
+  std::string file;  // repo-relative path of the (first) creation site
+};
+
+// A documented family of dynamically-named metrics. Placeholders in angle
+// brackets (<i>, <label>, <counter>) stand for the computed segments.
+struct Family {
+  std::string name;
+  std::string kind;
+  std::string file;
+  std::string note;
+};
+
+struct Inventory {
+  std::vector<Metric> metrics;    // deduped, sorted by (kind, name)
+  std::vector<Family> families;   // the static kFamilies table
+  std::vector<std::string> errors;  // hygiene / coverage violations
+  size_t files_scanned = 0;
+  size_t dynamic_sites = 0;
+
+  bool ok() const { return errors.empty(); }
+};
+
+// True iff `name` uses only the metric alphabet [a-z0-9_.]+ (placeholder
+// segments in angle brackets are skipped, so family names validate too).
+bool HygienicName(const std::string& name);
+
+// Walks `src_root`/src for .h/.cc files and collects the inventory.
+Inventory CollectInventory(const std::string& src_root);
+
+std::string GenerateMarkdown(const Inventory& inventory);
+
+// metricsdoc --root=DIR (--out=PATH | --check=PATH)
+// Exit codes: 0 ok, 1 hygiene/coverage/drift failure, 2 usage.
+int Run(int argc, char** argv);
+
+}  // namespace metricsdoc
+}  // namespace lottery
+
+#endif  // TOOLS_METRICSDOC_METRICSDOC_H_
